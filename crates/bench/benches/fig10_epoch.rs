@@ -1,0 +1,36 @@
+//! Criterion benchmark for the Fig 10/13 pipeline: one epoch-model
+//! evaluation (compute model + AllReduce simulation) for GoogLeNet.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use meshcoll_collectives::Algorithm;
+use meshcoll_compute::ChipletConfig;
+use meshcoll_models::DnnModel;
+use meshcoll_sim::epoch::{epoch_time, EpochParams};
+use meshcoll_sim::SimEngine;
+use meshcoll_topo::Mesh;
+use std::hint::black_box;
+
+fn bench_fig10(c: &mut Criterion) {
+    let engine = SimEngine::paper_default();
+    let mesh = Mesh::square(4).unwrap();
+    let model = DnnModel::GoogLeNet.model();
+    let chiplet = ChipletConfig::paper_default();
+    let params = EpochParams::default();
+    let mut g = c.benchmark_group("fig10_epoch_googlenet_4x4");
+    g.sample_size(10);
+    for algo in [Algorithm::Ring, Algorithm::RingBiEven, Algorithm::MultiTree, Algorithm::Tto] {
+        g.bench_with_input(BenchmarkId::from_parameter(algo.name()), &mesh, |b, mesh| {
+            b.iter(|| {
+                black_box(
+                    epoch_time(&engine, mesh, algo, &model, &chiplet, &params)
+                        .unwrap()
+                        .epoch_ns(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion benchmark for the Fig 8 pipeline: schedule + packet-level
+//! simulation of a 1 MiB AllReduce per algorithm on 4x4 and 5x5 meshes.
+//! (The full sweep lives in the `fig8_bandwidth` binary; this tracks the
+//! cost of the measurement machinery itself.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use meshcoll_collectives::Algorithm;
+use meshcoll_sim::{bandwidth, SimEngine};
+use meshcoll_topo::Mesh;
+use std::hint::black_box;
+
+fn bench_fig8(c: &mut Criterion) {
+    let engine = SimEngine::paper_default();
+    let mut g = c.benchmark_group("fig8_allreduce_1mib");
+    g.sample_size(10);
+    for n in [4usize, 5] {
+        let mesh = Mesh::square(n).unwrap();
+        for algo in Algorithm::BENCHMARKS {
+            if algo.schedule(&mesh, 1 << 20).is_err() {
+                continue;
+            }
+            g.bench_with_input(
+                BenchmarkId::new(algo.name(), format!("{n}x{n}")),
+                &mesh,
+                |b, mesh| {
+                    b.iter(|| {
+                        black_box(
+                            bandwidth::measure(&engine, mesh, algo, 1 << 20)
+                                .unwrap()
+                                .bandwidth_gbps,
+                        )
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

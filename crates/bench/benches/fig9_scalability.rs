@@ -1,0 +1,33 @@
+//! Criterion benchmark for the Fig 9 pipeline: the 375 KB x N scalability
+//! point for Ring and TTO across growing meshes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use meshcoll_collectives::Algorithm;
+use meshcoll_sim::{bandwidth, SimEngine};
+use meshcoll_topo::Mesh;
+use std::hint::black_box;
+
+fn bench_fig9(c: &mut Criterion) {
+    let engine = SimEngine::paper_default();
+    let mut g = c.benchmark_group("fig9_scalability");
+    g.sample_size(10);
+    for n in [3usize, 4, 5, 6] {
+        let mesh = Mesh::square(n).unwrap();
+        let data = bandwidth::scalability_data_bytes(&mesh);
+        for algo in [Algorithm::Ring, Algorithm::Tto] {
+            g.bench_with_input(
+                BenchmarkId::new(algo.name(), format!("{n}x{n}")),
+                &mesh,
+                |b, mesh| {
+                    b.iter(|| {
+                        black_box(bandwidth::measure(&engine, mesh, algo, data).unwrap().time_ns)
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

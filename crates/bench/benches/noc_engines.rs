@@ -1,0 +1,41 @@
+//! Criterion benchmark comparing the two network engines on the same
+//! workload: the packet engine should be orders of magnitude faster than the
+//! flit engine while agreeing on results (agreement is asserted in the noc
+//! crate's tests; this tracks the speed gap that justifies having both).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use meshcoll_noc::{FlitSim, Message, MsgId, NetworkSim, NocConfig, PacketSim};
+use meshcoll_topo::{Mesh, NodeId};
+use std::hint::black_box;
+
+fn workload(mesh: &Mesh) -> Vec<Message> {
+    // A ring of 64 KiB transfers around the edge of a 3x3 mesh.
+    let ring = [0usize, 1, 2, 5, 8, 7, 6, 3];
+    ring.iter()
+        .zip(ring.iter().cycle().skip(1))
+        .enumerate()
+        .map(|(i, (&a, &b))| {
+            let m = Message::new(MsgId(i), NodeId(a), NodeId(b), 64 * 1024);
+            let _ = mesh;
+            m
+        })
+        .collect()
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mesh = Mesh::square(3).unwrap();
+    let msgs = workload(&mesh);
+    let cfg = NocConfig::paper_default();
+    let mut g = c.benchmark_group("noc_engines");
+    g.sample_size(10);
+    g.bench_function("packet_sim", |b| {
+        b.iter(|| black_box(PacketSim::new(cfg.clone()).run(&mesh, &msgs).unwrap().makespan_ns()))
+    });
+    g.bench_function("flit_sim", |b| {
+        b.iter(|| black_box(FlitSim::new(cfg.clone()).run(&mesh, &msgs).unwrap().makespan_ns()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

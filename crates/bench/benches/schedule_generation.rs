@@ -1,0 +1,33 @@
+//! Criterion benchmark: schedule-generation cost of every algorithm.
+//!
+//! Schedule generation runs once per training job (or per gradient size),
+//! so it must be cheap relative to even one AllReduce; this bench keeps it
+//! honest and doubles as a regression guard for the construction paths
+//! (Hamiltonian cycles, MultiTree greedy growth, TTO tree building).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use meshcoll_collectives::Algorithm;
+use meshcoll_topo::Mesh;
+use std::hint::black_box;
+
+fn bench_schedule_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("schedule_generation");
+    g.sample_size(20);
+    for n in [4usize, 5, 8, 9] {
+        let mesh = Mesh::square(n).unwrap();
+        for algo in Algorithm::BENCHMARKS {
+            if algo.schedule(&mesh, 1 << 20).is_err() {
+                continue;
+            }
+            g.bench_with_input(
+                BenchmarkId::new(algo.name(), format!("{n}x{n}")),
+                &mesh,
+                |b, mesh| b.iter(|| black_box(algo.schedule(mesh, 1 << 20).unwrap().len())),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_schedule_generation);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Ablation — sensitivity of the Fig 14 chunk-size optimum to the modelled
+//! per-packet router overhead.
+//!
+//! DESIGN.md documents that the left side of Fig 14 (tiny chunks losing
+//! bandwidth) is produced by per-packet pipeline overhead; this ablation
+//! sweeps that overhead and shows the optimum chunk growing with it.
+
+use meshcoll_bench::{fmt_bytes, kib, mib, Cli, Mesh, Record, SweepSize};
+use meshcoll_collectives::{Algorithm, ScheduleOptions};
+use meshcoll_noc::NocConfig;
+use meshcoll_sim::{bandwidth, SimEngine};
+
+fn main() {
+    let cli = Cli::parse();
+    let data = match cli.sweep {
+        SweepSize::Quick => mib(8),
+        SweepSize::Default => mib(32),
+        SweepSize::Full => mib(128),
+    };
+    let mesh = Mesh::square(8).unwrap();
+    let chunks = [kib(12), kib(24), kib(48), kib(96), kib(192), kib(384)];
+    let overheads = [0.0f64, 21.0, 42.0, 84.0];
+    let mut records = Vec::new();
+
+    println!("Ablation: TTO chunk-size optimum vs per-packet overhead ({mesh}, {})", fmt_bytes(data));
+    print!("{:<14}", "overhead ns");
+    for c in chunks {
+        print!("{:>10}", fmt_bytes(c));
+    }
+    println!("{:>12}", "best chunk");
+    for oh in overheads {
+        let engine = SimEngine::new(NocConfig {
+            per_packet_overhead_ns: oh,
+            ..NocConfig::paper_default()
+        });
+        print!("{oh:<14}");
+        let mut best = (0u64, 0.0f64);
+        for c in chunks {
+            let opts = ScheduleOptions {
+                tto_chunk_bytes: c,
+                ..ScheduleOptions::default()
+            };
+            let bw = bandwidth::measure_with(&engine, &mesh, Algorithm::Tto, data, &opts)
+                .unwrap()
+                .bandwidth_gbps;
+            print!("{bw:>10.1}");
+            if bw > best.1 {
+                best = (c, bw);
+            }
+            records.push(
+                Record::new("ablation_packet_overhead", &mesh.to_string(), "TTO", &fmt_bytes(c))
+                    .with("overhead_ns", oh)
+                    .with("bandwidth_gbps", bw),
+            );
+        }
+        println!("{:>12}", fmt_bytes(best.0));
+    }
+
+    println!("\n(expected: with zero overhead the smallest chunk wins; realistic overheads push \
+              the optimum toward the paper's 96-192 KB plateau)");
+    cli.save("ablation_packet_overhead", &records);
+}

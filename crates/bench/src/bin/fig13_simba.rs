@@ -1,0 +1,65 @@
+//! Figure 13 — TTO on the Simba accelerator (§VIII-A): a 6x6 mesh of
+//! chiplets with 16 PEs each, evaluated at 16x16 and 32x32 MAC arrays.
+//! End-to-end speedups shrink as the MAC array shrinks (compute dominates),
+//! while AllReduce speedups stay constant.
+
+use meshcoll_bench::{applicable_benchmarks, Cli, DnnModel, Mesh, Record, SimEngine, SweepSize};
+use meshcoll_compute::ChipletConfig;
+use meshcoll_sim::epoch::{epoch_time, EpochParams};
+
+fn main() {
+    let cli = Cli::parse();
+    let mesh = Mesh::square(6).unwrap();
+    let models: Vec<DnnModel> = match cli.sweep {
+        SweepSize::Quick => vec![DnnModel::GoogLeNet, DnnModel::Ncf],
+        _ => DnnModel::ALL.to_vec(),
+    };
+    let engine = SimEngine::paper_default();
+    let params = EpochParams::default();
+    let algorithms = applicable_benchmarks(&mesh);
+    let mut records = Vec::new();
+
+    for mac in [32u64, 16] {
+        let chiplet = ChipletConfig::simba(mac);
+        println!(
+            "\nFig 13 (Simba {mesh}, {mac}x{mac} MAC arrays): end-to-end and AllReduce speedup over Ring"
+        );
+        print!("{:<14}", "model");
+        for a in &algorithms {
+            print!("{:>16}", a.name());
+        }
+        println!("   (columns: epoch speedup / AllReduce speedup)");
+        meshcoll_bench::rule(14 + 16 * algorithms.len());
+
+        for m in &models {
+            let model = m.model();
+            let mut ring = None;
+            print!("{:<14}", m.name());
+            for algo in &algorithms {
+                let b = epoch_time(&engine, &mesh, *algo, &model, &chiplet, &params)
+                    .expect("epoch model");
+                let (e, ar) = (b.epoch_ns(), b.allreduce_ns);
+                let ring_vals = *ring.get_or_insert((e, ar));
+                records.push(
+                    Record::new("fig13", &mesh.to_string(), algo.name(), m.name())
+                        .with("mac", mac as f64)
+                        .with("epoch_ns", e)
+                        .with("allreduce_ns", ar)
+                        .with("compute_ns", b.compute_ns),
+                );
+                print!(
+                    "{:>16}",
+                    format!("{:.2}x/{:.2}x", ring_vals.0 / e, ring_vals.1 / ar)
+                );
+            }
+            println!();
+        }
+    }
+
+    println!(
+        "\n(paper Fig 13 shape: AllReduce speedups are MAC-size-independent (~1.6x over \
+         MultiTree, ~1.4x over RingBiEven for TTO); end-to-end speedups shrink with smaller \
+         MAC arrays as compute dominates)"
+    );
+    cli.save("fig13_simba", &records);
+}

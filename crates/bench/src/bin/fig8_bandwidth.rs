@@ -1,0 +1,50 @@
+//! Figure 8 — AllReduce bandwidth vs data size (1 MB – 1 GB) on 4x4, 5x5,
+//! 8x8 and 9x9 meshes, for every applicable algorithm.
+
+use meshcoll_bench::{
+    applicable_benchmarks, fmt_bytes, mib, Cli, Mesh, Record, SimEngine, SweepSize,
+};
+use meshcoll_sim::bandwidth;
+
+fn main() {
+    let cli = Cli::parse();
+    let sizes: Vec<u64> = match cli.sweep {
+        SweepSize::Quick => vec![mib(1), mib(4)],
+        SweepSize::Default => vec![mib(1), mib(4), mib(16), mib(64)],
+        SweepSize::Full => vec![mib(1), mib(4), mib(16), mib(64), mib(256), mib(1024)],
+    };
+    let engine = SimEngine::paper_default();
+    let mut records = Vec::new();
+
+    for n in [4usize, 5, 8, 9] {
+        let mesh = Mesh::square(n).unwrap();
+        let algorithms = applicable_benchmarks(&mesh);
+        println!("\nFig 8 ({mesh}): AllReduce bandwidth (GB/s) by data size");
+        print!("{:<12}", "algorithm");
+        for &s in &sizes {
+            print!("{:>10}", fmt_bytes(s));
+        }
+        println!();
+        meshcoll_bench::rule(12 + 10 * sizes.len());
+        for algo in &algorithms {
+            print!("{:<12}", algo.name());
+            for &s in &sizes {
+                let p = bandwidth::measure(&engine, &mesh, *algo, s).expect("measurement");
+                print!("{:>10.1}", p.bandwidth_gbps);
+                records.push(
+                    Record::new("fig8", &mesh.to_string(), algo.name(), &fmt_bytes(s))
+                        .with("data_bytes", s as f64)
+                        .with("bandwidth_gbps", p.bandwidth_gbps)
+                        .with("time_ns", p.time_ns),
+                );
+            }
+            println!();
+        }
+    }
+
+    println!(
+        "\n(paper Fig 8 shape: TTO > RingBiEven/RingBiOdd > MultiTree > Ring > Ring-2D > DBTree, \
+         with TTO ~1.6x MultiTree and ~1.4x the bidirectional rings)"
+    );
+    cli.save("fig8_bandwidth", &records);
+}

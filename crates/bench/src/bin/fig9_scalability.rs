@@ -1,0 +1,63 @@
+//! Figure 9 — scalability from 9 to 256 chiplets with `375 KB x N` of
+//! AllReduce data, normalized to Ring AllReduce on the smallest mesh of the
+//! same parity (4x4 for even-sized, 3x3 for odd-sized).
+
+use meshcoll_bench::{applicable_benchmarks, Cli, Mesh, Record, SimEngine, SweepSize};
+use meshcoll_collectives::Algorithm;
+use meshcoll_sim::bandwidth;
+
+fn main() {
+    let cli = Cli::parse();
+    let (even_sizes, odd_sizes): (Vec<usize>, Vec<usize>) = match cli.sweep {
+        SweepSize::Quick => (vec![4, 6], vec![3, 5]),
+        SweepSize::Default => (vec![4, 6, 8, 10], vec![3, 5, 7, 9]),
+        SweepSize::Full => (vec![4, 6, 8, 10, 12, 14, 16], vec![3, 5, 7, 9, 11, 13, 15]),
+    };
+    let engine = SimEngine::paper_default();
+    let mut records = Vec::new();
+
+    for (parity, sizes, base_n) in [("even", even_sizes, 4usize), ("odd", odd_sizes, 3usize)] {
+        let base_mesh = Mesh::square(base_n).unwrap();
+        let base = bandwidth::measure(
+            &engine,
+            &base_mesh,
+            Algorithm::Ring,
+            bandwidth::scalability_data_bytes(&base_mesh),
+        )
+        .expect("baseline")
+        .time_ns;
+
+        println!("\nFig 9 ({parity}-sized meshes): communication time normalized to Ring on {base_n}x{base_n}");
+        print!("{:<12}", "algorithm");
+        for &n in &sizes {
+            print!("{:>10}", format!("{n}x{n}"));
+        }
+        println!();
+        meshcoll_bench::rule(12 + 10 * sizes.len());
+
+        let all_algos = applicable_benchmarks(&Mesh::square(sizes[0]).unwrap());
+        for algo in all_algos {
+            print!("{:<12}", algo.name());
+            for &n in &sizes {
+                let mesh = Mesh::square(n).unwrap();
+                let data = bandwidth::scalability_data_bytes(&mesh);
+                let p = bandwidth::measure(&engine, &mesh, algo, data).expect("measurement");
+                let norm = p.time_ns / base;
+                print!("{norm:>10.2}");
+                records.push(
+                    Record::new("fig9", &mesh.to_string(), algo.name(), parity)
+                        .with("data_bytes", data as f64)
+                        .with("time_ns", p.time_ns)
+                        .with("normalized_time", norm),
+                );
+            }
+            println!();
+        }
+    }
+
+    println!(
+        "\n(paper Fig 9 shape: all algorithms scale linearly with node count; TTO has the \
+         smallest slope, Ring the largest; RingBiOdd tracks RingBiEven)"
+    );
+    cli.save("fig9_scalability", &records);
+}

@@ -1,0 +1,74 @@
+//! Table I — applicability and used-link percentage of every AllReduce
+//! algorithm on even-sized (8x8) and odd-sized (9x9) meshes.
+//!
+//! The paper's "used link percentage" is the time-averaged fraction of
+//! directed links busy during the AllReduce, which this binary measures on
+//! the packet simulator (static any-use percentages are also reported).
+
+use meshcoll_bench::{applicable_benchmarks, mib, Cli, Mesh, Record, SimEngine, SweepSize};
+use meshcoll_collectives::{link_usage, Algorithm, Applicability};
+
+fn main() {
+    let cli = Cli::parse();
+    let data = match cli.sweep {
+        SweepSize::Quick => mib(4),
+        SweepSize::Default => mib(32),
+        SweepSize::Full => mib(64),
+    };
+    let engine = SimEngine::paper_default();
+    let meshes = [Mesh::square(8).unwrap(), Mesh::square(9).unwrap()];
+
+    println!("Table I: Used Link Percentage for Different AllReduce Algorithms in mesh Topology");
+    println!(
+        "{:<16} {:>14} {:>12} {:>12} | {:>14} {:>12} {:>12}",
+        "Algorithm",
+        "8x8 applies",
+        "8x8 used%",
+        "8x8 static%",
+        "9x9 applies",
+        "9x9 used%",
+        "9x9 static%"
+    );
+    meshcoll_bench::rule(104);
+
+    let mut records = Vec::new();
+    for algo in Algorithm::ALL {
+        let mut cells = Vec::new();
+        for mesh in &meshes {
+            let applicability = algo.applicability(mesh);
+            let (used, statics) = if applicability == Applicability::Inapplicable {
+                (None, None)
+            } else {
+                let schedule = algo.schedule(mesh, data).expect("applicable algorithm");
+                let run = engine.run(mesh, &schedule).expect("simulation");
+                let static_pct = link_usage::used_link_percent(mesh, &schedule);
+                records.push(
+                    Record::new("table1", &mesh.to_string(), algo.name(), "")
+                        .with("used_link_percent", run.link_utilization_percent)
+                        .with("static_link_percent", static_pct)
+                        .with("data_bytes", data as f64),
+                );
+                (Some(run.link_utilization_percent), Some(static_pct))
+            };
+            cells.push((applicability, used, statics));
+        }
+        let fmt = |v: Option<f64>| v.map_or("-".to_owned(), |x| format!("{x:.0}%"));
+        println!(
+            "{:<16} {:>14} {:>12} {:>12} | {:>14} {:>12} {:>12}",
+            algo.name(),
+            cells[0].0.to_string(),
+            fmt(cells[0].1),
+            fmt(cells[0].2),
+            cells[1].0.to_string(),
+            fmt(cells[1].1),
+            fmt(cells[1].2),
+        );
+    }
+
+    println!(
+        "\n(paper Table I: Ring 29/28, RingBi 57/-, Ring-2D 55/53, MultiTree 53/51; \
+         RingBiOdd and TTO are this paper's additions at 57% and ~83%)"
+    );
+    let _ = applicable_benchmarks(&meshes[0]);
+    cli.save("table1", &records);
+}

@@ -1,0 +1,157 @@
+//! Shared helpers for the figure/table regeneration binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper:
+//! it prints the same rows/series the paper reports and writes a JSON record
+//! file under `results/`. Pass `--quick` (or set `MESHCOLL_QUICK=1`) for a
+//! reduced sweep that finishes in seconds; pass `--full` for the paper's
+//! complete parameter ranges.
+
+use std::path::PathBuf;
+
+pub use meshcoll_collectives::{Algorithm, ScheduleOptions};
+pub use meshcoll_models::DnnModel;
+pub use meshcoll_noc::NocConfig;
+pub use meshcoll_sim::experiment::{write_json, Record};
+pub use meshcoll_sim::SimEngine;
+pub use meshcoll_topo::Mesh;
+
+/// Sweep size selected on the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepSize {
+    /// Seconds-scale sanity sweep.
+    Quick,
+    /// Default: every qualitative feature of the figure, minutes-scale.
+    Default,
+    /// The paper's complete ranges.
+    Full,
+}
+
+/// Command-line context shared by all figure binaries.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// Selected sweep size.
+    pub sweep: SweepSize,
+    /// Output directory for JSON records (default `results/`).
+    pub out_dir: PathBuf,
+}
+
+impl Cli {
+    /// Parses `--quick` / `--full` / `--out <dir>` from `std::env::args`,
+    /// plus the `MESHCOLL_QUICK` environment variable.
+    pub fn parse() -> Self {
+        let mut sweep = if std::env::var_os("MESHCOLL_QUICK").is_some() {
+            SweepSize::Quick
+        } else {
+            SweepSize::Default
+        };
+        let mut out_dir = PathBuf::from("results");
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => sweep = SweepSize::Quick,
+                "--full" => sweep = SweepSize::Full,
+                "--out" => {
+                    out_dir = PathBuf::from(args.next().unwrap_or_else(|| {
+                        eprintln!("--out needs a directory");
+                        std::process::exit(2);
+                    }));
+                }
+                other => {
+                    eprintln!("unknown argument {other}; accepted: --quick --full --out <dir>");
+                    std::process::exit(2);
+                }
+            }
+        }
+        Cli { sweep, out_dir }
+    }
+
+    /// Writes this figure's records to `<out_dir>/<name>.json`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on filesystem errors (acceptable in a figure binary).
+    pub fn save(&self, name: &str, records: &[Record]) {
+        let path = self.out_dir.join(format!("{name}.json"));
+        write_json(&path, records).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        println!("\n[saved {} records to {}]", records.len(), path.display());
+    }
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Cli {
+            sweep: SweepSize::Default,
+            out_dir: PathBuf::from("results"),
+        }
+    }
+}
+
+/// Mebibytes to bytes.
+pub const fn mib(x: u64) -> u64 {
+    x << 20
+}
+
+/// Kibibytes to bytes.
+pub const fn kib(x: u64) -> u64 {
+    x << 10
+}
+
+/// Human-readable byte size for row labels.
+pub fn fmt_bytes(b: u64) -> String {
+    if b >= 1 << 30 {
+        format!("{}GB", b >> 30)
+    } else if b >= 1 << 20 {
+        format!("{}MB", b >> 20)
+    } else {
+        format!("{}KB", b >> 10)
+    }
+}
+
+/// Prints a separator line sized to `width`.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+/// The algorithms applicable to `mesh`, in the paper's figure order.
+pub fn applicable_benchmarks(mesh: &Mesh) -> Vec<Algorithm> {
+    Algorithm::BENCHMARKS
+        .into_iter()
+        .filter(|a| {
+            a.applicability(mesh) != meshcoll_collectives::Applicability::Inapplicable
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(fmt_bytes(kib(12)), "12KB");
+        assert_eq!(fmt_bytes(mib(64)), "64MB");
+        assert_eq!(fmt_bytes(1 << 30), "1GB");
+    }
+
+    #[test]
+    fn applicable_benchmarks_follow_parity() {
+        let even = Mesh::square(4).unwrap();
+        let odd = Mesh::square(5).unwrap();
+        let names = |m: &Mesh| -> Vec<&str> {
+            applicable_benchmarks(m).iter().map(|a| a.name()).collect()
+        };
+        assert!(names(&even).contains(&"RingBiEven"));
+        assert!(!names(&even).contains(&"RingBiOdd"));
+        assert!(names(&odd).contains(&"RingBiOdd"));
+        assert!(!names(&odd).contains(&"RingBiEven"));
+        // HDRM never appears.
+        assert!(!names(&even).contains(&"HDRM"));
+    }
+
+    #[test]
+    fn default_cli_targets_results_dir() {
+        let cli = Cli::default();
+        assert_eq!(cli.sweep, SweepSize::Default);
+        assert_eq!(cli.out_dir, std::path::PathBuf::from("results"));
+    }
+}

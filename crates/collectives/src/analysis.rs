@@ -1,0 +1,180 @@
+//! Structural analysis of schedules: synchronized-timestep counts, hop
+//! statistics, and per-node traffic — the quantities behind the paper's
+//! complexity claims (Ring `2(N-1)` steps, RingBiOdd matching it, TTO's
+//! `H + C - 1` pipelined occupancies).
+
+use meshcoll_topo::Mesh;
+
+use crate::{OpId, Schedule};
+
+/// Structural metrics of one schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleStats {
+    /// Length of the longest dependency chain (the schedule's synchronized
+    /// timestep count when all ops take one step).
+    pub critical_path_len: usize,
+    /// Total ops.
+    pub ops: usize,
+    /// Total bytes crossing the network (sum over ops of `bytes x hops`).
+    pub link_byte_traffic: u64,
+    /// Largest hop count of any single op (1 for neighbor-only schedules).
+    pub max_hops: usize,
+    /// Mean hop count over ops.
+    pub mean_hops: f64,
+    /// Maximum bytes any single node sends.
+    pub max_node_tx_bytes: u64,
+    /// Maximum bytes any single node receives.
+    pub max_node_rx_bytes: u64,
+}
+
+/// Computes [`ScheduleStats`] for a schedule on a mesh.
+///
+/// # Panics
+///
+/// Panics if the schedule references nodes outside the mesh.
+///
+/// # Example
+///
+/// ```
+/// use meshcoll_collectives::{analysis, Algorithm};
+/// use meshcoll_topo::Mesh;
+/// let mesh = Mesh::square(4)?;
+/// let s = Algorithm::Ring.schedule(&mesh, 1 << 20)?;
+/// let stats = analysis::schedule_stats(&mesh, &s);
+/// // Ring AllReduce: 2(N-1) dependency-chained steps.
+/// assert_eq!(stats.critical_path_len, 2 * (16 - 1));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn schedule_stats(mesh: &Mesh, schedule: &Schedule) -> ScheduleStats {
+    let n = schedule.len();
+    let mut depth = vec![0usize; n];
+    let mut critical_path_len = 0usize;
+    let mut link_byte_traffic = 0u64;
+    let mut max_hops = 0usize;
+    let mut hop_sum = 0usize;
+    let mut tx = vec![0u64; mesh.nodes()];
+    let mut rx = vec![0u64; mesh.nodes()];
+
+    for id in schedule.op_ids() {
+        let op = schedule.op(id);
+        let d = schedule
+            .deps(id)
+            .iter()
+            .map(|&p| depth[p.index()])
+            .max()
+            .unwrap_or(0)
+            + 1;
+        depth[id.index()] = d;
+        critical_path_len = critical_path_len.max(d);
+        let hops = mesh.distance(op.src, op.dst);
+        link_byte_traffic += op.bytes * hops as u64;
+        max_hops = max_hops.max(hops);
+        hop_sum += hops;
+        tx[op.src.index()] += op.bytes;
+        rx[op.dst.index()] += op.bytes;
+    }
+
+    ScheduleStats {
+        critical_path_len,
+        ops: n,
+        link_byte_traffic,
+        max_hops,
+        mean_hops: if n == 0 { 0.0 } else { hop_sum as f64 / n as f64 },
+        max_node_tx_bytes: tx.into_iter().max().unwrap_or(0),
+        max_node_rx_bytes: rx.into_iter().max().unwrap_or(0),
+    }
+}
+
+/// Depth (1-based timestep) of a single op in the dependency DAG.
+///
+/// # Panics
+///
+/// Panics if `id` is out of range.
+pub fn op_depth(schedule: &Schedule, id: OpId) -> usize {
+    let mut depth = vec![0usize; id.index() + 1];
+    for i in schedule.op_ids().take(id.index() + 1) {
+        depth[i.index()] = schedule
+            .deps(i)
+            .iter()
+            .map(|&p| depth[p.index()])
+            .max()
+            .unwrap_or(0)
+            + 1;
+    }
+    depth[id.index()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Algorithm;
+
+    #[test]
+    fn ring_critical_path_is_2n_minus_2() {
+        for n in [4usize, 5] {
+            let mesh = Mesh::square(n).unwrap();
+            let s = Algorithm::Ring.schedule(&mesh, 1 << 20).unwrap();
+            assert_eq!(schedule_stats(&mesh, &s).critical_path_len, 2 * (n * n - 1));
+        }
+    }
+
+    #[test]
+    fn ring_bi_odd_matches_even_step_count() {
+        // Paper §IV-B: RingBiOdd completes in 2(N-1) timesteps, the same
+        // count as RingBiEven on an even mesh of N nodes.
+        let odd = Mesh::square(3).unwrap();
+        let s = Algorithm::RingBiOdd.schedule(&odd, 1600).unwrap();
+        // K = N-1 = 8 ring nodes: 2K = 16 steps; the drain adds no depth
+        // beyond the gather chain plus one.
+        let stats = schedule_stats(&odd, &s);
+        assert!(
+            (16..=17).contains(&stats.critical_path_len),
+            "critical path {}",
+            stats.critical_path_len
+        );
+    }
+
+    #[test]
+    fn all_ring_family_schedules_are_neighbor_only() {
+        // Hamiltonian-cycle rings never route multi-hop...
+        let even = Mesh::square(4).unwrap();
+        for a in [Algorithm::RingBiEven, Algorithm::Tto, Algorithm::MultiTree] {
+            let s = a.schedule(&even, 1 << 20).unwrap();
+            assert_eq!(schedule_stats(&even, &s).max_hops, 1, "{a}");
+        }
+        // ...while the unidirectional ring on an odd mesh closes with one
+        // long link, and DBTree routes wherever rank order takes it.
+        let odd = Mesh::square(5).unwrap();
+        let ring = Algorithm::Ring.schedule(&odd, 1 << 20).unwrap();
+        assert!(schedule_stats(&odd, &ring).max_hops > 1);
+        let db = Algorithm::DBTree.schedule(&even, 1 << 20).unwrap();
+        assert!(schedule_stats(&even, &db).mean_hops > 1.0);
+    }
+
+    #[test]
+    fn tto_moves_least_data_per_node() {
+        // TTO's per-node transmit volume is bounded by ~2D (reduce + gather
+        // over three trees of D/3 each), like the rings; MultiTree matches;
+        // the interesting check is that no algorithm explodes per-node load.
+        let mesh = Mesh::square(4).unwrap();
+        let d = 1 << 20;
+        for a in [Algorithm::Ring, Algorithm::RingBiEven, Algorithm::Tto, Algorithm::MultiTree] {
+            let s = a.schedule(&mesh, d).unwrap();
+            let stats = schedule_stats(&mesh, &s);
+            assert!(
+                stats.max_node_tx_bytes <= 3 * d,
+                "{a}: {} per-node tx",
+                stats.max_node_tx_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn op_depth_matches_stats() {
+        let mesh = Mesh::square(3).unwrap();
+        let s = Algorithm::Ring.schedule(&mesh, 900).unwrap();
+        let last = OpId((s.len() - 1) as u32);
+        let stats = schedule_stats(&mesh, &s);
+        assert_eq!(op_depth(&s, last), stats.critical_path_len);
+    }
+}

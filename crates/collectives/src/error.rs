@@ -1,0 +1,65 @@
+use std::error::Error;
+use std::fmt;
+
+use meshcoll_topo::TopologyError;
+
+/// Errors produced while generating collective schedules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CollectiveError {
+    /// The underlying topology rejected the construction.
+    Topology(TopologyError),
+    /// The algorithm cannot run on this mesh (see Table I of the paper).
+    Inapplicable {
+        /// Algorithm name.
+        algorithm: &'static str,
+        /// Mesh rows.
+        rows: usize,
+        /// Mesh cols.
+        cols: usize,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// The gradient is too small to split into the parts the algorithm needs.
+    DataTooSmall {
+        /// Gradient bytes per node.
+        bytes: u64,
+        /// Minimum parts the data must split into.
+        parts: u64,
+    },
+    /// Internal invariant violation while building a schedule (a bug).
+    Construction(String),
+}
+
+impl fmt::Display for CollectiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CollectiveError::Topology(e) => write!(f, "topology error: {e}"),
+            CollectiveError::Inapplicable {
+                algorithm,
+                rows,
+                cols,
+                reason,
+            } => write!(f, "{algorithm} is inapplicable on a {rows}x{cols} mesh: {reason}"),
+            CollectiveError::DataTooSmall { bytes, parts } => {
+                write!(f, "{bytes} gradient bytes cannot be split into {parts} parts")
+            }
+            CollectiveError::Construction(msg) => write!(f, "schedule construction failed: {msg}"),
+        }
+    }
+}
+
+impl Error for CollectiveError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CollectiveError::Topology(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TopologyError> for CollectiveError {
+    fn from(e: TopologyError) -> Self {
+        CollectiveError::Topology(e)
+    }
+}

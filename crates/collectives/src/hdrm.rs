@@ -1,0 +1,45 @@
+//! HDRM — Halving-Doubling with Rank Mapping [14].
+//!
+//! HDRM is designed for the BiGraph interconnect of EFLOPS clusters: at step
+//! `s` every node exchanges half of its remaining range with a partner at
+//! rank distance `2^s`, which the BiGraph fabric can serve contention-free.
+//! On a mesh those partner pairs become long, overlapping XY routes with no
+//! structural guarantee at all, which is why the paper's Table I classifies
+//! HDRM as **inapplicable** to meshes; this module encodes that applicability
+//! verdict (and the reason) rather than a schedule.
+
+use meshcoll_topo::Mesh;
+
+use crate::{CollectiveError, Schedule};
+
+/// Always returns [`CollectiveError::Inapplicable`]: HDRM has no mesh
+/// mapping (paper Table I).
+///
+/// # Errors
+///
+/// Always errs, by design.
+pub fn schedule(mesh: &Mesh, _data_bytes: u64) -> Result<Schedule, CollectiveError> {
+    Err(CollectiveError::Inapplicable {
+        algorithm: "HDRM",
+        rows: mesh.rows(),
+        cols: mesh.cols(),
+        reason: "halving-doubling requires a BiGraph interconnect; its power-of-two \
+                 partner exchanges have no contention-free mesh embedding",
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hdrm_is_never_applicable_on_mesh() {
+        for (r, c) in [(2, 2), (8, 8), (9, 9)] {
+            let mesh = Mesh::new(r, c).unwrap();
+            assert!(matches!(
+                schedule(&mesh, 1 << 20),
+                Err(CollectiveError::Inapplicable { .. })
+            ));
+        }
+    }
+}

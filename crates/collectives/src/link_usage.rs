@@ -1,0 +1,68 @@
+//! Static link-usage analysis (the paper's Table I metric).
+//!
+//! For a schedule, the set of directed links its ops ever traverse (via XY
+//! routing for multi-hop sends) divided by the mesh's total directed links.
+//! This is a *static* metric — it says which links an algorithm can use at
+//! all; the time-averaged utilization of Fig 12 comes from the network
+//! simulator's [`LinkStats`](meshcoll_noc::LinkStats).
+
+use std::collections::HashMap;
+
+use meshcoll_topo::{routing, LinkId, Mesh, NodeId};
+
+use crate::Schedule;
+
+/// The distinct directed links the schedule's ops traverse.
+///
+/// # Panics
+///
+/// Panics if an op references nodes outside the mesh.
+pub fn used_links(mesh: &Mesh, schedule: &Schedule) -> Vec<LinkId> {
+    let mut route_cache: HashMap<(NodeId, NodeId), Vec<LinkId>> = HashMap::new();
+    let mut used = vec![false; mesh.link_id_space()];
+    for op in schedule.ops() {
+        let route = route_cache
+            .entry((op.src, op.dst))
+            .or_insert_with(|| routing::xy_route(mesh, op.src, op.dst).expect("valid op nodes"));
+        for l in route.iter() {
+            used[l.index()] = true;
+        }
+    }
+    used.iter()
+        .enumerate()
+        .filter_map(|(i, &u)| u.then_some(LinkId(i)))
+        .collect()
+}
+
+/// Percentage of the mesh's directed links the schedule uses.
+pub fn used_link_percent(mesh: &Mesh, schedule: &Schedule) -> f64 {
+    100.0 * used_links(mesh, schedule).len() as f64 / mesh.directed_links() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{OpKind, Schedule};
+
+    #[test]
+    fn counts_multi_hop_routes() {
+        let mesh = Mesh::new(1, 4).unwrap();
+        let mut b = Schedule::builder("t", 8);
+        b.set_participants(vec![NodeId(0)]);
+        b.push(NodeId(0), NodeId(3), 0, 8, OpKind::Gather, 0, &[]);
+        let s = b.build();
+        assert_eq!(used_links(&mesh, &s).len(), 3);
+        assert_eq!(used_link_percent(&mesh, &s), 50.0);
+    }
+
+    #[test]
+    fn deduplicates_repeated_links() {
+        let mesh = Mesh::new(1, 2).unwrap();
+        let mut b = Schedule::builder("t", 8);
+        b.set_participants(vec![NodeId(0)]);
+        let a = b.push(NodeId(0), NodeId(1), 0, 4, OpKind::Reduce, 0, &[]);
+        b.push(NodeId(0), NodeId(1), 4, 4, OpKind::Reduce, 0, &[a]);
+        let s = b.build();
+        assert_eq!(used_links(&mesh, &s).len(), 1);
+    }
+}

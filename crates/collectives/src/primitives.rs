@@ -1,0 +1,293 @@
+//! Standalone collective primitives: ReduceScatter, AllGather, Reduce, and
+//! Broadcast.
+//!
+//! AllReduce decomposes into ReduceScatter + AllGather (the structure every
+//! algorithm in this crate exploits, and the decomposition BlueConnect [12]
+//! builds on); exposing the pieces lets downstream users schedule them
+//! independently — e.g. ReduceScatter-then-optimizer-then-AllGather
+//! (ZeRO-style sharded training), or parameter broadcast at job start.
+//!
+//! Ring-based ReduceScatter/AllGather use the same Hamiltonian ring as the
+//! AllReduce algorithms; Reduce/Broadcast pipeline chunks through a BFS
+//! spanning tree rooted at the chosen chiplet.
+
+use meshcoll_topo::{Mesh, NodeId, Tree};
+
+use crate::schedule::split_bytes;
+use crate::ring_common::{no_entry, ring_all_gather, ring_reduce_scatter};
+use crate::tree_common::TreePlan;
+use crate::{CollectiveError, Schedule};
+
+/// Which node owns which fully-reduced byte range after a ReduceScatter
+/// (equivalently: which node must contribute which range to an AllGather).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScatterLayout {
+    parts: Vec<(NodeId, u64, u64)>,
+}
+
+impl ScatterLayout {
+    /// `(owner, offset, len)` triples covering `[0, data_bytes)`.
+    pub fn parts(&self) -> &[(NodeId, u64, u64)] {
+        &self.parts
+    }
+
+    /// The owner of the part containing byte `offset`, if any.
+    pub fn owner_of(&self, offset: u64) -> Option<NodeId> {
+        self.parts
+            .iter()
+            .find(|&&(_, off, len)| (off..off + len).contains(&offset))
+            .map(|&(n, _, _)| n)
+    }
+}
+
+fn ring_layout(mesh: &Mesh, data_bytes: u64) -> Result<(Vec<NodeId>, ScatterLayout), CollectiveError> {
+    let order = crate::ring::ring_order(mesh);
+    let k = order.len();
+    let parts = split_bytes(data_bytes, k as u64)?;
+    // After ring ReduceScatter, position p owns part (p+1) mod K.
+    let layout = ScatterLayout {
+        parts: (0..k)
+            .map(|q| {
+                let owner = order[(q + k - 1) % k];
+                (owner, parts[q].0, parts[q].1)
+            })
+            .collect(),
+    };
+    Ok((order, layout))
+}
+
+/// Ring-based ReduceScatter: after the schedule completes, each node holds
+/// the fully reduced part described by the returned [`ScatterLayout`].
+///
+/// # Errors
+///
+/// * [`CollectiveError::Inapplicable`] on a single-node mesh,
+/// * [`CollectiveError::DataTooSmall`] when `data_bytes < N`.
+pub fn reduce_scatter(
+    mesh: &Mesh,
+    data_bytes: u64,
+) -> Result<(Schedule, ScatterLayout), CollectiveError> {
+    if mesh.nodes() < 2 {
+        return Err(inapplicable("ReduceScatter", mesh));
+    }
+    let (order, layout) = ring_layout(mesh, data_bytes)?;
+    let mut b = Schedule::builder("ReduceScatter", data_bytes);
+    b.set_participants(mesh.node_ids().collect());
+    ring_reduce_scatter(&mut b, &order, (0, data_bytes), 0, no_entry, None)?;
+    Ok((b.build(), layout))
+}
+
+/// Ring-based AllGather: assuming each node already holds the final value of
+/// its [`ScatterLayout`] part (the post-condition of [`reduce_scatter`]),
+/// every node ends with the full buffer.
+///
+/// # Errors
+///
+/// As for [`reduce_scatter`].
+pub fn all_gather(
+    mesh: &Mesh,
+    data_bytes: u64,
+) -> Result<(Schedule, ScatterLayout), CollectiveError> {
+    if mesh.nodes() < 2 {
+        return Err(inapplicable("AllGather", mesh));
+    }
+    let (order, layout) = ring_layout(mesh, data_bytes)?;
+    let mut b = Schedule::builder("AllGather", data_bytes);
+    b.set_participants(mesh.node_ids().collect());
+    ring_all_gather(&mut b, &order, (0, data_bytes), 0, no_entry, None)?;
+    Ok((b.build(), layout))
+}
+
+/// Tree Reduce: every node's buffer is summed into `root`, pipelined over
+/// `chunk_bytes` chunks through a BFS spanning tree.
+///
+/// # Errors
+///
+/// * [`CollectiveError::Inapplicable`] on a single-node mesh,
+/// * [`CollectiveError::DataTooSmall`] for empty gradients.
+pub fn reduce(
+    mesh: &Mesh,
+    root: NodeId,
+    data_bytes: u64,
+    chunk_bytes: u64,
+) -> Result<Schedule, CollectiveError> {
+    mesh.check_node(root)?;
+    if mesh.nodes() < 2 {
+        return Err(inapplicable("Reduce", mesh));
+    }
+    let plan = TreePlan::new(&bfs_tree(mesh, root), mesh.nodes());
+    let chunks = split_bytes(data_bytes, data_bytes.div_ceil(chunk_bytes.max(1)).max(1))?;
+    let mut b = Schedule::builder("Reduce", data_bytes);
+    b.set_participants(mesh.node_ids().collect());
+    let mut scratch = Vec::new();
+    for (c, (off, len)) in chunks.iter().enumerate() {
+        plan.reduce_ops(&mut b, (*off, off + len), c as u32, &mut scratch);
+    }
+    Ok(b.build())
+}
+
+/// Tree Broadcast: `root`'s buffer is copied to every node, pipelined over
+/// `chunk_bytes` chunks through a BFS spanning tree.
+///
+/// # Errors
+///
+/// As for [`reduce`].
+pub fn broadcast(
+    mesh: &Mesh,
+    root: NodeId,
+    data_bytes: u64,
+    chunk_bytes: u64,
+) -> Result<Schedule, CollectiveError> {
+    mesh.check_node(root)?;
+    if mesh.nodes() < 2 {
+        return Err(inapplicable("Broadcast", mesh));
+    }
+    let plan = TreePlan::new(&bfs_tree(mesh, root), mesh.nodes());
+    let chunks = split_bytes(data_bytes, data_bytes.div_ceil(chunk_bytes.max(1)).max(1))?;
+    let mut b = Schedule::builder("Broadcast", data_bytes);
+    b.set_participants(mesh.node_ids().collect());
+    let mut scratch = Vec::new();
+    for (c, (off, len)) in chunks.iter().enumerate() {
+        plan.gather_ops(&mut b, (*off, off + len), c as u32, &[], &mut scratch);
+    }
+    Ok(b.build())
+}
+
+fn inapplicable(algorithm: &'static str, mesh: &Mesh) -> CollectiveError {
+    CollectiveError::Inapplicable {
+        algorithm,
+        rows: mesh.rows(),
+        cols: mesh.cols(),
+        reason: "collectives need at least two nodes",
+    }
+}
+
+/// Minimal-depth BFS spanning tree rooted at `root`.
+fn bfs_tree(mesh: &Mesh, root: NodeId) -> Tree {
+    let mut tree = Tree::new(root, mesh.nodes());
+    let mut queue = std::collections::VecDeque::from([root]);
+    while let Some(u) = queue.pop_front() {
+        for v in mesh.neighbors(u) {
+            if !tree.contains(v) {
+                tree.attach(v, u);
+                queue.push_back(v);
+            }
+        }
+    }
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify;
+
+    #[test]
+    fn reduce_scatter_layout_covers_the_buffer() {
+        let mesh = Mesh::square(3).unwrap();
+        let (s, layout) = reduce_scatter(&mesh, 900).unwrap();
+        assert_eq!(s.name(), "ReduceScatter");
+        let total: u64 = layout.parts().iter().map(|&(_, _, l)| l).sum();
+        assert_eq!(total, 900);
+        assert_eq!(layout.parts().len(), 9);
+        // Every node owns exactly one part.
+        let mut owners: Vec<usize> = layout.parts().iter().map(|&(n, _, _)| n.index()).collect();
+        owners.sort_unstable();
+        owners.dedup();
+        assert_eq!(owners.len(), 9);
+        assert_eq!(layout.owner_of(0), Some(layout.parts()[0].0));
+        assert_eq!(layout.owner_of(9999), None);
+    }
+
+    #[test]
+    fn reduce_scatter_is_functionally_correct() {
+        let mesh = Mesh::new(2, 3).unwrap();
+        let (s, layout) = reduce_scatter(&mesh, 600).unwrap();
+        verify::check_reduce_scatter(&mesh, &s, &layout).unwrap();
+    }
+
+    #[test]
+    fn all_gather_is_functionally_correct() {
+        let mesh = Mesh::new(2, 3).unwrap();
+        let (s, layout) = all_gather(&mesh, 600).unwrap();
+        verify::check_all_gather(&mesh, &s, &layout).unwrap();
+    }
+
+    #[test]
+    fn reduce_scatter_then_all_gather_is_allreduce() {
+        // The decomposition property: RS + AG over the same ring layout is a
+        // full AllReduce.
+        let mesh = Mesh::square(3).unwrap();
+        let d = 1800;
+        let (rs, layout_rs) = reduce_scatter(&mesh, d).unwrap();
+        let (ag, layout_ag) = all_gather(&mesh, d).unwrap();
+        assert_eq!(layout_rs, layout_ag);
+        // Stitch the two schedules: AllGather entry ops gain dependencies on
+        // the ReduceScatter's final state by construction of the ring order,
+        // so simply concatenating and re-verifying demonstrates composition.
+        let mut b = Schedule::builder("RS+AG", d);
+        b.set_participants(mesh.node_ids().collect());
+        let mut map_rs = Vec::new();
+        for id in rs.op_ids() {
+            let op = rs.op(id);
+            let deps: Vec<_> = rs.deps(id).iter().map(|x| map_rs[x.index()]).collect();
+            map_rs.push(b.push(op.src, op.dst, op.offset, op.bytes, op.kind, 0, &deps));
+        }
+        // Every AllGather op waits for the full ReduceScatter (a barrier is
+        // sufficient, if conservative, for the composition check).
+        let barrier: Vec<_> = map_rs.clone();
+        let mut map_ag = Vec::new();
+        for id in ag.op_ids() {
+            let op = ag.op(id);
+            let mut deps: Vec<_> = ag.deps(id).iter().map(|x| map_ag[x.index()]).collect();
+            if deps.is_empty() {
+                deps = barrier.clone();
+            }
+            map_ag.push(b.push(op.src, op.dst, op.offset, op.bytes, op.kind, 0, &deps));
+        }
+        let combined = b.build();
+        verify::check_allreduce(&mesh, &combined).unwrap();
+        verify::check_allreduce_seeded(&mesh, &combined, 42).unwrap();
+    }
+
+    #[test]
+    fn reduce_sums_to_root() {
+        for root in [0usize, 4, 8] {
+            let mesh = Mesh::square(3).unwrap();
+            let s = reduce(&mesh, NodeId(root), 4096, 1024).unwrap();
+            verify::check_reduce(&mesh, &s, NodeId(root)).unwrap();
+        }
+    }
+
+    #[test]
+    fn broadcast_copies_from_root() {
+        for root in [0usize, 4, 8] {
+            let mesh = Mesh::square(3).unwrap();
+            let s = broadcast(&mesh, NodeId(root), 4096, 1024).unwrap();
+            verify::check_broadcast(&mesh, &s, NodeId(root)).unwrap();
+        }
+    }
+
+    #[test]
+    fn bfs_tree_has_minimal_height() {
+        let mesh = Mesh::square(5).unwrap();
+        let t = bfs_tree(&mesh, NodeId(12)); // center node
+        assert_eq!(t.len(), 25);
+        assert_eq!(t.height(), 4); // manhattan radius from the center
+    }
+
+    #[test]
+    fn single_node_mesh_is_rejected() {
+        let mesh = Mesh::new(1, 1).unwrap();
+        assert!(reduce_scatter(&mesh, 64).is_err());
+        assert!(all_gather(&mesh, 64).is_err());
+        assert!(reduce(&mesh, NodeId(0), 64, 16).is_err());
+        assert!(broadcast(&mesh, NodeId(0), 64, 16).is_err());
+    }
+
+    #[test]
+    fn out_of_range_root_is_rejected() {
+        let mesh = Mesh::square(2).unwrap();
+        assert!(reduce(&mesh, NodeId(9), 64, 16).is_err());
+    }
+}

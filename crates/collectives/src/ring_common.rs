@@ -1,0 +1,231 @@
+//! Shared machinery for the ring-based AllReduce algorithms.
+//!
+//! A *ring phase* runs over an ordered node list `r_0 .. r_{K-1}` (successor
+//! of `r_p` is `r_{(p+1) mod K}`) on a byte range split into `K` parts:
+//!
+//! * **ReduceScatter**: at step `s` (`0..K-1` exclusive of the last), `r_p`
+//!   sends part `(p - s) mod K` to its successor, which adds it. After
+//!   `K - 1` steps, `r_p` holds the fully reduced part `(p + 1) mod K`.
+//! * **AllGather**: at step `s`, `r_p` sends part `(p + 1 - s) mod K`
+//!   (a final value) to its successor, which overwrites.
+//!
+//! RingBiOdd extends a phase with a *feeder* — the excluded corner node
+//! streams its parts into a designated merge position just in time for each
+//! ring step (paper Algorithm 1) — and a *drain* that returns all final
+//! parts to the excluded node during AllGather.
+
+use meshcoll_topo::NodeId;
+
+use crate::schedule::{split_range, OpId, OpKind, ScheduleBuilder};
+use crate::CollectiveError;
+
+/// The excluded node's attachment to a ring direction (RingBiOdd).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Feeder {
+    /// The excluded node.
+    pub node: NodeId,
+    /// Ring position of the merge node (must be a mesh neighbor of `node`).
+    pub merge_pos: usize,
+}
+
+/// Ops emitted by one ring ReduceScatter phase.
+#[derive(Debug)]
+pub(crate) struct RsPhase {
+    /// Per ring position, the ops whose completion means "this node's
+    /// ReduceScatter result is final" (its last incoming reduce, plus the
+    /// final feeder op at the merge position).
+    pub completion: Vec<Vec<OpId>>,
+}
+
+/// Ops emitted by one ring AllGather phase.
+#[derive(Debug)]
+pub(crate) struct AgPhase {
+    /// Per ring position, the ops whose completion means "this node holds
+    /// the entire range": its last incoming gather plus its own
+    /// ReduceScatter-final dependencies (the `entry` ops), which the gather
+    /// chain does not otherwise imply.
+    pub completion: Vec<Vec<OpId>>,
+}
+
+#[inline]
+fn wrap(x: isize, k: usize) -> usize {
+    x.rem_euclid(k as isize) as usize
+}
+
+/// Builds the ReduceScatter half of a ring phase.
+///
+/// `entry(p)` returns extra dependencies attached to *every* send from ring
+/// position `p` — used by hierarchical algorithms to gate a phase on the
+/// previous phase's per-node completion (a node may only forward data that
+/// already includes its own, fully prepared contribution).
+pub(crate) fn ring_reduce_scatter(
+    b: &mut ScheduleBuilder,
+    order: &[NodeId],
+    range: (u64, u64),
+    chunk: u32,
+    entry: impl Fn(usize) -> Vec<OpId>,
+    feeder: Option<Feeder>,
+) -> Result<RsPhase, CollectiveError> {
+    let k = order.len();
+    assert!(k >= 2, "ring needs at least two nodes");
+    let parts = split_range(range.0, range.1, k as u64)?;
+
+    // Feeder ops first: f[i] carries part j, j-1, j-2, ... (mod K) for
+    // i = 0, 1, 2, ...; f[s] is exactly the part the merge node forwards at
+    // ring step s.
+    let mut feed: Vec<OpId> = Vec::new();
+    if let Some(f) = feeder {
+        let j = f.merge_pos as isize;
+        for i in 0..k {
+            let part = parts[wrap(j - i as isize, k)];
+            let deps: Vec<OpId> = feed.last().copied().into_iter().collect();
+            feed.push(b.push(
+                f.node,
+                order[f.merge_pos],
+                part.0,
+                part.1,
+                OpKind::Reduce,
+                chunk,
+                &deps,
+            ));
+        }
+    }
+
+    let mut ops: Vec<Vec<OpId>> = Vec::with_capacity(k.saturating_sub(1));
+    for s in 0..k - 1 {
+        let mut row = Vec::with_capacity(k);
+        for p in 0..k {
+            let part = parts[wrap(p as isize - s as isize, k)];
+            let mut deps = entry(p);
+            if s > 0 {
+                deps.push(ops[s - 1][wrap(p as isize - 1, k)]);
+            }
+            if let Some(f) = feeder {
+                if p == f.merge_pos {
+                    deps.push(feed[s]);
+                }
+            }
+            row.push(b.push(
+                order[p],
+                order[wrap(p as isize + 1, k)],
+                part.0,
+                part.1,
+                OpKind::Reduce,
+                chunk,
+                &deps,
+            ));
+        }
+        ops.push(row);
+    }
+
+    // Completion: position p's final part (p+1) is delivered by the last
+    // step's send from p-1 (ops[k-2][p-1]); at the merge position the
+    // feeder's last op also contributes.
+    let completion: Vec<Vec<OpId>> = (0..k)
+        .map(|p| {
+            let mut v = vec![ops[k - 2][wrap(p as isize - 1, k)]];
+            if let Some(f) = feeder {
+                if p == f.merge_pos {
+                    v.push(*feed.last().expect("feeder ops exist"));
+                }
+            }
+            // The terminal node's own contribution to its final part is
+            // added locally by its entry ops (e.g. the previous hierarchy
+            // phase), not by the ring chain — completion must wait for it.
+            v.extend(entry(p));
+            v
+        })
+        .collect();
+
+    Ok(RsPhase { completion })
+}
+
+/// Builds the AllGather half of a ring phase.
+///
+/// `entry(p)` must return the dependencies establishing that ring position
+/// `p` holds its final part `(p + 1) mod K` (typically the ReduceScatter
+/// phase's `completion[p]`). When `drain` is given, the merge node forwards
+/// every final part to the excluded node as it appears.
+pub(crate) fn ring_all_gather(
+    b: &mut ScheduleBuilder,
+    order: &[NodeId],
+    range: (u64, u64),
+    chunk: u32,
+    entry: impl Fn(usize) -> Vec<OpId>,
+    drain: Option<Feeder>,
+) -> Result<AgPhase, CollectiveError> {
+    let k = order.len();
+    assert!(k >= 2, "ring needs at least two nodes");
+    let parts = split_range(range.0, range.1, k as u64)?;
+
+    let mut ops: Vec<Vec<OpId>> = Vec::with_capacity(k - 1);
+    for s in 0..k - 1 {
+        let mut row = Vec::with_capacity(k);
+        for p in 0..k {
+            let part = parts[wrap(p as isize + 1 - s as isize, k)];
+            let deps = if s == 0 {
+                entry(p)
+            } else {
+                vec![ops[s - 1][wrap(p as isize - 1, k)]]
+            };
+            row.push(b.push(
+                order[p],
+                order[wrap(p as isize + 1, k)],
+                part.0,
+                part.1,
+                OpKind::Gather,
+                chunk,
+                &deps,
+            ));
+        }
+        ops.push(row);
+    }
+
+    let completion: Vec<Vec<OpId>> = (0..k)
+        .map(|p| {
+            // A node receives one part per AllGather step, and those
+            // receives are *not* ancestors of one another (op[s][p-1]
+            // depends on op[s-1][p-2], not on op[s-1][p-1]) — "holds the
+            // entire range" therefore needs every incoming op, plus the
+            // node's own ReduceScatter-final dependencies (the entry ops).
+            let mut v: Vec<OpId> = (0..k - 1)
+                .map(|s| ops[s][wrap(p as isize - 1, k)])
+                .collect();
+            v.extend(entry(p));
+            v
+        })
+        .collect();
+
+    // Drain to the excluded node: the merge node owns part (j+1) and then
+    // receives parts j, j-1, ... during AllGather; it forwards each to the
+    // excluded node.
+    if let Some(d) = drain {
+        let j = d.merge_pos as isize;
+        let mut prev: Option<OpId> = None;
+        for s in 0..k {
+            let part = parts[wrap(j + 1 - s as isize, k)];
+            let mut deps: Vec<OpId> = if s == 0 {
+                entry(d.merge_pos)
+            } else {
+                vec![ops[s - 1][wrap(j - 1, k)]]
+            };
+            deps.extend(prev);
+            prev = Some(b.push(
+                order[d.merge_pos],
+                d.node,
+                part.0,
+                part.1,
+                OpKind::Gather,
+                chunk,
+                &deps,
+            ));
+        }
+    }
+
+    Ok(AgPhase { completion })
+}
+
+/// No extra entry dependencies.
+pub(crate) fn no_entry(_p: usize) -> Vec<OpId> {
+    Vec::new()
+}

@@ -1,0 +1,112 @@
+//! Shared machinery for the tree-based AllReduce algorithms.
+//!
+//! A tree phase reduces a byte range *up* a rooted tree (every non-root node
+//! sends its accumulated partial sum to its parent once all of its children
+//! have delivered theirs) and gathers it back *down* the reversed edges.
+
+use meshcoll_topo::{NodeId, Tree};
+
+use crate::schedule::{OpId, OpKind, ScheduleBuilder};
+
+/// Precomputed traversal structure for a tree, so that per-chunk op
+/// generation is O(edges) instead of O(nodes²).
+#[derive(Debug, Clone)]
+pub(crate) struct TreePlan {
+    root: NodeId,
+    /// Members ordered leaves-first (reduce order); the reversed slice is the
+    /// gather order.
+    bottom_up: Vec<NodeId>,
+    /// `parent[n]` for members (undefined for non-members/root).
+    parent: Vec<NodeId>,
+    /// `children[n]` for members.
+    children: Vec<Vec<NodeId>>,
+    node_count: usize,
+}
+
+impl TreePlan {
+    pub(crate) fn new(tree: &Tree, node_count: usize) -> Self {
+        let mut parent = vec![NodeId(usize::MAX); node_count];
+        let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); node_count];
+        for &m in tree.members() {
+            if let Some(p) = tree.parent(m) {
+                parent[m.index()] = p;
+                children[p.index()].push(m);
+            }
+        }
+        TreePlan {
+            root: tree.root(),
+            bottom_up: tree.bottom_up(),
+            parent,
+            children,
+            node_count,
+        }
+    }
+
+    /// Emits the ReduceScatter ops for one byte range, returning the ops
+    /// whose completion means "the root holds the full sum" (the sends of the
+    /// root's children).
+    pub(crate) fn reduce_ops(
+        &self,
+        b: &mut ScheduleBuilder,
+        range: (u64, u64),
+        chunk: u32,
+        scratch: &mut Vec<OpId>,
+    ) -> Vec<OpId> {
+        scratch.clear();
+        scratch.resize(self.node_count, OpId(u32::MAX));
+        let bytes = range.1 - range.0;
+        let mut deps: Vec<OpId> = Vec::new();
+        for &node in &self.bottom_up {
+            if node == self.root {
+                continue;
+            }
+            deps.clear();
+            for &c in &self.children[node.index()] {
+                deps.push(scratch[c.index()]);
+            }
+            let id = b.push(
+                node,
+                self.parent[node.index()],
+                range.0,
+                bytes,
+                OpKind::Reduce,
+                chunk,
+                &deps,
+            );
+            scratch[node.index()] = id;
+        }
+        self.children[self.root.index()]
+            .iter()
+            .map(|c| scratch[c.index()])
+            .collect()
+    }
+
+    /// Emits the AllGather ops for one byte range: the root broadcasts the
+    /// final values down the reversed edges. `root_deps` gate the root's
+    /// first sends (typically the reduce phase's completion ops).
+    pub(crate) fn gather_ops(
+        &self,
+        b: &mut ScheduleBuilder,
+        range: (u64, u64),
+        chunk: u32,
+        root_deps: &[OpId],
+        scratch: &mut Vec<OpId>,
+    ) {
+        scratch.clear();
+        scratch.resize(self.node_count, OpId(u32::MAX));
+        let bytes = range.1 - range.0;
+        for &node in self.bottom_up.iter().rev() {
+            if node == self.root {
+                continue;
+            }
+            let p = self.parent[node.index()];
+            let deps: &[OpId] = if p == self.root {
+                root_deps
+            } else {
+                std::slice::from_ref(&scratch[p.index()])
+            };
+            let id = b.push(p, node, range.0, bytes, OpKind::Gather, chunk, deps);
+            scratch[node.index()] = id;
+        }
+    }
+}

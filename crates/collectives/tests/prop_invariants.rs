@@ -1,0 +1,109 @@
+//! Property tests on schedule-level invariants that hold for every algorithm
+//! and mesh: conservation of bytes, DAG well-formedness, TTO disjointness.
+
+use meshcoll_collectives::{tto, Algorithm, Applicability, ScheduleOptions};
+use meshcoll_topo::Mesh;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn tto_trees_are_disjoint_on_any_mesh(rows in 2usize..12, cols in 2usize..12) {
+        let mesh = Mesh::new(rows, cols).unwrap();
+        let trees = tto::disjoint_trees(&mesh).unwrap();
+        let mut seen = HashSet::new();
+        for t in &trees {
+            prop_assert!(t.is_valid_on(&mesh));
+            for l in t.links_up(&mesh) {
+                prop_assert!(seen.insert(l), "{rows}x{cols}: shared link");
+            }
+        }
+        prop_assert_eq!(trees[0].len(), mesh.nodes());
+        prop_assert_eq!(trees[1].len(), mesh.nodes());
+        prop_assert_eq!(trees[2].len(), mesh.nodes() - 1);
+        // Paper §V-C: the guided trees achieve the minimum height 2n-2 on
+        // square meshes.
+        if rows == cols {
+            prop_assert_eq!(trees[0].height(), 2 * rows - 2);
+        }
+    }
+
+    #[test]
+    fn schedules_conserve_reduce_bytes(
+        rows in 2usize..6,
+        cols in 2usize..6,
+        data in 4_000u64..40_000,
+    ) {
+        // Every algorithm's ReduceScatter phase must move at least
+        // (participants - 1) x D reduce-bytes in total (each of the other
+        // participants' gradients must reach an aggregation point), and its
+        // gather phase at least enough to refill every participant.
+        let mesh = Mesh::new(rows, cols).unwrap();
+        for a in Algorithm::BENCHMARKS {
+            if a.applicability(&mesh) == Applicability::Inapplicable {
+                continue;
+            }
+            let opts = ScheduleOptions { tto_chunk_bytes: 2048, dbtree_segment_bytes: 2048 };
+            let s = match a.schedule_with(&mesh, data, &opts) {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let reduce_bytes: u64 = s
+                .ops()
+                .iter()
+                .filter(|o| o.kind == meshcoll_collectives::OpKind::Reduce)
+                .map(|o| o.bytes)
+                .sum();
+            let gather_bytes: u64 = s
+                .ops()
+                .iter()
+                .filter(|o| o.kind == meshcoll_collectives::OpKind::Gather)
+                .map(|o| o.bytes)
+                .sum();
+            let p = s.participants().len() as u64;
+            prop_assert!(reduce_bytes + 64 >= (p - 1) * data / p, "{a}: reduce {reduce_bytes}");
+            prop_assert!(gather_bytes + 64 >= (p - 1) * data / p, "{a}: gather {gather_bytes}");
+        }
+    }
+
+    #[test]
+    fn deps_always_point_backward(
+        rows in 2usize..6,
+        cols in 2usize..6,
+        data in 4_000u64..20_000,
+    ) {
+        let mesh = Mesh::new(rows, cols).unwrap();
+        for a in Algorithm::BENCHMARKS {
+            if a.applicability(&mesh) == Applicability::Inapplicable {
+                continue;
+            }
+            let Ok(s) = a.schedule(&mesh, data) else { continue };
+            for id in s.op_ids() {
+                for d in s.deps(id) {
+                    prop_assert!(d.0 < id.0, "{a}: forward dep");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn op_ranges_stay_in_bounds(
+        rows in 2usize..6,
+        cols in 2usize..6,
+        data in 4_000u64..20_000,
+    ) {
+        let mesh = Mesh::new(rows, cols).unwrap();
+        for a in Algorithm::BENCHMARKS {
+            if a.applicability(&mesh) == Applicability::Inapplicable {
+                continue;
+            }
+            let Ok(s) = a.schedule(&mesh, data) else { continue };
+            for op in s.ops() {
+                prop_assert!(op.end() <= data, "{a}: range {}..{}", op.offset, op.end());
+                prop_assert!(op.bytes > 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Property tests for the standalone collective primitives: correct for any
+//! mesh shape, any root, any (splittable) payload.
+
+use meshcoll_collectives::{primitives, verify};
+use meshcoll_topo::{Mesh, NodeId};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn reduce_scatter_is_correct_on_any_mesh(
+        rows in 1usize..6,
+        cols in 2usize..6,
+        data in 100u64..20_000,
+    ) {
+        let mesh = Mesh::new(rows, cols).unwrap();
+        if data < mesh.nodes() as u64 {
+            return Ok(());
+        }
+        let (s, layout) = primitives::reduce_scatter(&mesh, data).unwrap();
+        verify::check_reduce_scatter(&mesh, &s, &layout).unwrap();
+        let covered: u64 = layout.parts().iter().map(|&(_, _, l)| l).sum();
+        prop_assert_eq!(covered, data);
+    }
+
+    #[test]
+    fn all_gather_is_correct_on_any_mesh(
+        rows in 1usize..6,
+        cols in 2usize..6,
+        data in 100u64..20_000,
+    ) {
+        let mesh = Mesh::new(rows, cols).unwrap();
+        if data < mesh.nodes() as u64 {
+            return Ok(());
+        }
+        let (s, layout) = primitives::all_gather(&mesh, data).unwrap();
+        verify::check_all_gather(&mesh, &s, &layout).unwrap();
+    }
+
+    #[test]
+    fn reduce_and_broadcast_work_for_any_root(
+        rows in 1usize..6,
+        cols in 2usize..6,
+        root in 0usize..36,
+        data in 64u64..8_000,
+        chunk in 16u64..4_000,
+    ) {
+        let mesh = Mesh::new(rows, cols).unwrap();
+        let root = NodeId(root % mesh.nodes());
+        if data / data.div_ceil(chunk).max(1) == 0 {
+            return Ok(());
+        }
+        let r = primitives::reduce(&mesh, root, data, chunk).unwrap();
+        verify::check_reduce(&mesh, &r, root).unwrap();
+        let b = primitives::broadcast(&mesh, root, data, chunk).unwrap();
+        verify::check_broadcast(&mesh, &b, root).unwrap();
+    }
+}

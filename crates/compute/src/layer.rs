@@ -1,0 +1,254 @@
+//! DNN layer shapes and their GEMM decompositions.
+
+use crate::systolic::Gemm;
+
+/// One trainable layer of a DNN workload.
+///
+/// Only the shapes that determine compute time and gradient volume are
+/// modelled; activation functions, pooling, and normalization are folded
+/// away (they are negligible on a MAC array and carry few or no gradients).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Layer {
+    /// 2D convolution, mapped to a GEMM via im2col.
+    Conv {
+        /// Layer name (for breakdowns).
+        name: &'static str,
+        /// Input channels.
+        in_ch: u64,
+        /// Output channels (filters).
+        out_ch: u64,
+        /// Square kernel size.
+        kernel: u64,
+        /// Output feature-map height/width (square).
+        out_hw: u64,
+    },
+    /// Depthwise 2D convolution (one filter per channel; MobileNet-style).
+    DepthwiseConv {
+        /// Layer name.
+        name: &'static str,
+        /// Channels (input == output).
+        channels: u64,
+        /// Square kernel size.
+        kernel: u64,
+        /// Output feature-map height/width (square).
+        out_hw: u64,
+    },
+    /// Fully connected layer.
+    Fc {
+        /// Layer name.
+        name: &'static str,
+        /// Input features.
+        in_features: u64,
+        /// Output features.
+        out_features: u64,
+    },
+    /// Embedding table: huge gradient, negligible MAC-array compute.
+    Embedding {
+        /// Layer name.
+        name: &'static str,
+        /// Table rows.
+        vocab: u64,
+        /// Embedding dimension.
+        dim: u64,
+    },
+    /// Multi-head self-attention block (projections + score/context GEMMs).
+    Attention {
+        /// Layer name.
+        name: &'static str,
+        /// Sequence length.
+        seq: u64,
+        /// Model width.
+        d_model: u64,
+        /// Attention heads.
+        heads: u64,
+    },
+}
+
+impl Layer {
+    /// A convolution layer.
+    pub fn conv(name: &'static str, in_ch: u64, out_ch: u64, kernel: u64, out_hw: u64) -> Self {
+        Layer::Conv {
+            name,
+            in_ch,
+            out_ch,
+            kernel,
+            out_hw,
+        }
+    }
+
+    /// A depthwise convolution layer.
+    pub fn depthwise_conv(name: &'static str, channels: u64, kernel: u64, out_hw: u64) -> Self {
+        Layer::DepthwiseConv {
+            name,
+            channels,
+            kernel,
+            out_hw,
+        }
+    }
+
+    /// A fully connected layer.
+    pub fn fc(name: &'static str, in_features: u64, out_features: u64) -> Self {
+        Layer::Fc {
+            name,
+            in_features,
+            out_features,
+        }
+    }
+
+    /// An embedding table.
+    pub fn embedding(name: &'static str, vocab: u64, dim: u64) -> Self {
+        Layer::Embedding { name, vocab, dim }
+    }
+
+    /// A multi-head attention block.
+    pub fn attention(name: &'static str, seq: u64, d_model: u64, heads: u64) -> Self {
+        Layer::Attention {
+            name,
+            seq,
+            d_model,
+            heads,
+        }
+    }
+
+    /// The layer's name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Layer::Conv { name, .. }
+            | Layer::DepthwiseConv { name, .. }
+            | Layer::Fc { name, .. }
+            | Layer::Embedding { name, .. }
+            | Layer::Attention { name, .. } => name,
+        }
+    }
+
+    /// Trainable parameter count (weights; biases are negligible and folded
+    /// into the weight count's order of magnitude).
+    pub fn params(&self) -> u64 {
+        match *self {
+            Layer::Conv {
+                in_ch,
+                out_ch,
+                kernel,
+                ..
+            } => in_ch * out_ch * kernel * kernel,
+            Layer::DepthwiseConv {
+                channels, kernel, ..
+            } => channels * kernel * kernel,
+            Layer::Fc {
+                in_features,
+                out_features,
+                ..
+            } => in_features * out_features,
+            Layer::Embedding { vocab, dim, .. } => vocab * dim,
+            Layer::Attention { d_model, .. } => 4 * d_model * d_model,
+        }
+    }
+
+    /// The forward-pass GEMMs for one sample.
+    pub fn forward_gemms(&self) -> Vec<Gemm> {
+        match *self {
+            Layer::Conv {
+                in_ch,
+                out_ch,
+                kernel,
+                out_hw,
+                ..
+            } => vec![Gemm::new(out_hw * out_hw, in_ch * kernel * kernel, out_ch)],
+            // Each channel's kxk filter correlates independently; as a GEMM
+            // it is out_hw^2 outputs x k^2 accumulation, repeated per
+            // channel — modelled as one GEMM with N = channels and K = k^2
+            // (the channel dimension maps across array columns).
+            Layer::DepthwiseConv {
+                channels,
+                kernel,
+                out_hw,
+                ..
+            } => vec![Gemm::new(out_hw * out_hw, kernel * kernel, channels)],
+            Layer::Fc {
+                in_features,
+                out_features,
+                ..
+            } => vec![Gemm::new(1, in_features, out_features)],
+            // Table lookup: no MAC-array GEMM.
+            Layer::Embedding { .. } => vec![],
+            Layer::Attention {
+                seq,
+                d_model,
+                heads,
+                ..
+            } => {
+                let d_head = (d_model / heads).max(1);
+                let mut v = Vec::with_capacity(3 + 2 * heads as usize);
+                // Q, K, V projections fused: seq x d_model x 3*d_model.
+                v.push(Gemm::new(seq, d_model, 3 * d_model));
+                for _ in 0..heads {
+                    v.push(Gemm::new(seq, d_head, seq)); // scores
+                    v.push(Gemm::new(seq, seq, d_head)); // context
+                }
+                v.push(Gemm::new(seq, d_model, d_model)); // output projection
+                v
+            }
+        }
+    }
+
+    /// The backward-pass GEMMs for one sample: for every forward GEMM
+    /// `(M,K,N)`, the input-gradient GEMM `(M,N,K)` and the weight-gradient
+    /// GEMM `(K,M,N)`.
+    pub fn backward_gemms(&self) -> Vec<Gemm> {
+        self.forward_gemms()
+            .into_iter()
+            .flat_map(|g| [Gemm::new(g.m, g.n, g.k), Gemm::new(g.k, g.m, g.n)])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_params_and_gemm() {
+        let l = Layer::conv("c", 3, 96, 11, 55);
+        assert_eq!(l.params(), 3 * 96 * 121);
+        let g = l.forward_gemms();
+        assert_eq!(g, vec![Gemm::new(3025, 363, 96)]);
+    }
+
+    #[test]
+    fn depthwise_conv_params_and_gemm() {
+        let l = Layer::depthwise_conv("dw", 512, 3, 14);
+        assert_eq!(l.params(), 512 * 9);
+        assert_eq!(l.forward_gemms(), vec![Gemm::new(196, 9, 512)]);
+    }
+
+    #[test]
+    fn fc_params() {
+        let l = Layer::fc("f", 4096, 1000);
+        assert_eq!(l.params(), 4_096_000);
+    }
+
+    #[test]
+    fn embedding_has_params_but_no_gemms() {
+        let l = Layer::embedding("e", 37_000, 512);
+        assert_eq!(l.params(), 18_944_000);
+        assert!(l.forward_gemms().is_empty());
+        assert!(l.backward_gemms().is_empty());
+    }
+
+    #[test]
+    fn attention_gemm_count() {
+        let l = Layer::attention("a", 64, 512, 8);
+        assert_eq!(l.forward_gemms().len(), 2 + 2 * 8);
+        assert_eq!(l.backward_gemms().len(), 2 * (2 + 2 * 8));
+        assert_eq!(l.params(), 4 * 512 * 512);
+    }
+
+    #[test]
+    fn backward_has_twice_the_macs_of_forward() {
+        let l = Layer::conv("c", 64, 64, 3, 28);
+        let f: u64 = l.forward_gemms().iter().map(Gemm::macs).sum();
+        let b: u64 = l.backward_gemms().iter().map(Gemm::macs).sum();
+        assert_eq!(b, 2 * f);
+    }
+}

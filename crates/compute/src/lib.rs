@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! Per-chiplet DNN training-time model (the SCALE-Sim substitute).
+//!
+//! The paper extends SCALE-Sim to model forward *and* backward propagation
+//! of DNN training on each chiplet's systolic MAC array with an
+//! output-stationary dataflow (Table II: 4×4 PEs per chiplet, each PE a
+//! 256×256 MAC array at 1 GHz, 32-bit precision). This crate reproduces
+//! that analytically:
+//!
+//! * [`systolic`] — cycle counts for GEMMs on an output-stationary array
+//!   (`tiles × (K + rows + cols − 2)`),
+//! * [`Layer`] — DNN layer shapes and their GEMM decompositions (convolution
+//!   via im2col; attention via its projection/score/context GEMMs),
+//! * [`ChipletConfig`] + [`training`] — forward+backward cycles for a
+//!   mini-batch slice distributed over a chiplet's PEs.
+//!
+//! # Example
+//!
+//! ```
+//! use meshcoll_compute::{training, ChipletConfig, Layer};
+//!
+//! let chiplet = ChipletConfig::paper_default();
+//! let layers = vec![Layer::fc("fc", 4096, 1000)];
+//! let ns = training::minibatch_train_ns(&layers, &chiplet, 16);
+//! assert!(ns > 0.0);
+//! ```
+
+pub mod systolic;
+pub mod training;
+
+mod layer;
+
+pub use layer::Layer;
+pub use training::{ChipletConfig, Dataflow};

@@ -1,0 +1,126 @@
+//! Output-stationary systolic-array GEMM timing.
+//!
+//! In an output-stationary dataflow each PE of an `R x C` array accumulates
+//! one output element in place while the `K`-deep inner products stream
+//! through. A `(M x K) · (K x N)` GEMM is tiled into `ceil(M/R) * ceil(N/C)`
+//! output tiles; each tile needs `K` accumulation cycles plus `R + C - 2`
+//! fill/drain cycles for the skewed operand wavefronts — the same first-order
+//! model SCALE-Sim's analytical mode uses.
+
+/// A GEMM shape `(M x K) · (K x N)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Gemm {
+    /// Output rows.
+    pub m: u64,
+    /// Inner (accumulation) dimension.
+    pub k: u64,
+    /// Output columns.
+    pub n: u64,
+}
+
+impl Gemm {
+    /// Creates a GEMM shape.
+    pub fn new(m: u64, k: u64, n: u64) -> Self {
+        Gemm { m, k, n }
+    }
+
+    /// Multiply–accumulate operations in this GEMM.
+    pub fn macs(&self) -> u64 {
+        self.m * self.k * self.n
+    }
+}
+
+/// Cycles to run one GEMM on an `rows x cols` output-stationary MAC array.
+///
+/// # Panics
+///
+/// Panics if the array has zero dimensions or the GEMM is degenerate.
+///
+/// # Example
+///
+/// ```
+/// use meshcoll_compute::systolic::{gemm_cycles, Gemm};
+/// // A perfectly tiled 256x256 output on a 256x256 array with K=512:
+/// // one tile, 512 + 510 cycles.
+/// assert_eq!(gemm_cycles(Gemm::new(256, 512, 256), 256, 256), 1022);
+/// ```
+pub fn gemm_cycles(g: Gemm, rows: u64, cols: u64) -> u64 {
+    assert!(rows > 0 && cols > 0, "MAC array must be non-empty");
+    assert!(g.m > 0 && g.k > 0 && g.n > 0, "degenerate GEMM {g:?}");
+    let tiles = g.m.div_ceil(rows) * g.n.div_ceil(cols);
+    tiles * (g.k + rows + cols - 2)
+}
+
+/// Cycles for one GEMM on a *weight-stationary* `rows x cols` array: weights
+/// for a `rows x cols` tile of the `K x N` operand stay resident while `M`
+/// activations stream through; the array is refilled `ceil(K/rows) *
+/// ceil(N/cols)` times, paying the `rows`-cycle weight-load each time.
+/// Provided as a dataflow ablation alongside the paper's output-stationary
+/// default.
+///
+/// # Panics
+///
+/// Panics if the array has zero dimensions or the GEMM is degenerate.
+pub fn gemm_cycles_weight_stationary(g: Gemm, rows: u64, cols: u64) -> u64 {
+    assert!(rows > 0 && cols > 0, "MAC array must be non-empty");
+    assert!(g.m > 0 && g.k > 0 && g.n > 0, "degenerate GEMM {g:?}");
+    let refills = g.k.div_ceil(rows) * g.n.div_ceil(cols);
+    refills * (rows + g.m + cols - 1)
+}
+
+/// Utilization-style sanity metric: achieved MACs per cycle relative to the
+/// array's `rows * cols` peak, in `[0, 1]`.
+pub fn efficiency(g: Gemm, rows: u64, cols: u64) -> f64 {
+    g.macs() as f64 / (gemm_cycles(g, rows, cols) as f64 * (rows * cols) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_tile_efficiency_approaches_one_for_deep_k() {
+        let e = efficiency(Gemm::new(256, 1 << 20, 256), 256, 256);
+        assert!(e > 0.99, "efficiency {e}");
+    }
+
+    #[test]
+    fn small_gemm_pays_fill_drain() {
+        // A 1x1 output on a 256x256 array still pays the wavefront.
+        let c = gemm_cycles(Gemm::new(1, 100, 1), 256, 256);
+        assert_eq!(c, 100 + 510);
+    }
+
+    #[test]
+    fn tiling_is_ceiling_division() {
+        let one_tile = gemm_cycles(Gemm::new(256, 64, 256), 256, 256);
+        let two_tiles = gemm_cycles(Gemm::new(257, 64, 256), 256, 256);
+        assert_eq!(two_tiles, 2 * one_tile);
+    }
+
+    #[test]
+    fn cycles_scale_linearly_in_k() {
+        let g1 = gemm_cycles(Gemm::new(256, 1000, 256), 256, 256);
+        let g2 = gemm_cycles(Gemm::new(256, 2000, 256), 256, 256);
+        assert_eq!(g2 - g1, 1000);
+    }
+
+    #[test]
+    fn weight_stationary_favors_tall_activations() {
+        // Large M amortizes the weight load: WS beats OS when M >> K tiles.
+        let tall = Gemm::new(100_000, 256, 256);
+        assert!(
+            gemm_cycles_weight_stationary(tall, 256, 256) < gemm_cycles(tall, 256, 256)
+        );
+        // Tiny M with deep K: OS wins (WS refills the array constantly).
+        let deep = Gemm::new(1, 100_000, 256);
+        assert!(gemm_cycles_weight_stationary(deep, 256, 256) > gemm_cycles(deep, 256, 256));
+    }
+
+    #[test]
+    fn smaller_arrays_take_longer() {
+        let big = gemm_cycles(Gemm::new(512, 512, 512), 256, 256);
+        let small = gemm_cycles(Gemm::new(512, 512, 512), 16, 16);
+        assert!(small > 100 * big / 10, "{small} vs {big}");
+    }
+}

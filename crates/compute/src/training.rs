@@ -1,0 +1,194 @@
+//! Chiplet configuration and mini-batch training-time aggregation.
+
+use crate::systolic::{gemm_cycles, gemm_cycles_weight_stationary, Gemm};
+use crate::Layer;
+
+/// Systolic dataflow choice (paper Table II: output-stationary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Dataflow {
+    /// Outputs accumulate in place (the paper's configuration).
+    #[default]
+    OutputStationary,
+    /// Weights stay resident; activations stream (ablation).
+    WeightStationary,
+}
+
+/// One chiplet's compute resources (paper Table II, and the Simba variants
+/// of §VIII-A).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChipletConfig {
+    /// Processing elements per chiplet (Table II: 4x4 = 16).
+    pub pes: u64,
+    /// MAC-array rows per PE (Table II: 256).
+    pub mac_rows: u64,
+    /// MAC-array columns per PE (Table II: 256).
+    pub mac_cols: u64,
+    /// Clock frequency in GHz (Table II: 1 GHz).
+    pub freq_ghz: f64,
+    /// Weight/gradient precision in bytes (Table II: 32-bit).
+    pub precision_bytes: u64,
+    /// Systolic dataflow (Table II: output-stationary).
+    pub dataflow: Dataflow,
+}
+
+impl ChipletConfig {
+    /// The paper's default chiplet (Table II): 16 PEs, 256×256 MACs, 1 GHz,
+    /// 32-bit precision.
+    pub fn paper_default() -> Self {
+        ChipletConfig {
+            pes: 16,
+            mac_rows: 256,
+            mac_cols: 256,
+            freq_ghz: 1.0,
+            precision_bytes: 4,
+            dataflow: Dataflow::OutputStationary,
+        }
+    }
+
+    /// A Simba-style chiplet (§VIII-A): 16 PEs with a `mac x mac` array.
+    pub fn simba(mac: u64) -> Self {
+        ChipletConfig {
+            pes: 16,
+            mac_rows: mac,
+            mac_cols: mac,
+            freq_ghz: 1.0,
+            precision_bytes: 4,
+            dataflow: Dataflow::OutputStationary,
+        }
+    }
+
+    /// Cycles for one GEMM on one of this chiplet's PEs, under the
+    /// configured dataflow.
+    pub fn gemm_cycles(&self, g: Gemm) -> u64 {
+        match self.dataflow {
+            Dataflow::OutputStationary => gemm_cycles(g, self.mac_rows, self.mac_cols),
+            Dataflow::WeightStationary => {
+                gemm_cycles_weight_stationary(g, self.mac_rows, self.mac_cols)
+            }
+        }
+    }
+
+    /// Converts cycles to nanoseconds at this chiplet's clock.
+    pub fn cycles_to_ns(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.freq_ghz
+    }
+}
+
+impl Default for ChipletConfig {
+    fn default() -> Self {
+        ChipletConfig::paper_default()
+    }
+}
+
+/// Forward-pass cycles for one sample across all `layers` on one PE.
+pub fn forward_cycles(layers: &[Layer], chiplet: &ChipletConfig) -> u64 {
+    layers
+        .iter()
+        .flat_map(Layer::forward_gemms)
+        .map(|g| chiplet.gemm_cycles(g))
+        .sum()
+}
+
+/// Backward-pass cycles for one sample across all `layers` on one PE.
+pub fn backward_cycles(layers: &[Layer], chiplet: &ChipletConfig) -> u64 {
+    layers
+        .iter()
+        .flat_map(Layer::backward_gemms)
+        .map(|g| chiplet.gemm_cycles(g))
+        .sum()
+}
+
+/// Backward-pass cycles for a single layer (one sample, one PE) — the
+/// granularity the layer-wise overlap experiment needs.
+pub fn layer_backward_cycles(layer: &Layer, chiplet: &ChipletConfig) -> u64 {
+    layer
+        .backward_gemms()
+        .into_iter()
+        .map(|g| chiplet.gemm_cycles(g))
+        .sum()
+}
+
+/// Cycles for one training step of `samples_per_chiplet` samples on one
+/// chiplet: samples are distributed across the chiplet's PEs (data-parallel
+/// within the chiplet), so the chiplet time is the per-sample forward +
+/// backward time multiplied by `ceil(samples / PEs)` waves.
+pub fn minibatch_train_cycles(
+    layers: &[Layer],
+    chiplet: &ChipletConfig,
+    samples_per_chiplet: u64,
+) -> u64 {
+    let per_sample = forward_cycles(layers, chiplet) + backward_cycles(layers, chiplet);
+    per_sample * samples_per_chiplet.div_ceil(chiplet.pes).max(1)
+}
+
+/// [`minibatch_train_cycles`] in nanoseconds.
+pub fn minibatch_train_ns(
+    layers: &[Layer],
+    chiplet: &ChipletConfig,
+    samples_per_chiplet: u64,
+) -> f64 {
+    chiplet.cycles_to_ns(minibatch_train_cycles(layers, chiplet, samples_per_chiplet))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_layers() -> Vec<Layer> {
+        vec![
+            Layer::conv("c1", 3, 64, 3, 32),
+            Layer::fc("f1", 1024, 10),
+        ]
+    }
+
+    #[test]
+    fn backward_costs_twice_forward() {
+        let c = ChipletConfig::paper_default();
+        let l = toy_layers();
+        let f = forward_cycles(&l, &c);
+        let b = backward_cycles(&l, &c);
+        // Backward runs two same-MAC GEMMs per forward GEMM; with fill/drain
+        // overheads the ratio is near 2 but not exact.
+        assert!(b > f && b < 4 * f, "f={f} b={b}");
+    }
+
+    #[test]
+    fn sixteen_samples_fill_sixteen_pes_in_one_wave() {
+        let c = ChipletConfig::paper_default();
+        let l = toy_layers();
+        let one = minibatch_train_cycles(&l, &c, 1);
+        let sixteen = minibatch_train_cycles(&l, &c, 16);
+        let seventeen = minibatch_train_cycles(&l, &c, 17);
+        assert_eq!(one, sixteen);
+        assert_eq!(seventeen, 2 * sixteen);
+    }
+
+    #[test]
+    fn smaller_mac_arrays_are_slower() {
+        let l = toy_layers();
+        let big = minibatch_train_cycles(&l, &ChipletConfig::paper_default(), 16);
+        let small = minibatch_train_cycles(&l, &ChipletConfig::simba(16), 16);
+        assert!(small > big, "small={small} big={big}");
+    }
+
+    #[test]
+    fn dataflow_changes_compute_time() {
+        let l = toy_layers();
+        let os = minibatch_train_cycles(&l, &ChipletConfig::paper_default(), 16);
+        let ws_cfg = ChipletConfig {
+            dataflow: Dataflow::WeightStationary,
+            ..ChipletConfig::paper_default()
+        };
+        let ws = minibatch_train_cycles(&l, &ws_cfg, 16);
+        assert_ne!(os, ws);
+        assert!(os > 0 && ws > 0);
+    }
+
+    #[test]
+    fn layer_backward_sums_to_total() {
+        let c = ChipletConfig::paper_default();
+        let l = toy_layers();
+        let sum: u64 = l.iter().map(|x| layer_backward_cycles(x, &c)).sum();
+        assert_eq!(sum, backward_cycles(&l, &c));
+    }
+}

@@ -1,0 +1,31 @@
+//! AlexNet [41]: five convolutions and three fully connected layers
+//! (~61M parameters, dominated by fc6).
+
+use meshcoll_compute::Layer;
+
+use crate::Model;
+
+pub(crate) fn model() -> Model {
+    Model::new(
+        "AlexNet",
+        vec![
+            Layer::conv("conv1", 3, 96, 11, 55),
+            Layer::conv("conv2", 96, 256, 5, 27),
+            Layer::conv("conv3", 256, 384, 3, 13),
+            Layer::conv("conv4", 384, 384, 3, 13),
+            Layer::conv("conv5", 384, 256, 3, 13),
+            Layer::fc("fc6", 256 * 6 * 6, 4096),
+            Layer::fc("fc7", 4096, 4096),
+            Layer::fc("fc8", 4096, 1000),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn alexnet_is_about_61m_params() {
+        let p = super::model().params();
+        assert!((58_000_000..64_000_000).contains(&p), "{p}");
+    }
+}

@@ -1,0 +1,40 @@
+//! AlphaGoZero [64]: the 20-block residual tower over a 19x19 board with
+//! 256-filter 3x3 convolutions, plus policy and value heads (~23M params).
+
+use meshcoll_compute::Layer;
+
+use crate::Model;
+
+pub(crate) fn model() -> Model {
+    let mut layers = vec![Layer::conv("conv_in", 17, 256, 3, 19)];
+    for i in 0..19 {
+        // Two convolutions per residual block; names leak the block index via
+        // a static table to stay 'static.
+        layers.push(Layer::conv(RES_NAMES[2 * i], 256, 256, 3, 19));
+        layers.push(Layer::conv(RES_NAMES[2 * i + 1], 256, 256, 3, 19));
+    }
+    layers.push(Layer::conv("policy_conv", 256, 2, 1, 19));
+    layers.push(Layer::fc("policy_fc", 2 * 19 * 19, 362));
+    layers.push(Layer::conv("value_conv", 256, 1, 1, 19));
+    layers.push(Layer::fc("value_fc1", 19 * 19, 256));
+    layers.push(Layer::fc("value_fc2", 256, 1));
+    Model::new("AlphaGoZero", layers)
+}
+
+static RES_NAMES: [&str; 38] = [
+    "res1a", "res1b", "res2a", "res2b", "res3a", "res3b", "res4a", "res4b", "res5a", "res5b",
+    "res6a", "res6b", "res7a", "res7b", "res8a", "res8b", "res9a", "res9b", "res10a", "res10b",
+    "res11a", "res11b", "res12a", "res12b", "res13a", "res13b", "res14a", "res14b", "res15a",
+    "res15b", "res16a", "res16b", "res17a", "res17b", "res18a", "res18b", "res19a", "res19b",
+];
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tower_dominates_params() {
+        let m = super::model();
+        let p = m.params();
+        assert!((20_000_000..25_000_000).contains(&p), "{p}");
+        assert_eq!(m.layers().len(), 1 + 38 + 5);
+    }
+}

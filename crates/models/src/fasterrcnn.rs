@@ -1,0 +1,47 @@
+//! Faster-RCNN [19] with the VGG16 backbone: 13 convolutions, a region
+//! proposal network, and the detection head (~138M parameters, dominated by
+//! the 25088->4096 fc6).
+
+use meshcoll_compute::Layer;
+
+use crate::Model;
+
+pub(crate) fn model() -> Model {
+    Model::new(
+        "FasterRCNN",
+        vec![
+            // VGG16 backbone at 224x224 input.
+            Layer::conv("conv1_1", 3, 64, 3, 224),
+            Layer::conv("conv1_2", 64, 64, 3, 224),
+            Layer::conv("conv2_1", 64, 128, 3, 112),
+            Layer::conv("conv2_2", 128, 128, 3, 112),
+            Layer::conv("conv3_1", 128, 256, 3, 56),
+            Layer::conv("conv3_2", 256, 256, 3, 56),
+            Layer::conv("conv3_3", 256, 256, 3, 56),
+            Layer::conv("conv4_1", 256, 512, 3, 28),
+            Layer::conv("conv4_2", 512, 512, 3, 28),
+            Layer::conv("conv4_3", 512, 512, 3, 28),
+            Layer::conv("conv5_1", 512, 512, 3, 14),
+            Layer::conv("conv5_2", 512, 512, 3, 14),
+            Layer::conv("conv5_3", 512, 512, 3, 14),
+            // Region proposal network: 3x3 conv + 9-anchor cls/reg 1x1 convs.
+            Layer::conv("rpn_conv", 512, 512, 3, 14),
+            Layer::conv("rpn_cls", 512, 18, 1, 14),
+            Layer::conv("rpn_reg", 512, 36, 1, 14),
+            // Detection head on 7x7 RoIs.
+            Layer::fc("fc6", 512 * 7 * 7, 4096),
+            Layer::fc("fc7", 4096, 4096),
+            Layer::fc("cls_score", 4096, 21),
+            Layer::fc("bbox_pred", 4096, 84),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fasterrcnn_is_about_138m_params() {
+        let p = super::model().params();
+        assert!((130_000_000..142_000_000).contains(&p), "{p}");
+    }
+}

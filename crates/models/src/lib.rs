@@ -1,0 +1,251 @@
+#![warn(missing_docs)]
+
+//! The seven DNN training workloads of the paper's evaluation (§VI-B).
+//!
+//! Layer shape tables for AlexNet, AlphaGoZero, FasterRCNN, GoogLeNet,
+//! NCF-Recommendation, ResNet152, and Transformer, matching the SCALE-Sim
+//! workload suite the paper simulates. Only the shapes that drive the
+//! experiments are modelled: per-layer GEMM dimensions (compute time) and
+//! parameter counts (gradient bytes for the AllReduce).
+//!
+//! # Example
+//!
+//! ```
+//! use meshcoll_models::DnnModel;
+//!
+//! let resnet = DnnModel::ResNet152.model();
+//! // ~60M parameters, ~240 MB of 32-bit gradients.
+//! assert!((55_000_000..65_000_000).contains(&resnet.params()));
+//! ```
+
+mod alexnet;
+mod alphagozero;
+mod mobilenet;
+mod squeezenet;
+mod fasterrcnn;
+mod googlenet;
+mod ncf;
+mod resnet152;
+mod transformer;
+
+use std::fmt;
+
+pub use meshcoll_compute::Layer;
+
+/// ImageNet's training-set size, the epoch length the paper assumes
+/// (§VIII-B uses exactly 1,281,167 samples).
+pub const TRAINING_SET_SIZE: u64 = 1_281_167;
+
+/// A DNN workload: an ordered list of trainable layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Model {
+    name: &'static str,
+    layers: Vec<Layer>,
+}
+
+impl Model {
+    /// Bytes of the single largest *dense* layer's weights at the given
+    /// precision — the quantity §III-A compares against a chiplet's weight
+    /// buffer for layer-by-layer training. Embedding tables are excluded:
+    /// they are sparsely accessed lookups, so only the active rows need to
+    /// be resident.
+    pub fn largest_layer_bytes(&self, precision_bytes: u64) -> u64 {
+        self.layers
+            .iter()
+            .filter(|l| !matches!(l, Layer::Embedding { .. }))
+            .map(|l| l.params() * precision_bytes)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Creates a model from its layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty.
+    pub fn new(name: &'static str, layers: Vec<Layer>) -> Self {
+        assert!(!layers.is_empty(), "model {name} has no layers");
+        Model { name, layers }
+    }
+
+    /// The model's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The layers, in forward order.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Total trainable parameters.
+    pub fn params(&self) -> u64 {
+        self.layers.iter().map(Layer::params).sum()
+    }
+
+    /// Gradient bytes exchanged per AllReduce at the given precision
+    /// (Table II: 4 bytes).
+    pub fn gradient_bytes(&self, precision_bytes: u64) -> u64 {
+        self.params() * precision_bytes
+    }
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} layers, {:.1}M params)",
+            self.name,
+            self.layers.len(),
+            self.params() as f64 / 1e6
+        )
+    }
+}
+
+/// The paper's benchmark models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum DnnModel {
+    /// AlexNet [41] — compute-heavy convs, FC-dominated parameters (~61M).
+    AlexNet,
+    /// AlphaGoZero [64] — 19 residual blocks of 256-filter 3x3 convs (~23M).
+    AlphaGoZero,
+    /// Faster-RCNN [19] — VGG16 backbone + RPN + detection head (~138M).
+    FasterRcnn,
+    /// GoogLeNet [70] — nine Inception modules (~6M, compute-intensive).
+    GoogLeNet,
+    /// NCF-Recommendation [28] — embedding-dominated (~21M, communication-heavy).
+    Ncf,
+    /// ResNet152 [27] — deep bottleneck CNN (~60M).
+    ResNet152,
+    /// Transformer [76] — 6+6 encoder/decoder, d_model 512 (~63M,
+    /// attention/embedding communication-heavy).
+    Transformer,
+    /// SqueezeNet [33] — ~1.25M params; the paper's §III-A example of a
+    /// model that fits a chiplet's weight buffer (not part of the Fig 10
+    /// evaluation suite).
+    SqueezeNet,
+    /// MobileNet v1 [30] — ~4.2M params; §III-A embedded workload (not part
+    /// of the Fig 10 evaluation suite).
+    MobileNet,
+}
+
+impl DnnModel {
+    /// Every model, including the §III-A feasibility workloads.
+    pub const WITH_EMBEDDED: [DnnModel; 9] = [
+        DnnModel::AlexNet,
+        DnnModel::AlphaGoZero,
+        DnnModel::FasterRcnn,
+        DnnModel::GoogLeNet,
+        DnnModel::Ncf,
+        DnnModel::ResNet152,
+        DnnModel::Transformer,
+        DnnModel::SqueezeNet,
+        DnnModel::MobileNet,
+    ];
+
+    /// The paper's seven evaluation models, in figure order.
+    pub const ALL: [DnnModel; 7] = [
+        DnnModel::AlexNet,
+        DnnModel::AlphaGoZero,
+        DnnModel::FasterRcnn,
+        DnnModel::GoogLeNet,
+        DnnModel::Ncf,
+        DnnModel::ResNet152,
+        DnnModel::Transformer,
+    ];
+
+    /// Display name matching the paper's figure labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            DnnModel::AlexNet => "AlexNet",
+            DnnModel::AlphaGoZero => "AlphaGoZero",
+            DnnModel::FasterRcnn => "FasterRCNN",
+            DnnModel::GoogLeNet => "GoogLeNet",
+            DnnModel::Ncf => "NCF",
+            DnnModel::ResNet152 => "ResNet152",
+            DnnModel::Transformer => "Transformer",
+            DnnModel::SqueezeNet => "SqueezeNet",
+            DnnModel::MobileNet => "MobileNet",
+        }
+    }
+
+    /// Builds the layer table.
+    pub fn model(self) -> Model {
+        match self {
+            DnnModel::AlexNet => alexnet::model(),
+            DnnModel::AlphaGoZero => alphagozero::model(),
+            DnnModel::FasterRcnn => fasterrcnn::model(),
+            DnnModel::GoogLeNet => googlenet::model(),
+            DnnModel::Ncf => ncf::model(),
+            DnnModel::ResNet152 => resnet152::model(),
+            DnnModel::Transformer => transformer::model(),
+            DnnModel::SqueezeNet => squeezenet::model(),
+            DnnModel::MobileNet => mobilenet::model(),
+        }
+    }
+}
+
+impl fmt::Display for DnnModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_counts_match_published_sizes() {
+        // Published parameter counts (approximate, in millions).
+        let expect: &[(DnnModel, f64, f64)] = &[
+            (DnnModel::AlexNet, 55.0, 65.0),
+            (DnnModel::AlphaGoZero, 18.0, 27.0),
+            (DnnModel::FasterRcnn, 125.0, 145.0),
+            (DnnModel::GoogLeNet, 5.0, 14.0),
+            (DnnModel::Ncf, 15.0, 32.0),
+            (DnnModel::ResNet152, 55.0, 65.0),
+            (DnnModel::Transformer, 55.0, 70.0),
+        ];
+        for &(m, lo, hi) in expect {
+            let p = m.model().params() as f64 / 1e6;
+            assert!((lo..hi).contains(&p), "{m}: {p}M params outside [{lo},{hi}]");
+        }
+    }
+
+    #[test]
+    fn all_models_build_and_have_layers() {
+        for m in DnnModel::ALL {
+            let model = m.model();
+            assert!(!model.layers().is_empty());
+            assert_eq!(model.name(), m.name());
+        }
+    }
+
+    #[test]
+    fn gradient_bytes_scale_with_precision() {
+        let m = DnnModel::GoogLeNet.model();
+        assert_eq!(m.gradient_bytes(4), 4 * m.params());
+        assert_eq!(m.gradient_bytes(1), m.params());
+    }
+
+    #[test]
+    fn communication_heavy_models_have_few_macs_per_param() {
+        // NCF and Transformer are the paper's communication-bound workloads:
+        // their MACs-per-parameter ratio is far below the CNNs'.
+        use meshcoll_compute::systolic::Gemm;
+        let ratio = |m: DnnModel| {
+            let model = m.model();
+            let macs: u64 = model
+                .layers()
+                .iter()
+                .flat_map(Layer::forward_gemms)
+                .map(|g: Gemm| g.macs())
+                .sum();
+            macs as f64 / model.params() as f64
+        };
+        assert!(ratio(DnnModel::Ncf) < ratio(DnnModel::GoogLeNet) / 10.0);
+        assert!(ratio(DnnModel::Transformer) < ratio(DnnModel::GoogLeNet) / 2.0);
+    }
+}

@@ -1,0 +1,42 @@
+//! MobileNet v1 [30]: depthwise-separable convolutions, ~4.2M parameters —
+//! another of the paper's §III-A single-chiplet-feasible embedded models.
+
+use meshcoll_compute::Layer;
+
+use crate::Model;
+
+/// (name_dw, name_pw, channels_in, channels_out, output size)
+const BLOCKS: [(&str, &str, u64, u64, u64); 13] = [
+    ("dw1", "pw1", 32, 64, 112),
+    ("dw2", "pw2", 64, 128, 56),
+    ("dw3", "pw3", 128, 128, 56),
+    ("dw4", "pw4", 128, 256, 28),
+    ("dw5", "pw5", 256, 256, 28),
+    ("dw6", "pw6", 256, 512, 14),
+    ("dw7", "pw7", 512, 512, 14),
+    ("dw8", "pw8", 512, 512, 14),
+    ("dw9", "pw9", 512, 512, 14),
+    ("dw10", "pw10", 512, 512, 14),
+    ("dw11", "pw11", 512, 512, 14),
+    ("dw12", "pw12", 512, 1024, 7),
+    ("dw13", "pw13", 1024, 1024, 7),
+];
+
+pub(crate) fn model() -> Model {
+    let mut layers = vec![Layer::conv("conv1", 3, 32, 3, 112)];
+    for (dw, pw, cin, cout, hw) in BLOCKS {
+        layers.push(Layer::depthwise_conv(dw, cin, 3, hw));
+        layers.push(Layer::conv(pw, cin, cout, 1, hw));
+    }
+    layers.push(Layer::fc("fc", 1024, 1000));
+    Model::new("MobileNet", layers)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn mobilenet_is_about_4m_params() {
+        let p = super::model().params();
+        assert!((3_800_000..4_600_000).contains(&p), "{p}");
+    }
+}

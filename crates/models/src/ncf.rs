@@ -1,0 +1,37 @@
+//! NCF-Recommendation [28]: NeuMF-style neural collaborative filtering on a
+//! MovieLens-scale catalogue. Parameters live almost entirely in the user
+//! and item embedding tables, so training is communication-bound — the
+//! workload where the paper's algorithms shine brightest.
+
+use meshcoll_compute::Layer;
+
+use crate::Model;
+
+pub(crate) fn model() -> Model {
+    Model::new(
+        "NCF",
+        vec![
+            // MovieLens-20M-scale tables, 128-dim (GMF 64 + MLP 64 halves).
+            Layer::embedding("user_embed", 138_493, 128),
+            Layer::embedding("item_embed", 26_744, 128),
+            // MLP tower.
+            Layer::fc("mlp1", 256, 256),
+            Layer::fc("mlp2", 256, 128),
+            Layer::fc("mlp3", 128, 64),
+            // NeuMF fusion of the GMF and MLP branches.
+            Layer::fc("neumf_out", 64 + 64, 1),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn embeddings_dominate() {
+        let m = super::model();
+        let p = m.params();
+        assert!((20_000_000..23_000_000).contains(&p), "{p}");
+        let emb: u64 = m.layers()[..2].iter().map(|l| l.params()).sum();
+        assert!(emb as f64 / p as f64 > 0.99);
+    }
+}

@@ -1,0 +1,65 @@
+//! ResNet152 [27]: the 152-layer bottleneck residual network (~60M
+//! parameters) — the model the paper's §VIII-B overhead analysis uses.
+
+use meshcoll_compute::Layer;
+
+use crate::Model;
+
+/// Blocks per stage and the stage geometry of ResNet152.
+const STAGES: [(usize, u64, u64, u64); 4] = [
+    // (blocks, bottleneck width, output width, feature-map size)
+    (3, 64, 256, 56),
+    (8, 128, 512, 28),
+    (36, 256, 1024, 14),
+    (3, 512, 2048, 7),
+];
+
+pub(crate) fn model() -> Model {
+    let mut layers = vec![Layer::conv("conv1", 3, 64, 7, 112)];
+    let mut in_ch: u64 = 64;
+    let mut name_idx = 0usize;
+    let mut name = || {
+        let n = BLOCK_NAMES[name_idx.min(BLOCK_NAMES.len() - 1)];
+        name_idx += 1;
+        n
+    };
+    for (blocks, width, out_ch, hw) in STAGES {
+        for b in 0..blocks {
+            // Bottleneck: 1x1 reduce, 3x3, 1x1 expand.
+            layers.push(Layer::conv(name(), in_ch, width, 1, hw));
+            layers.push(Layer::conv(name(), width, width, 3, hw));
+            layers.push(Layer::conv(name(), width, out_ch, 1, hw));
+            if b == 0 {
+                // Projection shortcut at each stage entry.
+                layers.push(Layer::conv(name(), in_ch, out_ch, 1, hw));
+            }
+            in_ch = out_ch;
+        }
+    }
+    layers.push(Layer::fc("fc", 2048, 1000));
+    Model::new("ResNet152", layers)
+}
+
+/// Static names for the generated layers (154 conv layers need 'static
+/// strs; names repeat harmlessly past the table for robustness).
+static BLOCK_NAMES: [&str; 160] = {
+    // A fixed table of generic names; breakdown reporting only needs layer
+    // identity, not uniqueness.
+    ["res_conv"; 160]
+};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn resnet152_is_about_60m_params() {
+        let p = super::model().params();
+        assert!((55_000_000..64_000_000).contains(&p), "{p}");
+    }
+
+    #[test]
+    fn has_152_ish_weight_layers() {
+        // 1 stem + 3x(3+8+36+3) bottleneck convs + 4 projections + 1 fc.
+        let n = super::model().layers().len();
+        assert_eq!(n, 1 + 3 * 50 + 4 + 1);
+    }
+}

@@ -1,0 +1,48 @@
+//! SqueezeNet [33]: AlexNet-level accuracy at ~1.25M parameters — the
+//! paper's §III-A example of a model whose (compressed) weights fit a
+//! single chiplet's buffer, making MCM data-parallel training feasible.
+
+use meshcoll_compute::Layer;
+
+use crate::Model;
+
+/// One fire module: squeeze 1x1, expand 1x1 + expand 3x3.
+struct Fire {
+    names: [&'static str; 3],
+    in_ch: u64,
+    squeeze: u64,
+    expand: u64,
+    out_hw: u64,
+}
+
+pub(crate) fn model() -> Model {
+    let fires = [
+        Fire { names: ["f2_s", "f2_e1", "f2_e3"], in_ch: 96, squeeze: 16, expand: 64, out_hw: 55 },
+        Fire { names: ["f3_s", "f3_e1", "f3_e3"], in_ch: 128, squeeze: 16, expand: 64, out_hw: 55 },
+        Fire { names: ["f4_s", "f4_e1", "f4_e3"], in_ch: 128, squeeze: 32, expand: 128, out_hw: 27 },
+        Fire { names: ["f5_s", "f5_e1", "f5_e3"], in_ch: 256, squeeze: 32, expand: 128, out_hw: 27 },
+        Fire { names: ["f6_s", "f6_e1", "f6_e3"], in_ch: 256, squeeze: 48, expand: 192, out_hw: 13 },
+        Fire { names: ["f7_s", "f7_e1", "f7_e3"], in_ch: 384, squeeze: 48, expand: 192, out_hw: 13 },
+        Fire { names: ["f8_s", "f8_e1", "f8_e3"], in_ch: 384, squeeze: 64, expand: 256, out_hw: 13 },
+        Fire { names: ["f9_s", "f9_e1", "f9_e3"], in_ch: 512, squeeze: 64, expand: 256, out_hw: 13 },
+    ];
+    let mut layers = vec![Layer::conv("conv1", 3, 96, 7, 55)];
+    for f in fires {
+        layers.push(Layer::conv(f.names[0], f.in_ch, f.squeeze, 1, f.out_hw));
+        layers.push(Layer::conv(f.names[1], f.squeeze, f.expand, 1, f.out_hw));
+        layers.push(Layer::conv(f.names[2], f.squeeze, f.expand, 3, f.out_hw));
+    }
+    layers.push(Layer::conv("conv10", 512, 1000, 1, 13));
+    Model::new("SqueezeNet", layers)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn squeezenet_is_about_1m_params() {
+        // ~1.25M params, i.e. ~5 MB uncompressed at 32-bit — the paper's
+        // "4.8 MB" figure.
+        let p = super::model().params();
+        assert!((1_000_000..1_500_000).contains(&p), "{p}");
+    }
+}

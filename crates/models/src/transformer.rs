@@ -1,0 +1,46 @@
+//! Transformer [76] (base): 6-layer encoder + 6-layer decoder, d_model 512,
+//! feed-forward 2048, 8 heads, 37k shared BPE vocabulary (~63M parameters).
+//! Attention and embedding gradients make it communication-heavy.
+
+use meshcoll_compute::Layer;
+
+use crate::Model;
+
+const D_MODEL: u64 = 512;
+const D_FF: u64 = 2048;
+const HEADS: u64 = 8;
+const SEQ: u64 = 64;
+const VOCAB: u64 = 37_000;
+
+pub(crate) fn model() -> Model {
+    let mut layers = vec![Layer::embedding("shared_embed", VOCAB, D_MODEL)];
+    for i in 0..6 {
+        layers.push(Layer::attention(ENC_ATTN[i], SEQ, D_MODEL, HEADS));
+        layers.push(Layer::fc(ENC_FF1[i], D_MODEL, D_FF));
+        layers.push(Layer::fc(ENC_FF2[i], D_FF, D_MODEL));
+    }
+    for i in 0..6 {
+        layers.push(Layer::attention(DEC_SELF[i], SEQ, D_MODEL, HEADS));
+        layers.push(Layer::attention(DEC_CROSS[i], SEQ, D_MODEL, HEADS));
+        layers.push(Layer::fc(DEC_FF1[i], D_MODEL, D_FF));
+        layers.push(Layer::fc(DEC_FF2[i], D_FF, D_MODEL));
+    }
+    Model::new("Transformer", layers)
+}
+
+static ENC_ATTN: [&str; 6] = ["enc1_attn", "enc2_attn", "enc3_attn", "enc4_attn", "enc5_attn", "enc6_attn"];
+static ENC_FF1: [&str; 6] = ["enc1_ff1", "enc2_ff1", "enc3_ff1", "enc4_ff1", "enc5_ff1", "enc6_ff1"];
+static ENC_FF2: [&str; 6] = ["enc1_ff2", "enc2_ff2", "enc3_ff2", "enc4_ff2", "enc5_ff2", "enc6_ff2"];
+static DEC_SELF: [&str; 6] = ["dec1_self", "dec2_self", "dec3_self", "dec4_self", "dec5_self", "dec6_self"];
+static DEC_CROSS: [&str; 6] = ["dec1_cross", "dec2_cross", "dec3_cross", "dec4_cross", "dec5_cross", "dec6_cross"];
+static DEC_FF1: [&str; 6] = ["dec1_ff1", "dec2_ff1", "dec3_ff1", "dec4_ff1", "dec5_ff1", "dec6_ff1"];
+static DEC_FF2: [&str; 6] = ["dec1_ff2", "dec2_ff2", "dec3_ff2", "dec4_ff2", "dec5_ff2", "dec6_ff2"];
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn transformer_base_is_about_63m_params() {
+        let p = super::model().params();
+        assert!((58_000_000..68_000_000).contains(&p), "{p}");
+    }
+}

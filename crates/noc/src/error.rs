@@ -1,0 +1,77 @@
+use std::error::Error;
+use std::fmt;
+
+use meshcoll_topo::TopologyError;
+
+/// Errors produced by the network simulators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NocError {
+    /// A message's source or destination node is not in the mesh.
+    Topology(TopologyError),
+    /// A message depends on a message id that is not part of the run.
+    UnknownDependency {
+        /// The message with the bad dependency.
+        msg: usize,
+        /// The missing dependency id.
+        dep: usize,
+    },
+    /// Message ids are not dense `0..n` (required so ids index arrays).
+    NonDenseIds {
+        /// The offending id.
+        msg: usize,
+        /// Expected id at this position.
+        expected: usize,
+    },
+    /// The dependency graph contains a cycle; simulation cannot make progress.
+    DependencyCycle {
+        /// Number of messages left unscheduled when progress stopped.
+        stuck: usize,
+    },
+    /// A message had zero payload bytes.
+    EmptyMessage {
+        /// The offending message id.
+        msg: usize,
+    },
+    /// A message sends to itself, which occupies no link.
+    SelfMessage {
+        /// The offending message id.
+        msg: usize,
+    },
+}
+
+impl fmt::Display for NocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NocError::Topology(e) => write!(f, "topology error: {e}"),
+            NocError::UnknownDependency { msg, dep } => {
+                write!(f, "message {msg} depends on unknown message {dep}")
+            }
+            NocError::NonDenseIds { msg, expected } => {
+                write!(f, "message id {msg} at position expecting id {expected}")
+            }
+            NocError::DependencyCycle { stuck } => {
+                write!(f, "dependency cycle: {stuck} messages never became ready")
+            }
+            NocError::EmptyMessage { msg } => write!(f, "message {msg} has zero bytes"),
+            NocError::SelfMessage { msg } => {
+                write!(f, "message {msg} has identical source and destination")
+            }
+        }
+    }
+}
+
+impl Error for NocError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NocError::Topology(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TopologyError> for NocError {
+    fn from(e: TopologyError) -> Self {
+        NocError::Topology(e)
+    }
+}

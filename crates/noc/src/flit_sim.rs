@@ -1,0 +1,482 @@
+//! Cycle-driven flit-level router model (validation engine).
+//!
+//! This engine models what BookSim models for the paper's configuration:
+//! per-input-port virtual-channel buffers, credit-based flow control,
+//! deterministic XY routing, and virtual cut-through switching (an output is
+//! allocated to a packet only when a downstream VC has buffer space for the
+//! *entire* packet, and is held until the tail flit passes).
+//!
+//! Time advances in flit slots (`flit_bytes / bandwidth` ns — 20.48 ns at the
+//! Table II configuration): each directed link moves at most one flit per
+//! slot, giving the same 25 GB/s peak bandwidth as [`PacketSim`]. It is
+//! orders of magnitude slower than the packet engine and exists to validate
+//! it; unit tests assert both engines agree on latency and bandwidth.
+//!
+//! [`PacketSim`]: crate::PacketSim
+
+use std::collections::VecDeque;
+
+use meshcoll_topo::{Direction, LinkId, Mesh, NodeId};
+
+use crate::message::validate;
+use crate::{LinkStats, Message, NetworkSim, NocConfig, NocError, SimOutcome};
+
+/// The cycle-driven flit-level simulator. See the module docs.
+#[derive(Debug, Clone)]
+pub struct FlitSim {
+    cfg: NocConfig,
+}
+
+impl FlitSim {
+    /// Creates a simulator with the given configuration.
+    pub fn new(cfg: NocConfig) -> Self {
+        FlitSim { cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &NocConfig {
+        &self.cfg
+    }
+}
+
+const INJ: usize = 4; // injection port index; 0..4 are E/W/N/S inputs
+
+#[derive(Debug, Clone, Copy)]
+struct Flit {
+    msg: u32,
+    /// Index into the message's route-node list of the router currently
+    /// holding the flit.
+    hop: u32,
+    is_tail: bool,
+    /// Flits in this packet (carried by every flit for simplicity; only the
+    /// head's value is consulted at allocation).
+    packet_flits: u32,
+    is_head: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Alloc {
+    in_port: usize,
+    in_vc: usize,
+    down_vc: usize,
+}
+
+#[derive(Debug)]
+struct Ctx {
+    /// buffers[node][port][vc]
+    buffers: Vec<Vec<Vec<VecDeque<Flit>>>>,
+    /// credits[link][vc] — space known free in the downstream input buffer.
+    credits: Vec<Vec<usize>>,
+    /// out_alloc[link]
+    out_alloc: Vec<Option<Alloc>>,
+    /// round-robin arbitration pointer per link
+    rr: Vec<usize>,
+    /// staged arrivals, applied at end of cycle: (node, port, vc, flit)
+    staged: Vec<(usize, usize, usize, Flit)>,
+}
+
+impl NetworkSim for FlitSim {
+    fn run(&mut self, mesh: &Mesh, messages: &[Message]) -> Result<SimOutcome, NocError> {
+        validate(messages)?;
+        let n = messages.len();
+        let vcs = self.cfg.num_vcs;
+        let depth = self.cfg.vc_buffer_depth;
+
+        // Routes as node lists.
+        let mut route_nodes: Vec<Vec<NodeId>> = Vec::with_capacity(n);
+        for m in messages {
+            mesh.check_node(m.src)?;
+            mesh.check_node(m.dst)?;
+            let links = meshcoll_topo::routing::route(mesh, m.src, m.dst, self.cfg.routing)?;
+            let mut nodes = vec![m.src];
+            nodes.extend(links.iter().map(|&l| mesh.link_endpoints(l).1));
+            route_nodes.push(nodes);
+        }
+
+        // Flits per message, grouped in packets.
+        let flits_total: Vec<u64> = messages
+            .iter()
+            .map(|m| {
+                let packets = self.cfg.packets_for(m.bytes);
+                (0..packets)
+                    .map(|p| {
+                        let bytes = if p + 1 < packets {
+                            self.cfg.packet_bytes
+                        } else {
+                            m.bytes - (packets - 1) * self.cfg.packet_bytes
+                        };
+                        self.cfg.flits_for(bytes)
+                    })
+                    .sum()
+            })
+            .collect();
+
+        // Injection queues: flits awaiting admission, one lane per VC so a
+        // chiplet can feed several outstanding packets concurrently (the
+        // paper assumes endpoint memory bandwidth is not the bottleneck).
+        let mut inj_queue: Vec<Vec<VecDeque<Flit>>> = vec![vec![VecDeque::new(); vcs]; mesh.nodes()];
+        let mut pending_deps: Vec<usize> = messages.iter().map(|m| m.deps.len()).collect();
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for m in messages {
+            for d in &m.deps {
+                dependents[d.index()].push(m.id.index());
+            }
+        }
+
+        let slot = self.cfg.flit_slot_ns();
+        let mut ready_at_cycle: Vec<u64> = messages
+            .iter()
+            .map(|m| (m.ready_at_ns / slot).ceil() as u64)
+            .collect();
+        // Messages not yet enqueued for injection, ordered by readiness.
+        let mut waiting: Vec<usize> = (0..n).filter(|&i| pending_deps[i] > 0).collect();
+        let mut to_enqueue: Vec<usize> = (0..n).filter(|&i| pending_deps[i] == 0).collect();
+
+        let enqueue_flits = |i: usize, inj_queue: &mut Vec<Vec<VecDeque<Flit>>>| {
+            let m = &messages[i];
+            let lane = i % vcs;
+            let packets = self.cfg.packets_for(m.bytes);
+            for p in 0..packets {
+                let bytes = if p + 1 < packets {
+                    self.cfg.packet_bytes
+                } else {
+                    m.bytes - (packets - 1) * self.cfg.packet_bytes
+                };
+                let pf = self.cfg.flits_for(bytes) as u32;
+                for f in 0..pf {
+                    inj_queue[m.src.index()][lane].push_back(Flit {
+                        msg: i as u32,
+                        hop: 0,
+                        is_tail: f + 1 == pf,
+                        packet_flits: pf,
+                        is_head: f == 0,
+                    });
+                }
+            }
+        };
+
+        let mut ctx = Ctx {
+            buffers: vec![vec![vec![VecDeque::new(); vcs]; 5]; mesh.nodes()],
+            credits: vec![vec![depth; vcs]; mesh.link_id_space()],
+            out_alloc: vec![None; mesh.link_id_space()],
+            rr: vec![0; mesh.link_id_space()],
+            staged: Vec::new(),
+        };
+        // Injection-lane "reservation": which message's packet is currently
+        // streaming into each injection VC.
+        let mut inj_alloc: Vec<Vec<Option<usize>>> = vec![vec![None; vcs]; mesh.nodes()];
+
+        let mut stats = LinkStats::new(mesh);
+        let mut completion = vec![f64::NAN; n];
+        let mut ejected: Vec<u64> = vec![0; n];
+        let mut done = 0usize;
+        let mut cycle: u64 = 0;
+        let mut idle_cycles = 0u64;
+
+        // Output direction for a flit sitting at route hop h.
+        let out_link = |mi: usize, hop: usize| -> Option<LinkId> {
+            let rn = &route_nodes[mi];
+            if hop + 1 < rn.len() {
+                Some(mesh.link_between(rn[hop], rn[hop + 1]).expect("route adjacency"))
+            } else {
+                None
+            }
+        };
+
+        while done < n {
+            let mut activity = false;
+
+            // Enqueue freshly ready messages.
+            let mut j = 0;
+            while j < to_enqueue.len() {
+                let i = to_enqueue[j];
+                if ready_at_cycle[i] <= cycle {
+                    enqueue_flits(i, &mut inj_queue);
+                    to_enqueue.swap_remove(j);
+                    activity = true;
+                } else {
+                    j += 1;
+                }
+            }
+
+            // 1) Output allocation (VCT: need full-packet credit downstream).
+            for (src, _dst, link) in mesh.links() {
+                if ctx.out_alloc[link.index()].is_some() {
+                    continue;
+                }
+                let li = link.index();
+                let start = ctx.rr[li];
+                let slots = 5 * vcs;
+                for k in 0..slots {
+                    let idx = (start + k) % slots;
+                    let (port, vc) = (idx / vcs, idx % vcs);
+                    let Some(f) = ctx.buffers[src.index()][port][vc].front() else {
+                        continue;
+                    };
+                    if !f.is_head {
+                        continue;
+                    }
+                    if out_link(f.msg as usize, f.hop as usize) != Some(link) {
+                        continue;
+                    }
+                    let need = f.packet_flits as usize;
+                    let Some(down_vc) = (0..vcs).find(|&v| ctx.credits[li][v] >= need) else {
+                        continue;
+                    };
+                    ctx.out_alloc[li] = Some(Alloc {
+                        in_port: port,
+                        in_vc: vc,
+                        down_vc,
+                    });
+                    // Reserve the downstream space for the whole packet.
+                    ctx.credits[li][down_vc] -= need;
+                    ctx.rr[li] = (idx + 1) % slots;
+                    activity = true;
+                    break;
+                }
+            }
+
+            // 2) Switch traversal: each allocated output moves one flit.
+            for (src, dst, link) in mesh.links() {
+                let li = link.index();
+                let Some(alloc) = ctx.out_alloc[li] else { continue };
+                let buf = &mut ctx.buffers[src.index()][alloc.in_port][alloc.in_vc];
+                let Some(&front) = buf.front() else { continue };
+                // The allocated packet's flits are contiguous at the front of
+                // the VC FIFO (VCT admits whole packets per VC).
+                let mut f = front;
+                buf.pop_front();
+                // Return a credit to whoever feeds this input buffer.
+                if alloc.in_port != INJ {
+                    let from_dir = Direction::ALL[alloc.in_port];
+                    let up = mesh.neighbor(src, from_dir).expect("input port has neighbor");
+                    let up_link = mesh.link_between(up, src).expect("upstream link");
+                    ctx.credits[up_link.index()][alloc.in_vc] += 1;
+                }
+                if f.is_tail {
+                    ctx.out_alloc[li] = None;
+                } else if alloc.in_port == INJ {
+                    // Keep streaming this packet from the injection queue.
+                }
+                f.hop += 1;
+                let in_port_down = mesh
+                    .direction_between(src, dst)
+                    .expect("link endpoints adjacent")
+                    .opposite()
+                    .slot();
+                ctx.staged.push((dst.index(), in_port_down, alloc.down_vc, f));
+                stats.add_busy(link, slot);
+                activity = true;
+            }
+
+            // 3) Ejection: consume flits that have reached their destination.
+            for node in mesh.node_ids() {
+                for port in 0..5 {
+                    for vc in 0..vcs {
+                        let Some(&f) = ctx.buffers[node.index()][port][vc].front() else {
+                            continue;
+                        };
+                        let rn = &route_nodes[f.msg as usize];
+                        if (f.hop as usize) + 1 != rn.len() {
+                            continue;
+                        }
+                        debug_assert_eq!(rn[f.hop as usize], node);
+                        ctx.buffers[node.index()][port][vc].pop_front();
+                        if port != INJ {
+                            let from_dir = Direction::ALL[port];
+                            let up = mesh.neighbor(node, from_dir).expect("neighbor");
+                            let up_link = mesh.link_between(up, node).expect("link");
+                            ctx.credits[up_link.index()][vc] += 1;
+                        }
+                        let mi = f.msg as usize;
+                        ejected[mi] += 1;
+                        activity = true;
+                        if ejected[mi] == flits_total[mi] {
+                            completion[mi] = (cycle + 1) as f64 * slot;
+                            done += 1;
+                            for &d in &dependents[mi] {
+                                pending_deps[d] -= 1;
+                                ready_at_cycle[d] = ready_at_cycle[d].max(cycle + 1);
+                                if pending_deps[d] == 0 {
+                                    waiting.retain(|&w| w != d);
+                                    to_enqueue.push(d);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+
+            // 4) Injection: each VC lane moves one flit per cycle into the
+            //    injection input buffer (whole-packet admission per lane).
+            for node in mesh.node_ids() {
+                let ni = node.index();
+                for vc in 0..vcs {
+                    let Some(&front) = inj_queue[ni][vc].front() else { continue };
+                    match inj_alloc[ni][vc] {
+                        None if front.is_head => {
+                            let free = depth - ctx.buffers[ni][INJ][vc].len();
+                            if free >= front.packet_flits as usize {
+                                inj_alloc[ni][vc] = Some(front.msg as usize);
+                            } else {
+                                continue;
+                            }
+                        }
+                        None => continue,
+                        Some(_) => {}
+                    }
+                    if inj_alloc[ni][vc] == Some(front.msg as usize) {
+                        let f = inj_queue[ni][vc].pop_front().expect("front exists");
+                        if f.is_tail {
+                            inj_alloc[ni][vc] = None;
+                        }
+                        ctx.buffers[ni][INJ][vc].push_back(f);
+                        activity = true;
+                    }
+                }
+            }
+
+            // 5) Arrivals become visible next cycle.
+            if !ctx.staged.is_empty() {
+                for (node, port, vc, f) in ctx.staged.drain(..) {
+                    ctx.buffers[node][port][vc].push_back(f);
+                }
+            }
+
+            if activity {
+                idle_cycles = 0;
+            } else {
+                // Skip ahead to the next readiness point if everything is idle.
+                if let Some(&next) = to_enqueue
+                    .iter()
+                    .map(|&i| &ready_at_cycle[i])
+                    .min_by(|a, b| a.cmp(b))
+                {
+                    if next > cycle {
+                        cycle = next;
+                        continue;
+                    }
+                }
+                idle_cycles += 1;
+                if idle_cycles > 4 {
+                    return Err(NocError::DependencyCycle { stuck: n - done });
+                }
+            }
+            cycle += 1;
+        }
+
+        Ok(SimOutcome::new(completion, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MsgId, PacketSim};
+
+    fn cfg() -> NocConfig {
+        NocConfig::paper_default()
+    }
+
+    #[test]
+    fn single_transfer_latency_close_to_packet_sim() {
+        let mesh = Mesh::new(1, 4).unwrap();
+        let msgs = vec![Message::new(MsgId(0), NodeId(0), NodeId(3), 8192)];
+        let flit = FlitSim::new(cfg()).run(&mesh, &msgs).unwrap();
+        let pkt = PacketSim::new(cfg()).run(&mesh, &msgs).unwrap();
+        let ratio = flit.makespan_ns() / pkt.makespan_ns();
+        assert!(
+            (0.7..1.5).contains(&ratio),
+            "flit {} vs packet {} (ratio {ratio})",
+            flit.makespan_ns(),
+            pkt.makespan_ns()
+        );
+    }
+
+    #[test]
+    fn sustained_bandwidth_matches_packet_sim() {
+        let mesh = Mesh::new(1, 2).unwrap();
+        let bytes = 1 << 20;
+        let msgs = vec![Message::new(MsgId(0), NodeId(0), NodeId(1), bytes)];
+        let flit = FlitSim::new(cfg()).run(&mesh, &msgs).unwrap();
+        let pkt = PacketSim::new(cfg()).run(&mesh, &msgs).unwrap();
+        let fb = flit.bandwidth_gbps(bytes);
+        let pb = pkt.bandwidth_gbps(bytes);
+        assert!((fb - pb).abs() / pb < 0.1, "flit {fb} GB/s vs packet {pb} GB/s");
+    }
+
+    #[test]
+    fn contention_serializes_like_packet_sim() {
+        let mesh = Mesh::new(1, 3).unwrap();
+        let msgs = vec![
+            Message::new(MsgId(0), NodeId(1), NodeId(2), 8192 * 8),
+            Message::new(MsgId(1), NodeId(0), NodeId(2), 8192 * 8),
+        ];
+        let flit = FlitSim::new(cfg()).run(&mesh, &msgs).unwrap();
+        let pkt = PacketSim::new(cfg()).run(&mesh, &msgs).unwrap();
+        let ratio = flit.makespan_ns() / pkt.makespan_ns();
+        assert!((0.7..1.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn dependencies_chain() {
+        let mesh = Mesh::new(2, 2).unwrap();
+        let msgs = vec![
+            Message::new(MsgId(0), NodeId(0), NodeId(1), 4096),
+            Message::new(MsgId(1), NodeId(1), NodeId(3), 4096).with_deps([MsgId(0)]),
+        ];
+        let out = FlitSim::new(cfg()).run(&mesh, &msgs).unwrap();
+        assert!(out.completion_ns(MsgId(1)) > out.completion_ns(MsgId(0)));
+    }
+
+    #[test]
+    fn ready_at_is_respected() {
+        let mesh = Mesh::new(1, 2).unwrap();
+        let msgs = vec![Message::new(MsgId(0), NodeId(0), NodeId(1), 512).with_ready_at(5000.0)];
+        let out = FlitSim::new(cfg()).run(&mesh, &msgs).unwrap();
+        assert!(out.makespan_ns() >= 5000.0);
+    }
+
+    #[test]
+    fn cyclic_deps_detected() {
+        let mesh = Mesh::new(1, 2).unwrap();
+        let msgs = vec![
+            Message::new(MsgId(0), NodeId(0), NodeId(1), 8).with_deps([MsgId(1)]),
+            Message::new(MsgId(1), NodeId(1), NodeId(0), 8).with_deps([MsgId(0)]),
+        ];
+        let err = FlitSim::new(cfg()).run(&mesh, &msgs).unwrap_err();
+        assert!(matches!(err, NocError::DependencyCycle { .. }));
+    }
+
+    #[test]
+    fn wrap_links_work_in_the_flit_engine() {
+        // A transfer across a torus wrap link takes one hop, not a full
+        // row traversal — and both engines agree on it.
+        let torus = Mesh::torus(3, 5).unwrap();
+        let msgs = vec![Message::new(MsgId(0), NodeId(0), NodeId(4), 8192)];
+        let flit = FlitSim::new(cfg()).run(&torus, &msgs).unwrap();
+        let pkt = PacketSim::new(cfg()).run(&torus, &msgs).unwrap();
+        // Single-hop latency, nowhere near the 4-hop mesh route.
+        let one_hop = cfg().serialization_ns(8192) + cfg().per_flit_latency_ns;
+        assert!(pkt.makespan_ns() < one_hop * 1.5, "{}", pkt.makespan_ns());
+        let ratio = flit.makespan_ns() / pkt.makespan_ns();
+        assert!((0.7..1.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn crossing_traffic_shares_fairly() {
+        // Two long flows crossing at the center of a 3x3: both should finish,
+        // and neither should starve (makespan < 3x solo).
+        let mesh = Mesh::square(3).unwrap();
+        let bytes = 8192 * 16;
+        let msgs = vec![
+            Message::new(MsgId(0), NodeId(3), NodeId(5), bytes),
+            Message::new(MsgId(1), NodeId(1), NodeId(7), bytes),
+        ];
+        let out = FlitSim::new(cfg()).run(&mesh, &msgs).unwrap();
+        let solo = FlitSim::new(cfg())
+            .run(&mesh, &[Message::new(MsgId(0), NodeId(3), NodeId(5), bytes)])
+            .unwrap();
+        assert!(out.makespan_ns() < 3.0 * solo.makespan_ns());
+    }
+}

@@ -1,0 +1,149 @@
+use std::fmt;
+
+use meshcoll_topo::NodeId;
+
+/// Identifier of a message within one simulation run. Ids must be dense
+/// (`0..n` in input order) so the simulators can index by id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MsgId(pub usize);
+
+impl MsgId {
+    /// Returns the raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for MsgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// One point-to-point transfer in a message DAG.
+///
+/// A message becomes *ready* when all its dependencies have completed
+/// (delivered their last packet); it is then packetized and injected at its
+/// source. Collective schedules map one `CollectiveOp` to one `Message`.
+///
+/// # Example
+///
+/// ```
+/// use meshcoll_noc::{Message, MsgId};
+/// use meshcoll_topo::NodeId;
+/// let m = Message::new(MsgId(1), NodeId(0), NodeId(3), 4096)
+///     .with_deps([MsgId(0)])
+///     .with_ready_at(100.0);
+/// assert_eq!(m.deps, vec![MsgId(0)]);
+/// assert_eq!(m.ready_at_ns, 100.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Message {
+    /// Dense message id.
+    pub id: MsgId,
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Payload size in bytes (must be non-zero).
+    pub bytes: u64,
+    /// Messages that must complete before this one may start.
+    pub deps: Vec<MsgId>,
+    /// Earliest injection time in ns, independent of dependencies
+    /// (used to model compute availability, e.g. layer-wise gradient
+    /// readiness in the overlap experiments).
+    pub ready_at_ns: f64,
+}
+
+impl Message {
+    /// Creates a message with no dependencies, ready at time 0.
+    pub fn new(id: MsgId, src: NodeId, dst: NodeId, bytes: u64) -> Self {
+        Message {
+            id,
+            src,
+            dst,
+            bytes,
+            deps: Vec::new(),
+            ready_at_ns: 0.0,
+        }
+    }
+
+    /// Adds dependencies (builder style).
+    #[must_use]
+    pub fn with_deps<I: IntoIterator<Item = MsgId>>(mut self, deps: I) -> Self {
+        self.deps.extend(deps);
+        self
+    }
+
+    /// Sets the earliest injection time (builder style).
+    #[must_use]
+    pub fn with_ready_at(mut self, t_ns: f64) -> Self {
+        self.ready_at_ns = t_ns;
+        self
+    }
+}
+
+/// Validates a message slice: dense ids, in-range deps, non-empty payloads,
+/// distinct endpoints. Shared by both simulator engines.
+pub(crate) fn validate(messages: &[Message]) -> Result<(), crate::NocError> {
+    for (i, m) in messages.iter().enumerate() {
+        if m.id.index() != i {
+            return Err(crate::NocError::NonDenseIds {
+                msg: m.id.index(),
+                expected: i,
+            });
+        }
+        if m.bytes == 0 {
+            return Err(crate::NocError::EmptyMessage { msg: i });
+        }
+        if m.src == m.dst {
+            return Err(crate::NocError::SelfMessage { msg: i });
+        }
+        for d in &m.deps {
+            if d.index() >= messages.len() {
+                return Err(crate::NocError::UnknownDependency {
+                    msg: i,
+                    dep: d.index(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NocError;
+
+    #[test]
+    fn validate_accepts_good_dag() {
+        let msgs = vec![
+            Message::new(MsgId(0), NodeId(0), NodeId(1), 10),
+            Message::new(MsgId(1), NodeId(1), NodeId(2), 10).with_deps([MsgId(0)]),
+        ];
+        assert!(validate(&msgs).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_input() {
+        let m = |id| Message::new(MsgId(id), NodeId(0), NodeId(1), 10);
+        assert!(matches!(
+            validate(&[m(1)]),
+            Err(NocError::NonDenseIds { .. })
+        ));
+        assert!(matches!(
+            validate(&[Message::new(MsgId(0), NodeId(0), NodeId(1), 0)]),
+            Err(NocError::EmptyMessage { .. })
+        ));
+        assert!(matches!(
+            validate(&[Message::new(MsgId(0), NodeId(2), NodeId(2), 8)]),
+            Err(NocError::SelfMessage { .. })
+        ));
+        assert!(matches!(
+            validate(&[m(0).with_deps([MsgId(7)])]),
+            Err(NocError::UnknownDependency { .. })
+        ));
+    }
+}

@@ -1,0 +1,140 @@
+use meshcoll_topo::{LinkId, Mesh};
+
+use crate::MsgId;
+
+/// Per-link occupancy accounting for one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkStats {
+    busy_ns: Vec<f64>,
+    physical_links: usize,
+}
+
+impl LinkStats {
+    pub(crate) fn new(mesh: &Mesh) -> Self {
+        LinkStats {
+            busy_ns: vec![0.0; mesh.link_id_space()],
+            physical_links: mesh.directed_links(),
+        }
+    }
+
+    pub(crate) fn add_busy(&mut self, link: LinkId, ns: f64) {
+        self.busy_ns[link.index()] += ns;
+    }
+
+    /// Total busy time accumulated on `link`, in ns.
+    pub fn busy_ns(&self, link: LinkId) -> f64 {
+        self.busy_ns.get(link.index()).copied().unwrap_or(0.0)
+    }
+
+    /// Number of directed links that carried at least one packet.
+    pub fn used_links(&self) -> usize {
+        self.busy_ns.iter().filter(|&&b| b > 0.0).count()
+    }
+
+    /// Fraction of the mesh's directed links that carried traffic, in
+    /// percent (the Table I metric).
+    pub fn used_link_percent(&self) -> f64 {
+        100.0 * self.used_links() as f64 / self.physical_links as f64
+    }
+
+    /// Time-averaged network occupancy in percent over a window of
+    /// `makespan_ns`: `sum(busy) / (links * makespan)`. This is the Fig 12
+    /// link-utilization metric — an algorithm keeping 83 % of links busy for
+    /// the whole AllReduce scores ~83 %.
+    pub fn utilization_percent(&self, makespan_ns: f64) -> f64 {
+        if makespan_ns <= 0.0 {
+            return 0.0;
+        }
+        let total: f64 = self.busy_ns.iter().sum();
+        100.0 * total / (self.physical_links as f64 * makespan_ns)
+    }
+}
+
+/// The result of simulating a message DAG.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOutcome {
+    completion_ns: Vec<f64>,
+    makespan_ns: f64,
+    link_stats: LinkStats,
+}
+
+impl SimOutcome {
+    pub(crate) fn new(completion_ns: Vec<f64>, link_stats: LinkStats) -> Self {
+        let makespan_ns = completion_ns.iter().copied().fold(0.0, f64::max);
+        SimOutcome {
+            completion_ns,
+            makespan_ns,
+            link_stats,
+        }
+    }
+
+    /// Completion time of a message (delivery of its last packet), in ns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was not part of the run.
+    pub fn completion_ns(&self, id: MsgId) -> f64 {
+        self.completion_ns[id.index()]
+    }
+
+    /// Completion times of all messages, indexed by message id.
+    pub fn completions(&self) -> &[f64] {
+        &self.completion_ns
+    }
+
+    /// Time at which the last message completed, in ns.
+    pub fn makespan_ns(&self) -> f64 {
+        self.makespan_ns
+    }
+
+    /// Per-link statistics.
+    pub fn link_stats(&self) -> &LinkStats {
+        &self.link_stats
+    }
+
+    /// Achieved bandwidth for `payload_bytes` of collective data:
+    /// `bytes / makespan`, in bytes/ns (== GB/s).
+    pub fn bandwidth_gbps(&self, payload_bytes: u64) -> f64 {
+        if self.makespan_ns <= 0.0 {
+            return 0.0;
+        }
+        payload_bytes as f64 / self.makespan_ns
+    }
+
+    /// Latency distribution of the given messages' completions relative to
+    /// their `ready` times: `(mean, p50, p99, max)` in ns. `ready(i)` should
+    /// return message `i`'s injection-eligible time (0.0 for unconstrained
+    /// runs).
+    pub fn latency_stats(&self, ready: impl Fn(usize) -> f64) -> LatencySummary {
+        let mut lat: Vec<f64> = self
+            .completion_ns
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| c - ready(i))
+            .collect();
+        lat.sort_by(f64::total_cmp);
+        let n = lat.len();
+        if n == 0 {
+            return LatencySummary::default();
+        }
+        LatencySummary {
+            mean_ns: lat.iter().sum::<f64>() / n as f64,
+            p50_ns: lat[n / 2],
+            p99_ns: lat[(n * 99 / 100).min(n - 1)],
+            max_ns: lat[n - 1],
+        }
+    }
+}
+
+/// Message-latency distribution summary; see [`SimOutcome::latency_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencySummary {
+    /// Mean completion latency, ns.
+    pub mean_ns: f64,
+    /// Median completion latency, ns.
+    pub p50_ns: f64,
+    /// 99th-percentile completion latency, ns.
+    pub p99_ns: f64,
+    /// Worst-case completion latency, ns.
+    pub max_ns: f64,
+}

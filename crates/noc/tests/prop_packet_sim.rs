@@ -1,0 +1,68 @@
+//! Property tests on the packet simulator: physical sanity bounds that must
+//! hold for arbitrary message DAGs.
+
+use meshcoll_noc::{Message, MsgId, NetworkSim, NocConfig, PacketSim};
+use meshcoll_topo::{Mesh, NodeId};
+use proptest::prelude::*;
+
+/// Arbitrary DAG: deps only point backward, endpoints within a 4x4 mesh.
+fn messages_strategy() -> impl Strategy<Value = Vec<Message>> {
+    prop::collection::vec((0usize..16, 0usize..16, 1u64..200_000, 0.0f64..10_000.0), 1..24)
+        .prop_map(|raw| {
+            let mut msgs = Vec::new();
+            for (i, (s, d, bytes, ready)) in raw.into_iter().enumerate() {
+                let dst = if s == d { (d + 1) % 16 } else { d };
+                let mut m = Message::new(MsgId(i), NodeId(s), NodeId(dst), bytes)
+                    .with_ready_at(ready);
+                if i > 0 && i % 3 == 0 {
+                    m = m.with_deps([MsgId(i - 1)]);
+                }
+                msgs.push(m);
+            }
+            msgs
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn physical_bounds_hold(msgs in messages_strategy()) {
+        let mesh = Mesh::square(4).unwrap();
+        let cfg = NocConfig::paper_default();
+        let out = PacketSim::new(cfg.clone()).run(&mesh, &msgs).unwrap();
+
+        for m in &msgs {
+            let t = out.completion_ns(m.id);
+            // Completion respects readiness plus the zero-load latency.
+            let hops = mesh.distance(m.src, m.dst) as f64;
+            let min = m.ready_at_ns
+                + cfg.serialization_ns(m.bytes.min(cfg.packet_bytes))
+                + hops * cfg.per_flit_latency_ns;
+            prop_assert!(t >= min - 1e-6, "{}: {t} < {min}", m.id);
+            // Dependencies strictly precede dependents.
+            for d in &m.deps {
+                prop_assert!(out.completion_ns(*d) < t);
+            }
+        }
+
+        // No link can be busier than the makespan.
+        let stats = out.link_stats();
+        for (_, _, l) in mesh.links() {
+            prop_assert!(stats.busy_ns(l) <= out.makespan_ns() + 1e-6);
+        }
+        prop_assert!(stats.utilization_percent(out.makespan_ns()) <= 100.0 + 1e-9);
+    }
+
+    #[test]
+    fn makespan_is_monotone_in_message_size(bytes in 1u64..1_000_000) {
+        let mesh = Mesh::new(1, 2).unwrap();
+        let run = |b: u64| {
+            PacketSim::new(NocConfig::paper_default())
+                .run(&mesh, &[Message::new(MsgId(0), NodeId(0), NodeId(1), b)])
+                .unwrap()
+                .makespan_ns()
+        };
+        prop_assert!(run(bytes + 1) >= run(bytes));
+    }
+}

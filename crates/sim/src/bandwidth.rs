@@ -1,0 +1,106 @@
+//! AllReduce bandwidth measurement (Figures 8, 9, 14).
+
+use meshcoll_collectives::{Algorithm, ScheduleOptions};
+use meshcoll_topo::Mesh;
+
+use crate::{RunResult, SimEngine, SimError};
+
+/// One bandwidth measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandwidthPoint {
+    /// AllReduce payload per node, bytes.
+    pub data_bytes: u64,
+    /// Simulated AllReduce time, ns.
+    pub time_ns: f64,
+    /// Achieved bandwidth, GB/s.
+    pub bandwidth_gbps: f64,
+    /// Time-averaged link utilization, percent.
+    pub link_utilization_percent: f64,
+}
+
+/// Times one AllReduce of `data_bytes` per node.
+///
+/// # Errors
+///
+/// Propagates schedule-generation and simulation errors.
+pub fn measure(
+    engine: &SimEngine,
+    mesh: &Mesh,
+    algorithm: Algorithm,
+    data_bytes: u64,
+) -> Result<BandwidthPoint, SimError> {
+    measure_with(engine, mesh, algorithm, data_bytes, &ScheduleOptions::default())
+}
+
+/// Like [`measure`], with explicit schedule options (Fig 14 sweeps the TTO
+/// chunk size through this).
+///
+/// # Errors
+///
+/// Propagates schedule-generation and simulation errors.
+pub fn measure_with(
+    engine: &SimEngine,
+    mesh: &Mesh,
+    algorithm: Algorithm,
+    data_bytes: u64,
+    opts: &ScheduleOptions,
+) -> Result<BandwidthPoint, SimError> {
+    let schedule = algorithm.schedule_with(mesh, data_bytes, opts)?;
+    let run: RunResult = engine.run(mesh, &schedule)?;
+    Ok(BandwidthPoint {
+        data_bytes,
+        time_ns: run.total_time_ns,
+        bandwidth_gbps: run.bandwidth_gbps(data_bytes),
+        link_utilization_percent: run.link_utilization_percent,
+    })
+}
+
+/// The scalability workload of Fig 9: `375 KB x N` of AllReduce data for an
+/// `N`-chiplet mesh.
+pub fn scalability_data_bytes(mesh: &Mesh) -> u64 {
+    375 * 1024 * mesh.nodes() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tto_outruns_multitree_and_ring() {
+        let mesh = Mesh::square(4).unwrap();
+        let e = SimEngine::paper_default();
+        let d = 16 << 20;
+        let bw = |a| measure(&e, &mesh, a, d).unwrap().bandwidth_gbps;
+        let (tto, mt, ring) = (
+            bw(Algorithm::Tto),
+            bw(Algorithm::MultiTree),
+            bw(Algorithm::Ring),
+        );
+        assert!(tto > mt, "tto={tto} multitree={mt}");
+        assert!(mt > ring, "multitree={mt} ring={ring}");
+    }
+
+    #[test]
+    fn ring_bi_odd_matches_ring_bi_even_bandwidth() {
+        // Paper: RingBiOdd on odd meshes achieves bandwidth comparable to
+        // RingBiEven on the neighbouring even mesh.
+        let e = SimEngine::paper_default();
+        let d = 8 << 20;
+        let odd = measure(&e, &Mesh::square(5).unwrap(), Algorithm::RingBiOdd, d)
+            .unwrap()
+            .bandwidth_gbps;
+        let even = measure(&e, &Mesh::square(4).unwrap(), Algorithm::RingBiEven, d)
+            .unwrap()
+            .bandwidth_gbps;
+        let ratio = odd / even;
+        assert!((0.7..1.6).contains(&ratio), "odd={odd} even={even}");
+    }
+
+    #[test]
+    fn scalability_workload_scales_with_nodes() {
+        assert_eq!(
+            scalability_data_bytes(&Mesh::square(4).unwrap()),
+            375 * 1024 * 16
+        );
+    }
+}

@@ -1,0 +1,224 @@
+//! End-to-end one-epoch training-time model (Figures 10 and 13, §VIII-B).
+//!
+//! The paper's epoch model: the training set is cut into mini-batches of
+//! `16 x trainers` samples (16 per training chiplet); each iteration costs
+//! one mini-batch of forward+backward compute plus one AllReduce of the full
+//! gradient; the epoch is `iterations x iteration_time`. TTO trains on
+//! `N - 1` chiplets, so it runs a smaller mini-batch and therefore *more*
+//! iterations — the trade-off quantified by Equations 1–2.
+
+use meshcoll_collectives::Algorithm;
+use meshcoll_compute::{training, ChipletConfig};
+use meshcoll_models::{Model, TRAINING_SET_SIZE};
+use meshcoll_topo::Mesh;
+
+use crate::{SimEngine, SimError};
+
+/// Epoch-model parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochParams {
+    /// Training-set size (default: ImageNet's 1,281,167).
+    pub training_set: u64,
+    /// Samples per training chiplet per iteration (paper: 16).
+    pub samples_per_chiplet: u64,
+}
+
+impl Default for EpochParams {
+    fn default() -> Self {
+        EpochParams {
+            training_set: TRAINING_SET_SIZE,
+            samples_per_chiplet: 16,
+        }
+    }
+}
+
+/// The per-iteration and per-epoch breakdown for one (algorithm, model,
+/// mesh) combination — one bar of Fig 10.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochBreakdown {
+    /// Chiplets that train (N, or N-1 for TTO).
+    pub trainers: u64,
+    /// Mini-batch size (`16 x trainers`).
+    pub minibatch: u64,
+    /// Iterations per epoch.
+    pub iterations: u64,
+    /// Forward + backward time per iteration, ns.
+    pub compute_ns: f64,
+    /// AllReduce time per iteration, ns.
+    pub allreduce_ns: f64,
+}
+
+impl EpochBreakdown {
+    /// One iteration: compute followed by a full-gradient AllReduce.
+    pub fn iteration_ns(&self) -> f64 {
+        self.compute_ns + self.allreduce_ns
+    }
+
+    /// The full epoch.
+    pub fn epoch_ns(&self) -> f64 {
+        self.iterations as f64 * self.iteration_ns()
+    }
+
+    /// Fraction of the epoch spent in AllReduce.
+    pub fn allreduce_fraction(&self) -> f64 {
+        self.allreduce_ns / self.iteration_ns()
+    }
+}
+
+/// Number of chiplets `algorithm` trains on: `N - 1` for TTO (the excluded
+/// corner only relays), `N` otherwise.
+pub fn trainers(mesh: &Mesh, algorithm: Algorithm) -> u64 {
+    match algorithm {
+        Algorithm::Tto => mesh.nodes() as u64 - 1,
+        _ => mesh.nodes() as u64,
+    }
+}
+
+/// Computes the epoch breakdown.
+///
+/// # Errors
+///
+/// Propagates schedule-generation and simulation errors.
+pub fn epoch_time(
+    engine: &SimEngine,
+    mesh: &Mesh,
+    algorithm: Algorithm,
+    model: &Model,
+    chiplet: &ChipletConfig,
+    params: &EpochParams,
+) -> Result<EpochBreakdown, SimError> {
+    let trainers = trainers(mesh, algorithm);
+    let minibatch = params.samples_per_chiplet * trainers;
+    let iterations = params.training_set.div_ceil(minibatch);
+    let compute_ns =
+        training::minibatch_train_ns(model.layers(), chiplet, params.samples_per_chiplet);
+    let gradient = model.gradient_bytes(chiplet.precision_bytes);
+    let schedule = algorithm.schedule(mesh, gradient)?;
+    let allreduce_ns = engine.run(mesh, &schedule)?.total_time_ns;
+    Ok(EpochBreakdown {
+        trainers,
+        minibatch,
+        iterations,
+        compute_ns,
+        allreduce_ns,
+    })
+}
+
+/// The §VIII-B overhead analysis: iteration counts (Eq. 1) and the absolute
+/// per-epoch gain of TTO over a baseline (Eq. 2), all in the paper's units.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverheadAnalysis {
+    /// Iterations for the baseline using all `N` chiplets (`I_base`).
+    pub iterations_base: u64,
+    /// Iterations for TTO using `N - 1` chiplets (`I_tto`).
+    pub iterations_tto: u64,
+    /// Extra iterations TTO pays.
+    pub extra_iterations: u64,
+    /// Per-epoch time for the baseline, ns.
+    pub epoch_base_ns: f64,
+    /// Per-epoch time for TTO, ns.
+    pub epoch_tto_ns: f64,
+    /// Eq. 2's gain: `I_base*(T + C_b) - I_tto*(T + C_t)`, ns (positive
+    /// means TTO wins despite training on one fewer chiplet).
+    pub gain_ns: f64,
+}
+
+impl OverheadAnalysis {
+    /// Relative improvement of TTO over the baseline, in percent.
+    pub fn improvement_percent(&self) -> f64 {
+        100.0 * self.gain_ns / self.epoch_base_ns
+    }
+}
+
+/// Evaluates Equations 1–2 for TTO against `baseline`.
+///
+/// # Errors
+///
+/// Propagates schedule-generation and simulation errors.
+pub fn overhead_analysis(
+    engine: &SimEngine,
+    mesh: &Mesh,
+    baseline: Algorithm,
+    model: &Model,
+    chiplet: &ChipletConfig,
+    params: &EpochParams,
+) -> Result<OverheadAnalysis, SimError> {
+    let base = epoch_time(engine, mesh, baseline, model, chiplet, params)?;
+    let tto = epoch_time(engine, mesh, Algorithm::Tto, model, chiplet, params)?;
+    Ok(OverheadAnalysis {
+        iterations_base: base.iterations,
+        iterations_tto: tto.iterations,
+        extra_iterations: tto.iterations.saturating_sub(base.iterations),
+        epoch_base_ns: base.epoch_ns(),
+        epoch_tto_ns: tto.epoch_ns(),
+        gain_ns: base.epoch_ns() - tto.epoch_ns(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meshcoll_models::DnnModel;
+
+    #[test]
+    fn tto_trains_on_one_fewer_chiplet() {
+        let mesh = Mesh::square(4).unwrap();
+        assert_eq!(trainers(&mesh, Algorithm::Tto), 15);
+        assert_eq!(trainers(&mesh, Algorithm::Ring), 16);
+    }
+
+    #[test]
+    fn iteration_counts_match_eq1() {
+        // Paper §VIII-B: 8x8 mesh, ImageNet: 1252 baseline iterations,
+        // 1271 for TTO.
+        let mesh = Mesh::square(8).unwrap();
+        let p = EpochParams::default();
+        let base = p.training_set.div_ceil(p.samples_per_chiplet * trainers(&mesh, Algorithm::RingBiEven));
+        let tto = p.training_set.div_ceil(p.samples_per_chiplet * trainers(&mesh, Algorithm::Tto));
+        assert_eq!(base, 1252);
+        assert_eq!(tto, 1271);
+    }
+
+    #[test]
+    fn epoch_breakdown_is_consistent() {
+        let mesh = Mesh::square(3).unwrap();
+        let e = SimEngine::paper_default();
+        let model = DnnModel::GoogLeNet.model();
+        let b = epoch_time(
+            &e,
+            &mesh,
+            Algorithm::Ring,
+            &model,
+            &ChipletConfig::paper_default(),
+            &EpochParams {
+                training_set: 10_000,
+                samples_per_chiplet: 16,
+            },
+        )
+        .unwrap();
+        assert_eq!(b.minibatch, 16 * 9);
+        assert_eq!(b.iterations, 10_000u64.div_ceil(144));
+        assert!(b.compute_ns > 0.0 && b.allreduce_ns > 0.0);
+        assert!((b.epoch_ns() - b.iterations as f64 * b.iteration_ns()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tto_gain_is_positive_for_communication_bound_model() {
+        // NCF is communication-dominated; TTO's AllReduce win should beat
+        // its iteration overhead even on a small mesh.
+        let mesh = Mesh::square(4).unwrap();
+        let e = SimEngine::paper_default();
+        let model = DnnModel::Ncf.model();
+        let a = overhead_analysis(
+            &e,
+            &mesh,
+            Algorithm::RingBiEven,
+            &model,
+            &ChipletConfig::paper_default(),
+            &EpochParams::default(),
+        )
+        .unwrap();
+        assert!(a.iterations_tto > a.iterations_base);
+        assert!(a.gain_ns > 0.0, "gain {}", a.gain_ns);
+    }
+}

@@ -1,0 +1,55 @@
+use std::error::Error;
+use std::fmt;
+
+use meshcoll_collectives::CollectiveError;
+use meshcoll_noc::NocError;
+
+/// Errors produced while running experiments.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SimError {
+    /// Schedule generation failed.
+    Collective(CollectiveError),
+    /// Network simulation failed.
+    Network(NocError),
+    /// Result serialization failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Collective(e) => write!(f, "collective error: {e}"),
+            SimError::Network(e) => write!(f, "network error: {e}"),
+            SimError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Collective(e) => Some(e),
+            SimError::Network(e) => Some(e),
+            SimError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<CollectiveError> for SimError {
+    fn from(e: CollectiveError) -> Self {
+        SimError::Collective(e)
+    }
+}
+
+impl From<NocError> for SimError {
+    fn from(e: NocError) -> Self {
+        SimError::Network(e)
+    }
+}
+
+impl From<std::io::Error> for SimError {
+    fn from(e: std::io::Error) -> Self {
+        SimError::Io(e)
+    }
+}

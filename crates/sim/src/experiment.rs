@@ -1,0 +1,94 @@
+//! JSON result records, mirroring the paper artifact's output format
+//! (the original artifact stores simulation results as JSON files).
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::SimError;
+
+/// One measurement row of a table or figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Record {
+    /// Experiment id (e.g. `"fig8"`, `"table1"`).
+    pub experiment: String,
+    /// Mesh description (e.g. `"8x8"`).
+    pub mesh: String,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Optional workload name (DNN model, data size, ...).
+    pub workload: String,
+    /// Named metric values.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+impl Record {
+    /// Creates a record.
+    pub fn new(experiment: &str, mesh: &str, algorithm: &str, workload: &str) -> Self {
+        Record {
+            experiment: experiment.to_owned(),
+            mesh: mesh.to_owned(),
+            algorithm: algorithm.to_owned(),
+            workload: workload.to_owned(),
+            metrics: BTreeMap::new(),
+        }
+    }
+
+    /// Adds a metric (builder style).
+    #[must_use]
+    pub fn with(mut self, key: &str, value: f64) -> Self {
+        self.metrics.insert(key.to_owned(), value);
+        self
+    }
+}
+
+/// Writes records as pretty-printed JSON.
+///
+/// # Errors
+///
+/// Returns [`SimError::Io`] on filesystem errors.
+pub fn write_json<P: AsRef<Path>>(path: P, records: &[Record]) -> Result<(), SimError> {
+    if let Some(parent) = path.as_ref().parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut w = BufWriter::new(File::create(path)?);
+    let json = serde_json::to_string_pretty(records).map_err(std::io::Error::other)?;
+    w.write_all(json.as_bytes())?;
+    w.write_all(b"\n")?;
+    Ok(())
+}
+
+/// Reads records back (round-trip helper for analysis scripts and tests).
+///
+/// # Errors
+///
+/// Returns [`SimError::Io`] on filesystem or parse errors.
+pub fn read_json<P: AsRef<Path>>(path: P) -> Result<Vec<Record>, SimError> {
+    let data = std::fs::read_to_string(path)?;
+    serde_json::from_str(&data).map_err(|e| SimError::Io(std::io::Error::other(e)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_round_trip_through_json() {
+        let recs = vec![
+            Record::new("fig8", "8x8", "TTO", "64MB")
+                .with("bandwidth_gbps", 42.5)
+                .with("time_ns", 1.5e6),
+            Record::new("table1", "9x9", "Ring", "").with("used_link_percent", 28.0),
+        ];
+        let path = std::env::temp_dir().join("meshcoll_records_test.json");
+        write_json(&path, &recs).unwrap();
+        let back = read_json(&path).unwrap();
+        assert_eq!(back, recs);
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! Experiment engines for the `meshcoll` stack: everything the paper's
+//! Python glue layer did between SCALE-Sim and BookSim.
+//!
+//! * [`SimEngine`] — times a collective [`Schedule`] on the packet-level
+//!   network simulator, reporting makespan, achieved bandwidth, and link
+//!   utilization (Figures 8, 9, 12, 14),
+//! * [`epoch`] — the end-to-end one-epoch training-time model, including
+//!   TTO's `N-1`-chiplet iteration-count adjustment and the §VIII-B overhead
+//!   equations (Figures 10, 13),
+//! * [`overlap`] — layer-wise AllReduce overlapped with back-propagation
+//!   (Figure 11),
+//! * [`theory`] — closed-form α–β cost models cross-checked against the
+//!   simulator (the paper's step-count claims, §IV-B and §V-C),
+//! * [`experiment`] — JSON result records, mirroring the paper artifact's
+//!   output format.
+//!
+//! [`Schedule`]: meshcoll_collectives::Schedule
+//!
+//! # Example
+//!
+//! ```
+//! use meshcoll_collectives::Algorithm;
+//! use meshcoll_noc::NocConfig;
+//! use meshcoll_sim::SimEngine;
+//! use meshcoll_topo::Mesh;
+//!
+//! let mesh = Mesh::square(4)?;
+//! let engine = SimEngine::new(NocConfig::paper_default());
+//! let s = Algorithm::RingBiEven.schedule(&mesh, 1 << 20)?;
+//! let run = engine.run(&mesh, &s)?;
+//! assert!(run.bandwidth_gbps(1 << 20) > 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod engine;
+mod error;
+
+pub mod bandwidth;
+pub mod epoch;
+pub mod experiment;
+pub mod overlap;
+pub mod theory;
+
+pub use engine::{RunResult, SimEngine};
+pub use error::SimError;

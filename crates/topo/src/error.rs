@@ -1,0 +1,77 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or querying mesh topologies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TopologyError {
+    /// A mesh dimension was zero.
+    EmptyMesh,
+    /// The requested construction needs a larger mesh.
+    ///
+    /// Carries the minimum supported `(rows, cols)` and the actual ones.
+    MeshTooSmall {
+        /// Minimum supported dimensions for the operation.
+        min: (usize, usize),
+        /// The dimensions that were provided.
+        got: (usize, usize),
+    },
+    /// A Hamiltonian cycle over all nodes requires an even-sized mesh
+    /// (at least one even dimension); see paper §III-B.
+    NoHamiltonianCycle {
+        /// The odd dimensions that rule out a full cycle.
+        rows: usize,
+        /// Columns of the offending mesh.
+        cols: usize,
+    },
+    /// The corner-excluded cycle construction requires both dimensions odd.
+    NotOddMesh {
+        /// Rows of the offending mesh.
+        rows: usize,
+        /// Columns of the offending mesh.
+        cols: usize,
+    },
+    /// A node id was out of range for the mesh.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// Number of nodes in the mesh.
+        nodes: usize,
+    },
+    /// Two nodes are not physical neighbors but a single link was requested.
+    NotAdjacent {
+        /// Source node index.
+        src: usize,
+        /// Destination node index.
+        dst: usize,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::EmptyMesh => write!(f, "mesh dimensions must be non-zero"),
+            TopologyError::MeshTooSmall { min, got } => write!(
+                f,
+                "mesh {}x{} is too small; need at least {}x{}",
+                got.0, got.1, min.0, min.1
+            ),
+            TopologyError::NoHamiltonianCycle { rows, cols } => write!(
+                f,
+                "no hamiltonian cycle exists in an odd-sized {rows}x{cols} mesh"
+            ),
+            TopologyError::NotOddMesh { rows, cols } => write!(
+                f,
+                "corner-excluded cycle requires an odd-sized mesh, got {rows}x{cols}"
+            ),
+            TopologyError::NodeOutOfRange { node, nodes } => {
+                write!(f, "node {node} out of range for mesh with {nodes} nodes")
+            }
+            TopologyError::NotAdjacent { src, dst } => {
+                write!(f, "nodes {src} and {dst} are not mesh neighbors")
+            }
+        }
+    }
+}
+
+impl Error for TopologyError {}

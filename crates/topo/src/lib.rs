@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! Mesh topology substrate for the `meshcoll` simulation stack.
+//!
+//! This crate models the on-package interconnect topology of a multi-chip-module
+//! (MCM) accelerator: a 2D mesh of chiplets connected by bidirectional
+//! neighbor links (each modelled as a pair of directed links). It provides:
+//!
+//! * [`Mesh`] — the topology itself, with row-major [`NodeId`] numbering and
+//!   dense [`LinkId`] numbering of directed links,
+//! * [`routing`] — XY dimension-order routes between arbitrary node pairs,
+//! * [`hamiltonian`] — Hamiltonian-cycle constructions used by the ring-based
+//!   AllReduce algorithms, including the odd-mesh cycle that excludes one
+//!   corner (paper §IV-A),
+//! * [`tree`] — a rooted-tree container used by the tree-based AllReduce
+//!   algorithms (DBTree, MultiTree, TTO).
+//!
+//! # Example
+//!
+//! ```
+//! use meshcoll_topo::{Mesh, Coord};
+//!
+//! let mesh = Mesh::new(3, 4)?;
+//! assert_eq!(mesh.nodes(), 12);
+//! assert_eq!(mesh.directed_links(), 2 * (3 * 3 + 2 * 4));
+//! let n = mesh.node_at(Coord::new(1, 2));
+//! assert_eq!(mesh.coord(n), Coord::new(1, 2));
+//! # Ok::<(), meshcoll_topo::TopologyError>(())
+//! ```
+
+mod error;
+mod mesh;
+pub mod hamiltonian;
+pub mod routing;
+pub mod tree;
+
+pub use error::TopologyError;
+pub use mesh::{Coord, Direction, LinkId, Mesh, NodeId};
+pub use routing::RoutingAlgorithm;
+pub use tree::Tree;

@@ -1,0 +1,518 @@
+use std::fmt;
+
+use crate::TopologyError;
+
+/// Identifier of a chiplet (node) in a mesh, numbered row-major from 0.
+///
+/// The paper numbers nodes 1..`n·m`; we use the same row-major order but
+/// 0-based, so paper node `k` is `NodeId(k - 1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// Returns the raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(v: usize) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Identifier of a *directed* link, densely numbered `src_node * 4 + direction`.
+///
+/// Every node reserves four slots (one per [`Direction`]); slots on the mesh
+/// boundary are simply never used. This keeps link lookup O(1) without a map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub usize);
+
+impl LinkId {
+    /// Returns the raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+/// A (row, col) position in the mesh. Row 0 is the top row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Coord {
+    /// Row index, 0-based from the top.
+    pub row: usize,
+    /// Column index, 0-based from the left.
+    pub col: usize,
+}
+
+impl Coord {
+    /// Creates a coordinate.
+    pub fn new(row: usize, col: usize) -> Self {
+        Coord { row, col }
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.row, self.col)
+    }
+}
+
+/// One of the four mesh directions an outgoing link can take.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Toward larger columns.
+    East,
+    /// Toward smaller columns.
+    West,
+    /// Toward smaller rows.
+    North,
+    /// Toward larger rows.
+    South,
+}
+
+impl Direction {
+    /// All four directions, in link-slot order.
+    pub const ALL: [Direction; 4] = [
+        Direction::East,
+        Direction::West,
+        Direction::North,
+        Direction::South,
+    ];
+
+    /// Index of this direction in a node's 4-wide link/port slot space.
+    #[inline]
+    pub fn slot(self) -> usize {
+        match self {
+            Direction::East => 0,
+            Direction::West => 1,
+            Direction::North => 2,
+            Direction::South => 3,
+        }
+    }
+
+    /// The opposite direction.
+    pub fn opposite(self) -> Direction {
+        match self {
+            Direction::East => Direction::West,
+            Direction::West => Direction::East,
+            Direction::North => Direction::South,
+            Direction::South => Direction::North,
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Direction::East => "E",
+            Direction::West => "W",
+            Direction::North => "N",
+            Direction::South => "S",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A 2D mesh of `rows x cols` chiplets with bidirectional neighbor links.
+///
+/// Links are directed: the physical bidirectional interconnect between two
+/// neighbor chiplets is a pair of [`LinkId`]s, one per direction, matching the
+/// paper's link accounting (an `n x n` mesh has `4n^2 - 4n` directed links).
+///
+/// # Example
+///
+/// ```
+/// use meshcoll_topo::Mesh;
+/// let mesh = Mesh::new(8, 8)?;
+/// assert_eq!(mesh.directed_links(), 224);
+/// # Ok::<(), meshcoll_topo::TopologyError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Mesh {
+    rows: usize,
+    cols: usize,
+    wraparound: bool,
+}
+
+impl Mesh {
+    /// Creates a `rows x cols` mesh.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::EmptyMesh`] if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Result<Self, TopologyError> {
+        if rows == 0 || cols == 0 {
+            return Err(TopologyError::EmptyMesh);
+        }
+        Ok(Mesh { rows, cols, wraparound: false })
+    }
+
+    /// Creates a square `n x n` mesh.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::EmptyMesh`] if `n` is zero.
+    pub fn square(n: usize) -> Result<Self, TopologyError> {
+        Mesh::new(n, n)
+    }
+
+    /// Creates a `rows x cols` torus: a mesh with wrap-around links in both
+    /// dimensions. The paper's motivation (§III) is exactly that MCM
+    /// packages lack these links; the torus lets experiments quantify what
+    /// the wrap-arounds would have bought.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::MeshTooSmall`] unless both dimensions are at
+    /// least 3 (a 2-wide wrap would duplicate the existing neighbor link).
+    pub fn torus(rows: usize, cols: usize) -> Result<Self, TopologyError> {
+        if rows < 3 || cols < 3 {
+            return Err(TopologyError::MeshTooSmall {
+                min: (3, 3),
+                got: (rows, cols),
+            });
+        }
+        Ok(Mesh { rows, cols, wraparound: true })
+    }
+
+    /// `true` when this topology has wrap-around links (torus).
+    #[inline]
+    pub fn is_torus(&self) -> bool {
+        self.wraparound
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of chiplets.
+    #[inline]
+    pub fn nodes(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// `true` when both dimensions are odd (the paper's "odd-sized" mesh,
+    /// which has no Hamiltonian cycle).
+    pub fn is_odd_sized(&self) -> bool {
+        self.rows % 2 == 1 && self.cols % 2 == 1
+    }
+
+    /// Number of *directed* links: `2*(rows*(cols-1) + cols*(rows-1))` for a
+    /// mesh, `4*rows*cols` for a torus (every node drives all four
+    /// directions).
+    pub fn directed_links(&self) -> usize {
+        if self.wraparound {
+            4 * self.rows * self.cols
+        } else {
+            2 * (self.rows * (self.cols - 1) + self.cols * (self.rows - 1))
+        }
+    }
+
+    /// Size of the dense link-id space (`nodes * 4`); some ids in this space
+    /// correspond to boundary slots that carry no physical link.
+    pub fn link_id_space(&self) -> usize {
+        self.nodes() * 4
+    }
+
+    /// The node at a coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is outside the mesh.
+    #[inline]
+    pub fn node_at(&self, c: Coord) -> NodeId {
+        assert!(c.row < self.rows && c.col < self.cols, "coord {c} outside mesh");
+        NodeId(c.row * self.cols + c.col)
+    }
+
+    /// The coordinate of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is out of range.
+    #[inline]
+    pub fn coord(&self, n: NodeId) -> Coord {
+        assert!(n.0 < self.nodes(), "node {n} outside mesh");
+        Coord::new(n.0 / self.cols, n.0 % self.cols)
+    }
+
+    /// Checks that a node is in range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::NodeOutOfRange`] when it is not.
+    pub fn check_node(&self, n: NodeId) -> Result<(), TopologyError> {
+        if n.0 < self.nodes() {
+            Ok(())
+        } else {
+            Err(TopologyError::NodeOutOfRange {
+                node: n.0,
+                nodes: self.nodes(),
+            })
+        }
+    }
+
+    /// The neighbor of `n` in direction `d`, if it exists (on a torus every
+    /// direction wraps, so it always exists).
+    pub fn neighbor(&self, n: NodeId, d: Direction) -> Option<NodeId> {
+        let c = self.coord(n);
+        let nc = match d {
+            Direction::East if c.col + 1 < self.cols => Coord::new(c.row, c.col + 1),
+            Direction::West if c.col > 0 => Coord::new(c.row, c.col - 1),
+            Direction::North if c.row > 0 => Coord::new(c.row - 1, c.col),
+            Direction::South if c.row + 1 < self.rows => Coord::new(c.row + 1, c.col),
+            Direction::East if self.wraparound => Coord::new(c.row, 0),
+            Direction::West if self.wraparound => Coord::new(c.row, self.cols - 1),
+            Direction::North if self.wraparound => Coord::new(self.rows - 1, c.col),
+            Direction::South if self.wraparound => Coord::new(0, c.col),
+            _ => return None,
+        };
+        Some(self.node_at(nc))
+    }
+
+    /// All physical neighbors of a node (2 on corners, 3 on edges, 4 inside).
+    pub fn neighbors(&self, n: NodeId) -> Vec<NodeId> {
+        Direction::ALL
+            .iter()
+            .filter_map(|&d| self.neighbor(n, d))
+            .collect()
+    }
+
+    /// Whether `a` and `b` are distinct physical neighbors.
+    pub fn are_adjacent(&self, a: NodeId, b: NodeId) -> bool {
+        let (ca, cb) = (self.coord(a), self.coord(b));
+        let dr = self.row_dist(ca.row, cb.row);
+        let dc = self.col_dist(ca.col, cb.col);
+        dr + dc == 1
+    }
+
+    #[inline]
+    fn row_dist(&self, a: usize, b: usize) -> usize {
+        let d = a.abs_diff(b);
+        if self.wraparound {
+            d.min(self.rows - d)
+        } else {
+            d
+        }
+    }
+
+    #[inline]
+    fn col_dist(&self, a: usize, b: usize) -> usize {
+        let d = a.abs_diff(b);
+        if self.wraparound {
+            d.min(self.cols - d)
+        } else {
+            d
+        }
+    }
+
+    /// The direction from `src` toward adjacent node `dst`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::NotAdjacent`] if the nodes are not neighbors.
+    pub fn direction_between(&self, src: NodeId, dst: NodeId) -> Result<Direction, TopologyError> {
+        let (cs, cd) = (self.coord(src), self.coord(dst));
+        if cs.row == cd.row && cd.col == cs.col + 1 {
+            Ok(Direction::East)
+        } else if cs.row == cd.row && cs.col == cd.col + 1 {
+            Ok(Direction::West)
+        } else if cs.col == cd.col && cd.row + 1 == cs.row {
+            Ok(Direction::North)
+        } else if cs.col == cd.col && cs.row + 1 == cd.row {
+            Ok(Direction::South)
+        } else if self.wraparound && cs.row == cd.row && cs.col + 1 == self.cols && cd.col == 0 {
+            Ok(Direction::East)
+        } else if self.wraparound && cs.row == cd.row && cs.col == 0 && cd.col + 1 == self.cols {
+            Ok(Direction::West)
+        } else if self.wraparound && cs.col == cd.col && cs.row == 0 && cd.row + 1 == self.rows {
+            Ok(Direction::North)
+        } else if self.wraparound && cs.col == cd.col && cs.row + 1 == self.rows && cd.row == 0 {
+            Ok(Direction::South)
+        } else {
+            Err(TopologyError::NotAdjacent { src: src.0, dst: dst.0 })
+        }
+    }
+
+    /// The directed link from `src` to adjacent node `dst`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::NotAdjacent`] if the nodes are not neighbors.
+    pub fn link_between(&self, src: NodeId, dst: NodeId) -> Result<LinkId, TopologyError> {
+        let d = self.direction_between(src, dst)?;
+        Ok(LinkId(src.0 * 4 + d.slot()))
+    }
+
+    /// The `(src, dst)` endpoints of a directed link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link id does not correspond to a physical link.
+    pub fn link_endpoints(&self, l: LinkId) -> (NodeId, NodeId) {
+        let src = NodeId(l.0 / 4);
+        let d = Direction::ALL[l.0 % 4];
+        let dst = self
+            .neighbor(src, d)
+            .unwrap_or_else(|| panic!("link {l} points off the mesh boundary"));
+        (src, dst)
+    }
+
+    /// Iterates over all node ids in row-major order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes()).map(NodeId)
+    }
+
+    /// Iterates over all physical directed links as `(src, dst, link)`.
+    pub fn links(&self) -> impl Iterator<Item = (NodeId, NodeId, LinkId)> + '_ {
+        self.node_ids().flat_map(move |src| {
+            Direction::ALL.iter().filter_map(move |&d| {
+                self.neighbor(src, d).map(|dst| {
+                    (src, dst, LinkId(src.0 * 4 + d.slot()))
+                })
+            })
+        })
+    }
+
+    /// The four corner nodes `(top-left, top-right, bottom-left, bottom-right)`.
+    pub fn corners(&self) -> [NodeId; 4] {
+        [
+            self.node_at(Coord::new(0, 0)),
+            self.node_at(Coord::new(0, self.cols - 1)),
+            self.node_at(Coord::new(self.rows - 1, 0)),
+            self.node_at(Coord::new(self.rows - 1, self.cols - 1)),
+        ]
+    }
+
+    /// Hop distance between two nodes (Manhattan on a mesh; wrap-aware on a
+    /// torus).
+    pub fn distance(&self, a: NodeId, b: NodeId) -> usize {
+        let (ca, cb) = (self.coord(a), self.coord(b));
+        self.row_dist(ca.row, cb.row) + self.col_dist(ca.col, cb.col)
+    }
+}
+
+impl fmt::Display for Mesh {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{} {}",
+            self.rows,
+            self.cols,
+            if self.wraparound { "torus" } else { "mesh" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_mesh() {
+        assert_eq!(Mesh::new(0, 3), Err(TopologyError::EmptyMesh));
+        assert_eq!(Mesh::new(3, 0), Err(TopologyError::EmptyMesh));
+    }
+
+    #[test]
+    fn node_coord_roundtrip() {
+        let m = Mesh::new(3, 5).unwrap();
+        for n in m.node_ids() {
+            assert_eq!(m.node_at(m.coord(n)), n);
+        }
+    }
+
+    #[test]
+    fn paper_link_counts() {
+        // Paper §V-B: an n x n mesh has 4n^2 - 4n directed links.
+        for n in 2..12 {
+            let m = Mesh::square(n).unwrap();
+            assert_eq!(m.directed_links(), 4 * n * n - 4 * n);
+        }
+    }
+
+    #[test]
+    fn links_iterator_matches_count() {
+        for (r, c) in [(1, 1), (1, 5), (3, 3), (4, 7), (9, 9)] {
+            let m = Mesh::new(r, c).unwrap();
+            let links: Vec<_> = m.links().collect();
+            assert_eq!(links.len(), m.directed_links());
+            // All links distinct and endpoints adjacent.
+            let mut ids: Vec<_> = links.iter().map(|(_, _, l)| l.0).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), links.len());
+            for (s, d, l) in links {
+                assert!(m.are_adjacent(s, d));
+                assert_eq!(m.link_between(s, d).unwrap(), l);
+                assert_eq!(m.link_endpoints(l), (s, d));
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_counts() {
+        let m = Mesh::square(3).unwrap();
+        assert_eq!(m.neighbors(NodeId(0)).len(), 2); // corner
+        assert_eq!(m.neighbors(NodeId(1)).len(), 3); // edge
+        assert_eq!(m.neighbors(NodeId(4)).len(), 4); // center
+    }
+
+    #[test]
+    fn direction_between_works() {
+        let m = Mesh::square(3).unwrap();
+        assert_eq!(m.direction_between(NodeId(0), NodeId(1)), Ok(Direction::East));
+        assert_eq!(m.direction_between(NodeId(1), NodeId(0)), Ok(Direction::West));
+        assert_eq!(m.direction_between(NodeId(0), NodeId(3)), Ok(Direction::South));
+        assert_eq!(m.direction_between(NodeId(3), NodeId(0)), Ok(Direction::North));
+        assert!(m.direction_between(NodeId(0), NodeId(4)).is_err());
+        assert!(m.direction_between(NodeId(0), NodeId(0)).is_err());
+    }
+
+    #[test]
+    fn odd_sized_detection() {
+        assert!(Mesh::new(3, 5).unwrap().is_odd_sized());
+        assert!(!Mesh::new(3, 4).unwrap().is_odd_sized());
+        assert!(!Mesh::new(4, 4).unwrap().is_odd_sized());
+    }
+
+    #[test]
+    fn corners_are_corners() {
+        let m = Mesh::new(3, 5).unwrap();
+        let [tl, tr, bl, br] = m.corners();
+        assert_eq!(tl, NodeId(0));
+        assert_eq!(tr, NodeId(4));
+        assert_eq!(bl, NodeId(10));
+        assert_eq!(br, NodeId(14));
+    }
+
+    #[test]
+    fn distance_is_manhattan() {
+        let m = Mesh::new(4, 4).unwrap();
+        assert_eq!(m.distance(NodeId(0), NodeId(15)), 6);
+        assert_eq!(m.distance(NodeId(5), NodeId(5)), 0);
+    }
+}

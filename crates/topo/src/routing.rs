@@ -1,0 +1,241 @@
+//! XY dimension-order routing.
+//!
+//! The paper's network (BookSim-configured mesh) uses deterministic
+//! dimension-order routing; messages first travel along the X dimension
+//! (columns), then along Y (rows). Multi-hop traffic produced by the
+//! topology-oblivious algorithms (DBTree, the ring "wrap-around" emulation)
+//! contends on these routes, which is a large part of why those algorithms
+//! underperform on a mesh.
+
+use crate::{LinkId, Mesh, NodeId, TopologyError};
+
+/// Deterministic dimension-order routing variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RoutingAlgorithm {
+    /// Columns first, then rows (the paper's configuration).
+    #[default]
+    Xy,
+    /// Rows first, then columns — used by the routing-sensitivity ablation.
+    Yx,
+}
+
+/// Returns the route from `src` to `dst` under the chosen dimension order.
+///
+/// # Errors
+///
+/// Returns [`TopologyError::NodeOutOfRange`] if either node is out of range.
+pub fn route(
+    mesh: &Mesh,
+    src: NodeId,
+    dst: NodeId,
+    algorithm: RoutingAlgorithm,
+) -> Result<Vec<LinkId>, TopologyError> {
+    match algorithm {
+        RoutingAlgorithm::Xy => xy_route(mesh, src, dst),
+        RoutingAlgorithm::Yx => yx_route(mesh, src, dst),
+    }
+}
+
+/// Returns the YX route (rows first) from `src` to `dst` as directed links.
+///
+/// # Errors
+///
+/// Returns [`TopologyError::NodeOutOfRange`] if either node is out of range.
+pub fn yx_route(mesh: &Mesh, src: NodeId, dst: NodeId) -> Result<Vec<LinkId>, TopologyError> {
+    mesh.check_node(src)?;
+    mesh.check_node(dst)?;
+    let s = mesh.coord(src);
+    let d = mesh.coord(dst);
+    let mut links = Vec::with_capacity(mesh.distance(src, dst));
+    let mut at = src;
+    for row in dim_steps(s.row, d.row, mesh.rows(), mesh.is_torus()) {
+        let next = mesh.node_at(crate::Coord::new(row, s.col));
+        links.push(mesh.link_between(at, next)?);
+        at = next;
+    }
+    for col in dim_steps(s.col, d.col, mesh.cols(), mesh.is_torus()) {
+        let next = mesh.node_at(crate::Coord::new(d.row, col));
+        links.push(mesh.link_between(at, next)?);
+        at = next;
+    }
+    Ok(links)
+}
+
+/// Returns the XY route from `src` to `dst` as the ordered list of directed
+/// links traversed. An empty route means `src == dst`.
+///
+/// # Errors
+///
+/// Returns [`TopologyError::NodeOutOfRange`] if either node is out of range.
+///
+/// # Example
+///
+/// ```
+/// use meshcoll_topo::{routing, Mesh, NodeId};
+/// let mesh = Mesh::square(3)?;
+/// // 0 -> 8 goes east twice (x first), then south twice.
+/// let route = routing::xy_route(&mesh, NodeId(0), NodeId(8))?;
+/// assert_eq!(route.len(), 4);
+/// # Ok::<(), meshcoll_topo::TopologyError>(())
+/// ```
+pub fn xy_route(mesh: &Mesh, src: NodeId, dst: NodeId) -> Result<Vec<LinkId>, TopologyError> {
+    mesh.check_node(src)?;
+    mesh.check_node(dst)?;
+    let hops = xy_route_nodes(mesh, src, dst)?;
+    let mut links = Vec::with_capacity(hops.len().saturating_sub(1));
+    for w in hops.windows(2) {
+        links.push(mesh.link_between(w[0], w[1])?);
+    }
+    Ok(links)
+}
+
+/// Returns the XY route as the ordered node sequence `src ..= dst`
+/// (inclusive on both ends; a single-element route means `src == dst`).
+///
+/// # Errors
+///
+/// Returns [`TopologyError::NodeOutOfRange`] if either node is out of range.
+pub fn xy_route_nodes(
+    mesh: &Mesh,
+    src: NodeId,
+    dst: NodeId,
+) -> Result<Vec<NodeId>, TopologyError> {
+    mesh.check_node(src)?;
+    mesh.check_node(dst)?;
+    let s = mesh.coord(src);
+    let d = mesh.coord(dst);
+    let mut nodes = Vec::with_capacity(mesh.distance(src, dst) + 1);
+    nodes.push(src);
+    for col in dim_steps(s.col, d.col, mesh.cols(), mesh.is_torus()) {
+        nodes.push(mesh.node_at(crate::Coord::new(s.row, col)));
+    }
+    for row in dim_steps(s.row, d.row, mesh.rows(), mesh.is_torus()) {
+        nodes.push(mesh.node_at(crate::Coord::new(row, d.col)));
+    }
+    Ok(nodes)
+}
+
+/// The coordinates visited moving from `from` to `to` along one dimension of
+/// extent `n` (exclusive of `from`), taking the shorter way around when the
+/// dimension wraps.
+fn dim_steps(from: usize, to: usize, n: usize, wrap: bool) -> Vec<usize> {
+    if from == to {
+        return Vec::new();
+    }
+    let forward = (to + n - from) % n;
+    let go_forward = if !wrap {
+        to > from
+    } else {
+        // Shorter way around; ties go forward.
+        forward <= n - forward
+    };
+    let hops = if !wrap {
+        to.abs_diff(from)
+    } else if go_forward {
+        forward
+    } else {
+        n - forward
+    };
+    let mut at = from;
+    (0..hops)
+        .map(|_| {
+            at = if go_forward {
+                (at + 1) % n
+            } else {
+                (at + n - 1) % n
+            };
+            at
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Coord;
+
+    #[test]
+    fn route_length_is_manhattan_distance() {
+        let m = Mesh::new(5, 7).unwrap();
+        for a in m.node_ids() {
+            for b in m.node_ids() {
+                let r = xy_route(&m, a, b).unwrap();
+                assert_eq!(r.len(), m.distance(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn route_goes_x_first() {
+        let m = Mesh::square(4).unwrap();
+        let src = m.node_at(Coord::new(0, 0));
+        let dst = m.node_at(Coord::new(2, 3));
+        let nodes = xy_route_nodes(&m, src, dst).unwrap();
+        let coords: Vec<_> = nodes.iter().map(|&n| m.coord(n)).collect();
+        // First moves change only the column.
+        assert_eq!(coords[1], Coord::new(0, 1));
+        assert_eq!(coords[2], Coord::new(0, 2));
+        assert_eq!(coords[3], Coord::new(0, 3));
+        assert_eq!(coords[4], Coord::new(1, 3));
+        assert_eq!(coords[5], Coord::new(2, 3));
+    }
+
+    #[test]
+    fn self_route_is_empty() {
+        let m = Mesh::square(3).unwrap();
+        assert!(xy_route(&m, NodeId(4), NodeId(4)).unwrap().is_empty());
+        assert_eq!(xy_route_nodes(&m, NodeId(4), NodeId(4)).unwrap(), vec![NodeId(4)]);
+    }
+
+    #[test]
+    fn route_links_are_contiguous() {
+        let m = Mesh::new(6, 3).unwrap();
+        let r = xy_route(&m, NodeId(0), NodeId(17)).unwrap();
+        let mut at = NodeId(0);
+        for l in r {
+            let (s, d) = m.link_endpoints(l);
+            assert_eq!(s, at);
+            at = d;
+        }
+        assert_eq!(at, NodeId(17));
+    }
+
+    #[test]
+    fn yx_route_goes_rows_first() {
+        let m = Mesh::square(4).unwrap();
+        let src = m.node_at(Coord::new(0, 0));
+        let dst = m.node_at(Coord::new(2, 3));
+        let xy = xy_route(&m, src, dst).unwrap();
+        let yx = yx_route(&m, src, dst).unwrap();
+        assert_eq!(xy.len(), yx.len());
+        assert_ne!(xy, yx);
+        // First YX hop moves south.
+        let (_, first_dst) = m.link_endpoints(yx[0]);
+        assert_eq!(m.coord(first_dst), Coord::new(1, 0));
+    }
+
+    #[test]
+    fn routing_dispatch_matches_variants() {
+        let m = Mesh::square(3).unwrap();
+        let (a, b) = (NodeId(0), NodeId(8));
+        assert_eq!(
+            route(&m, a, b, RoutingAlgorithm::Xy).unwrap(),
+            xy_route(&m, a, b).unwrap()
+        );
+        assert_eq!(
+            route(&m, a, b, RoutingAlgorithm::Yx).unwrap(),
+            yx_route(&m, a, b).unwrap()
+        );
+        // Same-row/column routes coincide under both orders.
+        assert_eq!(
+            route(&m, NodeId(0), NodeId(2), RoutingAlgorithm::Yx).unwrap(),
+            xy_route(&m, NodeId(0), NodeId(2)).unwrap()
+        );
+    }
+
+    #[test]
+    fn out_of_range_is_error() {
+        let m = Mesh::square(2).unwrap();
+        assert!(xy_route(&m, NodeId(0), NodeId(99)).is_err());
+    }
+}

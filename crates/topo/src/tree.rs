@@ -1,0 +1,286 @@
+//! Rooted spanning trees over mesh nodes.
+//!
+//! The tree-based AllReduce algorithms (DBTree, MultiTree, TTO) are all
+//! expressed as sets of rooted trees: ReduceScatter flows child→parent along
+//! tree edges, AllGather flows parent→child along the reversed edges. [`Tree`]
+//! stores the parent relation plus enough derived structure (children lists,
+//! depth, traversal orders) for schedule generation.
+
+use std::fmt;
+
+use crate::{Mesh, NodeId};
+
+/// A rooted tree over a subset of mesh nodes.
+///
+/// # Example
+///
+/// ```
+/// use meshcoll_topo::{Tree, NodeId};
+/// let mut t = Tree::new(NodeId(0), 4);
+/// t.attach(NodeId(1), NodeId(0));
+/// t.attach(NodeId(2), NodeId(0));
+/// t.attach(NodeId(3), NodeId(1));
+/// assert_eq!(t.height(), 2);
+/// assert_eq!(t.parent(NodeId(3)), Some(NodeId(1)));
+/// assert_eq!(t.len(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tree {
+    root: NodeId,
+    /// `parent[n] == Some(p)` when node `n` is in the tree with parent `p`;
+    /// the root maps to `Some(root)` internally and is special-cased.
+    parent: Vec<Option<NodeId>>,
+    members: Vec<NodeId>,
+}
+
+impl Tree {
+    /// Creates a tree containing only `root`, sized for a mesh of
+    /// `node_count` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` is out of range.
+    pub fn new(root: NodeId, node_count: usize) -> Self {
+        assert!(root.index() < node_count, "root {root} out of range");
+        let mut parent = vec![None; node_count];
+        parent[root.index()] = Some(root);
+        Tree {
+            root,
+            parent,
+            members: vec![root],
+        }
+    }
+
+    /// The tree's root.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of nodes currently in the tree.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` when the tree holds only its root.
+    pub fn is_empty(&self) -> bool {
+        self.members.len() == 1
+    }
+
+    /// Whether `n` is in the tree.
+    #[inline]
+    pub fn contains(&self, n: NodeId) -> bool {
+        self.parent
+            .get(n.index())
+            .is_some_and(|p| p.is_some())
+    }
+
+    /// The parent of `n`, or `None` if `n` is the root or not in the tree.
+    pub fn parent(&self, n: NodeId) -> Option<NodeId> {
+        if n == self.root {
+            return None;
+        }
+        self.parent.get(n.index()).copied().flatten()
+    }
+
+    /// Attaches `child` under `parent`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` is not in the tree, `child` already is, or `child`
+    /// is out of range.
+    pub fn attach(&mut self, child: NodeId, parent: NodeId) {
+        assert!(self.contains(parent), "parent {parent} not in tree");
+        assert!(
+            child.index() < self.parent.len(),
+            "child {child} out of range"
+        );
+        assert!(!self.contains(child), "child {child} already in tree");
+        self.parent[child.index()] = Some(parent);
+        self.members.push(child);
+    }
+
+    /// All nodes of the tree in attachment order (root first).
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// Children of `n` (order: ascending node id).
+    pub fn children(&self, n: NodeId) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self
+            .members
+            .iter()
+            .copied()
+            .filter(|&m| m != self.root && self.parent[m.index()] == Some(n))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Directed edges `(child, parent)` — the ReduceScatter flow direction.
+    pub fn edges_up(&self) -> Vec<(NodeId, NodeId)> {
+        self.members
+            .iter()
+            .copied()
+            .filter(|&m| m != self.root)
+            .map(|m| (m, self.parent[m.index()].expect("member has parent")))
+            .collect()
+    }
+
+    /// Depth of `n` (root is 0), or `None` if `n` is not in the tree.
+    pub fn depth(&self, n: NodeId) -> Option<usize> {
+        if !self.contains(n) {
+            return None;
+        }
+        let mut d = 0;
+        let mut cur = n;
+        while cur != self.root {
+            cur = self.parent[cur.index()].expect("member chain reaches root");
+            d += 1;
+            assert!(d <= self.parent.len(), "parent cycle detected");
+        }
+        Some(d)
+    }
+
+    /// Height of the tree: maximum node depth.
+    pub fn height(&self) -> usize {
+        self.members
+            .iter()
+            .filter_map(|&m| self.depth(m))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Checks structural validity against a mesh: every non-root member's
+    /// parent edge connects physical neighbors, and parent chains reach the
+    /// root (no cycles, by construction of `attach`).
+    pub fn is_valid_on(&self, mesh: &Mesh) -> bool {
+        self.members.iter().all(|&m| {
+            m == self.root
+                || self
+                    .parent(m)
+                    .is_some_and(|p| mesh.are_adjacent(m, p))
+        })
+    }
+
+    /// Directed links `(child -> parent)` used by this tree on `mesh`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some tree edge is not a physical mesh link.
+    pub fn links_up(&self, mesh: &Mesh) -> Vec<crate::LinkId> {
+        self.edges_up()
+            .iter()
+            .map(|&(c, p)| mesh.link_between(c, p).expect("tree edge is a mesh link"))
+            .collect()
+    }
+
+    /// Members ordered by decreasing depth (leaves first) — the order in
+    /// which ReduceScatter sends fire.
+    pub fn bottom_up(&self) -> Vec<NodeId> {
+        let mut v: Vec<(usize, NodeId)> = self
+            .members
+            .iter()
+            .map(|&m| (self.depth(m).expect("member"), m))
+            .collect();
+        v.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        v.into_iter().map(|(_, m)| m).collect()
+    }
+}
+
+impl fmt::Display for Tree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tree(root={}, nodes={}, height={})",
+            self.root,
+            self.len(),
+            self.height()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: usize) -> Tree {
+        let mut t = Tree::new(NodeId(0), n);
+        for i in 1..n {
+            t.attach(NodeId(i), NodeId(i - 1));
+        }
+        t
+    }
+
+    #[test]
+    fn chain_height() {
+        let t = chain(5);
+        assert_eq!(t.height(), 4);
+        assert_eq!(t.depth(NodeId(3)), Some(3));
+        assert_eq!(t.depth(NodeId(0)), Some(0));
+    }
+
+    #[test]
+    fn children_and_edges() {
+        let mut t = Tree::new(NodeId(2), 6);
+        t.attach(NodeId(0), NodeId(2));
+        t.attach(NodeId(4), NodeId(2));
+        t.attach(NodeId(5), NodeId(4));
+        assert_eq!(t.children(NodeId(2)), vec![NodeId(0), NodeId(4)]);
+        let mut e = t.edges_up();
+        e.sort();
+        assert_eq!(
+            e,
+            vec![
+                (NodeId(0), NodeId(2)),
+                (NodeId(4), NodeId(2)),
+                (NodeId(5), NodeId(4))
+            ]
+        );
+    }
+
+    #[test]
+    fn bottom_up_is_leaves_first() {
+        let t = chain(4);
+        assert_eq!(
+            t.bottom_up(),
+            vec![NodeId(3), NodeId(2), NodeId(1), NodeId(0)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "already in tree")]
+    fn attach_rejects_duplicates() {
+        let mut t = chain(3);
+        t.attach(NodeId(1), NodeId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in tree")]
+    fn attach_rejects_missing_parent() {
+        let mut t = Tree::new(NodeId(0), 4);
+        t.attach(NodeId(2), NodeId(1));
+    }
+
+    #[test]
+    fn validity_on_mesh() {
+        let m = Mesh::square(2).unwrap();
+        let mut t = Tree::new(NodeId(0), 4);
+        t.attach(NodeId(1), NodeId(0));
+        t.attach(NodeId(3), NodeId(1));
+        t.attach(NodeId(2), NodeId(3));
+        assert!(t.is_valid_on(&m));
+        // A diagonal edge is invalid.
+        let mut t2 = Tree::new(NodeId(0), 4);
+        t2.attach(NodeId(3), NodeId(0));
+        assert!(!t2.is_valid_on(&m));
+    }
+
+    #[test]
+    fn parent_of_root_is_none() {
+        let t = chain(3);
+        assert_eq!(t.parent(NodeId(0)), None);
+        assert!(t.contains(NodeId(0)));
+    }
+}

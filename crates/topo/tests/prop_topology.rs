@@ -1,0 +1,82 @@
+//! Property tests on the topology substrate: Hamiltonian constructions and
+//! XY routing must hold their invariants for arbitrary mesh shapes.
+
+use meshcoll_topo::{hamiltonian, routing, Mesh, NodeId};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn serpentine_path_is_always_hamiltonian(rows in 1usize..16, cols in 1usize..16) {
+        let mesh = Mesh::new(rows, cols).unwrap();
+        let path = hamiltonian::serpentine_path(&mesh);
+        prop_assert_eq!(path.len(), mesh.nodes());
+        let mut seen = vec![false; mesh.nodes()];
+        for n in &path {
+            prop_assert!(!seen[n.index()]);
+            seen[n.index()] = true;
+        }
+        for w in path.windows(2) {
+            prop_assert!(mesh.are_adjacent(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn even_meshes_have_valid_cycles(rows in 2usize..16, cols in 2usize..16) {
+        let mesh = Mesh::new(rows, cols).unwrap();
+        match hamiltonian::hamiltonian_cycle(&mesh) {
+            Ok(cycle) => {
+                prop_assert!(!mesh.is_odd_sized());
+                prop_assert!(hamiltonian::is_hamiltonian_cycle(&mesh, &cycle, &[]));
+            }
+            Err(_) => prop_assert!(mesh.is_odd_sized()),
+        }
+    }
+
+    #[test]
+    fn odd_meshes_have_valid_corner_excluded_cycles(
+        ri in 0usize..7,
+        ci in 0usize..7,
+    ) {
+        let (rows, cols) = (2 * ri + 3, 2 * ci + 3);
+        let mesh = Mesh::new(rows, cols).unwrap();
+        let (cycle, excluded) = hamiltonian::corner_excluded_cycle(&mesh).unwrap();
+        prop_assert_eq!(excluded, *mesh.corners().last().unwrap());
+        prop_assert!(hamiltonian::is_hamiltonian_cycle(&mesh, &cycle, &[excluded]));
+    }
+
+    #[test]
+    fn xy_routes_are_shortest_and_contiguous(
+        rows in 1usize..10,
+        cols in 1usize..10,
+        a in 0usize..100,
+        b in 0usize..100,
+    ) {
+        let mesh = Mesh::new(rows, cols).unwrap();
+        let a = NodeId(a % mesh.nodes());
+        let b = NodeId(b % mesh.nodes());
+        let route = routing::xy_route(&mesh, a, b).unwrap();
+        prop_assert_eq!(route.len(), mesh.distance(a, b));
+        let mut at = a;
+        for l in route {
+            let (s, d) = mesh.link_endpoints(l);
+            prop_assert_eq!(s, at);
+            prop_assert!(mesh.are_adjacent(s, d));
+            at = d;
+        }
+        prop_assert_eq!(at, b);
+    }
+
+    #[test]
+    fn link_ids_are_stable_bijections(rows in 1usize..10, cols in 1usize..10) {
+        let mesh = Mesh::new(rows, cols).unwrap();
+        for (s, d, l) in mesh.links() {
+            prop_assert_eq!(mesh.link_between(s, d).unwrap(), l);
+            prop_assert_eq!(mesh.link_endpoints(l), (s, d));
+            // The reverse direction is a different physical link.
+            let rev = mesh.link_between(d, s).unwrap();
+            prop_assert_ne!(rev, l);
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Torus-topology tests: wrap links, wrap-aware distance/routing, and
+//! Hamiltonian cycles of any parity (the property meshes lack).
+
+use meshcoll_topo::{hamiltonian, routing, Coord, Direction, Mesh, NodeId};
+
+#[test]
+fn torus_rejects_degenerate_dims() {
+    assert!(Mesh::torus(2, 5).is_err());
+    assert!(Mesh::torus(5, 2).is_err());
+    assert!(Mesh::torus(3, 3).is_ok());
+}
+
+#[test]
+fn every_torus_node_has_four_neighbors() {
+    let t = Mesh::torus(3, 5).unwrap();
+    for n in t.node_ids() {
+        assert_eq!(t.neighbors(n).len(), 4);
+    }
+    assert_eq!(t.directed_links(), 4 * 15);
+    assert_eq!(t.links().count(), t.directed_links());
+}
+
+#[test]
+fn wrap_links_connect_opposite_edges() {
+    let t = Mesh::torus(4, 4).unwrap();
+    let left = t.node_at(Coord::new(1, 0));
+    let right = t.node_at(Coord::new(1, 3));
+    assert!(t.are_adjacent(left, right));
+    assert_eq!(t.neighbor(left, Direction::West), Some(right));
+    assert_eq!(t.neighbor(right, Direction::East), Some(left));
+    let top = t.node_at(Coord::new(0, 2));
+    let bottom = t.node_at(Coord::new(3, 2));
+    assert_eq!(t.neighbor(top, Direction::North), Some(bottom));
+    assert_eq!(t.neighbor(bottom, Direction::South), Some(top));
+}
+
+#[test]
+fn torus_distance_takes_the_short_way_round() {
+    let t = Mesh::torus(5, 5).unwrap();
+    // Mesh distance (0,0)->(0,4) would be 4; the wrap makes it 1.
+    assert_eq!(t.distance(NodeId(0), NodeId(4)), 1);
+    assert_eq!(t.distance(NodeId(0), NodeId(24)), 2); // wrap both dims
+    let m = Mesh::square(5).unwrap();
+    assert_eq!(m.distance(NodeId(0), NodeId(24)), 8);
+}
+
+#[test]
+fn torus_routes_are_shortest_and_contiguous() {
+    let t = Mesh::torus(5, 7).unwrap();
+    for a in t.node_ids() {
+        for b in t.node_ids() {
+            let r = routing::xy_route(&t, a, b).unwrap();
+            assert_eq!(r.len(), t.distance(a, b), "{a}->{b}");
+            let mut at = a;
+            for l in r {
+                let (s, d) = t.link_endpoints(l);
+                assert_eq!(s, at);
+                at = d;
+            }
+            assert_eq!(at, b);
+        }
+    }
+}
+
+#[test]
+fn odd_torus_has_a_hamiltonian_cycle() {
+    // The paper's whole motivation: odd meshes lack this, tori don't.
+    for (r, c) in [(3, 3), (3, 5), (5, 5), (4, 4), (4, 5), (7, 9), (6, 6)] {
+        let t = Mesh::torus(r, c).unwrap();
+        let cycle = hamiltonian::hamiltonian_cycle(&t)
+            .unwrap_or_else(|e| panic!("{r}x{c} torus: {e}"));
+        assert!(
+            hamiltonian::is_hamiltonian_cycle(&t, &cycle, &[]),
+            "{r}x{c} torus cycle invalid"
+        );
+    }
+}
+
+#[test]
+fn mesh_behavior_is_unchanged() {
+    let m = Mesh::new(5, 5).unwrap();
+    assert!(!m.is_torus());
+    assert!(hamiltonian::hamiltonian_cycle(&m).is_err());
+    assert_eq!(m.neighbors(NodeId(0)).len(), 2);
+}

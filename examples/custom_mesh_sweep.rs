@@ -1,0 +1,62 @@
+//! Sweep every applicable AllReduce algorithm over a user-chosen mesh and
+//! gradient size, and report the winner — what an MCM system designer would
+//! run when sizing a package.
+//!
+//! ```sh
+//! cargo run --release --example custom_mesh_sweep -- 6 7 128
+//! cargo run --release --example custom_mesh_sweep -- 5 5 32 --torus
+//! ```
+//!
+//! Arguments: `[rows] [cols] [gradient MiB] [--torus]` (defaults: 6 7 32).
+
+use meshcoll::collectives::Applicability;
+use meshcoll::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let torus = raw.iter().any(|a| a == "--torus");
+    raw.retain(|a| a != "--torus");
+    let mut args = raw.into_iter();
+    let rows: usize = args.next().map(|s| s.parse()).transpose()?.unwrap_or(6);
+    let cols: usize = args.next().map(|s| s.parse()).transpose()?.unwrap_or(7);
+    let mib: u64 = args.next().map(|s| s.parse()).transpose()?.unwrap_or(32);
+    let data = mib << 20;
+
+    let mesh = if torus { Mesh::torus(rows, cols)? } else { Mesh::new(rows, cols)? };
+    let engine = SimEngine::new(NocConfig::paper_default());
+    println!(
+        "AllReduce of {mib} MiB/node on a {mesh} ({}-sized)\n",
+        if mesh.is_odd_sized() { "odd" } else { "even" }
+    );
+    println!(
+        "{:<12} {:>14} {:>10} {:>12} {:>12}",
+        "algorithm", "applicability", "time ms", "GB/s", "links busy %"
+    );
+
+    let mut best: Option<(Algorithm, f64)> = None;
+    for algorithm in Algorithm::ALL {
+        let applicability = algorithm.applicability(&mesh);
+        if applicability == Applicability::Inapplicable {
+            println!("{:<12} {:>14} {:>10} {:>12} {:>12}", algorithm.name(), "inapplicable", "-", "-", "-");
+            continue;
+        }
+        let schedule = algorithm.schedule(&mesh, data)?;
+        let run = engine.run(&mesh, &schedule)?;
+        println!(
+            "{:<12} {:>14} {:>10.2} {:>12.1} {:>12.1}",
+            algorithm.name(),
+            applicability.to_string(),
+            run.total_time_ns / 1e6,
+            run.bandwidth_gbps(data),
+            run.link_utilization_percent,
+        );
+        if best.is_none_or(|(_, t)| run.total_time_ns < t) {
+            best = Some((algorithm, run.total_time_ns));
+        }
+    }
+
+    if let Some((algorithm, t)) = best {
+        println!("\nbest: {} at {:.2} ms", algorithm.name(), t / 1e6);
+    }
+    Ok(())
+}

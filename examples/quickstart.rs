@@ -1,0 +1,43 @@
+//! Quickstart: build a mesh, generate an AllReduce schedule, prove it
+//! correct, and time it on the cycle-approximate network simulator.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use meshcoll::collectives::verify;
+use meshcoll::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 5x5 MCM package: 25 chiplets, odd-sized mesh — the case where the
+    // classic bidirectional ring does not exist.
+    let mesh = Mesh::square(5)?;
+    println!("topology: {mesh} ({} directed links)", mesh.directed_links());
+
+    let gradient_bytes: u64 = 64 << 20; // a 64 MiB gradient
+    let engine = SimEngine::new(NocConfig::paper_default());
+
+    for algorithm in [Algorithm::Ring, Algorithm::RingBiOdd, Algorithm::Tto] {
+        // 1. Generate the schedule: a dependency DAG of byte-range transfers.
+        let schedule = algorithm.schedule(&mesh, gradient_bytes)?;
+
+        // 2. Prove it performs an AllReduce: execute it on concrete data and
+        //    check every training chiplet ends with the full sum.
+        verify::check_allreduce(&mesh, &schedule)?;
+
+        // 3. Time it under link contention.
+        let run = engine.run(&mesh, &schedule)?;
+        println!(
+            "{:<10} {:>6} ops  {:>8.2} ms  {:>6.1} GB/s  {:>5.1}% links busy",
+            algorithm.name(),
+            schedule.len(),
+            run.total_time_ns / 1e6,
+            run.bandwidth_gbps(gradient_bytes),
+            run.link_utilization_percent,
+        );
+    }
+
+    println!("\nRingBiOdd roughly doubles Ring's bandwidth; TTO overlaps chunks across");
+    println!("three disjoint trees and pushes link utilization toward saturation.");
+    Ok(())
+}

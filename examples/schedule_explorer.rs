@@ -1,0 +1,70 @@
+//! Schedule explorer: renders the structures behind the paper's two
+//! contributions on a 3x3 mesh — the corner-excluded bidirectional ring of
+//! RingBiOdd (Fig 2/3) and TTO's three disjoint trees (Fig 6) — then prints
+//! the first ops of each schedule.
+//!
+//! ```sh
+//! cargo run --example schedule_explorer
+//! ```
+
+use meshcoll::collectives::{tto, Algorithm};
+use meshcoll::prelude::*;
+use meshcoll::topo::hamiltonian;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mesh = Mesh::square(3)?;
+
+    println!("== RingBiOdd on a 3x3 mesh (paper Fig 2/3) ==");
+    let (cycle, excluded) = hamiltonian::corner_excluded_cycle(&mesh)?;
+    println!(
+        "bidirectional ring over {} nodes: {}",
+        cycle.len(),
+        cycle
+            .iter()
+            .map(|n| (n.index() + 1).to_string()) // paper numbers nodes 1..9
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    );
+    println!("excluded corner (still trains): node {}", excluded.index() + 1);
+
+    println!("\n== TTO's three disjoint trees (paper Fig 6) ==");
+    let trees = tto::disjoint_trees(&mesh)?;
+    for (i, tree) in trees.iter().enumerate() {
+        println!(
+            "tree {} rooted at node {} (height {}):",
+            i + 1,
+            tree.root().index() + 1,
+            tree.height()
+        );
+        let mut edges: Vec<String> = tree
+            .edges_up()
+            .iter()
+            .map(|(c, p)| format!("{}->{}", c.index() + 1, p.index() + 1))
+            .collect();
+        edges.sort();
+        println!("  reduce edges: {}", edges.join(", "));
+    }
+    println!(
+        "excluded from training: node {} (relays inside trees 1 and 2)",
+        tto::excluded_node(&mesh).index() + 1
+    );
+
+    println!("\n== First ReduceScatter ops of each schedule ==");
+    for algorithm in [Algorithm::RingBiOdd, Algorithm::Tto] {
+        let s = algorithm.schedule(&mesh, 9 * 1024)?;
+        println!("{} ({} ops total):", algorithm.name(), s.len());
+        for id in s.op_ids().take(6) {
+            let op = s.op(id);
+            println!(
+                "  {id}: node {} -> node {}  bytes [{}, {})  {}  deps {:?}",
+                op.src.index() + 1,
+                op.dst.index() + 1,
+                op.offset,
+                op.end(),
+                op.kind,
+                s.deps(id)
+            );
+        }
+    }
+    Ok(())
+}

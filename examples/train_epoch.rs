@@ -1,0 +1,63 @@
+//! Train one epoch of a DNN model on an MCM package and compare AllReduce
+//! algorithms end to end — the Fig 10 experiment as a library call.
+//!
+//! ```sh
+//! cargo run --release --example train_epoch -- ResNet152 8
+//! cargo run --release --example train_epoch -- Transformer 5
+//! ```
+//!
+//! Arguments: `[model] [mesh side]` (defaults: GoogLeNet on a 4x4 mesh).
+
+use meshcoll::collectives::Applicability;
+use meshcoll::compute::ChipletConfig;
+use meshcoll::prelude::*;
+use meshcoll::sim::epoch::{epoch_time, EpochParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let model_name = args.next().unwrap_or_else(|| "GoogLeNet".into());
+    let side: usize = args.next().map(|s| s.parse()).transpose()?.unwrap_or(4);
+
+    let which = DnnModel::ALL
+        .into_iter()
+        .find(|m| m.name().eq_ignore_ascii_case(&model_name))
+        .ok_or_else(|| {
+            format!(
+                "unknown model {model_name}; pick one of {:?}",
+                DnnModel::ALL.map(|m| m.name())
+            )
+        })?;
+    let model: Model = which.model();
+    let mesh = Mesh::square(side)?;
+    let chiplet = ChipletConfig::paper_default();
+    let params = EpochParams::default();
+    let engine = SimEngine::new(NocConfig::paper_default());
+
+    println!(
+        "one ImageNet-scale epoch of {} on a {mesh} ({} chiplets, minibatch 16/chiplet)\n",
+        model, side * side
+    );
+    println!(
+        "{:<12} {:>6} {:>12} {:>12} {:>12} {:>10}",
+        "algorithm", "iters", "compute/it", "allreduce/it", "epoch", "vs Ring"
+    );
+    let mut ring_epoch = None;
+    for algorithm in Algorithm::BENCHMARKS {
+        if algorithm.applicability(&mesh) == Applicability::Inapplicable {
+            continue;
+        }
+        let b = epoch_time(&engine, &mesh, algorithm, &model, &chiplet, &params)?;
+        let epoch_s = b.epoch_ns() / 1e9;
+        let base = *ring_epoch.get_or_insert(epoch_s);
+        println!(
+            "{:<12} {:>6} {:>10.2}ms {:>10.2}ms {:>10.2}s {:>9.2}x",
+            algorithm.name(),
+            b.iterations,
+            b.compute_ns / 1e6,
+            b.allreduce_ns / 1e6,
+            epoch_s,
+            base / epoch_s,
+        );
+    }
+    Ok(())
+}

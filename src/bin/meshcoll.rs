@@ -1,0 +1,164 @@
+//! `meshcoll` — command-line front end to the library.
+//!
+//! ```text
+//! meshcoll schedule  <rows> <cols> <algorithm> <bytes>      summarize a schedule
+//! meshcoll verify    <rows> <cols> <algorithm> <bytes>      functional AllReduce proof
+//! meshcoll simulate  <rows> <cols> <algorithm> <bytes>      time it on the packet simulator
+//! meshcoll export    <rows> <cols> <algorithm> <bytes> dot|trace   print DOT / TSV
+//! meshcoll compare   <rows> <cols> <bytes>                  every applicable algorithm
+//! meshcoll table1 | algorithms                              reference listings
+//! ```
+
+use std::process::ExitCode;
+
+use meshcoll::collectives::{analysis, export, verify, Algorithm, Applicability};
+use meshcoll::prelude::*;
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let torus = args.iter().any(|a| a == "--torus");
+    args.retain(|a| a != "--torus");
+    TORUS.with(|t| t.set(torus));
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+thread_local! {
+    static TORUS: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+const USAGE: &str = "usage (append --torus for wrap-around links):
+  meshcoll schedule <rows> <cols> <algorithm> <bytes>
+  meshcoll verify   <rows> <cols> <algorithm> <bytes>
+  meshcoll simulate <rows> <cols> <algorithm> <bytes>
+  meshcoll export   <rows> <cols> <algorithm> <bytes> <dot|trace>
+  meshcoll compare  <rows> <cols> <bytes>
+  meshcoll algorithms
+  meshcoll table1 <rows> <cols>
+
+algorithms: Ring, Ring-2D, DBTree, HDRM, MultiTree, RingBiEven, RingBiOdd, TTO";
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn run(args: &[String]) -> CliResult {
+    let cmd = args.first().map(String::as_str).ok_or("missing command")?;
+    match cmd {
+        "schedule" => {
+            let (mesh, algo, bytes) = parse_mab(&args[1..])?;
+            let s = algo.schedule(&mesh, bytes)?;
+            let stats = analysis::schedule_stats(&mesh, &s);
+            println!("{} on {mesh}, {bytes} bytes/node:", s.name());
+            println!("  ops:                {}", stats.ops);
+            println!("  participants:       {}", s.participants().len());
+            println!("  critical path:      {} steps", stats.critical_path_len);
+            println!("  wire bytes:         {}", s.total_wire_bytes());
+            println!("  link-byte traffic:  {}", stats.link_byte_traffic);
+            println!("  hops (max / mean):  {} / {:.2}", stats.max_hops, stats.mean_hops);
+            println!(
+                "  per-node tx / rx:   {} / {} bytes (max)",
+                stats.max_node_tx_bytes, stats.max_node_rx_bytes
+            );
+            Ok(())
+        }
+        "verify" => {
+            let (mesh, algo, bytes) = parse_mab(&args[1..])?;
+            let s = algo.schedule(&mesh, bytes)?;
+            verify::check_allreduce(&mesh, &s)?;
+            for seed in 0..4 {
+                verify::check_allreduce_seeded(&mesh, &s, seed)?;
+            }
+            println!(
+                "ok: {} on {mesh} is a correct AllReduce over {} participants \
+                 (insertion order + 4 randomized orders)",
+                s.name(),
+                s.participants().len()
+            );
+            Ok(())
+        }
+        "simulate" => {
+            let (mesh, algo, bytes) = parse_mab(&args[1..])?;
+            let s = algo.schedule(&mesh, bytes)?;
+            let run = SimEngine::new(NocConfig::paper_default()).run(&mesh, &s)?;
+            println!("{} on {mesh}, {bytes} bytes/node:", s.name());
+            println!("  time:             {:.3} ms", run.total_time_ns / 1e6);
+            println!("  bandwidth:        {:.2} GB/s", run.bandwidth_gbps(bytes));
+            println!("  link utilization: {:.1} %", run.link_utilization_percent);
+            println!("  links touched:    {:.1} %", run.used_link_percent);
+            Ok(())
+        }
+        "export" => {
+            let (mesh, algo, bytes) = parse_mab(&args[1..])?;
+            let s = algo.schedule(&mesh, bytes)?;
+            match args.get(5).map(String::as_str) {
+                Some("dot") => print!("{}", export::to_dot(&s)),
+                Some("trace") => print!("{}", export::to_trace(&s)),
+                other => return Err(format!("export format {other:?}; use dot or trace").into()),
+            }
+            Ok(())
+        }
+        "compare" => {
+            let mesh = parse_mesh(&args[1..])?;
+            let bytes: u64 = args.get(3).ok_or("missing <bytes>")?.parse()?;
+            let engine = SimEngine::new(NocConfig::paper_default());
+            println!("{:<12} {:>12} {:>10} {:>12}", "algorithm", "time ms", "GB/s", "links busy %");
+            for algo in Algorithm::ALL {
+                if algo.applicability(&mesh) == Applicability::Inapplicable {
+                    continue;
+                }
+                let s = algo.schedule(&mesh, bytes)?;
+                let run = engine.run(&mesh, &s)?;
+                println!(
+                    "{:<12} {:>12.3} {:>10.2} {:>12.1}",
+                    algo.name(),
+                    run.total_time_ns / 1e6,
+                    run.bandwidth_gbps(bytes),
+                    run.link_utilization_percent
+                );
+            }
+            Ok(())
+        }
+        "algorithms" => {
+            for a in Algorithm::ALL {
+                println!("{}", a.name());
+            }
+            Ok(())
+        }
+        "table1" => {
+            let mesh = parse_mesh(&args[1..])?;
+            println!("{:<12} {:>14}", "algorithm", "applicability");
+            for a in Algorithm::ALL {
+                println!("{:<12} {:>14}", a.name(), a.applicability(&mesh).to_string());
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command {other}").into()),
+    }
+}
+
+fn parse_mesh(args: &[String]) -> Result<Mesh, Box<dyn std::error::Error>> {
+    let rows: usize = args.first().ok_or("missing <rows>")?.parse()?;
+    let cols: usize = args.get(1).ok_or("missing <cols>")?.parse()?;
+    Ok(if TORUS.with(std::cell::Cell::get) {
+        Mesh::torus(rows, cols)?
+    } else {
+        Mesh::new(rows, cols)?
+    })
+}
+
+fn parse_mab(args: &[String]) -> Result<(Mesh, Algorithm, u64), Box<dyn std::error::Error>> {
+    let mesh = parse_mesh(args)?;
+    let name = args.get(2).ok_or("missing <algorithm>")?;
+    let algo = Algorithm::ALL
+        .into_iter()
+        .find(|a| a.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown algorithm {name}"))?;
+    let bytes: u64 = args.get(3).ok_or("missing <bytes>")?.parse()?;
+    Ok((mesh, algo, bytes))
+}

@@ -1,0 +1,60 @@
+#![warn(missing_docs)]
+
+//! # meshcoll — collective communication for MCM accelerators
+//!
+//! A Rust reproduction of *"Enhancing Collective Communication in MCM
+//! Accelerators for Deep Learning Training"* (HPCA 2024): topology-aware
+//! AllReduce algorithms for 2D-mesh multi-chip-module accelerators
+//! (**RingBiOdd** and **TTO**), the baselines they are evaluated against, and
+//! the full simulation stack (mesh topology, packet/flit network simulators,
+//! systolic-array compute model, DNN workloads, end-to-end training-epoch
+//! model) needed to regenerate every table and figure of the paper.
+//!
+//! This crate is a facade that re-exports the workspace crates:
+//!
+//! * [`topo`] — mesh topology, Hamiltonian cycles, XY routing, trees,
+//! * [`noc`] — on-package network simulators (packet-level and flit-level),
+//! * [`collectives`] — AllReduce schedule generators and the functional
+//!   correctness checker,
+//! * [`compute`] — output-stationary systolic-array training-time model,
+//! * [`models`] — the seven DNN workloads used in the paper's evaluation,
+//! * [`sim`] — experiment engines (bandwidth, link utilization, epoch time,
+//!   compute/communication overlap).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use meshcoll::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A 5x5 (odd) mesh: Bidirectional Ring AllReduce is classically
+//! // inapplicable, but RingBiOdd makes it work.
+//! let mesh = Mesh::square(5)?;
+//! let schedule = Algorithm::RingBiOdd.schedule(&mesh, 1 << 20)?;
+//!
+//! // Functional check: every training node ends with the full sum.
+//! meshcoll::collectives::verify::check_allreduce(&mesh, &schedule)?;
+//!
+//! // Timing: run the schedule through the packet-level network simulator.
+//! let result = SimEngine::new(NocConfig::paper_default()).run(&mesh, &schedule)?;
+//! assert!(result.total_time_ns > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use meshcoll_collectives as collectives;
+pub use meshcoll_compute as compute;
+pub use meshcoll_models as models;
+pub use meshcoll_noc as noc;
+pub use meshcoll_sim as sim;
+pub use meshcoll_topo as topo;
+
+/// Convenient single-import surface for the most common types.
+pub mod prelude {
+    pub use meshcoll_collectives::{Algorithm, Schedule};
+    pub use meshcoll_compute::ChipletConfig;
+    pub use meshcoll_models::{DnnModel, Model};
+    pub use meshcoll_noc::NocConfig;
+    pub use meshcoll_sim::SimEngine;
+    pub use meshcoll_topo::{Coord, Mesh, NodeId};
+}

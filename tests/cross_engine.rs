@@ -1,0 +1,66 @@
+//! Cross-engine validation: the flit-level router model and the packet-level
+//! event simulator must agree on real collective schedules, not just on the
+//! micro-workloads in the noc crate's unit tests.
+
+use meshcoll::collectives::Algorithm;
+use meshcoll::noc::{FlitSim, Message, MsgId, NetworkSim, NocConfig, PacketSim};
+use meshcoll::prelude::*;
+
+fn schedule_to_messages(s: &meshcoll::collectives::Schedule) -> Vec<Message> {
+    s.op_ids()
+        .map(|id| {
+            let op = s.op(id);
+            Message::new(MsgId(id.index()), op.src, op.dst, op.bytes)
+                .with_deps(s.deps(id).iter().map(|d| MsgId(d.index())))
+        })
+        .collect()
+}
+
+#[test]
+fn engines_agree_on_ring_allreduce() {
+    let mesh = Mesh::square(3).unwrap();
+    let s = Algorithm::Ring.schedule(&mesh, 9 * 2048).unwrap();
+    let msgs = schedule_to_messages(&s);
+    let cfg = NocConfig::paper_default();
+    let pkt = PacketSim::new(cfg.clone()).run(&mesh, &msgs).unwrap();
+    let flit = FlitSim::new(cfg).run(&mesh, &msgs).unwrap();
+    let ratio = flit.makespan_ns() / pkt.makespan_ns();
+    assert!(
+        (0.6..1.7).contains(&ratio),
+        "flit {} vs packet {} (ratio {ratio})",
+        flit.makespan_ns(),
+        pkt.makespan_ns()
+    );
+}
+
+#[test]
+fn engines_agree_on_tto_overlap() {
+    // TTO's chunk overlap is the mechanism under test: both engines must
+    // show pipelining (many chunks barely slower than few chunks of the
+    // same total bytes would suggest serially).
+    let mesh = Mesh::square(3).unwrap();
+    let s = meshcoll::collectives::tto::schedule_with(&mesh, 96 * 1024, 12 * 1024).unwrap();
+    let msgs = schedule_to_messages(&s);
+    let cfg = NocConfig::paper_default();
+    let pkt = PacketSim::new(cfg.clone()).run(&mesh, &msgs).unwrap();
+    let flit = FlitSim::new(cfg).run(&mesh, &msgs).unwrap();
+    let ratio = flit.makespan_ns() / pkt.makespan_ns();
+    assert!(
+        (0.6..1.8).contains(&ratio),
+        "flit {} vs packet {} (ratio {ratio})",
+        flit.makespan_ns(),
+        pkt.makespan_ns()
+    );
+}
+
+#[test]
+fn engines_agree_on_ring_bi_odd() {
+    let mesh = Mesh::square(3).unwrap();
+    let s = Algorithm::RingBiOdd.schedule(&mesh, 8 * 2048).unwrap();
+    let msgs = schedule_to_messages(&s);
+    let cfg = NocConfig::paper_default();
+    let pkt = PacketSim::new(cfg.clone()).run(&mesh, &msgs).unwrap();
+    let flit = FlitSim::new(cfg).run(&mesh, &msgs).unwrap();
+    let ratio = flit.makespan_ns() / pkt.makespan_ns();
+    assert!((0.6..1.8).contains(&ratio), "ratio {ratio}");
+}

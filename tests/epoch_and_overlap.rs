@@ -1,0 +1,97 @@
+//! Cross-crate integration of the end-to-end training models (Fig 10/11/13
+//! machinery) at reduced scale.
+
+use meshcoll::collectives::Algorithm;
+use meshcoll::compute::ChipletConfig;
+use meshcoll::prelude::*;
+use meshcoll::sim::epoch::{epoch_time, overhead_analysis, trainers, EpochParams};
+use meshcoll::sim::overlap::overlapped_iteration;
+
+fn engine() -> SimEngine {
+    SimEngine::new(NocConfig::paper_default())
+}
+
+#[test]
+fn paper_iteration_counts_on_8x8() {
+    // §VIII-B: mini-batches 1024 vs 1008 give 1252 vs 1271 iterations.
+    let p = EpochParams::default();
+    let mesh = Mesh::square(8).unwrap();
+    let base = p.training_set.div_ceil(16 * trainers(&mesh, Algorithm::RingBiEven));
+    let tto = p.training_set.div_ceil(16 * trainers(&mesh, Algorithm::Tto));
+    assert_eq!((base, tto), (1252, 1271));
+}
+
+#[test]
+fn tto_wins_end_to_end_for_communication_bound_models() {
+    let mesh = Mesh::square(4).unwrap();
+    let chiplet = ChipletConfig::paper_default();
+    let params = EpochParams::default();
+    let model = DnnModel::Transformer.model();
+    let e = engine();
+    let tto = epoch_time(&e, &mesh, Algorithm::Tto, &model, &chiplet, &params).unwrap();
+    let bi = epoch_time(&e, &mesh, Algorithm::RingBiEven, &model, &chiplet, &params).unwrap();
+    assert!(tto.iterations > bi.iterations, "TTO runs more iterations");
+    assert!(
+        tto.epoch_ns() < bi.epoch_ns(),
+        "tto {} vs ringbi {}",
+        tto.epoch_ns(),
+        bi.epoch_ns()
+    );
+}
+
+#[test]
+fn small_mac_arrays_shrink_end_to_end_speedup() {
+    // §VIII-A / Fig 13: with smaller MAC arrays compute dominates, so TTO's
+    // end-to-end advantage shrinks while its AllReduce advantage persists.
+    let mesh = Mesh::square(4).unwrap();
+    let params = EpochParams::default();
+    let model = DnnModel::GoogLeNet.model();
+    let e = engine();
+    let speedup = |chiplet: &ChipletConfig| {
+        let tto = epoch_time(&e, &mesh, Algorithm::Tto, &model, chiplet, &params).unwrap();
+        let ring = epoch_time(&e, &mesh, Algorithm::Ring, &model, chiplet, &params).unwrap();
+        (
+            ring.epoch_ns() / tto.epoch_ns(),
+            ring.allreduce_ns / tto.allreduce_ns,
+        )
+    };
+    let (e2e_big, ar_big) = speedup(&ChipletConfig::paper_default());
+    let (e2e_small, ar_small) = speedup(&ChipletConfig::simba(16));
+    assert!(e2e_small < e2e_big, "e2e {e2e_small} !< {e2e_big}");
+    // AllReduce speedup is independent of the MAC array.
+    assert!((ar_big - ar_small).abs() / ar_big < 0.05, "{ar_big} vs {ar_small}");
+}
+
+#[test]
+fn overhead_analysis_matches_epoch_model() {
+    let mesh = Mesh::square(4).unwrap();
+    let model = DnnModel::Ncf.model();
+    let chiplet = ChipletConfig::paper_default();
+    let params = EpochParams::default();
+    let e = engine();
+    let a = overhead_analysis(&e, &mesh, Algorithm::RingBiEven, &model, &chiplet, &params).unwrap();
+    let base = epoch_time(&e, &mesh, Algorithm::RingBiEven, &model, &chiplet, &params).unwrap();
+    let tto = epoch_time(&e, &mesh, Algorithm::Tto, &model, &chiplet, &params).unwrap();
+    assert_eq!(a.iterations_base, base.iterations);
+    assert_eq!(a.iterations_tto, tto.iterations);
+    assert!((a.gain_ns - (base.epoch_ns() - tto.epoch_ns())).abs() < 1.0);
+}
+
+#[test]
+fn overlapped_iterations_beat_sequential_for_every_algorithm() {
+    let mesh = Mesh::square(3).unwrap();
+    let chiplet = ChipletConfig::paper_default();
+    let params = EpochParams::default();
+    let model = DnnModel::AlexNet.model();
+    let e = engine();
+    for algo in [Algorithm::Ring, Algorithm::MultiTree, Algorithm::Tto] {
+        let r = overlapped_iteration(&e, &mesh, algo, &model, &chiplet, &params).unwrap();
+        let b = epoch_time(&e, &mesh, algo, &model, &chiplet, &params).unwrap();
+        assert!(
+            r.iteration_ns <= b.iteration_ns() * 1.05,
+            "{algo}: overlapped {} vs sequential {}",
+            r.iteration_ns,
+            b.iteration_ns()
+        );
+    }
+}

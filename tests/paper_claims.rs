@@ -1,0 +1,139 @@
+//! Integration tests pinning the paper's headline quantitative claims, at
+//! reduced scale so they run in debug CI time. Bands are deliberately loose:
+//! the substrate is our simulator, not the authors' testbed, so only the
+//! *shape* (who wins, by roughly what factor) is asserted.
+
+use meshcoll::collectives::Algorithm;
+use meshcoll::prelude::*;
+use meshcoll::sim::bandwidth;
+
+fn bw(mesh: &Mesh, a: Algorithm, data: u64) -> f64 {
+    let engine = SimEngine::new(NocConfig::paper_default());
+    bandwidth::measure(&engine, mesh, a, data)
+        .unwrap()
+        .bandwidth_gbps
+}
+
+#[test]
+fn ring_bi_odd_is_about_1_9x_over_ring() {
+    // Paper abstract: RingBiOdd achieves 1.9x communication speedup over
+    // the unidirectional Ring.
+    let mesh = Mesh::square(5).unwrap();
+    let d = 4 << 20;
+    let speedup = bw(&mesh, Algorithm::RingBiOdd, d) / bw(&mesh, Algorithm::Ring, d);
+    assert!((1.6..2.3).contains(&speedup), "speedup {speedup}");
+}
+
+#[test]
+fn tto_is_about_1_4x_over_bidirectional_ring() {
+    // Paper abstract: TTO shows 1.4x speedup over Bidirectional Ring.
+    for (n, bi) in [(4usize, Algorithm::RingBiEven), (5, Algorithm::RingBiOdd)] {
+        let mesh = Mesh::square(n).unwrap();
+        let d = 8 << 20;
+        let speedup = bw(&mesh, Algorithm::Tto, d) / bw(&mesh, bi, d);
+        assert!((1.1..1.8).contains(&speedup), "{n}x{n}: speedup {speedup}");
+    }
+}
+
+#[test]
+fn tto_is_about_1_6x_over_multitree() {
+    // Paper abstract: 1.6x over MultiTree.
+    let mesh = Mesh::square(5).unwrap();
+    let d = 8 << 20;
+    let speedup = bw(&mesh, Algorithm::Tto, d) / bw(&mesh, Algorithm::MultiTree, d);
+    assert!((1.3..2.4).contains(&speedup), "speedup {speedup}");
+}
+
+#[test]
+fn dbtree_is_the_weakest_baseline() {
+    // Paper Fig 8: DBTree's topology-oblivious mapping makes it worst.
+    let mesh = Mesh::square(4).unwrap();
+    let d = 4 << 20;
+    let db = bw(&mesh, Algorithm::DBTree, d);
+    for a in [Algorithm::Ring, Algorithm::MultiTree, Algorithm::RingBiEven, Algorithm::Tto] {
+        assert!(bw(&mesh, a, d) > db, "{a} not faster than DBTree");
+    }
+}
+
+#[test]
+fn ring_bi_odd_matches_even_hop_count() {
+    // Paper §IV-B: RingBiOdd completes in 2(N-1) timesteps, like
+    // RingBiEven on an even mesh — so odd/even bandwidth is comparable.
+    let odd = bw(&Mesh::square(5).unwrap(), Algorithm::RingBiOdd, 4 << 20);
+    let even = bw(&Mesh::square(4).unwrap(), Algorithm::RingBiEven, 4 << 20);
+    let ratio = odd / even;
+    assert!((0.75..1.35).contains(&ratio), "odd/even ratio {ratio}");
+}
+
+#[test]
+fn tto_has_the_highest_link_utilization() {
+    // Paper Fig 12: TTO sustains the highest time-averaged link utilization.
+    let mesh = Mesh::square(5).unwrap();
+    let engine = SimEngine::new(NocConfig::paper_default());
+    let util = |a: Algorithm| {
+        bandwidth::measure(&engine, &mesh, a, 4 << 20)
+            .unwrap()
+            .link_utilization_percent
+    };
+    let tto = util(Algorithm::Tto);
+    assert!(tto > 70.0, "TTO utilization {tto}");
+    for a in [Algorithm::Ring, Algorithm::MultiTree, Algorithm::RingBiOdd, Algorithm::DBTree] {
+        assert!(tto > util(a), "TTO not above {a}");
+    }
+}
+
+#[test]
+fn section8b_raw_numbers_are_reproduced() {
+    // §VIII-B publishes the authors' raw simulator outputs for ResNet152 on
+    // an 8x8 mesh: T = 1,832,399 ns (fwd+bwd, 16 samples/chiplet),
+    // C_b = 10,350,425 ns (RingBiEven AllReduce of the 240 MB gradient).
+    // Our independent stack lands within a few percent on communication and
+    // within ~25% on compute.
+    use meshcoll::compute::{training, ChipletConfig};
+    let model = DnnModel::ResNet152.model();
+    let t = training::minibatch_train_ns(model.layers(), &ChipletConfig::paper_default(), 16);
+    assert!(
+        (1_300_000.0..2_600_000.0).contains(&t),
+        "T = {t} vs paper 1,832,399"
+    );
+
+    let mesh = Mesh::square(8).unwrap();
+    let engine = SimEngine::new(NocConfig::paper_default());
+    let d = model.gradient_bytes(4);
+    let s = Algorithm::RingBiEven.schedule(&mesh, d).unwrap();
+    let cb = engine.run(&mesh, &s).unwrap().total_time_ns;
+    let err = (cb - 10_350_425.0).abs() / 10_350_425.0;
+    assert!(err < 0.10, "C_b = {cb} vs paper 10,350,425 ({err:.1}% off)");
+}
+
+#[test]
+#[ignore = "TTO on the full 240 MB gradient is slow in debug builds; run with --ignored"]
+fn section8b_tto_number_is_reproduced() {
+    // C_t = 7,076,228 ns in the paper; we land within a few percent.
+    let model = DnnModel::ResNet152.model();
+    let mesh = Mesh::square(8).unwrap();
+    let engine = SimEngine::new(NocConfig::paper_default());
+    let s = Algorithm::Tto.schedule(&mesh, model.gradient_bytes(4)).unwrap();
+    let ct = engine.run(&mesh, &s).unwrap().total_time_ns;
+    let err = (ct - 7_076_228.0).abs() / 7_076_228.0;
+    assert!(err < 0.10, "C_t = {ct} vs paper 7,076,228 ({err:.1}% off)");
+}
+
+#[test]
+fn scalability_is_roughly_linear_in_nodes() {
+    // Paper Fig 9: with 375 KB x N of data, communication time grows
+    // linearly in N for every algorithm.
+    let engine = SimEngine::new(NocConfig::paper_default());
+    for a in [Algorithm::Ring, Algorithm::Tto] {
+        let t = |n: usize| {
+            let mesh = Mesh::square(n).unwrap();
+            bandwidth::measure(&engine, &mesh, a, bandwidth::scalability_data_bytes(&mesh))
+                .unwrap()
+                .time_ns
+        };
+        let (t3, t6) = (t(3), t(6));
+        // 9 -> 36 nodes: expect ~4x time, allow 2.5..6x.
+        let growth = t6 / t3;
+        assert!((2.5..6.5).contains(&growth), "{a} growth {growth}");
+    }
+}

@@ -1,0 +1,82 @@
+//! Integration test pinning the paper's §III motivation: the wrap-around
+//! links a torus has (and a mesh lacks) are what make classic bidirectional
+//! rings universal — and RingBiOdd recovers that bandwidth on the mesh.
+
+use meshcoll::collectives::{Algorithm, Applicability};
+use meshcoll::prelude::*;
+use meshcoll::sim::bandwidth;
+
+#[test]
+fn bidirectional_ring_needs_the_torus_on_odd_sizes() {
+    let mesh = Mesh::square(5).unwrap();
+    let torus = Mesh::torus(5, 5).unwrap();
+    assert_eq!(
+        Algorithm::RingBiEven.applicability(&mesh),
+        Applicability::Inapplicable
+    );
+    assert_eq!(
+        Algorithm::RingBiEven.applicability(&torus),
+        Applicability::Easy
+    );
+    // And the torus cycle actually computes a correct AllReduce.
+    let s = Algorithm::RingBiEven.schedule(&torus, 25 * 400).unwrap();
+    meshcoll::collectives::verify::check_allreduce(&torus, &s).unwrap();
+}
+
+#[test]
+fn ring_bi_odd_recovers_torus_ring_bandwidth_on_the_mesh() {
+    let engine = SimEngine::new(NocConfig::paper_default());
+    let d = 4 << 20;
+    let mesh = Mesh::square(5).unwrap();
+    let torus = Mesh::torus(5, 5).unwrap();
+    let on_mesh = bandwidth::measure(&engine, &mesh, Algorithm::RingBiOdd, d)
+        .unwrap()
+        .bandwidth_gbps;
+    let on_torus = bandwidth::measure(&engine, &torus, Algorithm::RingBiEven, d)
+        .unwrap()
+        .bandwidth_gbps;
+    let ratio = on_mesh / on_torus;
+    assert!((0.9..1.1).contains(&ratio), "mesh {on_mesh} vs torus {on_torus}");
+}
+
+#[test]
+fn multitree_builds_shorter_trees_on_the_torus() {
+    // §III-C: "tree heights increase significantly when the underlying
+    // topology is mesh" — wrap links shorten them.
+    use meshcoll::collectives::multitree;
+    let mesh = Mesh::square(5).unwrap();
+    let torus = Mesh::torus(5, 5).unwrap();
+    let max_height = |m: &Mesh| {
+        multitree::build_trees(m)
+            .unwrap()
+            .iter()
+            .map(|b| b.tree.height())
+            .max()
+            .unwrap()
+    };
+    assert!(
+        max_height(&torus) < max_height(&mesh),
+        "torus {} vs mesh {}",
+        max_height(&torus),
+        max_height(&mesh)
+    );
+}
+
+#[test]
+fn torus_algorithms_are_functionally_correct() {
+    let torus = Mesh::torus(3, 4).unwrap();
+    for a in [
+        Algorithm::Ring,
+        Algorithm::Ring2D,
+        Algorithm::MultiTree,
+        Algorithm::RingBiEven,
+        Algorithm::DBTree,
+        Algorithm::Tto,
+    ] {
+        let s = a.schedule(&torus, 4800).unwrap_or_else(|e| panic!("{a}: {e}"));
+        meshcoll::collectives::verify::check_allreduce(&torus, &s)
+            .unwrap_or_else(|e| panic!("{a}: {e}"));
+        meshcoll::collectives::verify::check_allreduce_seeded(&torus, &s, 5)
+            .unwrap_or_else(|e| panic!("{a} seeded: {e}"));
+    }
+}
