@@ -18,16 +18,25 @@ fn bench_fig10(c: &mut Criterion) {
     let params = EpochParams::default();
     let mut g = c.benchmark_group("fig10_epoch_googlenet_4x4");
     g.sample_size(10);
-    for algo in [Algorithm::Ring, Algorithm::RingBiEven, Algorithm::MultiTree, Algorithm::Tto] {
-        g.bench_with_input(BenchmarkId::from_parameter(algo.name()), &mesh, |b, mesh| {
-            b.iter(|| {
-                black_box(
-                    epoch_time(&engine, mesh, algo, &model, &chiplet, &params)
-                        .unwrap()
-                        .epoch_ns(),
-                )
-            })
-        });
+    for algo in [
+        Algorithm::Ring,
+        Algorithm::RingBiEven,
+        Algorithm::MultiTree,
+        Algorithm::Tto,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(algo.name()),
+            &mesh,
+            |b, mesh| {
+                b.iter(|| {
+                    black_box(
+                        epoch_time(&engine, mesh, algo, &model, &chiplet, &params)
+                            .unwrap()
+                            .epoch_ns(),
+                    )
+                })
+            },
+        );
     }
     g.finish();
 }

@@ -20,7 +20,11 @@ fn bench_fig9(c: &mut Criterion) {
                 &mesh,
                 |b, mesh| {
                     b.iter(|| {
-                        black_box(bandwidth::measure(&engine, mesh, algo, data).unwrap().time_ns)
+                        black_box(
+                            bandwidth::measure(&engine, mesh, algo, data)
+                                .unwrap()
+                                .time_ns,
+                        )
                     })
                 },
             );

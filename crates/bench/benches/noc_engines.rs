@@ -29,10 +29,24 @@ fn bench_engines(c: &mut Criterion) {
     let mut g = c.benchmark_group("noc_engines");
     g.sample_size(10);
     g.bench_function("packet_sim", |b| {
-        b.iter(|| black_box(PacketSim::new(cfg.clone()).run(&mesh, &msgs).unwrap().makespan_ns()))
+        b.iter(|| {
+            black_box(
+                PacketSim::new(cfg.clone())
+                    .run(&mesh, &msgs)
+                    .unwrap()
+                    .makespan_ns(),
+            )
+        })
     });
     g.bench_function("flit_sim", |b| {
-        b.iter(|| black_box(FlitSim::new(cfg.clone()).run(&mesh, &msgs).unwrap().makespan_ns()))
+        b.iter(|| {
+            black_box(
+                FlitSim::new(cfg.clone())
+                    .run(&mesh, &msgs)
+                    .unwrap()
+                    .makespan_ns(),
+            )
+        })
     });
     g.finish();
 }

@@ -20,12 +20,14 @@ fn main() {
         SweepSize::Default => mib(16),
         SweepSize::Full => mib(64),
     };
-    let mesh = Mesh::square(5).unwrap();
+    let mesh = Mesh::square(5).expect("5x5 mesh is constructible");
     // Degrade one central horizontal link (both a ring edge and a TTO tree
     // edge).
     let center: NodeId = mesh.node_at(Coord::new(2, 1));
     let east = mesh.node_at(Coord::new(2, 2));
-    let link = mesh.link_between(center, east).unwrap();
+    let link = mesh
+        .link_between(center, east)
+        .expect("center and east are horizontal neighbors");
     let mut records = Vec::new();
 
     println!(
@@ -49,12 +51,13 @@ fn main() {
             }
             let engine = SimEngine::new(cfg);
             bandwidth::measure(&engine, &mesh, algo, data)
-                .unwrap()
+                .unwrap_or_else(|e| panic!("measuring {algo} on {mesh}: {e}"))
                 .bandwidth_gbps
         };
+        let base = NocConfig::paper_default().link_bandwidth;
         let healthy = bw(None);
-        let half = bw(Some(12.5));
-        let quarter = bw(Some(6.25));
+        let half = bw(Some(base / 2.0));
+        let quarter = bw(Some(base / 4.0));
         println!(
             "{:<12} {:>12.1} {:>12.1} {:>12.1} {:>13.2}x",
             algo.name(),
@@ -64,10 +67,15 @@ fn main() {
             healthy / quarter
         );
         records.push(
-            Record::new("ablation_degraded_link", &mesh.to_string(), algo.name(), &fmt_bytes(data))
-                .with("healthy_gbps", healthy)
-                .with("half_gbps", half)
-                .with("quarter_gbps", quarter),
+            Record::new(
+                "ablation_degraded_link",
+                &mesh.to_string(),
+                algo.name(),
+                &fmt_bytes(data),
+            )
+            .with("healthy_gbps", healthy)
+            .with("half_gbps", half)
+            .with("quarter_gbps", quarter),
         );
     }
 

@@ -17,12 +17,15 @@ fn main() {
         SweepSize::Default => mib(32),
         SweepSize::Full => mib(128),
     };
-    let mesh = Mesh::square(8).unwrap();
+    let mesh = Mesh::square(8).expect("8x8 mesh is constructible");
     let chunks = [kib(12), kib(24), kib(48), kib(96), kib(192), kib(384)];
     let overheads = [0.0f64, 21.0, 42.0, 84.0];
     let mut records = Vec::new();
 
-    println!("Ablation: TTO chunk-size optimum vs per-packet overhead ({mesh}, {})", fmt_bytes(data));
+    println!(
+        "Ablation: TTO chunk-size optimum vs per-packet overhead ({mesh}, {})",
+        fmt_bytes(data)
+    );
     print!("{:<14}", "overhead ns");
     for c in chunks {
         print!("{:>10}", fmt_bytes(c));
@@ -41,22 +44,29 @@ fn main() {
                 ..ScheduleOptions::default()
             };
             let bw = bandwidth::measure_with(&engine, &mesh, Algorithm::Tto, data, &opts)
-                .unwrap()
+                .unwrap_or_else(|e| panic!("measuring TTO at {c} B chunks: {e}"))
                 .bandwidth_gbps;
             print!("{bw:>10.1}");
             if bw > best.1 {
                 best = (c, bw);
             }
             records.push(
-                Record::new("ablation_packet_overhead", &mesh.to_string(), "TTO", &fmt_bytes(c))
-                    .with("overhead_ns", oh)
-                    .with("bandwidth_gbps", bw),
+                Record::new(
+                    "ablation_packet_overhead",
+                    &mesh.to_string(),
+                    "TTO",
+                    &fmt_bytes(c),
+                )
+                .with("overhead_ns", oh)
+                .with("bandwidth_gbps", bw),
             );
         }
         println!("{:>12}", fmt_bytes(best.0));
     }
 
-    println!("\n(expected: with zero overhead the smallest chunk wins; realistic overheads push \
-              the optimum toward the paper's 96-192 KB plateau)");
+    println!(
+        "\n(expected: with zero overhead the smallest chunk wins; realistic overheads push \
+              the optimum toward the paper's 96-192 KB plateau)"
+    );
     cli.save("ablation_packet_overhead", &records);
 }

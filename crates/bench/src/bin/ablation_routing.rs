@@ -19,19 +19,32 @@ fn main() {
         SweepSize::Default => mib(16),
         SweepSize::Full => mib(64),
     };
-    let mesh = Mesh::square(8).unwrap();
+    let mesh = Mesh::square(8).expect("8x8 mesh is constructible");
     let mut records = Vec::new();
 
-    println!("Ablation: XY vs YX routing, {mesh}, {} AllReduce data", fmt_bytes(data));
-    println!("{:<12} {:>12} {:>12} {:>10}", "algorithm", "XY GB/s", "YX GB/s", "delta %");
-    for algo in [Algorithm::Ring, Algorithm::RingBiEven, Algorithm::MultiTree, Algorithm::Tto, Algorithm::DBTree, Algorithm::Ring2D] {
+    println!(
+        "Ablation: XY vs YX routing, {mesh}, {} AllReduce data",
+        fmt_bytes(data)
+    );
+    println!(
+        "{:<12} {:>12} {:>12} {:>10}",
+        "algorithm", "XY GB/s", "YX GB/s", "delta %"
+    );
+    for algo in [
+        Algorithm::Ring,
+        Algorithm::RingBiEven,
+        Algorithm::MultiTree,
+        Algorithm::Tto,
+        Algorithm::DBTree,
+        Algorithm::Ring2D,
+    ] {
         let bw = |routing: RoutingAlgorithm| {
             let engine = SimEngine::new(NocConfig {
                 routing,
                 ..NocConfig::paper_default()
             });
             bandwidth::measure(&engine, &mesh, algo, data)
-                .unwrap()
+                .unwrap_or_else(|e| panic!("measuring {algo} under {routing:?} routing: {e}"))
                 .bandwidth_gbps
         };
         let (xy, yx) = (bw(RoutingAlgorithm::Xy), bw(RoutingAlgorithm::Yx));
@@ -43,9 +56,14 @@ fn main() {
             100.0 * (yx - xy) / xy
         );
         records.push(
-            Record::new("ablation_routing", &mesh.to_string(), algo.name(), &fmt_bytes(data))
-                .with("xy_gbps", xy)
-                .with("yx_gbps", yx),
+            Record::new(
+                "ablation_routing",
+                &mesh.to_string(),
+                algo.name(),
+                &fmt_bytes(data),
+            )
+            .with("xy_gbps", xy)
+            .with("yx_gbps", yx),
         );
     }
 

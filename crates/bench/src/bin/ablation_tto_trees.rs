@@ -22,48 +22,72 @@ fn main() {
 
     println!("Ablation: TTO's three trees vs a two-tree, no-exclusion variant");
     println!("\n-- AllReduce bandwidth ({} data) --", fmt_bytes(data));
-    println!("{:<8} {:>14} {:>14} {:>10}", "mesh", "3 trees GB/s", "2 trees GB/s", "ratio");
+    println!(
+        "{:<8} {:>14} {:>14} {:>10}",
+        "mesh", "3 trees GB/s", "2 trees GB/s", "ratio"
+    );
     for n in [4usize, 5, 8, 9] {
-        let mesh = Mesh::square(n).unwrap();
+        let mesh = Mesh::square(n).unwrap_or_else(|e| panic!("{n}x{n} mesh: {e}"));
         let three = {
-            let s = tto::schedule(&mesh, data).unwrap();
-            let r = engine.run(&mesh, &s).unwrap();
+            let s = tto::schedule(&mesh, data)
+                .unwrap_or_else(|e| panic!("TTO schedule on {mesh}: {e}"));
+            let r = engine
+                .run(&mesh, &s)
+                .unwrap_or_else(|e| panic!("simulating TTO on {mesh}: {e}"));
             r.bandwidth_gbps(data)
         };
         let two = {
-            let s = tto::two_tree_schedule_with(&mesh, data, tto::DEFAULT_CHUNK_BYTES).unwrap();
-            let r = engine.run(&mesh, &s).unwrap();
+            let s = tto::two_tree_schedule_with(&mesh, data, tto::DEFAULT_CHUNK_BYTES)
+                .unwrap_or_else(|e| panic!("two-tree schedule on {mesh}: {e}"));
+            let r = engine
+                .run(&mesh, &s)
+                .unwrap_or_else(|e| panic!("simulating two-tree TTO on {mesh}: {e}"));
             r.bandwidth_gbps(data)
         };
-        println!("{:<8} {:>14.1} {:>14.1} {:>10.2}", format!("{n}x{n}"), three, two, three / two);
+        println!(
+            "{:<8} {:>14.1} {:>14.1} {:>10.2}",
+            format!("{n}x{n}"),
+            three,
+            two,
+            three / two
+        );
         records.push(
-            Record::new("ablation_tto_trees", &mesh.to_string(), "TTO", &fmt_bytes(data))
-                .with("three_tree_gbps", three)
-                .with("two_tree_gbps", two),
+            Record::new(
+                "ablation_tto_trees",
+                &mesh.to_string(),
+                "TTO",
+                &fmt_bytes(data),
+            )
+            .with("three_tree_gbps", three)
+            .with("two_tree_gbps", two),
         );
     }
 
     println!("\n-- End-to-end epoch (ResNet152): does the extra trainer pay for itself? --");
-    println!("{:<8} {:>14} {:>14} {:>12}", "mesh", "3 trees (s)", "2 trees (s)", "3-tree wins");
+    println!(
+        "{:<8} {:>14} {:>14} {:>12}",
+        "mesh", "3 trees (s)", "2 trees (s)", "3-tree wins"
+    );
     let model = DnnModel::ResNet152.model();
     let chiplet = ChipletConfig::paper_default();
     let params = EpochParams::default();
     for n in [4usize, 8] {
-        let mesh = Mesh::square(n).unwrap();
+        let mesh = Mesh::square(n).unwrap_or_else(|e| panic!("{n}x{n} mesh: {e}"));
         let three = epoch_time(&engine, &mesh, Algorithm::Tto, &model, &chiplet, &params)
-            .unwrap()
+            .unwrap_or_else(|e| panic!("TTO epoch time on {mesh}: {e}"))
             .epoch_ns()
             / 1e9;
         // Two-tree variant: all N chiplets train (baseline iteration count),
         // with the two-tree AllReduce time.
-        let two_sched = tto::two_tree_schedule_with(
-            &mesh,
-            model.gradient_bytes(4),
-            tto::DEFAULT_CHUNK_BYTES,
-        )
-        .unwrap();
-        let two_ar = engine.run(&mesh, &two_sched).unwrap().total_time_ns;
-        let base = epoch_time(&engine, &mesh, Algorithm::Ring, &model, &chiplet, &params).unwrap();
+        let two_sched =
+            tto::two_tree_schedule_with(&mesh, model.gradient_bytes(4), tto::DEFAULT_CHUNK_BYTES)
+                .unwrap_or_else(|e| panic!("two-tree schedule on {mesh}: {e}"));
+        let two_ar = engine
+            .run(&mesh, &two_sched)
+            .unwrap_or_else(|e| panic!("simulating two-tree on {mesh}: {e}"))
+            .total_time_ns;
+        let base = epoch_time(&engine, &mesh, Algorithm::Ring, &model, &chiplet, &params)
+            .unwrap_or_else(|e| panic!("Ring epoch time on {mesh}: {e}"));
         let two = base.iterations as f64 * (base.compute_ns + two_ar) / 1e9;
         println!(
             "{:<8} {:>14.1} {:>14.1} {:>12}",
@@ -73,9 +97,14 @@ fn main() {
             if three < two { "yes" } else { "no" }
         );
         records.push(
-            Record::new("ablation_tto_trees", &mesh.to_string(), "TTO", "ResNet152-epoch")
-                .with("three_tree_epoch_s", three)
-                .with("two_tree_epoch_s", two),
+            Record::new(
+                "ablation_tto_trees",
+                &mesh.to_string(),
+                "TTO",
+                "ResNet152-epoch",
+            )
+            .with("three_tree_epoch_s", three)
+            .with("two_tree_epoch_s", two),
         );
     }
 

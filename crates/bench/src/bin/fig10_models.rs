@@ -24,7 +24,7 @@ fn main() {
     let mut records = Vec::new();
 
     for n in meshes {
-        let mesh = Mesh::square(n).unwrap();
+        let mesh = Mesh::square(n).unwrap_or_else(|e| panic!("{n}x{n} mesh: {e}"));
         let algorithms = applicable_benchmarks(&mesh);
         println!("\nFig 10 ({mesh}): one-epoch training time, end-to-end speedup over Ring");
         print!("{:<14}", "model");
@@ -56,7 +56,10 @@ fn main() {
             }
             print!("{:<14}", m.name());
             for (epoch_ns, frac) in row {
-                print!("{:>12}", format!("{:.2}x/{:.0}%", ring_epoch / epoch_ns, 100.0 * frac));
+                print!(
+                    "{:>12}",
+                    format!("{:.2}x/{:.0}%", ring_epoch / epoch_ns, 100.0 * frac)
+                );
             }
             println!();
         }

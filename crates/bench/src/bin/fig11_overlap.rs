@@ -9,8 +9,8 @@ use meshcoll_sim::overlap::overlapped_iteration;
 fn main() {
     let cli = Cli::parse();
     let mesh = match cli.sweep {
-        SweepSize::Quick => Mesh::square(4).unwrap(),
-        _ => Mesh::square(8).unwrap(),
+        SweepSize::Quick => Mesh::square(4).expect("4x4 mesh is constructible"),
+        _ => Mesh::square(8).expect("8x8 mesh is constructible"),
     };
     let models: Vec<DnnModel> = match cli.sweep {
         SweepSize::Quick => vec![DnnModel::GoogLeNet, DnnModel::Ncf],

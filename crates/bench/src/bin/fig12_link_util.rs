@@ -1,7 +1,9 @@
 //! Figure 12 — time-averaged link-utilization percentage of every benchmark
 //! on a 9x9 mesh with 256 MB of AllReduce data.
 
-use meshcoll_bench::{applicable_benchmarks, fmt_bytes, mib, Cli, Mesh, Record, SimEngine, SweepSize};
+use meshcoll_bench::{
+    applicable_benchmarks, fmt_bytes, mib, Cli, Mesh, Record, SimEngine, SweepSize,
+};
 use meshcoll_sim::bandwidth;
 
 fn main() {
@@ -11,12 +13,18 @@ fn main() {
         SweepSize::Default => mib(64),
         SweepSize::Full => mib(256),
     };
-    let mesh = Mesh::square(9).unwrap();
+    let mesh = Mesh::square(9).expect("9x9 mesh is constructible");
     let engine = SimEngine::paper_default();
     let mut records = Vec::new();
 
-    println!("Fig 12 ({mesh}, {} AllReduce data): link utilization", fmt_bytes(data));
-    println!("{:<12} {:>14} {:>16}", "algorithm", "utilization %", "bandwidth GB/s");
+    println!(
+        "Fig 12 ({mesh}, {} AllReduce data): link utilization",
+        fmt_bytes(data)
+    );
+    println!(
+        "{:<12} {:>14} {:>16}",
+        "algorithm", "utilization %", "bandwidth GB/s"
+    );
     meshcoll_bench::rule(44);
     for algo in applicable_benchmarks(&mesh) {
         let p = bandwidth::measure(&engine, &mesh, algo, data).expect("measurement");

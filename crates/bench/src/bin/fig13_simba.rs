@@ -9,7 +9,7 @@ use meshcoll_sim::epoch::{epoch_time, EpochParams};
 
 fn main() {
     let cli = Cli::parse();
-    let mesh = Mesh::square(6).unwrap();
+    let mesh = Mesh::square(6).expect("6x6 mesh is constructible");
     let models: Vec<DnnModel> = match cli.sweep {
         SweepSize::Quick => vec![DnnModel::GoogLeNet, DnnModel::Ncf],
         _ => DnnModel::ALL.to_vec(),

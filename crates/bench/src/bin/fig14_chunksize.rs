@@ -24,11 +24,14 @@ fn main() {
         mib(3),
         mib(6),
     ];
-    let mesh = Mesh::square(8).unwrap();
+    let mesh = Mesh::square(8).expect("8x8 mesh is constructible");
     let engine = SimEngine::paper_default();
     let mut records = Vec::new();
 
-    println!("Fig 14 ({mesh}, {} data): TTO bandwidth vs chunk size", fmt_bytes(data));
+    println!(
+        "Fig 14 ({mesh}, {} data): TTO bandwidth vs chunk size",
+        fmt_bytes(data)
+    );
     println!("{:<12} {:>16}", "chunk", "bandwidth GB/s");
     meshcoll_bench::rule(30);
     let mut best = (0u64, 0.0f64);

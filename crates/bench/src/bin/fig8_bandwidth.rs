@@ -17,7 +17,7 @@ fn main() {
     let mut records = Vec::new();
 
     for n in [4usize, 5, 8, 9] {
-        let mesh = Mesh::square(n).unwrap();
+        let mesh = Mesh::square(n).unwrap_or_else(|e| panic!("{n}x{n} mesh: {e}"));
         let algorithms = applicable_benchmarks(&mesh);
         println!("\nFig 8 ({mesh}): AllReduce bandwidth (GB/s) by data size");
         print!("{:<12}", "algorithm");

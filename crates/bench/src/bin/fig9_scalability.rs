@@ -17,7 +17,8 @@ fn main() {
     let mut records = Vec::new();
 
     for (parity, sizes, base_n) in [("even", even_sizes, 4usize), ("odd", odd_sizes, 3usize)] {
-        let base_mesh = Mesh::square(base_n).unwrap();
+        let base_mesh =
+            Mesh::square(base_n).unwrap_or_else(|e| panic!("{base_n}x{base_n} mesh: {e}"));
         let base = bandwidth::measure(
             &engine,
             &base_mesh,
@@ -35,11 +36,13 @@ fn main() {
         println!();
         meshcoll_bench::rule(12 + 10 * sizes.len());
 
-        let all_algos = applicable_benchmarks(&Mesh::square(sizes[0]).unwrap());
+        let all_algos = applicable_benchmarks(
+            &Mesh::square(sizes[0]).expect("sweep sizes are valid mesh sizes"),
+        );
         for algo in all_algos {
             print!("{:<12}", algo.name());
             for &n in &sizes {
-                let mesh = Mesh::square(n).unwrap();
+                let mesh = Mesh::square(n).unwrap_or_else(|e| panic!("{n}x{n} mesh: {e}"));
                 let data = bandwidth::scalability_data_bytes(&mesh);
                 let p = bandwidth::measure(&engine, &mesh, algo, data).expect("measurement");
                 let norm = p.time_ns / base;

@@ -28,13 +28,16 @@ fn main() {
     let mut records = Vec::new();
 
     for n in [5usize, 8] {
-        let mesh = Mesh::square(n).unwrap();
-        let torus = Mesh::torus(n, n).unwrap();
+        let mesh = Mesh::square(n).unwrap_or_else(|e| panic!("{n}x{n} mesh: {e}"));
+        let torus = Mesh::torus(n, n).unwrap_or_else(|e| panic!("{n}x{n} torus: {e}"));
         println!(
             "\nMotivation ({n}x{n}, {} AllReduce data): mesh vs torus bandwidth (GB/s)",
             fmt_bytes(data)
         );
-        println!("{:<12} {:>12} {:>12} {:>12}", "algorithm", "mesh", "torus", "torus gain");
+        println!(
+            "{:<12} {:>12} {:>12} {:>12}",
+            "algorithm", "mesh", "torus", "torus gain"
+        );
         for algo in [
             Algorithm::Ring,
             Algorithm::Ring2D,
@@ -49,7 +52,7 @@ fn main() {
                 }
                 Some(
                     bandwidth::measure(&engine, topo, algo, data)
-                        .unwrap()
+                        .unwrap_or_else(|e| panic!("measuring {algo} on {topo}: {e}"))
                         .bandwidth_gbps,
                 )
             };
@@ -59,11 +62,22 @@ fn main() {
                 (Some(m), Some(t)) => format!("{:.2}x", t / m),
                 _ => "-".into(),
             };
-            println!("{:<12} {:>12} {:>12} {:>12}", algo.name(), fmt(m), fmt(t), gain);
+            println!(
+                "{:<12} {:>12} {:>12} {:>12}",
+                algo.name(),
+                fmt(m),
+                fmt(t),
+                gain
+            );
             records.push(
-                Record::new("motivation_torus", &format!("{n}x{n}"), algo.name(), &fmt_bytes(data))
-                    .with("mesh_gbps", m.unwrap_or(f64::NAN))
-                    .with("torus_gbps", t.unwrap_or(f64::NAN)),
+                Record::new(
+                    "motivation_torus",
+                    &format!("{n}x{n}"),
+                    algo.name(),
+                    &fmt_bytes(data),
+                )
+                .with("mesh_gbps", m.unwrap_or(f64::NAN))
+                .with("torus_gbps", t.unwrap_or(f64::NAN)),
             );
         }
     }

@@ -10,23 +10,45 @@ use meshcoll_sim::epoch::{overhead_analysis, EpochParams};
 fn main() {
     let cli = Cli::parse();
     let mesh = match cli.sweep {
-        SweepSize::Quick => Mesh::square(4).unwrap(),
-        _ => Mesh::square(8).unwrap(),
+        SweepSize::Quick => Mesh::square(4).expect("4x4 mesh is constructible"),
+        _ => Mesh::square(8).expect("8x8 mesh is constructible"),
     };
     let engine = SimEngine::paper_default();
     let model = DnnModel::ResNet152.model();
     let chiplet = ChipletConfig::paper_default();
     let params = EpochParams::default();
 
-    let a = overhead_analysis(&engine, &mesh, Algorithm::RingBiEven, &model, &chiplet, &params)
-        .expect("overhead analysis");
+    let a = overhead_analysis(
+        &engine,
+        &mesh,
+        Algorithm::RingBiEven,
+        &model,
+        &chiplet,
+        &params,
+    )
+    .expect("overhead analysis");
 
     println!("S VIII-B overhead analysis: ResNet152, {mesh}, ImageNet epoch (1,281,167 samples)");
-    println!("  I_base (RingBiEven, all chiplets):   {}", a.iterations_base);
-    println!("  I_tto  (TTO, one chiplet excluded):  {}", a.iterations_tto);
-    println!("  extra iterations for TTO:            {}", a.extra_iterations);
-    println!("  epoch time, RingBiEven:              {:.3e} ns", a.epoch_base_ns);
-    println!("  epoch time, TTO:                     {:.3e} ns", a.epoch_tto_ns);
+    println!(
+        "  I_base (RingBiEven, all chiplets):   {}",
+        a.iterations_base
+    );
+    println!(
+        "  I_tto  (TTO, one chiplet excluded):  {}",
+        a.iterations_tto
+    );
+    println!(
+        "  extra iterations for TTO:            {}",
+        a.extra_iterations
+    );
+    println!(
+        "  epoch time, RingBiEven:              {:.3e} ns",
+        a.epoch_base_ns
+    );
+    println!(
+        "  epoch time, TTO:                     {:.3e} ns",
+        a.epoch_tto_ns
+    );
     println!(
         "  Eq. 2 gain:                          {:.3e} ns ({:+.1}%)",
         a.gain_ns,

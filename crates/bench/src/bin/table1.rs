@@ -16,7 +16,10 @@ fn main() {
         SweepSize::Full => mib(64),
     };
     let engine = SimEngine::paper_default();
-    let meshes = [Mesh::square(8).unwrap(), Mesh::square(9).unwrap()];
+    let meshes = [
+        Mesh::square(8).expect("8x8 mesh is constructible"),
+        Mesh::square(9).expect("9x9 mesh is constructible"),
+    ];
 
     println!("Table I: Used Link Percentage for Different AllReduce Algorithms in mesh Topology");
     println!(

@@ -116,9 +116,7 @@ pub fn rule(width: usize) {
 pub fn applicable_benchmarks(mesh: &Mesh) -> Vec<Algorithm> {
     Algorithm::BENCHMARKS
         .into_iter()
-        .filter(|a| {
-            a.applicability(mesh) != meshcoll_collectives::Applicability::Inapplicable
-        })
+        .filter(|a| a.applicability(mesh) != meshcoll_collectives::Applicability::Inapplicable)
         .collect()
 }
 
@@ -137,9 +135,8 @@ mod tests {
     fn applicable_benchmarks_follow_parity() {
         let even = Mesh::square(4).unwrap();
         let odd = Mesh::square(5).unwrap();
-        let names = |m: &Mesh| -> Vec<&str> {
-            applicable_benchmarks(m).iter().map(|a| a.name()).collect()
-        };
+        let names =
+            |m: &Mesh| -> Vec<&str> { applicable_benchmarks(m).iter().map(|a| a.name()).collect() };
         assert!(names(&even).contains(&"RingBiEven"));
         assert!(!names(&even).contains(&"RingBiOdd"));
         assert!(names(&odd).contains(&"RingBiOdd"));

@@ -79,7 +79,11 @@ pub fn schedule_stats(mesh: &Mesh, schedule: &Schedule) -> ScheduleStats {
         ops: n,
         link_byte_traffic,
         max_hops,
-        mean_hops: if n == 0 { 0.0 } else { hop_sum as f64 / n as f64 },
+        mean_hops: if n == 0 {
+            0.0
+        } else {
+            hop_sum as f64 / n as f64
+        },
         max_node_tx_bytes: tx.into_iter().max().unwrap_or(0),
         max_node_rx_bytes: rx.into_iter().max().unwrap_or(0),
     }
@@ -158,7 +162,12 @@ mod tests {
         // the interesting check is that no algorithm explodes per-node load.
         let mesh = Mesh::square(4).unwrap();
         let d = 1 << 20;
-        for a in [Algorithm::Ring, Algorithm::RingBiEven, Algorithm::Tto, Algorithm::MultiTree] {
+        for a in [
+            Algorithm::Ring,
+            Algorithm::RingBiEven,
+            Algorithm::Tto,
+            Algorithm::MultiTree,
+        ] {
             let s = a.schedule(&mesh, d).unwrap();
             let stats = schedule_stats(&mesh, &s);
             assert!(

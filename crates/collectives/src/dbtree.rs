@@ -55,7 +55,10 @@ pub fn schedule_with(
         });
     }
     let halves = split_bytes(data_bytes, 2)?;
-    let trees = [build_tree(n, Variant::InOrder), build_tree(n, second_variant(n))];
+    let trees = [
+        build_tree(n, Variant::InOrder),
+        build_tree(n, second_variant(n)),
+    ];
     let plans: Vec<TreePlan> = trees.iter().map(|t| TreePlan::new(t, n)).collect();
 
     let mut b = Schedule::builder("DBTree", data_bytes);

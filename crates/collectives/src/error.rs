@@ -29,6 +29,12 @@ pub enum CollectiveError {
     },
     /// Internal invariant violation while building a schedule (a bug).
     Construction(String),
+    /// No (repaired) schedule exists on the fault-masked topology — the
+    /// survivors are partitioned or cannot support the required structure.
+    Infeasible {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for CollectiveError {
@@ -40,11 +46,20 @@ impl fmt::Display for CollectiveError {
                 rows,
                 cols,
                 reason,
-            } => write!(f, "{algorithm} is inapplicable on a {rows}x{cols} mesh: {reason}"),
+            } => write!(
+                f,
+                "{algorithm} is inapplicable on a {rows}x{cols} mesh: {reason}"
+            ),
             CollectiveError::DataTooSmall { bytes, parts } => {
-                write!(f, "{bytes} gradient bytes cannot be split into {parts} parts")
+                write!(
+                    f,
+                    "{bytes} gradient bytes cannot be split into {parts} parts"
+                )
             }
             CollectiveError::Construction(msg) => write!(f, "schedule construction failed: {msg}"),
+            CollectiveError::Infeasible { reason } => {
+                write!(f, "infeasible under the given faults: {reason}")
+            }
         }
     }
 }

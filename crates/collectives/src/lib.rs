@@ -23,6 +23,9 @@
 //! concrete data to prove the AllReduce post-condition, and (b) the
 //! `meshcoll-noc` simulators can time under real link contention.
 //!
+//! Under chiplet/link faults, the [`fault`] module lints schedules against a
+//! `FaultModel` and regenerates (repairs) them over the surviving topology.
+//!
 //! # Example
 //!
 //! ```
@@ -46,6 +49,7 @@ mod tree_common;
 pub mod analysis;
 pub mod dbtree;
 pub mod export;
+pub mod fault;
 pub mod hdrm;
 pub mod link_usage;
 pub mod lint;

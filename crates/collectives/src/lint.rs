@@ -77,7 +77,11 @@ pub fn lint(mesh: &Mesh, schedule: &Schedule) -> Vec<LintIssue> {
         }
         at = at.max(hi);
     }
-    if at < schedule.data_bytes() && !issues.iter().any(|i| matches!(i, LintIssue::UncoveredRange { .. })) {
+    if at < schedule.data_bytes()
+        && !issues
+            .iter()
+            .any(|i| matches!(i, LintIssue::UncoveredRange { .. }))
+    {
         issues.push(LintIssue::UncoveredRange { offset: at });
     }
 
@@ -141,7 +145,10 @@ fn reduce_after_gather_hazards(schedule: &Schedule) -> Vec<LintIssue> {
             }
             // The pair must be ordered one way or the other.
             if !is_ancestor(g.index(), id.index()) && !is_ancestor(id.index(), g.index()) {
-                issues.push(LintIssue::ReduceAfterGatherHazard { reduce: id, gather: g });
+                issues.push(LintIssue::ReduceAfterGatherHazard {
+                    reduce: id,
+                    gather: g,
+                });
             }
         }
     }
@@ -167,7 +174,9 @@ mod tests {
                 Algorithm::DBTree,
                 Algorithm::Tto,
             ] {
-                let Ok(s) = a.schedule(&mesh, 3600) else { continue };
+                let Ok(s) = a.schedule(&mesh, 3600) else {
+                    continue;
+                };
                 let issues = lint(&mesh, &s);
                 assert!(issues.is_empty(), "{a} on {n}x{n}: {issues:?}");
             }

@@ -15,9 +15,9 @@
 
 use std::collections::HashSet;
 
-use meshcoll_topo::{LinkId, Mesh, NodeId, Tree};
+use meshcoll_topo::{masked, FaultModel, LinkId, Mesh, NodeId, Tree};
 
-use crate::schedule::{split_bytes, OpId, OpKind};
+use crate::schedule::{split_bytes, OpId, OpKind, ScheduleBuilder};
 use crate::{CollectiveError, Schedule};
 
 /// Builds the MultiTree schedule for `data_bytes` of gradient per node.
@@ -43,7 +43,44 @@ pub fn schedule(mesh: &Mesh, data_bytes: u64) -> Result<Schedule, CollectiveErro
 
     let mut b = Schedule::builder("MultiTree", data_bytes);
     b.set_participants(mesh.node_ids().collect());
+    emit_tree_ops(&mut b, &built, &parts, n);
+    Ok(b.build())
+}
 
+/// Fault-aware MultiTree: grows one conflict-free tree per *surviving*
+/// chiplet over the usable links and splits the gradient `K'` ways (the dead
+/// participants' shares are redistributed across the survivors, per the
+/// Kumar-&-Jouppi degraded-allreduce approach).
+///
+/// # Errors
+///
+/// * [`CollectiveError::Infeasible`] when the survivors are partitioned (or
+///   none survive),
+/// * [`CollectiveError::DataTooSmall`] when `data_bytes` cannot split
+///   `K'` ways.
+pub fn schedule_masked(
+    mesh: &Mesh,
+    faults: &FaultModel,
+    data_bytes: u64,
+) -> Result<Schedule, CollectiveError> {
+    let survivors = faults.surviving_nodes(mesh);
+    if survivors.len() < 2 {
+        return Err(CollectiveError::Infeasible {
+            reason: "MultiTree repair needs at least two surviving chiplets",
+        });
+    }
+    let built = build_trees_masked(mesh, faults)?;
+    let parts = split_bytes(data_bytes, survivors.len() as u64)?;
+
+    let mut b = Schedule::builder("MultiTree-repair", data_bytes);
+    b.set_participants(survivors);
+    emit_tree_ops(&mut b, &built, &parts, mesh.nodes());
+    Ok(b.build())
+}
+
+/// Emits the per-tree ReduceScatter/AllGather ops; `parts[k]` is tree `k`'s
+/// gradient slice.
+fn emit_tree_ops(b: &mut ScheduleBuilder, built: &[BuiltTree], parts: &[(u64, u64)], n: usize) {
     let mut scratch: Vec<OpId> = Vec::new();
     for (k, bt) in built.iter().enumerate() {
         let (off, len) = parts[k];
@@ -58,15 +95,7 @@ pub fn schedule(mesh: &Mesh, data_bytes: u64) -> Result<Schedule, CollectiveErro
             for &c in &bt.children[child.index()] {
                 deps.push(scratch[c.index()]);
             }
-            scratch[child.index()] = b.push(
-                child,
-                parent,
-                range.0,
-                len,
-                OpKind::Reduce,
-                0,
-                &deps,
-            );
+            scratch[child.index()] = b.push(child, parent, range.0, len, OpKind::Reduce, 0, &deps);
         }
         let root = bt.tree.root();
         let root_done: Vec<OpId> = bt.children[root.index()]
@@ -85,7 +114,6 @@ pub fn schedule(mesh: &Mesh, data_bytes: u64) -> Result<Schedule, CollectiveErro
             down[child.index()] = b.push(parent, child, range.0, len, OpKind::Gather, 0, d);
         }
     }
-    Ok(b.build())
 }
 
 /// One grown tree plus its construction metadata.
@@ -110,28 +138,56 @@ pub struct BuiltTree {
 ///
 /// Returns [`CollectiveError::Construction`] if growth stalls (defensive).
 pub fn build_trees(mesh: &Mesh) -> Result<Vec<BuiltTree>, CollectiveError> {
+    build_trees_masked(mesh, &FaultModel::default())
+}
+
+/// Grows one conflict-free tree per surviving chiplet, using only links that
+/// are usable under `faults` (the healthy case reduces to [`build_trees`]).
+///
+/// # Errors
+///
+/// * [`CollectiveError::Infeasible`] when no chiplet survives or the
+///   survivors are partitioned,
+/// * [`CollectiveError::Construction`] if growth stalls (defensive).
+pub fn build_trees_masked(
+    mesh: &Mesh,
+    faults: &FaultModel,
+) -> Result<Vec<BuiltTree>, CollectiveError> {
+    faults.validate(mesh)?;
     let n = mesh.nodes();
-    let mut trees: Vec<Tree> = (0..n).map(|r| Tree::new(NodeId(r), n)).collect();
-    let mut edges: Vec<Vec<(NodeId, NodeId, usize)>> = vec![Vec::new(); n];
+    let survivors = faults.surviving_nodes(mesh);
+    let target = survivors.len();
+    if target == 0 {
+        return Err(CollectiveError::Infeasible {
+            reason: "no surviving chiplets",
+        });
+    }
+    if !masked::is_connected(mesh, faults) {
+        return Err(CollectiveError::Infeasible {
+            reason: "surviving chiplets are partitioned",
+        });
+    }
+    let count = target;
+    let mut trees: Vec<Tree> = survivors.iter().map(|&r| Tree::new(r, n)).collect();
+    let mut edges: Vec<Vec<(NodeId, NodeId, usize)>> = vec![Vec::new(); count];
     let mut t = 0usize;
-    while trees.iter().any(|tr| tr.len() < n) {
+    while trees.iter().any(|tr| tr.len() < target) {
         let mut used: HashSet<LinkId> = HashSet::new();
         let before: Vec<Vec<bool>> = trees
             .iter()
             .map(|tr| (0..n).map(|i| tr.contains(NodeId(i))).collect())
             .collect();
         let mut progressed = false;
-        for rot in 0..n {
-            let k = (t + rot) % n;
-            if trees[k].len() == n {
+        for rot in 0..count {
+            let k = (t + rot) % count;
+            if trees[k].len() == target {
                 continue;
             }
-            for v in 0..n {
-                let v = NodeId(v);
+            for &v in &survivors {
                 if trees[k].contains(v) {
                     continue;
                 }
-                for u in mesh.neighbors(v) {
+                for u in masked::usable_neighbors(mesh, faults, v) {
                     if !before[k][u.index()] {
                         continue;
                     }
@@ -221,7 +277,10 @@ mod tests {
             }
             for &(c, p, t) in &bt.edges_desc {
                 if p != bt.tree.root() {
-                    assert!(ts[p.index()] < t, "edge ({c},{p}) at t={t} not after parent");
+                    assert!(
+                        ts[p.index()] < t,
+                        "edge ({c},{p}) at t={t} not after parent"
+                    );
                 }
             }
         }

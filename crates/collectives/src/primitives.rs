@@ -13,8 +13,8 @@
 
 use meshcoll_topo::{Mesh, NodeId, Tree};
 
-use crate::schedule::split_bytes;
 use crate::ring_common::{no_entry, ring_all_gather, ring_reduce_scatter};
+use crate::schedule::split_bytes;
 use crate::tree_common::TreePlan;
 use crate::{CollectiveError, Schedule};
 
@@ -40,7 +40,10 @@ impl ScatterLayout {
     }
 }
 
-fn ring_layout(mesh: &Mesh, data_bytes: u64) -> Result<(Vec<NodeId>, ScatterLayout), CollectiveError> {
+fn ring_layout(
+    mesh: &Mesh,
+    data_bytes: u64,
+) -> Result<(Vec<NodeId>, ScatterLayout), CollectiveError> {
     let order = crate::ring::ring_order(mesh);
     let k = order.len();
     let parts = split_bytes(data_bytes, k as u64)?;
@@ -73,7 +76,7 @@ pub fn reduce_scatter(
     let (order, layout) = ring_layout(mesh, data_bytes)?;
     let mut b = Schedule::builder("ReduceScatter", data_bytes);
     b.set_participants(mesh.node_ids().collect());
-    ring_reduce_scatter(&mut b, &order, (0, data_bytes), 0, no_entry, None)?;
+    ring_reduce_scatter(&mut b, &order, (0, data_bytes), 0, no_entry, &[])?;
     Ok((b.build(), layout))
 }
 
@@ -94,7 +97,7 @@ pub fn all_gather(
     let (order, layout) = ring_layout(mesh, data_bytes)?;
     let mut b = Schedule::builder("AllGather", data_bytes);
     b.set_participants(mesh.node_ids().collect());
-    ring_all_gather(&mut b, &order, (0, data_bytes), 0, no_entry, None)?;
+    ring_all_gather(&mut b, &order, (0, data_bytes), 0, no_entry, &[])?;
     Ok((b.build(), layout))
 }
 

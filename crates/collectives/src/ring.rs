@@ -32,14 +32,14 @@ pub fn schedule(mesh: &Mesh, data_bytes: u64) -> Result<Schedule, CollectiveErro
     let order = ring_order(mesh);
     let mut b = Schedule::builder("Ring", data_bytes);
     b.set_participants(mesh.node_ids().collect());
-    let rs = ring_reduce_scatter(&mut b, &order, (0, data_bytes), 0, no_entry, None)?;
+    let rs = ring_reduce_scatter(&mut b, &order, (0, data_bytes), 0, no_entry, &[])?;
     ring_all_gather(
         &mut b,
         &order,
         (0, data_bytes),
         0,
         |p| rs.completion[p].clone(),
-        None,
+        &[],
     )?;
     Ok(b.build())
 }

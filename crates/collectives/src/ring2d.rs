@@ -66,7 +66,8 @@ fn hierarchical_half(
         }
     };
     // The orthogonal line through position `pos`, ordered by outer index.
-    let cross_order = |pos: usize| -> Vec<NodeId> { (0..outer_count).map(|l| node(l, pos)).collect() };
+    let cross_order =
+        |pos: usize| -> Vec<NodeId> { (0..outer_count).map(|l| node(l, pos)).collect() };
 
     let outer_parts = split_range(range.0, range.1, inner_count as u64)?;
 
@@ -74,7 +75,7 @@ fn hierarchical_half(
     let mut rs_outer = Vec::with_capacity(outer_count);
     for line in 0..outer_count {
         let order: Vec<NodeId> = (0..inner_count).map(|p| node(line, p)).collect();
-        rs_outer.push(ring_reduce_scatter(b, &order, range, 0, no_entry, None)?);
+        rs_outer.push(ring_reduce_scatter(b, &order, range, 0, no_entry, &[])?);
     }
 
     // Phase 2: ReduceScatter along each orthogonal line. After phase 1, the
@@ -90,7 +91,7 @@ fn hierarchical_half(
             (part.0, part.0 + part.1),
             0,
             entry,
-            None,
+            &[],
         )?);
     }
 
@@ -106,7 +107,7 @@ fn hierarchical_half(
             (part.0, part.0 + part.1),
             0,
             entry,
-            None,
+            &[],
         )?);
     }
 
@@ -114,7 +115,7 @@ fn hierarchical_half(
     for line in 0..outer_count {
         let order: Vec<NodeId> = (0..inner_count).map(|p| node(line, p)).collect();
         let entry = |pos: usize| ag_inner[pos].completion[line].clone();
-        ring_all_gather(b, &order, range, 0, entry, None)?;
+        ring_all_gather(b, &order, range, 0, entry, &[])?;
     }
     Ok(())
 }
@@ -129,8 +130,7 @@ mod tests {
         for (r, c) in [(2, 2), (3, 3), (4, 4), (2, 4), (3, 2), (4, 3)] {
             let mesh = Mesh::new(r, c).unwrap();
             let s = schedule(&mesh, 8 * 1024).unwrap();
-            verify::check_allreduce(&mesh, &s)
-                .unwrap_or_else(|e| panic!("{r}x{c}: {e}"));
+            verify::check_allreduce(&mesh, &s).unwrap_or_else(|e| panic!("{r}x{c}: {e}"));
             for seed in 0..3 {
                 verify::check_allreduce_seeded(&mesh, &s, seed).unwrap();
             }

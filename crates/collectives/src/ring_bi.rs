@@ -21,30 +21,38 @@ use crate::{CollectiveError, Schedule};
 /// * [`CollectiveError::DataTooSmall`] when a half cannot split into `N`
 ///   parts.
 pub fn schedule(mesh: &Mesh, data_bytes: u64) -> Result<Schedule, CollectiveError> {
-    let cycle = hamiltonian::hamiltonian_cycle(mesh).map_err(|_| CollectiveError::Inapplicable {
-        algorithm: "RingBiEven",
-        rows: mesh.rows(),
-        cols: mesh.cols(),
-        reason: "bidirectional rings need a Hamiltonian cycle, which odd-sized meshes lack",
-    })?;
+    let cycle =
+        hamiltonian::hamiltonian_cycle(mesh).map_err(|_| CollectiveError::Inapplicable {
+            algorithm: "RingBiEven",
+            rows: mesh.rows(),
+            cols: mesh.cols(),
+            reason: "bidirectional rings need a Hamiltonian cycle, which odd-sized meshes lack",
+        })?;
     let mut b = Schedule::builder("RingBiEven", data_bytes);
     b.set_participants(mesh.node_ids().collect());
     let half = data_bytes / 2;
 
     // Direction A: cycle order, first half of the gradient.
-    let rs_a = ring_reduce_scatter(&mut b, &cycle, (0, half), 0, no_entry, None)?;
-    ring_all_gather(&mut b, &cycle, (0, half), 0, |p| rs_a.completion[p].clone(), None)?;
+    let rs_a = ring_reduce_scatter(&mut b, &cycle, (0, half), 0, no_entry, &[])?;
+    ring_all_gather(
+        &mut b,
+        &cycle,
+        (0, half),
+        0,
+        |p| rs_a.completion[p].clone(),
+        &[],
+    )?;
 
     // Direction B: reversed order (opposite directed links), second half.
     let rev: Vec<_> = cycle.iter().rev().copied().collect();
-    let rs_b = ring_reduce_scatter(&mut b, &rev, (half, data_bytes), 0, no_entry, None)?;
+    let rs_b = ring_reduce_scatter(&mut b, &rev, (half, data_bytes), 0, no_entry, &[])?;
     ring_all_gather(
         &mut b,
         &rev,
         (half, data_bytes),
         0,
         |p| rs_b.completion[p].clone(),
-        None,
+        &[],
     )?;
     Ok(b.build())
 }

@@ -70,14 +70,14 @@ pub fn schedule(mesh: &Mesh, data_bytes: u64) -> Result<Schedule, CollectiveErro
         node: excluded,
         merge_pos: pos_of(&cycle, west),
     };
-    let rs_a = ring_reduce_scatter(&mut b, &cycle, (0, half), 0, no_entry, Some(feeder_a))?;
+    let rs_a = ring_reduce_scatter(&mut b, &cycle, (0, half), 0, no_entry, &[feeder_a])?;
     ring_all_gather(
         &mut b,
         &cycle,
         (0, half),
         0,
         |p| rs_a.completion[p].clone(),
-        Some(feeder_a),
+        &[feeder_a],
     )?;
 
     // Direction B: reversed order, second half, merging through the north
@@ -87,14 +87,14 @@ pub fn schedule(mesh: &Mesh, data_bytes: u64) -> Result<Schedule, CollectiveErro
         node: excluded,
         merge_pos: pos_of(&rev, north),
     };
-    let rs_b = ring_reduce_scatter(&mut b, &rev, (half, data_bytes), 0, no_entry, Some(feeder_b))?;
+    let rs_b = ring_reduce_scatter(&mut b, &rev, (half, data_bytes), 0, no_entry, &[feeder_b])?;
     ring_all_gather(
         &mut b,
         &rev,
         (half, data_bytes),
         0,
         |p| rs_b.completion[p].clone(),
-        Some(feeder_b),
+        &[feeder_b],
     )?;
     Ok(b.build())
 }

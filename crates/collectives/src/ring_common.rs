@@ -12,7 +12,10 @@
 //! RingBiOdd extends a phase with a *feeder* — the excluded corner node
 //! streams its parts into a designated merge position just in time for each
 //! ring step (paper Algorithm 1) — and a *drain* that returns all final
-//! parts to the excluded node during AllGather.
+//! parts to the excluded node during AllGather. Fault-aware ring repair
+//! generalizes this to any number of feeders: every survivor the masked
+//! cycle could not place gets its own feed/drain chain through a usable
+//! neighbor on the cycle.
 
 use meshcoll_topo::NodeId;
 
@@ -64,18 +67,19 @@ pub(crate) fn ring_reduce_scatter(
     range: (u64, u64),
     chunk: u32,
     entry: impl Fn(usize) -> Vec<OpId>,
-    feeder: Option<Feeder>,
+    feeders: &[Feeder],
 ) -> Result<RsPhase, CollectiveError> {
     let k = order.len();
     assert!(k >= 2, "ring needs at least two nodes");
     let parts = split_range(range.0, range.1, k as u64)?;
 
-    // Feeder ops first: f[i] carries part j, j-1, j-2, ... (mod K) for
-    // i = 0, 1, 2, ...; f[s] is exactly the part the merge node forwards at
-    // ring step s.
-    let mut feed: Vec<OpId> = Vec::new();
-    if let Some(f) = feeder {
+    // Feeder ops first, one chain per feeder: f[i] carries part j, j-1,
+    // j-2, ... (mod K) for i = 0, 1, 2, ...; f[s] is exactly the part the
+    // merge node forwards at ring step s.
+    let mut feeds: Vec<Vec<OpId>> = Vec::with_capacity(feeders.len());
+    for f in feeders {
         let j = f.merge_pos as isize;
+        let mut feed: Vec<OpId> = Vec::with_capacity(k);
         for i in 0..k {
             let part = parts[wrap(j - i as isize, k)];
             let deps: Vec<OpId> = feed.last().copied().into_iter().collect();
@@ -89,6 +93,7 @@ pub(crate) fn ring_reduce_scatter(
                 &deps,
             ));
         }
+        feeds.push(feed);
     }
 
     let mut ops: Vec<Vec<OpId>> = Vec::with_capacity(k.saturating_sub(1));
@@ -100,7 +105,7 @@ pub(crate) fn ring_reduce_scatter(
             if s > 0 {
                 deps.push(ops[s - 1][wrap(p as isize - 1, k)]);
             }
-            if let Some(f) = feeder {
+            for (f, feed) in feeders.iter().zip(&feeds) {
                 if p == f.merge_pos {
                     deps.push(feed[s]);
                 }
@@ -119,12 +124,12 @@ pub(crate) fn ring_reduce_scatter(
     }
 
     // Completion: position p's final part (p+1) is delivered by the last
-    // step's send from p-1 (ops[k-2][p-1]); at the merge position the
+    // step's send from p-1 (ops[k-2][p-1]); at each merge position the
     // feeder's last op also contributes.
     let completion: Vec<Vec<OpId>> = (0..k)
         .map(|p| {
             let mut v = vec![ops[k - 2][wrap(p as isize - 1, k)]];
-            if let Some(f) = feeder {
+            for (f, feed) in feeders.iter().zip(&feeds) {
                 if p == f.merge_pos {
                     v.push(*feed.last().expect("feeder ops exist"));
                 }
@@ -144,7 +149,7 @@ pub(crate) fn ring_reduce_scatter(
 ///
 /// `entry(p)` must return the dependencies establishing that ring position
 /// `p` holds its final part `(p + 1) mod K` (typically the ReduceScatter
-/// phase's `completion[p]`). When `drain` is given, the merge node forwards
+/// phase's `completion[p]`). Each `drain` makes its merge node forward
 /// every final part to the excluded node as it appears.
 pub(crate) fn ring_all_gather(
     b: &mut ScheduleBuilder,
@@ -152,7 +157,7 @@ pub(crate) fn ring_all_gather(
     range: (u64, u64),
     chunk: u32,
     entry: impl Fn(usize) -> Vec<OpId>,
-    drain: Option<Feeder>,
+    drains: &[Feeder],
 ) -> Result<AgPhase, CollectiveError> {
     let k = order.len();
     assert!(k >= 2, "ring needs at least two nodes");
@@ -196,10 +201,10 @@ pub(crate) fn ring_all_gather(
         })
         .collect();
 
-    // Drain to the excluded node: the merge node owns part (j+1) and then
+    // Drain to each excluded node: the merge node owns part (j+1) and then
     // receives parts j, j-1, ... during AllGather; it forwards each to the
     // excluded node.
-    if let Some(d) = drain {
+    for d in drains {
         let j = d.merge_pos as isize;
         let mut prev: Option<OpId> = None;
         for s in 0..k {

@@ -217,7 +217,17 @@ mod tests {
     use std::collections::HashSet;
 
     fn all_sizes() -> Vec<(usize, usize)> {
-        vec![(2, 2), (3, 3), (3, 5), (4, 4), (5, 3), (5, 5), (6, 6), (8, 8), (9, 9)]
+        vec![
+            (2, 2),
+            (3, 3),
+            (3, 5),
+            (4, 4),
+            (5, 3),
+            (5, 5),
+            (6, 6),
+            (8, 8),
+            (9, 9),
+        ]
     }
 
     #[test]

@@ -121,11 +121,7 @@ pub fn check_allreduce_seeded(
 /// # Errors
 ///
 /// Returns [`VerifyError`] describing the first violation found.
-pub fn check_reduce(
-    mesh: &Mesh,
-    schedule: &Schedule,
-    root: NodeId,
-) -> Result<(), VerifyError> {
+pub fn check_reduce(mesh: &Mesh, schedule: &Schedule, root: NodeId) -> Result<(), VerifyError> {
     let order: Vec<u32> = (0..schedule.len() as u32).collect();
     let (breaks, bufs) = run(mesh, schedule, &order)?;
     let expected: f64 = schedule
@@ -142,11 +138,7 @@ pub fn check_reduce(
 /// # Errors
 ///
 /// Returns [`VerifyError`] describing the first violation found.
-pub fn check_broadcast(
-    mesh: &Mesh,
-    schedule: &Schedule,
-    root: NodeId,
-) -> Result<(), VerifyError> {
+pub fn check_broadcast(mesh: &Mesh, schedule: &Schedule, root: NodeId) -> Result<(), VerifyError> {
     let order: Vec<u32> = (0..schedule.len() as u32).collect();
     let (breaks, bufs) = run(mesh, schedule, &order)?;
     let expected = (root.index() + 1) as f64;
@@ -234,10 +226,7 @@ fn expect_value(
 /// # Errors
 ///
 /// Returns [`VerifyError`] if an op is malformed (out-of-range node/range).
-pub fn execute(
-    mesh: &Mesh,
-    schedule: &Schedule,
-) -> Result<(Vec<u64>, Vec<Vec<f64>>), VerifyError> {
+pub fn execute(mesh: &Mesh, schedule: &Schedule) -> Result<(Vec<u64>, Vec<Vec<f64>>), VerifyError> {
     let order: Vec<u32> = (0..schedule.len() as u32).collect();
     run(mesh, schedule, &order)
 }

@@ -109,9 +109,7 @@ mod tests {
     fn weight_stationary_favors_tall_activations() {
         // Large M amortizes the weight load: WS beats OS when M >> K tiles.
         let tall = Gemm::new(100_000, 256, 256);
-        assert!(
-            gemm_cycles_weight_stationary(tall, 256, 256) < gemm_cycles(tall, 256, 256)
-        );
+        assert!(gemm_cycles_weight_stationary(tall, 256, 256) < gemm_cycles(tall, 256, 256));
         // Tiny M with deep K: OS wins (WS refills the array constantly).
         let deep = Gemm::new(1, 100_000, 256);
         assert!(gemm_cycles_weight_stationary(deep, 256, 256) > gemm_cycles(deep, 256, 256));

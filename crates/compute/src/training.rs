@@ -135,10 +135,7 @@ mod tests {
     use super::*;
 
     fn toy_layers() -> Vec<Layer> {
-        vec![
-            Layer::conv("c1", 3, 64, 3, 32),
-            Layer::fc("f1", 1024, 10),
-        ]
+        vec![Layer::conv("c1", 3, 64, 3, 32), Layer::fc("f1", 1024, 10)]
     }
 
     #[test]

@@ -17,15 +17,60 @@ struct Inception {
 
 pub(crate) fn model() -> Model {
     let modules = [
-        Inception { name: ["3a_1", "3a_3r", "3a_3", "3a_5r", "3a_5", "3a_p"], in_ch: 192, out_hw: 28, w: [64, 96, 128, 16, 32, 32] },
-        Inception { name: ["3b_1", "3b_3r", "3b_3", "3b_5r", "3b_5", "3b_p"], in_ch: 256, out_hw: 28, w: [128, 128, 192, 32, 96, 64] },
-        Inception { name: ["4a_1", "4a_3r", "4a_3", "4a_5r", "4a_5", "4a_p"], in_ch: 480, out_hw: 14, w: [192, 96, 208, 16, 48, 64] },
-        Inception { name: ["4b_1", "4b_3r", "4b_3", "4b_5r", "4b_5", "4b_p"], in_ch: 512, out_hw: 14, w: [160, 112, 224, 24, 64, 64] },
-        Inception { name: ["4c_1", "4c_3r", "4c_3", "4c_5r", "4c_5", "4c_p"], in_ch: 512, out_hw: 14, w: [128, 128, 256, 24, 64, 64] },
-        Inception { name: ["4d_1", "4d_3r", "4d_3", "4d_5r", "4d_5", "4d_p"], in_ch: 512, out_hw: 14, w: [112, 144, 288, 32, 64, 64] },
-        Inception { name: ["4e_1", "4e_3r", "4e_3", "4e_5r", "4e_5", "4e_p"], in_ch: 528, out_hw: 14, w: [256, 160, 320, 32, 128, 128] },
-        Inception { name: ["5a_1", "5a_3r", "5a_3", "5a_5r", "5a_5", "5a_p"], in_ch: 832, out_hw: 7, w: [256, 160, 320, 32, 128, 128] },
-        Inception { name: ["5b_1", "5b_3r", "5b_3", "5b_5r", "5b_5", "5b_p"], in_ch: 832, out_hw: 7, w: [384, 192, 384, 48, 128, 128] },
+        Inception {
+            name: ["3a_1", "3a_3r", "3a_3", "3a_5r", "3a_5", "3a_p"],
+            in_ch: 192,
+            out_hw: 28,
+            w: [64, 96, 128, 16, 32, 32],
+        },
+        Inception {
+            name: ["3b_1", "3b_3r", "3b_3", "3b_5r", "3b_5", "3b_p"],
+            in_ch: 256,
+            out_hw: 28,
+            w: [128, 128, 192, 32, 96, 64],
+        },
+        Inception {
+            name: ["4a_1", "4a_3r", "4a_3", "4a_5r", "4a_5", "4a_p"],
+            in_ch: 480,
+            out_hw: 14,
+            w: [192, 96, 208, 16, 48, 64],
+        },
+        Inception {
+            name: ["4b_1", "4b_3r", "4b_3", "4b_5r", "4b_5", "4b_p"],
+            in_ch: 512,
+            out_hw: 14,
+            w: [160, 112, 224, 24, 64, 64],
+        },
+        Inception {
+            name: ["4c_1", "4c_3r", "4c_3", "4c_5r", "4c_5", "4c_p"],
+            in_ch: 512,
+            out_hw: 14,
+            w: [128, 128, 256, 24, 64, 64],
+        },
+        Inception {
+            name: ["4d_1", "4d_3r", "4d_3", "4d_5r", "4d_5", "4d_p"],
+            in_ch: 512,
+            out_hw: 14,
+            w: [112, 144, 288, 32, 64, 64],
+        },
+        Inception {
+            name: ["4e_1", "4e_3r", "4e_3", "4e_5r", "4e_5", "4e_p"],
+            in_ch: 528,
+            out_hw: 14,
+            w: [256, 160, 320, 32, 128, 128],
+        },
+        Inception {
+            name: ["5a_1", "5a_3r", "5a_3", "5a_5r", "5a_5", "5a_p"],
+            in_ch: 832,
+            out_hw: 7,
+            w: [256, 160, 320, 32, 128, 128],
+        },
+        Inception {
+            name: ["5b_1", "5b_3r", "5b_3", "5b_5r", "5b_5", "5b_p"],
+            in_ch: 832,
+            out_hw: 7,
+            w: [384, 192, 384, 48, 128, 128],
+        },
     ];
     let mut layers = vec![
         Layer::conv("conv1", 3, 64, 7, 112),

@@ -20,12 +20,12 @@
 
 mod alexnet;
 mod alphagozero;
-mod mobilenet;
-mod squeezenet;
 mod fasterrcnn;
 mod googlenet;
+mod mobilenet;
 mod ncf;
 mod resnet152;
+mod squeezenet;
 mod transformer;
 
 use std::fmt;
@@ -210,7 +210,10 @@ mod tests {
         ];
         for &(m, lo, hi) in expect {
             let p = m.model().params() as f64 / 1e6;
-            assert!((lo..hi).contains(&p), "{m}: {p}M params outside [{lo},{hi}]");
+            assert!(
+                (lo..hi).contains(&p),
+                "{m}: {p}M params outside [{lo},{hi}]"
+            );
         }
     }
 

@@ -17,14 +17,62 @@ struct Fire {
 
 pub(crate) fn model() -> Model {
     let fires = [
-        Fire { names: ["f2_s", "f2_e1", "f2_e3"], in_ch: 96, squeeze: 16, expand: 64, out_hw: 55 },
-        Fire { names: ["f3_s", "f3_e1", "f3_e3"], in_ch: 128, squeeze: 16, expand: 64, out_hw: 55 },
-        Fire { names: ["f4_s", "f4_e1", "f4_e3"], in_ch: 128, squeeze: 32, expand: 128, out_hw: 27 },
-        Fire { names: ["f5_s", "f5_e1", "f5_e3"], in_ch: 256, squeeze: 32, expand: 128, out_hw: 27 },
-        Fire { names: ["f6_s", "f6_e1", "f6_e3"], in_ch: 256, squeeze: 48, expand: 192, out_hw: 13 },
-        Fire { names: ["f7_s", "f7_e1", "f7_e3"], in_ch: 384, squeeze: 48, expand: 192, out_hw: 13 },
-        Fire { names: ["f8_s", "f8_e1", "f8_e3"], in_ch: 384, squeeze: 64, expand: 256, out_hw: 13 },
-        Fire { names: ["f9_s", "f9_e1", "f9_e3"], in_ch: 512, squeeze: 64, expand: 256, out_hw: 13 },
+        Fire {
+            names: ["f2_s", "f2_e1", "f2_e3"],
+            in_ch: 96,
+            squeeze: 16,
+            expand: 64,
+            out_hw: 55,
+        },
+        Fire {
+            names: ["f3_s", "f3_e1", "f3_e3"],
+            in_ch: 128,
+            squeeze: 16,
+            expand: 64,
+            out_hw: 55,
+        },
+        Fire {
+            names: ["f4_s", "f4_e1", "f4_e3"],
+            in_ch: 128,
+            squeeze: 32,
+            expand: 128,
+            out_hw: 27,
+        },
+        Fire {
+            names: ["f5_s", "f5_e1", "f5_e3"],
+            in_ch: 256,
+            squeeze: 32,
+            expand: 128,
+            out_hw: 27,
+        },
+        Fire {
+            names: ["f6_s", "f6_e1", "f6_e3"],
+            in_ch: 256,
+            squeeze: 48,
+            expand: 192,
+            out_hw: 13,
+        },
+        Fire {
+            names: ["f7_s", "f7_e1", "f7_e3"],
+            in_ch: 384,
+            squeeze: 48,
+            expand: 192,
+            out_hw: 13,
+        },
+        Fire {
+            names: ["f8_s", "f8_e1", "f8_e3"],
+            in_ch: 384,
+            squeeze: 64,
+            expand: 256,
+            out_hw: 13,
+        },
+        Fire {
+            names: ["f9_s", "f9_e1", "f9_e3"],
+            in_ch: 512,
+            squeeze: 64,
+            expand: 256,
+            out_hw: 13,
+        },
     ];
     let mut layers = vec![Layer::conv("conv1", 3, 96, 7, 55)];
     for f in fires {

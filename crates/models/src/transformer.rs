@@ -28,13 +28,42 @@ pub(crate) fn model() -> Model {
     Model::new("Transformer", layers)
 }
 
-static ENC_ATTN: [&str; 6] = ["enc1_attn", "enc2_attn", "enc3_attn", "enc4_attn", "enc5_attn", "enc6_attn"];
-static ENC_FF1: [&str; 6] = ["enc1_ff1", "enc2_ff1", "enc3_ff1", "enc4_ff1", "enc5_ff1", "enc6_ff1"];
-static ENC_FF2: [&str; 6] = ["enc1_ff2", "enc2_ff2", "enc3_ff2", "enc4_ff2", "enc5_ff2", "enc6_ff2"];
-static DEC_SELF: [&str; 6] = ["dec1_self", "dec2_self", "dec3_self", "dec4_self", "dec5_self", "dec6_self"];
-static DEC_CROSS: [&str; 6] = ["dec1_cross", "dec2_cross", "dec3_cross", "dec4_cross", "dec5_cross", "dec6_cross"];
-static DEC_FF1: [&str; 6] = ["dec1_ff1", "dec2_ff1", "dec3_ff1", "dec4_ff1", "dec5_ff1", "dec6_ff1"];
-static DEC_FF2: [&str; 6] = ["dec1_ff2", "dec2_ff2", "dec3_ff2", "dec4_ff2", "dec5_ff2", "dec6_ff2"];
+static ENC_ATTN: [&str; 6] = [
+    "enc1_attn",
+    "enc2_attn",
+    "enc3_attn",
+    "enc4_attn",
+    "enc5_attn",
+    "enc6_attn",
+];
+static ENC_FF1: [&str; 6] = [
+    "enc1_ff1", "enc2_ff1", "enc3_ff1", "enc4_ff1", "enc5_ff1", "enc6_ff1",
+];
+static ENC_FF2: [&str; 6] = [
+    "enc1_ff2", "enc2_ff2", "enc3_ff2", "enc4_ff2", "enc5_ff2", "enc6_ff2",
+];
+static DEC_SELF: [&str; 6] = [
+    "dec1_self",
+    "dec2_self",
+    "dec3_self",
+    "dec4_self",
+    "dec5_self",
+    "dec6_self",
+];
+static DEC_CROSS: [&str; 6] = [
+    "dec1_cross",
+    "dec2_cross",
+    "dec3_cross",
+    "dec4_cross",
+    "dec5_cross",
+    "dec6_cross",
+];
+static DEC_FF1: [&str; 6] = [
+    "dec1_ff1", "dec2_ff1", "dec3_ff1", "dec4_ff1", "dec5_ff1", "dec6_ff1",
+];
+static DEC_FF2: [&str; 6] = [
+    "dec1_ff2", "dec2_ff2", "dec3_ff2", "dec4_ff2", "dec5_ff2", "dec6_ff2",
+];
 
 #[cfg(test)]
 mod tests {

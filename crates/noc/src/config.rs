@@ -1,5 +1,5 @@
 use meshcoll_topo::routing::RoutingAlgorithm;
-use meshcoll_topo::LinkId;
+use meshcoll_topo::{FaultModel, LinkId};
 
 /// Network configuration (paper Table II).
 ///
@@ -44,6 +44,12 @@ pub struct NocConfig {
     /// sub-packet messages (tiny TTO chunks, Fig 14) pay relatively more
     /// overhead than full 8 KiB packets.
     pub per_packet_overhead_ns: f64,
+    /// Fault model applied during simulation (empty in the healthy
+    /// configuration). Failed links/chiplets stall the traffic routed over
+    /// them (reported as [`NocError::Stalled`](crate::NocError::Stalled)),
+    /// degraded links lose the configured bandwidth fraction, and transient
+    /// flaps defer packets until the link comes back up.
+    pub faults: FaultModel,
 }
 
 impl NocConfig {
@@ -60,6 +66,7 @@ impl NocConfig {
             routing: RoutingAlgorithm::Xy,
             link_overrides: Vec::new(),
             per_packet_overhead_ns: 21.0,
+            faults: FaultModel::default(),
         }
     }
 
@@ -94,12 +101,15 @@ impl NocConfig {
         self.flit_bytes as f64 / self.link_bandwidth
     }
 
-    /// Bandwidth of a specific link (bytes/ns), honoring overrides.
+    /// Bandwidth of a specific link (bytes/ns), honoring overrides and any
+    /// degradation recorded in [`faults`](Self::faults).
     pub fn bandwidth_of(&self, link: LinkId) -> f64 {
-        self.link_overrides
+        let base = self
+            .link_overrides
             .iter()
             .find(|(l, _)| *l == link)
-            .map_or(self.link_bandwidth, |&(_, bw)| bw)
+            .map_or(self.link_bandwidth, |&(_, bw)| bw);
+        base * self.faults.degradation(link)
     }
 
     /// Serialization time of `bytes` over a specific link, in ns.

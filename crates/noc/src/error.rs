@@ -38,6 +38,17 @@ pub enum NocError {
         /// The offending message id.
         msg: usize,
     },
+    /// The simulation stopped making progress: some messages can never be
+    /// delivered (their route crosses a failed link or dead chiplet in the
+    /// configured fault model, or a watchdog budget tripped). Replaces what
+    /// would otherwise be an infinite wait with a structured diagnostic.
+    Stalled {
+        /// Messages not yet delivered when progress stopped.
+        pending_msgs: usize,
+        /// Simulation time (ns, rounded down) of the last delivery before
+        /// the stall — 0 when nothing was ever delivered.
+        last_progress_ns: u64,
+    },
 }
 
 impl fmt::Display for NocError {
@@ -57,6 +68,14 @@ impl fmt::Display for NocError {
             NocError::SelfMessage { msg } => {
                 write!(f, "message {msg} has identical source and destination")
             }
+            NocError::Stalled {
+                pending_msgs,
+                last_progress_ns,
+            } => write!(
+                f,
+                "simulation stalled: {pending_msgs} messages undeliverable \
+                 (last progress at {last_progress_ns} ns)"
+            ),
         }
     }
 }

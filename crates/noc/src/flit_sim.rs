@@ -82,15 +82,29 @@ impl NetworkSim for FlitSim {
         let vcs = self.cfg.num_vcs;
         let depth = self.cfg.vc_buffer_depth;
 
-        // Routes as node lists.
+        // Routes as node lists. Messages routed over a permanently dead link
+        // (or dead chiplet) can never drain the flit pipeline; report them
+        // up front as a stall rather than idling forever. (The flit engine
+        // supports only this static fault check — degradation fractions and
+        // transient flaps are modeled by the packet engine.)
         let mut route_nodes: Vec<Vec<NodeId>> = Vec::with_capacity(n);
+        let mut blocked = 0usize;
         for m in messages {
             mesh.check_node(m.src)?;
             mesh.check_node(m.dst)?;
             let links = meshcoll_topo::routing::route(mesh, m.src, m.dst, self.cfg.routing)?;
+            if links.iter().any(|&l| !self.cfg.faults.link_usable(mesh, l)) {
+                blocked += 1;
+            }
             let mut nodes = vec![m.src];
             nodes.extend(links.iter().map(|&l| mesh.link_endpoints(l).1));
             route_nodes.push(nodes);
+        }
+        if blocked > 0 {
+            return Err(NocError::Stalled {
+                pending_msgs: blocked,
+                last_progress_ns: 0,
+            });
         }
 
         // Flits per message, grouped in packets.
@@ -114,7 +128,8 @@ impl NetworkSim for FlitSim {
         // Injection queues: flits awaiting admission, one lane per VC so a
         // chiplet can feed several outstanding packets concurrently (the
         // paper assumes endpoint memory bandwidth is not the bottleneck).
-        let mut inj_queue: Vec<Vec<VecDeque<Flit>>> = vec![vec![VecDeque::new(); vcs]; mesh.nodes()];
+        let mut inj_queue: Vec<Vec<VecDeque<Flit>>> =
+            vec![vec![VecDeque::new(); vcs]; mesh.nodes()];
         let mut pending_deps: Vec<usize> = messages.iter().map(|m| m.deps.len()).collect();
         let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
         for m in messages {
@@ -177,7 +192,10 @@ impl NetworkSim for FlitSim {
         let out_link = |mi: usize, hop: usize| -> Option<LinkId> {
             let rn = &route_nodes[mi];
             if hop + 1 < rn.len() {
-                Some(mesh.link_between(rn[hop], rn[hop + 1]).expect("route adjacency"))
+                Some(
+                    mesh.link_between(rn[hop], rn[hop + 1])
+                        .expect("route adjacency"),
+                )
             } else {
                 None
             }
@@ -239,7 +257,9 @@ impl NetworkSim for FlitSim {
             // 2) Switch traversal: each allocated output moves one flit.
             for (src, dst, link) in mesh.links() {
                 let li = link.index();
-                let Some(alloc) = ctx.out_alloc[li] else { continue };
+                let Some(alloc) = ctx.out_alloc[li] else {
+                    continue;
+                };
                 let buf = &mut ctx.buffers[src.index()][alloc.in_port][alloc.in_vc];
                 let Some(&front) = buf.front() else { continue };
                 // The allocated packet's flits are contiguous at the front of
@@ -249,7 +269,9 @@ impl NetworkSim for FlitSim {
                 // Return a credit to whoever feeds this input buffer.
                 if alloc.in_port != INJ {
                     let from_dir = Direction::ALL[alloc.in_port];
-                    let up = mesh.neighbor(src, from_dir).expect("input port has neighbor");
+                    let up = mesh
+                        .neighbor(src, from_dir)
+                        .expect("input port has neighbor");
                     let up_link = mesh.link_between(up, src).expect("upstream link");
                     ctx.credits[up_link.index()][alloc.in_vc] += 1;
                 }
@@ -264,7 +286,8 @@ impl NetworkSim for FlitSim {
                     .expect("link endpoints adjacent")
                     .opposite()
                     .slot();
-                ctx.staged.push((dst.index(), in_port_down, alloc.down_vc, f));
+                ctx.staged
+                    .push((dst.index(), in_port_down, alloc.down_vc, f));
                 stats.add_busy(link, slot);
                 activity = true;
             }
@@ -312,7 +335,9 @@ impl NetworkSim for FlitSim {
             for node in mesh.node_ids() {
                 let ni = node.index();
                 for vc in 0..vcs {
-                    let Some(&front) = inj_queue[ni][vc].front() else { continue };
+                    let Some(&front) = inj_queue[ni][vc].front() else {
+                        continue;
+                    };
                     match inj_alloc[ni][vc] {
                         None if front.is_head => {
                             let free = depth - ctx.buffers[ni][INJ][vc].len();
@@ -402,7 +427,10 @@ mod tests {
         let pkt = PacketSim::new(cfg()).run(&mesh, &msgs).unwrap();
         let fb = flit.bandwidth_gbps(bytes);
         let pb = pkt.bandwidth_gbps(bytes);
-        assert!((fb - pb).abs() / pb < 0.1, "flit {fb} GB/s vs packet {pb} GB/s");
+        assert!(
+            (fb - pb).abs() / pb < 0.1,
+            "flit {fb} GB/s vs packet {pb} GB/s"
+        );
     }
 
     #[test]
@@ -416,6 +444,30 @@ mod tests {
         let pkt = PacketSim::new(cfg()).run(&mesh, &msgs).unwrap();
         let ratio = flit.makespan_ns() / pkt.makespan_ns();
         assert!((0.7..1.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn dead_link_reports_stalled_up_front() {
+        let mesh = Mesh::new(1, 3).unwrap();
+        let mut c = cfg();
+        c.faults
+            .fail_link_between(&mesh, NodeId(1), NodeId(2))
+            .unwrap();
+        let msgs = vec![
+            Message::new(MsgId(0), NodeId(0), NodeId(1), 8192),
+            Message::new(MsgId(1), NodeId(0), NodeId(2), 8192),
+        ];
+        let err = FlitSim::new(c).run(&mesh, &msgs).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                NocError::Stalled {
+                    pending_msgs: 1,
+                    ..
+                }
+            ),
+            "got {err}"
+        );
     }
 
     #[test]
@@ -475,7 +527,10 @@ mod tests {
         ];
         let out = FlitSim::new(cfg()).run(&mesh, &msgs).unwrap();
         let solo = FlitSim::new(cfg())
-            .run(&mesh, &[Message::new(MsgId(0), NodeId(3), NodeId(5), bytes)])
+            .run(
+                &mesh,
+                &[Message::new(MsgId(0), NodeId(3), NodeId(5), bytes)],
+            )
             .unwrap();
         assert!(out.makespan_ns() < 3.0 * solo.makespan_ns());
     }

@@ -76,8 +76,21 @@ impl NetworkSim for PacketSim {
         for m in messages {
             mesh.check_node(m.src)?;
             mesh.check_node(m.dst)?;
-            routes.push(meshcoll_topo::routing::route(mesh, m.src, m.dst, self.cfg.routing)?);
+            routes.push(meshcoll_topo::routing::route(
+                mesh,
+                m.src,
+                m.dst,
+                self.cfg.routing,
+            )?);
         }
+        // A message whose route crosses a permanently dead link (or dead
+        // chiplet) can never be delivered; rather than waiting forever the
+        // watchdog reports it as stalled.
+        let faults = &self.cfg.faults;
+        let blocked: Vec<bool> = routes
+            .iter()
+            .map(|r| r.iter().any(|&l| !faults.link_usable(mesh, l)))
+            .collect();
 
         // Dependency bookkeeping.
         let mut pending_deps: Vec<usize> = messages.iter().map(|m| m.deps.len()).collect();
@@ -94,16 +107,29 @@ impl NetworkSim for PacketSim {
         let mut link_free: Vec<f64> = vec![0.0; mesh.link_id_space()];
         let mut stats = LinkStats::new(mesh);
         let mut completion = vec![f64::NAN; n];
-        let mut packets_left: Vec<u64> = messages.iter().map(|m| self.cfg.packets_for(m.bytes)).collect();
+        let mut packets_left: Vec<u64> = messages
+            .iter()
+            .map(|m| self.cfg.packets_for(m.bytes))
+            .collect();
 
         let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
         let mut seq: u64 = 0;
         let mut injected = 0usize;
+        let mut stalled = 0usize;
+        let mut delivered = 0usize;
+        let mut last_progress: f64 = 0.0;
+        // Watchdog budget: every packet produces exactly hops+1 events, so
+        // exceeding this count means the event loop is no longer making
+        // forward progress (defensive; cannot trip on well-formed input).
+        let event_budget: u64 = messages
+            .iter()
+            .zip(&routes)
+            .map(|(m, r)| self.cfg.packets_for(m.bytes) * (r.len() as u64 + 1))
+            .sum::<u64>()
+            .saturating_add(16);
+        let mut events_popped: u64 = 0;
 
-        let inject = |heap: &mut BinaryHeap<Reverse<Event>>,
-                          seq: &mut u64,
-                          id: usize,
-                          at: f64| {
+        let inject = |heap: &mut BinaryHeap<Reverse<Event>>, seq: &mut u64, id: usize, at: f64| {
             let count = self.cfg.packets_for(messages[id].bytes);
             for p in 0..count {
                 *seq += 1;
@@ -119,21 +145,33 @@ impl NetworkSim for PacketSim {
 
         for (i, m) in messages.iter().enumerate() {
             if pending_deps[i] == 0 {
-                inject(&mut heap, &mut seq, i, m.ready_at_ns);
+                if blocked[i] {
+                    stalled += 1;
+                } else {
+                    inject(&mut heap, &mut seq, i, m.ready_at_ns);
+                }
                 injected += 1;
             }
         }
 
         let hop_lat = self.cfg.per_flit_latency_ns;
         while let Some(Reverse(ev)) = heap.pop() {
+            events_popped += 1;
+            if events_popped > event_budget {
+                return Err(NocError::Stalled {
+                    pending_msgs: n - delivered,
+                    last_progress_ns: last_progress as u64,
+                });
+            }
             let mi = ev.msg as usize;
             let route = &routes[mi];
             if (ev.hop as usize) < route.len() {
-                // Packet contends for the link at this hop.
+                // Packet contends for the link at this hop; a transient flap
+                // defers it until the link's next up window.
                 let link = route[ev.hop as usize];
                 let bytes = packet_bytes(&self.cfg, messages[mi].bytes, ev.packet as u64);
                 let ser = self.cfg.serialization_on(link, bytes);
-                let start = ev.at.0.max(link_free[link.index()]);
+                let start = faults.available_at(link, ev.at.0.max(link_free[link.index()]));
                 // The link is held for the payload serialization plus the
                 // per-packet router pipeline overhead before the next packet
                 // can follow.
@@ -161,12 +199,18 @@ impl NetworkSim for PacketSim {
                 packets_left[mi] -= 1;
                 if packets_left[mi] == 0 {
                     completion[mi] = ev.at.0;
+                    delivered += 1;
+                    last_progress = last_progress.max(ev.at.0);
                     for &d in &dependents[mi] {
                         let di = d as usize;
                         earliest[di] = earliest[di].max(ev.at.0);
                         pending_deps[di] -= 1;
                         if pending_deps[di] == 0 {
-                            inject(&mut heap, &mut seq, di, earliest[di]);
+                            if blocked[di] {
+                                stalled += 1;
+                            } else {
+                                inject(&mut heap, &mut seq, di, earliest[di]);
+                            }
                             injected += 1;
                         }
                     }
@@ -174,8 +218,18 @@ impl NetworkSim for PacketSim {
             }
         }
 
+        if stalled > 0 {
+            // Some ready messages route over dead links; everything awaiting
+            // them (transitively) is pending too.
+            return Err(NocError::Stalled {
+                pending_msgs: n - delivered,
+                last_progress_ns: last_progress as u64,
+            });
+        }
         if injected < n {
-            return Err(NocError::DependencyCycle { stuck: n - injected });
+            return Err(NocError::DependencyCycle {
+                stuck: n - injected,
+            });
         }
         Ok(SimOutcome::new(completion, stats))
     }
@@ -228,7 +282,8 @@ mod tests {
         let out = sim(&mesh, &msgs);
         let c = cfg();
         // 4 hops: 3 header latencies + final (ser + hop latency).
-        let cut_through = 3.0 * c.per_flit_latency_ns + c.serialization_ns(8192) + c.per_flit_latency_ns;
+        let cut_through =
+            3.0 * c.per_flit_latency_ns + c.serialization_ns(8192) + c.per_flit_latency_ns;
         let store_fwd = 4.0 * (c.serialization_ns(8192) + c.per_flit_latency_ns);
         assert!((out.makespan_ns() - cut_through).abs() < 1e-6);
         assert!(out.makespan_ns() < store_fwd / 2.0);
@@ -244,8 +299,8 @@ mod tests {
         // Sustained throughput is the 25 GB/s wire rate minus the per-packet
         // router overhead (21 ns per 8 KiB packet, ~6%).
         let c = cfg();
-        let expect = c.packet_bytes as f64
-            / (c.serialization_ns(c.packet_bytes) + c.per_packet_overhead_ns);
+        let expect =
+            c.packet_bytes as f64 / (c.serialization_ns(c.packet_bytes) + c.per_packet_overhead_ns);
         assert!(
             (bw - expect).abs() < 0.1 && bw < c.link_bandwidth,
             "bandwidth {bw} not near {expect} GB/s"
@@ -277,7 +332,10 @@ mod tests {
             Message::new(MsgId(1), NodeId(2), NodeId(3), 1 << 20),
         ];
         let out = sim(&mesh, &msgs);
-        let solo = sim(&mesh, &[Message::new(MsgId(0), NodeId(0), NodeId(1), 1 << 20)]);
+        let solo = sim(
+            &mesh,
+            &[Message::new(MsgId(0), NodeId(0), NodeId(1), 1 << 20)],
+        );
         assert!((out.makespan_ns() - solo.makespan_ns()).abs() < 1.0);
     }
 
@@ -366,5 +424,93 @@ mod tests {
         assert_eq!(packet_bytes(&c, 10000, 0), 8192);
         assert_eq!(packet_bytes(&c, 10000, 1), 1808);
         assert_eq!(packet_bytes(&c, 100, 0), 100);
+    }
+
+    #[test]
+    fn dead_link_stalls_instead_of_spinning() {
+        let mesh = Mesh::new(1, 3).unwrap();
+        let mut c = cfg();
+        c.faults
+            .fail_link_between(&mesh, NodeId(1), NodeId(2))
+            .unwrap();
+        let msgs = vec![
+            Message::new(MsgId(0), NodeId(0), NodeId(1), 8192),
+            Message::new(MsgId(1), NodeId(0), NodeId(2), 8192),
+        ];
+        let err = PacketSim::new(c).run(&mesh, &msgs).unwrap_err();
+        match err {
+            NocError::Stalled {
+                pending_msgs,
+                last_progress_ns,
+            } => {
+                // Message 0 delivers; message 1 is routed over the dead link.
+                assert_eq!(pending_msgs, 1);
+                assert!(last_progress_ns > 0, "message 0 should have delivered");
+            }
+            other => panic!("expected Stalled, got {other}"),
+        }
+    }
+
+    #[test]
+    fn stall_counts_transitive_dependents_as_pending() {
+        let mesh = Mesh::new(1, 3).unwrap();
+        let mut c = cfg();
+        c.faults
+            .fail_link_between(&mesh, NodeId(0), NodeId(1))
+            .unwrap();
+        let msgs = vec![
+            Message::new(MsgId(0), NodeId(0), NodeId(1), 8192),
+            Message::new(MsgId(1), NodeId(1), NodeId(2), 8192).with_deps([MsgId(0)]),
+        ];
+        let err = PacketSim::new(c).run(&mesh, &msgs).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                NocError::Stalled {
+                    pending_msgs: 2,
+                    last_progress_ns: 0
+                }
+            ),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn degraded_link_fraction_halves_throughput() {
+        let mesh = Mesh::new(1, 2).unwrap();
+        let bytes = 1 << 20;
+        let msgs = vec![Message::new(MsgId(0), NodeId(0), NodeId(1), bytes)];
+        let healthy = sim(&mesh, &msgs).makespan_ns();
+        let mut c = cfg();
+        c.faults
+            .degrade_link_between(&mesh, NodeId(0), NodeId(1), 0.5)
+            .unwrap();
+        let degraded = PacketSim::new(c).run(&mesh, &msgs).unwrap().makespan_ns();
+        // Serialization dominates at 1 MiB, so half the bandwidth is close
+        // to double the time (per-packet overhead keeps it under 2x).
+        assert!(
+            degraded > 1.8 * healthy && degraded < 2.0 * healthy,
+            "healthy {healthy}, degraded {degraded}"
+        );
+    }
+
+    #[test]
+    fn link_flap_defers_packets_until_recovery() {
+        let mesh = Mesh::new(1, 2).unwrap();
+        let link = mesh.link_between(NodeId(0), NodeId(1)).unwrap();
+        let mut c = cfg();
+        c.faults.add_flap(meshcoll_topo::LinkFlap {
+            link,
+            down_ns: 0.0,
+            up_ns: 5000.0,
+        });
+        let msgs = vec![Message::new(MsgId(0), NodeId(0), NodeId(1), 8192)];
+        let out = PacketSim::new(c).run(&mesh, &msgs).unwrap();
+        let expect = 5000.0 + cfg().serialization_ns(8192) + cfg().per_flit_latency_ns;
+        assert!(
+            (out.makespan_ns() - expect).abs() < 1e-6,
+            "got {}",
+            out.makespan_ns()
+        );
     }
 }

@@ -7,20 +7,22 @@ use proptest::prelude::*;
 
 /// Arbitrary DAG: deps only point backward, endpoints within a 4x4 mesh.
 fn messages_strategy() -> impl Strategy<Value = Vec<Message>> {
-    prop::collection::vec((0usize..16, 0usize..16, 1u64..200_000, 0.0f64..10_000.0), 1..24)
-        .prop_map(|raw| {
-            let mut msgs = Vec::new();
-            for (i, (s, d, bytes, ready)) in raw.into_iter().enumerate() {
-                let dst = if s == d { (d + 1) % 16 } else { d };
-                let mut m = Message::new(MsgId(i), NodeId(s), NodeId(dst), bytes)
-                    .with_ready_at(ready);
-                if i > 0 && i % 3 == 0 {
-                    m = m.with_deps([MsgId(i - 1)]);
-                }
-                msgs.push(m);
+    prop::collection::vec(
+        (0usize..16, 0usize..16, 1u64..200_000, 0.0f64..10_000.0),
+        1..24,
+    )
+    .prop_map(|raw| {
+        let mut msgs = Vec::new();
+        for (i, (s, d, bytes, ready)) in raw.into_iter().enumerate() {
+            let dst = if s == d { (d + 1) % 16 } else { d };
+            let mut m = Message::new(MsgId(i), NodeId(s), NodeId(dst), bytes).with_ready_at(ready);
+            if i > 0 && i % 3 == 0 {
+                m = m.with_deps([MsgId(i - 1)]);
             }
-            msgs
-        })
+            msgs.push(m);
+        }
+        msgs
+    })
 }
 
 proptest! {

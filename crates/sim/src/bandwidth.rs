@@ -29,7 +29,13 @@ pub fn measure(
     algorithm: Algorithm,
     data_bytes: u64,
 ) -> Result<BandwidthPoint, SimError> {
-    measure_with(engine, mesh, algorithm, data_bytes, &ScheduleOptions::default())
+    measure_with(
+        engine,
+        mesh,
+        algorithm,
+        data_bytes,
+        &ScheduleOptions::default(),
+    )
 }
 
 /// Like [`measure`], with explicit schedule options (Fig 14 sweeps the TTO

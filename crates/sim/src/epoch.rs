@@ -173,8 +173,12 @@ mod tests {
         // 1271 for TTO.
         let mesh = Mesh::square(8).unwrap();
         let p = EpochParams::default();
-        let base = p.training_set.div_ceil(p.samples_per_chiplet * trainers(&mesh, Algorithm::RingBiEven));
-        let tto = p.training_set.div_ceil(p.samples_per_chiplet * trainers(&mesh, Algorithm::Tto));
+        let base = p
+            .training_set
+            .div_ceil(p.samples_per_chiplet * trainers(&mesh, Algorithm::RingBiEven));
+        let tto = p
+            .training_set
+            .div_ceil(p.samples_per_chiplet * trainers(&mesh, Algorithm::Tto));
         assert_eq!(base, 1252);
         assert_eq!(tto, 1271);
     }

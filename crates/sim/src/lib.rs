@@ -5,7 +5,9 @@
 //!
 //! * [`SimEngine`] — times a collective [`Schedule`] on the packet-level
 //!   network simulator, reporting makespan, achieved bandwidth, and link
-//!   utilization (Figures 8, 9, 12, 14),
+//!   utilization (Figures 8, 9, 12, 14); under a configured fault model,
+//!   [`SimEngine::run_degraded`] lints, repairs, and reports a
+//!   [`RunStatus`] (completed / repaired / infeasible),
 //! * [`epoch`] — the end-to-end one-epoch training-time model, including
 //!   TTO's `N-1`-chiplet iteration-count adjustment and the §VIII-B overhead
 //!   equations (Figures 10, 13),
@@ -43,5 +45,5 @@ pub mod experiment;
 pub mod overlap;
 pub mod theory;
 
-pub use engine::{RunResult, SimEngine};
+pub use engine::{DegradedRun, RunResult, RunStatus, SimEngine};
 pub use error::SimError;

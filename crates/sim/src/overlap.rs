@@ -49,10 +49,7 @@ pub fn overlapped_iteration(
     chiplet: &ChipletConfig,
     params: &EpochParams,
 ) -> Result<OverlapResult, SimError> {
-    let waves = params
-        .samples_per_chiplet
-        .div_ceil(chiplet.pes)
-        .max(1) as f64;
+    let waves = params.samples_per_chiplet.div_ceil(chiplet.pes).max(1) as f64;
     let fwd_ns = chiplet.cycles_to_ns(training::forward_cycles(model.layers(), chiplet)) * waves;
 
     // Backward timeline, last layer first; bucket gradients as we go.
@@ -127,8 +124,8 @@ mod tests {
         let model = DnnModel::AlexNet.model();
         let chiplet = ChipletConfig::paper_default();
         let params = EpochParams::default();
-        let r = overlapped_iteration(&e, &mesh, Algorithm::Ring, &model, &chiplet, &params)
-            .unwrap();
+        let r =
+            overlapped_iteration(&e, &mesh, Algorithm::Ring, &model, &chiplet, &params).unwrap();
         let full = Algorithm::Ring
             .schedule(&mesh, model.gradient_bytes(4))
             .unwrap();

@@ -123,12 +123,22 @@ mod tests {
 
     #[test]
     fn ring_bi_even_matches_theory() {
-        assert_close(&Mesh::square(4).unwrap(), Algorithm::RingBiEven, 16 << 20, 0.10);
+        assert_close(
+            &Mesh::square(4).unwrap(),
+            Algorithm::RingBiEven,
+            16 << 20,
+            0.10,
+        );
     }
 
     #[test]
     fn ring_bi_odd_matches_theory() {
-        assert_close(&Mesh::square(5).unwrap(), Algorithm::RingBiOdd, 16 << 20, 0.15);
+        assert_close(
+            &Mesh::square(5).unwrap(),
+            Algorithm::RingBiOdd,
+            16 << 20,
+            0.15,
+        );
     }
 
     #[test]

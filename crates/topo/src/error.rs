@@ -45,6 +45,13 @@ pub enum TopologyError {
         /// Destination node index.
         dst: usize,
     },
+    /// The requested construction is impossible on the fault-masked
+    /// topology (e.g. the surviving nodes are partitioned, or no cycle
+    /// exists among them).
+    Infeasible {
+        /// Human-readable explanation of why no construction exists.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for TopologyError {
@@ -69,6 +76,9 @@ impl fmt::Display for TopologyError {
             }
             TopologyError::NotAdjacent { src, dst } => {
                 write!(f, "nodes {src} and {dst} are not mesh neighbors")
+            }
+            TopologyError::Infeasible { reason } => {
+                write!(f, "infeasible on the fault-masked topology: {reason}")
             }
         }
     }

@@ -272,7 +272,18 @@ mod tests {
 
     #[test]
     fn even_meshes_have_cycles() {
-        for (r, c) in [(2, 2), (2, 3), (3, 2), (4, 4), (8, 8), (5, 4), (4, 5), (2, 9), (9, 2), (6, 7)] {
+        for (r, c) in [
+            (2, 2),
+            (2, 3),
+            (3, 2),
+            (4, 4),
+            (8, 8),
+            (5, 4),
+            (4, 5),
+            (2, 9),
+            (9, 2),
+            (6, 7),
+        ] {
             let m = Mesh::new(r, c).unwrap();
             let cycle = hamiltonian_cycle(&m).unwrap();
             assert!(
@@ -319,7 +330,16 @@ mod tests {
 
     #[test]
     fn corner_excluded_cycles_are_valid() {
-        for (r, c) in [(3, 3), (3, 5), (5, 3), (5, 5), (7, 9), (9, 9), (3, 9), (11, 5)] {
+        for (r, c) in [
+            (3, 3),
+            (3, 5),
+            (5, 3),
+            (5, 5),
+            (7, 9),
+            (9, 9),
+            (3, 9),
+            (11, 5),
+        ] {
             let m = Mesh::new(r, c).unwrap();
             let (cycle, ex) = corner_excluded_cycle(&m).unwrap();
             assert_eq!(ex, *m.corners().last().unwrap());

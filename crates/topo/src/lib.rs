@@ -13,7 +13,11 @@
 //!   AllReduce algorithms, including the odd-mesh cycle that excludes one
 //!   corner (paper §IV-A),
 //! * [`tree`] — a rooted-tree container used by the tree-based AllReduce
-//!   algorithms (DBTree, MultiTree, TTO).
+//!   algorithms (DBTree, MultiTree, TTO),
+//! * [`fault`] — a model of dead/degraded links and chiplets, plus
+//! * [`masked`] — cycle/tree constructions on the fault-masked topology,
+//!   which return a typed [`TopologyError::Infeasible`] when the survivors
+//!   cannot support the structure.
 //!
 //! # Example
 //!
@@ -29,12 +33,16 @@
 //! ```
 
 mod error;
-mod mesh;
+pub mod fault;
 pub mod hamiltonian;
+pub mod masked;
+mod mesh;
 pub mod routing;
 pub mod tree;
 
 pub use error::TopologyError;
+pub use fault::{FaultModel, LinkFlap};
+pub use masked::MaskedCycle;
 pub use mesh::{Coord, Direction, LinkId, Mesh, NodeId};
 pub use routing::RoutingAlgorithm;
 pub use tree::Tree;

@@ -1,0 +1,520 @@
+//! Topology constructions on a fault-masked mesh.
+//!
+//! Every builder here sees the mesh through a [`FaultModel`]: dead chiplets
+//! are not visited, and a channel is traversable only when *both* directed
+//! links are usable (collectives push data both ways across each edge —
+//! reduce-scatter one way, all-gather the other). When the surviving
+//! topology cannot support the requested structure, the builders return
+//! [`TopologyError::Infeasible`] instead of panicking or spinning.
+//!
+//! The Hamiltonian-cycle search is exact but budget-bounded: grid graphs are
+//! friendly to a fewest-options-first (Warnsdorff) ordering, so realistic
+//! fault counts resolve in well under the budget, while adversarial masks
+//! fail fast with a typed error.
+
+use crate::fault::FaultModel;
+use crate::tree::Tree;
+use crate::{hamiltonian, Mesh, NodeId, TopologyError};
+
+/// Global step budget for the cycle search, across all candidate exclusion
+/// sets. Each step is one DFS extension attempt.
+const CYCLE_SEARCH_BUDGET: i64 = 2_000_000;
+
+/// Cap on how many candidate exclusion sets the cycle search examines.
+const MAX_EXCLUSION_CANDIDATES: usize = 4_000;
+
+/// A Hamiltonian-style cycle over the fault-masked mesh.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaskedCycle {
+    /// The cycle, in visiting order; consecutive nodes (and last→first) are
+    /// joined by usable links.
+    pub order: Vec<NodeId>,
+    /// Surviving chiplets that could not be placed on the cycle (bipartite
+    /// color imbalance); each is usable-adjacent to at least one cycle
+    /// member so its data can still be fed in and drained out.
+    pub excluded: Vec<NodeId>,
+}
+
+/// The neighbors of `n` reachable over channels whose *both* directions are
+/// usable, skipping dead chiplets.
+pub fn usable_neighbors(mesh: &Mesh, faults: &FaultModel, n: NodeId) -> Vec<NodeId> {
+    mesh.neighbors(n)
+        .into_iter()
+        .filter(|&nb| {
+            !faults.node_failed(nb)
+                && mesh
+                    .link_between(n, nb)
+                    .is_ok_and(|l| faults.link_usable(mesh, l))
+                && mesh
+                    .link_between(nb, n)
+                    .is_ok_and(|l| faults.link_usable(mesh, l))
+        })
+        .collect()
+}
+
+/// True when every surviving chiplet can reach every other over usable
+/// channels (vacuously true for zero or one survivor).
+pub fn is_connected(mesh: &Mesh, faults: &FaultModel) -> bool {
+    let survivors = faults.surviving_nodes(mesh);
+    let Some(&start) = survivors.first() else {
+        return true;
+    };
+    reachable_from(mesh, faults, start).len() == survivors.len()
+}
+
+fn reachable_from(mesh: &Mesh, faults: &FaultModel, start: NodeId) -> Vec<NodeId> {
+    let mut seen = vec![false; mesh.nodes()];
+    seen[start.index()] = true;
+    let mut queue = vec![start];
+    let mut order = vec![start];
+    while let Some(n) = queue.pop() {
+        for nb in usable_neighbors(mesh, faults, n) {
+            if !seen[nb.index()] {
+                seen[nb.index()] = true;
+                queue.push(nb);
+                order.push(nb);
+            }
+        }
+    }
+    order
+}
+
+/// Builds a BFS tree rooted at `root` spanning every surviving chiplet.
+///
+/// Returns [`TopologyError::Infeasible`] when the root is dead or the
+/// survivors are partitioned.
+pub fn masked_tree(mesh: &Mesh, faults: &FaultModel, root: NodeId) -> Result<Tree, TopologyError> {
+    mesh.check_node(root)?;
+    if faults.node_failed(root) {
+        return Err(TopologyError::Infeasible {
+            reason: "tree root is a dead chiplet",
+        });
+    }
+    let survivors = faults.surviving_nodes(mesh);
+    let mut tree = Tree::new(root, mesh.nodes());
+    let mut queue = std::collections::VecDeque::from([root]);
+    let mut reached = 1usize;
+    while let Some(n) = queue.pop_front() {
+        for nb in usable_neighbors(mesh, faults, n) {
+            if !tree.contains(nb) {
+                tree.attach(nb, n);
+                reached += 1;
+                queue.push_back(nb);
+            }
+        }
+    }
+    if reached != survivors.len() {
+        return Err(TopologyError::Infeasible {
+            reason: "surviving chiplets are partitioned",
+        });
+    }
+    Ok(tree)
+}
+
+/// Finds a cycle over the surviving chiplets using only usable channels.
+///
+/// On a healthy mesh this defers to the closed-form constructions
+/// ([`hamiltonian::hamiltonian_cycle`] for even meshes, the corner-excluded
+/// cycle for odd ones). Under faults it searches: bipartite color balance
+/// dictates how many survivors must sit out, candidate exclusion sets are
+/// tried smallest-first, and a budget-bounded DFS looks for the cycle.
+pub fn masked_cycle(mesh: &Mesh, faults: &FaultModel) -> Result<MaskedCycle, TopologyError> {
+    faults.validate(mesh)?;
+    if faults.is_empty() && mesh.rows() >= 2 && mesh.cols() >= 2 {
+        if let Ok(order) = hamiltonian::hamiltonian_cycle(mesh) {
+            return Ok(MaskedCycle {
+                order,
+                excluded: Vec::new(),
+            });
+        }
+        if let Ok((order, corner)) = hamiltonian::corner_excluded_cycle(mesh) {
+            return Ok(MaskedCycle {
+                order,
+                excluded: vec![corner],
+            });
+        }
+    }
+
+    let survivors = faults.surviving_nodes(mesh);
+    if survivors.is_empty() {
+        return Err(TopologyError::Infeasible {
+            reason: "no surviving chiplets",
+        });
+    }
+    if survivors.len() == 1 {
+        return Ok(MaskedCycle {
+            order: survivors,
+            excluded: Vec::new(),
+        });
+    }
+    if !is_connected(mesh, faults) {
+        return Err(TopologyError::Infeasible {
+            reason: "surviving chiplets are partitioned",
+        });
+    }
+    if survivors.len() == 2 {
+        // Connectivity over usable channels implies direct adjacency here;
+        // a two-node "cycle" uses the two directed links of one channel.
+        return Ok(MaskedCycle {
+            order: survivors,
+            excluded: Vec::new(),
+        });
+    }
+
+    let adj: Vec<Vec<NodeId>> = mesh
+        .node_ids()
+        .map(|n| {
+            if faults.node_failed(n) {
+                Vec::new()
+            } else {
+                usable_neighbors(mesh, faults, n)
+            }
+        })
+        .collect();
+
+    // Checkerboard coloring: a cycle alternates colors, so it carries equal
+    // counts of each. The imbalance among survivors is the minimum number of
+    // majority-color nodes that must sit the cycle out.
+    let is_black = |n: NodeId| (mesh.coord(n).row + mesh.coord(n).col).is_multiple_of(2);
+    let blacks = survivors.iter().filter(|&&n| is_black(n)).count();
+    let whites = survivors.len() - blacks;
+    let (maj_color_black, imbalance) = if blacks >= whites {
+        (true, blacks - whites)
+    } else {
+        (false, whites - blacks)
+    };
+
+    // Majority-color survivors, easiest-to-spare (fewest usable neighbors)
+    // first — mirroring the healthy odd-mesh construction, which spares a
+    // degree-2 corner.
+    let mut majority: Vec<NodeId> = survivors
+        .iter()
+        .copied()
+        .filter(|&n| is_black(n) == maj_color_black)
+        .collect();
+    majority.sort_by_key(|&n| (adj[n.index()].len(), n.index()));
+    let minority: Vec<NodeId> = survivors
+        .iter()
+        .copied()
+        .filter(|&n| is_black(n) != maj_color_black)
+        .collect();
+
+    let mut budget = CYCLE_SEARCH_BUDGET;
+    let mut candidates_tried = 0usize;
+
+    // Exclusion sets of the minimum size, then minimum + one node of each
+    // color (the next size that keeps the cycle's color balance).
+    for extra in [0usize, 1] {
+        let mut found: Option<MaskedCycle> = None;
+        for_each_exclusion(
+            &majority,
+            &minority,
+            imbalance + extra,
+            extra,
+            &mut |excluded| {
+                if found.is_some() || candidates_tried >= MAX_EXCLUSION_CANDIDATES || budget <= 0 {
+                    return;
+                }
+                candidates_tried += 1;
+                if let Some(order) =
+                    try_cycle_with_exclusions(mesh, &survivors, &adj, excluded, &mut budget)
+                {
+                    found = Some(MaskedCycle {
+                        order,
+                        excluded: excluded.to_vec(),
+                    });
+                }
+            },
+        );
+        if let Some(cycle) = found {
+            return Ok(cycle);
+        }
+        if budget <= 0 {
+            return Err(TopologyError::Infeasible {
+                reason: "cycle search budget exhausted on the masked topology",
+            });
+        }
+    }
+    Err(TopologyError::Infeasible {
+        reason: "no cycle exists over the surviving chiplets",
+    })
+}
+
+/// Enumerates exclusion sets: `maj_take` majority-color nodes plus
+/// `min_take` minority-color nodes, invoking `f` on each candidate.
+fn for_each_exclusion(
+    majority: &[NodeId],
+    minority: &[NodeId],
+    maj_take: usize,
+    min_take: usize,
+    f: &mut dyn FnMut(&[NodeId]),
+) {
+    if maj_take > majority.len() || min_take > minority.len() {
+        return;
+    }
+    let mut maj_combo = Vec::with_capacity(maj_take);
+    combos(majority, maj_take, &mut maj_combo, 0, &mut |maj_set| {
+        let mut min_combo = Vec::with_capacity(min_take);
+        combos(minority, min_take, &mut min_combo, 0, &mut |min_set| {
+            let mut excluded = maj_set.to_vec();
+            excluded.extend_from_slice(min_set);
+            f(&excluded);
+        });
+    });
+}
+
+fn combos(
+    pool: &[NodeId],
+    take: usize,
+    acc: &mut Vec<NodeId>,
+    from: usize,
+    f: &mut dyn FnMut(&[NodeId]),
+) {
+    if acc.len() == take {
+        f(acc);
+        return;
+    }
+    let need = take - acc.len();
+    for i in from..pool.len() {
+        if pool.len() - i < need {
+            break;
+        }
+        acc.push(pool[i]);
+        combos(pool, take, acc, i + 1, f);
+        acc.pop();
+    }
+}
+
+/// Attempts a Hamiltonian cycle over the survivors minus `excluded`.
+fn try_cycle_with_exclusions(
+    mesh: &Mesh,
+    survivors: &[NodeId],
+    adj: &[Vec<NodeId>],
+    excluded: &[NodeId],
+    budget: &mut i64,
+) -> Option<Vec<NodeId>> {
+    let mut in_cycle = vec![false; mesh.nodes()];
+    for &n in survivors {
+        in_cycle[n.index()] = true;
+    }
+    for &e in excluded {
+        in_cycle[e.index()] = false;
+        // Every spared node must stay feedable from the cycle.
+        if !adj[e.index()]
+            .iter()
+            .any(|nb| in_cycle[nb.index()] && !excluded.contains(nb))
+        {
+            return None;
+        }
+    }
+    let members: Vec<NodeId> = survivors
+        .iter()
+        .copied()
+        .filter(|n| in_cycle[n.index()])
+        .collect();
+    if members.len() < 4 || !members.len().is_multiple_of(2) {
+        return None;
+    }
+    // Cycle members need two distinct cycle neighbors each.
+    if members.iter().any(|&n| {
+        adj[n.index()]
+            .iter()
+            .filter(|nb| in_cycle[nb.index()])
+            .count()
+            < 2
+    }) {
+        return None;
+    }
+
+    let start = members[0];
+    let mut visited = vec![false; mesh.nodes()];
+    visited[start.index()] = true;
+    let mut path = vec![start];
+    if extend_cycle(
+        &mut path,
+        &mut visited,
+        members.len(),
+        adj,
+        &in_cycle,
+        start,
+        budget,
+    ) {
+        Some(path)
+    } else {
+        None
+    }
+}
+
+fn extend_cycle(
+    path: &mut Vec<NodeId>,
+    visited: &mut [bool],
+    target: usize,
+    adj: &[Vec<NodeId>],
+    in_cycle: &[bool],
+    start: NodeId,
+    budget: &mut i64,
+) -> bool {
+    if *budget <= 0 {
+        return false;
+    }
+    *budget -= 1;
+    let cur = *path.last().expect("path is never empty");
+    if path.len() == target {
+        return adj[cur.index()].contains(&start);
+    }
+    let mut cands: Vec<NodeId> = adj[cur.index()]
+        .iter()
+        .copied()
+        .filter(|nb| in_cycle[nb.index()] && !visited[nb.index()])
+        .collect();
+    // Fewest-options-first keeps the DFS from stranding tight nodes.
+    cands.sort_by_key(|&c| {
+        adj[c.index()]
+            .iter()
+            .filter(|nb| in_cycle[nb.index()] && !visited[nb.index()])
+            .count()
+    });
+    for c in cands {
+        visited[c.index()] = true;
+        path.push(c);
+        if extend_cycle(path, visited, target, adj, in_cycle, start, budget) {
+            return true;
+        }
+        path.pop();
+        visited[c.index()] = false;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Coord;
+
+    fn cycle_uses_only_usable_links(mesh: &Mesh, faults: &FaultModel, order: &[NodeId]) -> bool {
+        (0..order.len()).all(|i| {
+            let a = order[i];
+            let b = order[(i + 1) % order.len()];
+            mesh.link_between(a, b)
+                .is_ok_and(|l| faults.link_usable(mesh, l))
+        })
+    }
+
+    #[test]
+    fn healthy_even_mesh_uses_the_closed_form_cycle() {
+        let mesh = Mesh::square(4).unwrap();
+        let cycle = masked_cycle(&mesh, &FaultModel::new()).unwrap();
+        assert_eq!(cycle.order.len(), 16);
+        assert!(cycle.excluded.is_empty());
+        assert!(hamiltonian::is_hamiltonian_cycle(&mesh, &cycle.order, &[]));
+    }
+
+    #[test]
+    fn healthy_odd_mesh_spares_the_corner() {
+        let mesh = Mesh::square(5).unwrap();
+        let cycle = masked_cycle(&mesh, &FaultModel::new()).unwrap();
+        assert_eq!(cycle.order.len(), 24);
+        assert_eq!(cycle.excluded.len(), 1);
+    }
+
+    #[test]
+    fn cycle_avoids_a_failed_interior_channel() {
+        let mesh = Mesh::square(4).unwrap();
+        let mut faults = FaultModel::new();
+        faults
+            .fail_link_between(
+                &mesh,
+                mesh.node_at(Coord::new(1, 1)),
+                mesh.node_at(Coord::new(1, 2)),
+            )
+            .unwrap();
+        let cycle = masked_cycle(&mesh, &faults).unwrap();
+        assert_eq!(cycle.order.len(), 16, "all nodes survive");
+        assert!(cycle.excluded.is_empty());
+        assert!(cycle_uses_only_usable_links(&mesh, &faults, &cycle.order));
+    }
+
+    #[test]
+    fn cycle_routes_around_a_dead_majority_color_chiplet() {
+        // The 5x5 center is majority-colored; its death rebalances the
+        // checkerboard, so all 24 survivors fit on the cycle.
+        let mesh = Mesh::square(5).unwrap();
+        let mut faults = FaultModel::new();
+        faults.fail_node(mesh.node_at(Coord::new(2, 2)));
+        let cycle = masked_cycle(&mesh, &faults).unwrap();
+        assert_eq!(cycle.order.len(), 24);
+        assert!(cycle.excluded.is_empty());
+        assert!(cycle_uses_only_usable_links(&mesh, &faults, &cycle.order));
+    }
+
+    #[test]
+    fn cycle_spares_two_nodes_after_a_minority_color_death() {
+        // Killing a minority-color chiplet on a 5x5 widens the imbalance to
+        // two, so two majority-color survivors must sit out — and stay
+        // feedable from the cycle.
+        let mesh = Mesh::square(5).unwrap();
+        let mut faults = FaultModel::new();
+        faults.fail_node(mesh.node_at(Coord::new(2, 1)));
+        let cycle = masked_cycle(&mesh, &faults).unwrap();
+        assert_eq!(cycle.order.len(), 22);
+        assert_eq!(cycle.excluded.len(), 2);
+        assert!(cycle_uses_only_usable_links(&mesh, &faults, &cycle.order));
+        for &e in &cycle.excluded {
+            assert!(usable_neighbors(&mesh, &faults, e)
+                .iter()
+                .any(|nb| cycle.order.contains(nb)));
+        }
+    }
+
+    #[test]
+    fn partition_is_a_typed_infeasible_error() {
+        let mesh = Mesh::square(3).unwrap();
+        let corner = mesh.node_at(Coord::new(0, 0));
+        let mut faults = FaultModel::new();
+        faults
+            .fail_link_between(&mesh, corner, mesh.node_at(Coord::new(0, 1)))
+            .unwrap();
+        faults
+            .fail_link_between(&mesh, corner, mesh.node_at(Coord::new(1, 0)))
+            .unwrap();
+        assert!(!is_connected(&mesh, &faults));
+        let err = masked_cycle(&mesh, &faults).unwrap_err();
+        assert!(matches!(err, TopologyError::Infeasible { .. }), "{err}");
+        let err = masked_tree(&mesh, &faults, mesh.node_at(Coord::new(1, 1))).unwrap_err();
+        assert!(matches!(err, TopologyError::Infeasible { .. }), "{err}");
+    }
+
+    #[test]
+    fn masked_tree_spans_exactly_the_survivors() {
+        let mesh = Mesh::square(5).unwrap();
+        let mut faults = FaultModel::new();
+        faults.fail_node(mesh.node_at(Coord::new(2, 2)));
+        faults
+            .fail_link_between(
+                &mesh,
+                mesh.node_at(Coord::new(0, 1)),
+                mesh.node_at(Coord::new(0, 2)),
+            )
+            .unwrap();
+        let root = mesh.node_at(Coord::new(0, 0));
+        let tree = masked_tree(&mesh, &faults, root).unwrap();
+        assert_eq!(tree.len(), 24);
+        assert!(!tree.contains(mesh.node_at(Coord::new(2, 2))));
+        for &n in tree.members() {
+            if let Some(p) = tree.parent(n) {
+                let l = mesh.link_between(p, n).unwrap();
+                assert!(faults.link_usable(&mesh, l));
+            }
+        }
+    }
+
+    #[test]
+    fn dead_root_is_infeasible() {
+        let mesh = Mesh::square(3).unwrap();
+        let mut faults = FaultModel::new();
+        let root = mesh.node_at(Coord::new(1, 1));
+        faults.fail_node(root);
+        let err = masked_tree(&mesh, &faults, root).unwrap_err();
+        assert!(matches!(err, TopologyError::Infeasible { .. }));
+    }
+}

@@ -159,7 +159,11 @@ impl Mesh {
         if rows == 0 || cols == 0 {
             return Err(TopologyError::EmptyMesh);
         }
-        Ok(Mesh { rows, cols, wraparound: false })
+        Ok(Mesh {
+            rows,
+            cols,
+            wraparound: false,
+        })
     }
 
     /// Creates a square `n x n` mesh.
@@ -187,7 +191,11 @@ impl Mesh {
                 got: (rows, cols),
             });
         }
-        Ok(Mesh { rows, cols, wraparound: true })
+        Ok(Mesh {
+            rows,
+            cols,
+            wraparound: true,
+        })
     }
 
     /// `true` when this topology has wrap-around links (torus).
@@ -244,7 +252,10 @@ impl Mesh {
     /// Panics if the coordinate is outside the mesh.
     #[inline]
     pub fn node_at(&self, c: Coord) -> NodeId {
-        assert!(c.row < self.rows && c.col < self.cols, "coord {c} outside mesh");
+        assert!(
+            c.row < self.rows && c.col < self.cols,
+            "coord {c} outside mesh"
+        );
         NodeId(c.row * self.cols + c.col)
     }
 
@@ -353,7 +364,10 @@ impl Mesh {
         } else if self.wraparound && cs.col == cd.col && cs.row + 1 == self.rows && cd.row == 0 {
             Ok(Direction::South)
         } else {
-            Err(TopologyError::NotAdjacent { src: src.0, dst: dst.0 })
+            Err(TopologyError::NotAdjacent {
+                src: src.0,
+                dst: dst.0,
+            })
         }
     }
 
@@ -390,9 +404,8 @@ impl Mesh {
     pub fn links(&self) -> impl Iterator<Item = (NodeId, NodeId, LinkId)> + '_ {
         self.node_ids().flat_map(move |src| {
             Direction::ALL.iter().filter_map(move |&d| {
-                self.neighbor(src, d).map(|dst| {
-                    (src, dst, LinkId(src.0 * 4 + d.slot()))
-                })
+                self.neighbor(src, d)
+                    .map(|dst| (src, dst, LinkId(src.0 * 4 + d.slot())))
             })
         })
     }
@@ -484,10 +497,22 @@ mod tests {
     #[test]
     fn direction_between_works() {
         let m = Mesh::square(3).unwrap();
-        assert_eq!(m.direction_between(NodeId(0), NodeId(1)), Ok(Direction::East));
-        assert_eq!(m.direction_between(NodeId(1), NodeId(0)), Ok(Direction::West));
-        assert_eq!(m.direction_between(NodeId(0), NodeId(3)), Ok(Direction::South));
-        assert_eq!(m.direction_between(NodeId(3), NodeId(0)), Ok(Direction::North));
+        assert_eq!(
+            m.direction_between(NodeId(0), NodeId(1)),
+            Ok(Direction::East)
+        );
+        assert_eq!(
+            m.direction_between(NodeId(1), NodeId(0)),
+            Ok(Direction::West)
+        );
+        assert_eq!(
+            m.direction_between(NodeId(0), NodeId(3)),
+            Ok(Direction::South)
+        );
+        assert_eq!(
+            m.direction_between(NodeId(3), NodeId(0)),
+            Ok(Direction::North)
+        );
         assert!(m.direction_between(NodeId(0), NodeId(4)).is_err());
         assert!(m.direction_between(NodeId(0), NodeId(0)).is_err());
     }

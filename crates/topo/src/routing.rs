@@ -95,11 +95,7 @@ pub fn xy_route(mesh: &Mesh, src: NodeId, dst: NodeId) -> Result<Vec<LinkId>, To
 /// # Errors
 ///
 /// Returns [`TopologyError::NodeOutOfRange`] if either node is out of range.
-pub fn xy_route_nodes(
-    mesh: &Mesh,
-    src: NodeId,
-    dst: NodeId,
-) -> Result<Vec<NodeId>, TopologyError> {
+pub fn xy_route_nodes(mesh: &Mesh, src: NodeId, dst: NodeId) -> Result<Vec<NodeId>, TopologyError> {
     mesh.check_node(src)?;
     mesh.check_node(dst)?;
     let s = mesh.coord(src);
@@ -184,7 +180,10 @@ mod tests {
     fn self_route_is_empty() {
         let m = Mesh::square(3).unwrap();
         assert!(xy_route(&m, NodeId(4), NodeId(4)).unwrap().is_empty());
-        assert_eq!(xy_route_nodes(&m, NodeId(4), NodeId(4)).unwrap(), vec![NodeId(4)]);
+        assert_eq!(
+            xy_route_nodes(&m, NodeId(4), NodeId(4)).unwrap(),
+            vec![NodeId(4)]
+        );
     }
 
     #[test]

@@ -71,9 +71,7 @@ impl Tree {
     /// Whether `n` is in the tree.
     #[inline]
     pub fn contains(&self, n: NodeId) -> bool {
-        self.parent
-            .get(n.index())
-            .is_some_and(|p| p.is_some())
+        self.parent.get(n.index()).is_some_and(|p| p.is_some())
     }
 
     /// The parent of `n`, or `None` if `n` is the root or not in the tree.
@@ -156,12 +154,9 @@ impl Tree {
     /// parent edge connects physical neighbors, and parent chains reach the
     /// root (no cycles, by construction of `attach`).
     pub fn is_valid_on(&self, mesh: &Mesh) -> bool {
-        self.members.iter().all(|&m| {
-            m == self.root
-                || self
-                    .parent(m)
-                    .is_some_and(|p| mesh.are_adjacent(m, p))
-        })
+        self.members
+            .iter()
+            .all(|&m| m == self.root || self.parent(m).is_some_and(|p| mesh.are_adjacent(m, p)))
     }
 
     /// Directed links `(child -> parent)` used by this tree on `mesh`.

@@ -67,8 +67,8 @@ fn odd_torus_has_a_hamiltonian_cycle() {
     // The paper's whole motivation: odd meshes lack this, tori don't.
     for (r, c) in [(3, 3), (3, 5), (5, 5), (4, 4), (4, 5), (7, 9), (6, 6)] {
         let t = Mesh::torus(r, c).unwrap();
-        let cycle = hamiltonian::hamiltonian_cycle(&t)
-            .unwrap_or_else(|e| panic!("{r}x{c} torus: {e}"));
+        let cycle =
+            hamiltonian::hamiltonian_cycle(&t).unwrap_or_else(|e| panic!("{r}x{c} torus: {e}"));
         assert!(
             hamiltonian::is_hamiltonian_cycle(&t, &cycle, &[]),
             "{r}x{c} torus cycle invalid"

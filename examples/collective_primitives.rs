@@ -40,10 +40,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t_red = engine.run(&mesh, &red)?;
 
     println!("training-job collective lifecycle on a {mesh}:");
-    println!("  broadcast weights   {:>9.2} ms", t_bcast.total_time_ns / 1e6);
+    println!(
+        "  broadcast weights   {:>9.2} ms",
+        t_bcast.total_time_ns / 1e6
+    );
     println!("  reduce-scatter grads{:>9.2} ms", t_rs.total_time_ns / 1e6);
     println!("  all-gather weights  {:>9.2} ms", t_ag.total_time_ns / 1e6);
-    println!("  reduce stats        {:>9.2} ms", t_red.total_time_ns / 1e6);
+    println!(
+        "  reduce stats        {:>9.2} ms",
+        t_red.total_time_ns / 1e6
+    );
     println!(
         "\nshard ownership after reduce-scatter: node {} owns bytes [{}, {})",
         layout.parts()[0].0.index(),

@@ -22,7 +22,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mib: u64 = args.next().map(|s| s.parse()).transpose()?.unwrap_or(32);
     let data = mib << 20;
 
-    let mesh = if torus { Mesh::torus(rows, cols)? } else { Mesh::new(rows, cols)? };
+    let mesh = if torus {
+        Mesh::torus(rows, cols)?
+    } else {
+        Mesh::new(rows, cols)?
+    };
     let engine = SimEngine::new(NocConfig::paper_default());
     println!(
         "AllReduce of {mib} MiB/node on a {mesh} ({}-sized)\n",
@@ -37,7 +41,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for algorithm in Algorithm::ALL {
         let applicability = algorithm.applicability(&mesh);
         if applicability == Applicability::Inapplicable {
-            println!("{:<12} {:>14} {:>10} {:>12} {:>12}", algorithm.name(), "inapplicable", "-", "-", "-");
+            println!(
+                "{:<12} {:>14} {:>10} {:>12} {:>12}",
+                algorithm.name(),
+                "inapplicable",
+                "-",
+                "-",
+                "-"
+            );
             continue;
         }
         let schedule = algorithm.schedule(&mesh, data)?;

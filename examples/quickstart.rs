@@ -12,7 +12,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 5x5 MCM package: 25 chiplets, odd-sized mesh — the case where the
     // classic bidirectional ring does not exist.
     let mesh = Mesh::square(5)?;
-    println!("topology: {mesh} ({} directed links)", mesh.directed_links());
+    println!(
+        "topology: {mesh} ({} directed links)",
+        mesh.directed_links()
+    );
 
     let gradient_bytes: u64 = 64 << 20; // a 64 MiB gradient
     let engine = SimEngine::new(NocConfig::paper_default());

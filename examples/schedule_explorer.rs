@@ -25,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .collect::<Vec<_>>()
             .join(" -> ")
     );
-    println!("excluded corner (still trains): node {}", excluded.index() + 1);
+    println!(
+        "excluded corner (still trains): node {}",
+        excluded.index() + 1
+    );
 
     println!("\n== TTO's three disjoint trees (paper Fig 6) ==");
     let trees = tto::disjoint_trees(&mesh)?;

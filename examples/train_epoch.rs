@@ -35,7 +35,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!(
         "one ImageNet-scale epoch of {} on a {mesh} ({} chiplets, minibatch 16/chiplet)\n",
-        model, side * side
+        model,
+        side * side
     );
     println!(
         "{:<12} {:>6} {:>12} {:>12} {:>12} {:>10}",

@@ -60,7 +60,10 @@ fn run(args: &[String]) -> CliResult {
             println!("  critical path:      {} steps", stats.critical_path_len);
             println!("  wire bytes:         {}", s.total_wire_bytes());
             println!("  link-byte traffic:  {}", stats.link_byte_traffic);
-            println!("  hops (max / mean):  {} / {:.2}", stats.max_hops, stats.mean_hops);
+            println!(
+                "  hops (max / mean):  {} / {:.2}",
+                stats.max_hops, stats.mean_hops
+            );
             println!(
                 "  per-node tx / rx:   {} / {} bytes (max)",
                 stats.max_node_tx_bytes, stats.max_node_rx_bytes
@@ -107,7 +110,10 @@ fn run(args: &[String]) -> CliResult {
             let mesh = parse_mesh(&args[1..])?;
             let bytes: u64 = args.get(3).ok_or("missing <bytes>")?.parse()?;
             let engine = SimEngine::new(NocConfig::paper_default());
-            println!("{:<12} {:>12} {:>10} {:>12}", "algorithm", "time ms", "GB/s", "links busy %");
+            println!(
+                "{:<12} {:>12} {:>10} {:>12}",
+                "algorithm", "time ms", "GB/s", "links busy %"
+            );
             for algo in Algorithm::ALL {
                 if algo.applicability(&mesh) == Applicability::Inapplicable {
                     continue;
@@ -134,7 +140,11 @@ fn run(args: &[String]) -> CliResult {
             let mesh = parse_mesh(&args[1..])?;
             println!("{:<12} {:>14}", "algorithm", "applicability");
             for a in Algorithm::ALL {
-                println!("{:<12} {:>14}", a.name(), a.applicability(&mesh).to_string());
+                println!(
+                    "{:<12} {:>14}",
+                    a.name(),
+                    a.applicability(&mesh).to_string()
+                );
             }
             Ok(())
         }

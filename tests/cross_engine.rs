@@ -54,6 +54,54 @@ fn engines_agree_on_tto_overlap() {
 }
 
 #[test]
+fn engines_on_a_degraded_link_config() {
+    // Per-link degradation is a packet-engine feature: `NocConfig::bandwidth_of`
+    // scales each link by `FaultModel::degradation`, while the flit-level
+    // router model performs only the static dead-route check and keeps its
+    // nominal per-hop timing. Both engines must still complete on a degraded
+    // (not failed) config; the packet engine must slow down; and the flit
+    // engine's makespan must be bit-identical to its healthy run.
+    let mesh = Mesh::square(3).unwrap();
+    let s = Algorithm::Ring.schedule(&mesh, 9 * 2048).unwrap();
+    let msgs = schedule_to_messages(&s);
+
+    let healthy = NocConfig::paper_default();
+    let mut degraded = healthy.clone();
+    for (_, _, link) in mesh.links() {
+        degraded.faults.degrade_link(link, 0.5);
+    }
+
+    let pkt_healthy = PacketSim::new(healthy.clone()).run(&mesh, &msgs).unwrap();
+    let pkt_degraded = PacketSim::new(degraded.clone()).run(&mesh, &msgs).unwrap();
+    let flit_healthy = FlitSim::new(healthy).run(&mesh, &msgs).unwrap();
+    let flit_degraded = FlitSim::new(degraded).run(&mesh, &msgs).unwrap();
+
+    // Half bandwidth on every link: serialization doubles, per-hop latency
+    // does not, so the slowdown lands between 1.4x and 2.0x.
+    let slowdown = pkt_degraded.makespan_ns() / pkt_healthy.makespan_ns();
+    assert!(
+        (1.4..=2.0).contains(&slowdown),
+        "packet engine on half-bandwidth links: healthy {} vs degraded {} (x{slowdown})",
+        pkt_healthy.makespan_ns(),
+        pkt_degraded.makespan_ns()
+    );
+    assert!(
+        (flit_degraded.makespan_ns() - flit_healthy.makespan_ns()).abs() < 1e-9,
+        "flit engine models no degradation, so its timing must not move: {} vs {}",
+        flit_healthy.makespan_ns(),
+        flit_degraded.makespan_ns()
+    );
+    // Cross-engine window widened by the one-sided slowdown.
+    let ratio = flit_degraded.makespan_ns() / pkt_degraded.makespan_ns();
+    assert!(
+        (0.3..1.8).contains(&ratio),
+        "flit {} vs degraded packet {} (ratio {ratio})",
+        flit_degraded.makespan_ns(),
+        pkt_degraded.makespan_ns()
+    );
+}
+
+#[test]
 fn engines_agree_on_ring_bi_odd() {
     let mesh = Mesh::square(3).unwrap();
     let s = Algorithm::RingBiOdd.schedule(&mesh, 8 * 2048).unwrap();

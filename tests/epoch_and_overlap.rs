@@ -16,8 +16,12 @@ fn paper_iteration_counts_on_8x8() {
     // §VIII-B: mini-batches 1024 vs 1008 give 1252 vs 1271 iterations.
     let p = EpochParams::default();
     let mesh = Mesh::square(8).unwrap();
-    let base = p.training_set.div_ceil(16 * trainers(&mesh, Algorithm::RingBiEven));
-    let tto = p.training_set.div_ceil(16 * trainers(&mesh, Algorithm::Tto));
+    let base = p
+        .training_set
+        .div_ceil(16 * trainers(&mesh, Algorithm::RingBiEven));
+    let tto = p
+        .training_set
+        .div_ceil(16 * trainers(&mesh, Algorithm::Tto));
     assert_eq!((base, tto), (1252, 1271));
 }
 
@@ -59,7 +63,10 @@ fn small_mac_arrays_shrink_end_to_end_speedup() {
     let (e2e_small, ar_small) = speedup(&ChipletConfig::simba(16));
     assert!(e2e_small < e2e_big, "e2e {e2e_small} !< {e2e_big}");
     // AllReduce speedup is independent of the MAC array.
-    assert!((ar_big - ar_small).abs() / ar_big < 0.05, "{ar_big} vs {ar_small}");
+    assert!(
+        (ar_big - ar_small).abs() / ar_big < 0.05,
+        "{ar_big} vs {ar_small}"
+    );
 }
 
 #[test]

@@ -50,7 +50,12 @@ fn dbtree_is_the_weakest_baseline() {
     let mesh = Mesh::square(4).unwrap();
     let d = 4 << 20;
     let db = bw(&mesh, Algorithm::DBTree, d);
-    for a in [Algorithm::Ring, Algorithm::MultiTree, Algorithm::RingBiEven, Algorithm::Tto] {
+    for a in [
+        Algorithm::Ring,
+        Algorithm::MultiTree,
+        Algorithm::RingBiEven,
+        Algorithm::Tto,
+    ] {
         assert!(bw(&mesh, a, d) > db, "{a} not faster than DBTree");
     }
 }
@@ -77,7 +82,12 @@ fn tto_has_the_highest_link_utilization() {
     };
     let tto = util(Algorithm::Tto);
     assert!(tto > 70.0, "TTO utilization {tto}");
-    for a in [Algorithm::Ring, Algorithm::MultiTree, Algorithm::RingBiOdd, Algorithm::DBTree] {
+    for a in [
+        Algorithm::Ring,
+        Algorithm::MultiTree,
+        Algorithm::RingBiOdd,
+        Algorithm::DBTree,
+    ] {
         assert!(tto > util(a), "TTO not above {a}");
     }
 }
@@ -113,7 +123,9 @@ fn section8b_tto_number_is_reproduced() {
     let model = DnnModel::ResNet152.model();
     let mesh = Mesh::square(8).unwrap();
     let engine = SimEngine::new(NocConfig::paper_default());
-    let s = Algorithm::Tto.schedule(&mesh, model.gradient_bytes(4)).unwrap();
+    let s = Algorithm::Tto
+        .schedule(&mesh, model.gradient_bytes(4))
+        .unwrap();
     let ct = engine.run(&mesh, &s).unwrap().total_time_ns;
     let err = (ct - 7_076_228.0).abs() / 7_076_228.0;
     assert!(err < 0.10, "C_t = {ct} vs paper 7,076,228 ({err:.1}% off)");

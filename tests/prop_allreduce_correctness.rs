@@ -3,8 +3,9 @@
 //! element-wise sum — including under randomized execution orders of the
 //! schedule DAG (which catches missing dependencies, not just wrong math).
 
-use meshcoll::collectives::{verify, Algorithm, Applicability, ScheduleOptions};
+use meshcoll::collectives::{fault, verify, Algorithm, Applicability, ScheduleOptions};
 use meshcoll::prelude::*;
+use meshcoll::topo::{FaultModel, RoutingAlgorithm};
 use proptest::prelude::*;
 
 fn check(algorithm: Algorithm, rows: usize, cols: usize, data: u64, seed: u64) {
@@ -26,6 +27,35 @@ fn check(algorithm: Algorithm, rows: usize, cols: usize, data: u64, seed: u64) {
         .unwrap_or_else(|e| panic!("{algorithm} on {rows}x{cols} d={data}: {e}"));
     verify::check_allreduce_seeded(&mesh, &schedule, seed)
         .unwrap_or_else(|e| panic!("{algorithm} (seeded {seed}) on {rows}x{cols} d={data}: {e}"));
+}
+
+/// Repairs `algorithm` around `faults` and checks the result: the repaired
+/// schedule must never reference a dead link or chiplet (`fault::lint` is
+/// clean under the simulator's XY routing) and must still reduce correctly
+/// over the survivors, including under randomized execution orders. A typed
+/// `Infeasible` / `DataTooSmall` is the accepted alternative outcome (e.g.
+/// when the faults partition the package); panics and dirty schedules are not.
+fn check_repair(algorithm: Algorithm, mesh: &Mesh, faults: &FaultModel, data: u64, seed: u64) {
+    let opts = ScheduleOptions {
+        tto_chunk_bytes: 700,
+        dbtree_segment_bytes: 900,
+    };
+    let repair = match fault::repair(algorithm, mesh, faults, data, &opts) {
+        Ok(r) => r,
+        Err(meshcoll::collectives::CollectiveError::Infeasible { .. })
+        | Err(meshcoll::collectives::CollectiveError::DataTooSmall { .. }) => return,
+        Err(e) => panic!("{algorithm} repair on {mesh}: {e}"),
+    };
+    let issues = fault::lint(mesh, faults, &repair.schedule, RoutingAlgorithm::Xy);
+    assert!(
+        issues.is_empty(),
+        "{algorithm} repair ({}) on {mesh} still touches dead hardware: {issues:?}",
+        repair.strategy
+    );
+    verify::check_allreduce(mesh, &repair.schedule)
+        .unwrap_or_else(|e| panic!("{algorithm} repair on {mesh} d={data}: {e}"));
+    verify::check_allreduce_seeded(mesh, &repair.schedule, seed)
+        .unwrap_or_else(|e| panic!("{algorithm} repair (seeded {seed}) on {mesh} d={data}: {e}"));
 }
 
 proptest! {
@@ -67,6 +97,58 @@ proptest! {
         prop_assert!(!(even_ok && odd_ok));
         if rows >= 3 && cols >= 3 {
             prop_assert!(even_ok || odd_ok, "no bidirectional ring on {rows}x{cols}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn fault_repaired_schedules_avoid_dead_hardware_and_stay_correct(
+        rows in 3usize..6,
+        cols in 3usize..6,
+        data in 4_000u64..40_000,
+        seed in 0u64..1000,
+        kind in 0usize..4,
+        pick_a in 0usize..1024,
+        pick_b in 0usize..1024,
+    ) {
+        let mesh = Mesh::new(rows, cols).unwrap();
+        // Every physical channel once (src < dst de-duplicates directions).
+        let channels: Vec<(NodeId, NodeId)> = mesh
+            .links()
+            .filter(|(a, b, _)| a < b)
+            .map(|(a, b, _)| (a, b))
+            .collect();
+        let nodes: Vec<NodeId> = mesh.node_ids().collect();
+        let mut faults = FaultModel::new();
+        match kind {
+            // 1–2 failed channels …
+            0 | 1 => {
+                let (a, b) = channels[pick_a % channels.len()];
+                faults.fail_link_between(&mesh, a, b).unwrap();
+                if kind == 1 {
+                    let (a, b) = channels[pick_b % channels.len()];
+                    faults.fail_link_between(&mesh, a, b).unwrap();
+                }
+            }
+            // … or 1–2 failed chiplets (possibly coincident; idempotent).
+            _ => {
+                faults.fail_node(nodes[pick_a % nodes.len()]);
+                if kind == 3 {
+                    faults.fail_node(nodes[pick_b % nodes.len()]);
+                }
+            }
+        }
+        for a in [
+            Algorithm::Ring,
+            Algorithm::RingBiEven,
+            Algorithm::RingBiOdd,
+            Algorithm::MultiTree,
+            Algorithm::Tto,
+        ] {
+            check_repair(a, &mesh, &faults, data, seed);
         }
     }
 }

@@ -36,7 +36,10 @@ fn ring_bi_odd_recovers_torus_ring_bandwidth_on_the_mesh() {
         .unwrap()
         .bandwidth_gbps;
     let ratio = on_mesh / on_torus;
-    assert!((0.9..1.1).contains(&ratio), "mesh {on_mesh} vs torus {on_torus}");
+    assert!(
+        (0.9..1.1).contains(&ratio),
+        "mesh {on_mesh} vs torus {on_torus}"
+    );
 }
 
 #[test]
@@ -73,7 +76,9 @@ fn torus_algorithms_are_functionally_correct() {
         Algorithm::DBTree,
         Algorithm::Tto,
     ] {
-        let s = a.schedule(&torus, 4800).unwrap_or_else(|e| panic!("{a}: {e}"));
+        let s = a
+            .schedule(&torus, 4800)
+            .unwrap_or_else(|e| panic!("{a}: {e}"));
         meshcoll::collectives::verify::check_allreduce(&torus, &s)
             .unwrap_or_else(|e| panic!("{a}: {e}"));
         meshcoll::collectives::verify::check_allreduce_seeded(&torus, &s, 5)
