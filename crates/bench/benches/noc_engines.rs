@@ -51,5 +51,30 @@ fn bench_engines(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_engines);
+fn bench_packet_train(c: &mut Criterion) {
+    // One uncongested 64 MB message: the packet-train fast path collapses
+    // its ~8192 per-packet events into a single train event, while the
+    // per-packet reference walks them all. This tracks that gap.
+    let mesh = Mesh::new(1, 2).unwrap();
+    let msgs = vec![Message::new(MsgId(0), NodeId(0), NodeId(1), 64 << 20)];
+    let sim = PacketSim::new(NocConfig::paper_default());
+    let mut g = c.benchmark_group("packet_train_64mb");
+    g.sample_size(10);
+    g.bench_function("fast_path", |b| {
+        b.iter(|| {
+            black_box(
+                sim.run_coalesced(&mesh, &msgs)
+                    .unwrap()
+                    .expect("uncongested message coalesces")
+                    .makespan_ns(),
+            )
+        })
+    });
+    g.bench_function("per_packet_reference", |b| {
+        b.iter(|| black_box(sim.run_reference(&mesh, &msgs).unwrap().makespan_ns()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engines, bench_packet_train);
 criterion_main!(benches);

@@ -7,10 +7,10 @@
 //! experiment beyond the paper, enabled by the per-link bandwidth overrides
 //! in `NocConfig`.
 
-use meshcoll_bench::{fmt_bytes, mib, Cli, Mesh, Record, SweepSize};
+use meshcoll_bench::{fmt_bytes, mib, Cli, Mesh, Record, SimContext, SweepSize};
 use meshcoll_collectives::Algorithm;
 use meshcoll_noc::NocConfig;
-use meshcoll_sim::{bandwidth, SimEngine};
+use meshcoll_sim::bandwidth;
 use meshcoll_topo::{Coord, NodeId};
 
 fn main() {
@@ -28,6 +28,7 @@ fn main() {
     let link = mesh
         .link_between(center, east)
         .expect("center and east are horizontal neighbors");
+    let ctx = SimContext::new();
     let mut records = Vec::new();
 
     println!(
@@ -38,26 +39,34 @@ fn main() {
         "{:<12} {:>12} {:>12} {:>12} {:>14}",
         "algorithm", "healthy GB/s", "half GB/s", "quarter GB/s", "slowdown @1/4"
     );
-    for algo in [
+    let algorithms = [
         Algorithm::Ring,
         Algorithm::RingBiOdd,
         Algorithm::MultiTree,
         Algorithm::Tto,
-    ] {
-        let bw = |link_bw: Option<f64>| {
-            let mut cfg = NocConfig::paper_default();
-            if let Some(b) = link_bw {
-                cfg.link_overrides.push((link, b));
-            }
-            let engine = SimEngine::new(cfg);
-            bandwidth::measure(&engine, &mesh, algo, data)
-                .unwrap_or_else(|e| panic!("measuring {algo} on {mesh}: {e}"))
-                .bandwidth_gbps
-        };
-        let base = NocConfig::paper_default().link_bandwidth;
-        let healthy = bw(None);
-        let half = bw(Some(base / 2.0));
-        let quarter = bw(Some(base / 4.0));
+    ];
+    let base = NocConfig::paper_default().link_bandwidth;
+    let points: Vec<(Algorithm, Option<f64>)> = algorithms
+        .iter()
+        .flat_map(|&algo| {
+            [None, Some(base / 2.0), Some(base / 4.0)]
+                .into_iter()
+                .map(move |bw| (algo, bw))
+        })
+        .collect();
+    let results = cli.runner().run(&points, |&(algo, link_bw)| {
+        let mut cfg = NocConfig::paper_default();
+        if let Some(b) = link_bw {
+            cfg.link_overrides.push((link, b));
+        }
+        let engine = ctx.engine(cfg);
+        bandwidth::measure(&engine, &mesh, algo, data)
+            .unwrap_or_else(|e| panic!("measuring {algo} on {mesh}: {e}"))
+            .bandwidth_gbps
+    });
+
+    for (i, algo) in algorithms.iter().enumerate() {
+        let (healthy, half, quarter) = (results[3 * i], results[3 * i + 1], results[3 * i + 2]);
         println!(
             "{:<12} {:>12.1} {:>12.1} {:>12.1} {:>13.2}x",
             algo.name(),

@@ -11,9 +11,11 @@
 //! An extension experiment beyond the paper, enabled by
 //! `meshcoll_topo::FaultModel` and `meshcoll_collectives::fault`.
 
-use meshcoll_bench::{fmt_bytes, mib, Cli, Mesh, NocConfig, Record, ScheduleOptions, SweepSize};
+use meshcoll_bench::{
+    fmt_bytes, mib, Cli, Mesh, NocConfig, Record, ScheduleOptions, SimContext, SweepSize,
+};
 use meshcoll_collectives::Algorithm;
-use meshcoll_sim::{RunStatus, SimEngine};
+use meshcoll_sim::RunStatus;
 use meshcoll_topo::{Coord, FaultModel};
 
 /// One fault scenario of the sweep.
@@ -93,6 +95,7 @@ fn main() {
     };
     let mesh = Mesh::square(5).expect("5x5 mesh is always constructible");
     let opts = ScheduleOptions::default();
+    let ctx = SimContext::new();
     let mut records = Vec::new();
 
     println!(
@@ -103,60 +106,69 @@ fn main() {
         "{:<12} {:<12} {:>10} {:>12} {:>12} {:>10}  strategy",
         "scenario", "algorithm", "status", "GB/s", "repair us", "sidelined"
     );
-    for sc in SCENARIOS {
-        let faults = faults_for(&mesh, sc);
-        for algo in [
-            Algorithm::Ring,
-            Algorithm::RingBiOdd,
-            Algorithm::MultiTree,
-            Algorithm::Tto,
-        ] {
-            let mut cfg = NocConfig::paper_default();
-            cfg.faults = faults.clone();
-            let engine = SimEngine::new(cfg);
-            let run = engine
-                .run_degraded(&mesh, algo, data, &opts)
-                .unwrap_or_else(|e| panic!("{algo} under '{}' faults: {e}", sc.label));
-            let bw = run.result.as_ref().map_or(0.0, |r| r.bandwidth_gbps(data));
-            let (status, repair_us, sidelined, strategy) = match &run.status {
-                RunStatus::Completed => ("ok", 0.0, 0usize, "original schedule"),
-                RunStatus::Repaired {
-                    strategy,
-                    sidelined,
-                    repair_micros,
-                    ..
-                } => ("repaired", *repair_micros, *sidelined, *strategy),
-                RunStatus::Infeasible { reason } => ("infeasible", 0.0, 0, *reason),
-                other => panic!("unexpected run status {other:?}"),
-            };
-            println!(
-                "{:<12} {:<12} {:>10} {:>12.1} {:>12.1} {:>10}  {}",
-                sc.label,
-                algo.name(),
-                status,
-                bw,
-                repair_us,
+    let algorithms = [
+        Algorithm::Ring,
+        Algorithm::RingBiOdd,
+        Algorithm::MultiTree,
+        Algorithm::Tto,
+    ];
+    let points: Vec<(&Scenario, Algorithm)> = SCENARIOS
+        .iter()
+        .flat_map(|sc| algorithms.iter().map(move |&algo| (sc, algo)))
+        .collect();
+    let opts_ref = &opts;
+    let mesh_ref = &mesh;
+    let runs = cli.runner().run(&points, |&(sc, algo)| {
+        let mut cfg = NocConfig::paper_default();
+        cfg.faults = faults_for(mesh_ref, sc);
+        let engine = ctx.engine(cfg);
+        engine
+            .run_degraded(mesh_ref, algo, data, opts_ref)
+            .unwrap_or_else(|e| panic!("{algo} under '{}' faults: {e}", sc.label))
+    });
+
+    for ((&(sc, algo), run), i) in points.iter().zip(&runs).zip(0usize..) {
+        let bw = run.result.as_ref().map_or(0.0, |r| r.bandwidth_gbps(data));
+        let (status, repair_us, sidelined, strategy) = match &run.status {
+            RunStatus::Completed => ("ok", 0.0, 0usize, "original schedule"),
+            RunStatus::Repaired {
+                strategy,
                 sidelined,
-                strategy
-            );
-            records.push(
-                Record::new("ablation_faults", &mesh.to_string(), algo.name(), sc.label)
-                    .with("failed_links", sc.links.len() as f64)
-                    .with("failed_chiplets", sc.chiplets.len() as f64)
-                    .with("bandwidth_gbps", bw)
-                    .with("repair_micros", repair_us)
-                    .with("sidelined", sidelined as f64)
-                    .with(
-                        "status",
-                        match run.status {
-                            RunStatus::Completed => 0.0,
-                            RunStatus::Repaired { .. } => 1.0,
-                            _ => 2.0,
-                        },
-                    ),
-            );
+                repair_micros,
+                ..
+            } => ("repaired", *repair_micros, *sidelined, *strategy),
+            RunStatus::Infeasible { reason } => ("infeasible", 0.0, 0, *reason),
+            other => panic!("unexpected run status {other:?}"),
+        };
+        println!(
+            "{:<12} {:<12} {:>10} {:>12.1} {:>12.1} {:>10}  {}",
+            sc.label,
+            algo.name(),
+            status,
+            bw,
+            repair_us,
+            sidelined,
+            strategy
+        );
+        records.push(
+            Record::new("ablation_faults", &mesh.to_string(), algo.name(), sc.label)
+                .with("failed_links", sc.links.len() as f64)
+                .with("failed_chiplets", sc.chiplets.len() as f64)
+                .with("bandwidth_gbps", bw)
+                .with("repair_micros", repair_us)
+                .with("sidelined", sidelined as f64)
+                .with(
+                    "status",
+                    match run.status {
+                        RunStatus::Completed => 0.0,
+                        RunStatus::Repaired { .. } => 1.0,
+                        _ => 2.0,
+                    },
+                ),
+        );
+        if i % algorithms.len() == algorithms.len() - 1 {
+            println!();
         }
-        println!();
     }
 
     println!(

@@ -5,10 +5,10 @@
 //! bandwidth) is produced by per-packet pipeline overhead; this ablation
 //! sweeps that overhead and shows the optimum chunk growing with it.
 
-use meshcoll_bench::{fmt_bytes, kib, mib, Cli, Mesh, Record, SweepSize};
+use meshcoll_bench::{fmt_bytes, kib, mib, Cli, Mesh, Record, SimContext, SweepSize};
 use meshcoll_collectives::{Algorithm, ScheduleOptions};
 use meshcoll_noc::NocConfig;
-use meshcoll_sim::{bandwidth, SimEngine};
+use meshcoll_sim::bandwidth;
 
 fn main() {
     let cli = Cli::parse();
@@ -20,6 +20,7 @@ fn main() {
     let mesh = Mesh::square(8).expect("8x8 mesh is constructible");
     let chunks = [kib(12), kib(24), kib(48), kib(96), kib(192), kib(384)];
     let overheads = [0.0f64, 21.0, 42.0, 84.0];
+    let ctx = SimContext::new();
     let mut records = Vec::new();
 
     println!(
@@ -31,21 +32,31 @@ fn main() {
         print!("{:>10}", fmt_bytes(c));
     }
     println!("{:>12}", "best chunk");
-    for oh in overheads {
-        let engine = SimEngine::new(NocConfig {
+
+    let points: Vec<(f64, u64)> = overheads
+        .iter()
+        .flat_map(|&oh| chunks.iter().map(move |&c| (oh, c)))
+        .collect();
+    let results = cli.runner().run(&points, |&(oh, c)| {
+        let engine = ctx.engine(NocConfig {
             per_packet_overhead_ns: oh,
             ..NocConfig::paper_default()
         });
+        let opts = ScheduleOptions {
+            tto_chunk_bytes: c,
+            ..ScheduleOptions::default()
+        };
+        bandwidth::measure_with(&engine, &mesh, Algorithm::Tto, data, &opts)
+            .unwrap_or_else(|e| panic!("measuring TTO at {c} B chunks: {e}"))
+            .bandwidth_gbps
+    });
+
+    let mut cells = points.iter().zip(&results);
+    for oh in overheads {
         print!("{oh:<14}");
         let mut best = (0u64, 0.0f64);
-        for c in chunks {
-            let opts = ScheduleOptions {
-                tto_chunk_bytes: c,
-                ..ScheduleOptions::default()
-            };
-            let bw = bandwidth::measure_with(&engine, &mesh, Algorithm::Tto, data, &opts)
-                .unwrap_or_else(|e| panic!("measuring TTO at {c} B chunks: {e}"))
-                .bandwidth_gbps;
+        for _ in chunks {
+            let (&(_, c), &bw) = cells.next().expect("one result per sweep point");
             print!("{bw:>10.1}");
             if bw > best.1 {
                 best = (c, bw);

@@ -6,10 +6,10 @@
 //! tree edges become multi-hop routes whose contention pattern shifts
 //! between XY and YX. This ablation quantifies both statements.
 
-use meshcoll_bench::{fmt_bytes, mib, Cli, Mesh, Record, SweepSize};
+use meshcoll_bench::{fmt_bytes, mib, Cli, Mesh, Record, SimContext, SweepSize};
 use meshcoll_collectives::Algorithm;
 use meshcoll_noc::NocConfig;
-use meshcoll_sim::{bandwidth, SimEngine};
+use meshcoll_sim::bandwidth;
 use meshcoll_topo::RoutingAlgorithm;
 
 fn main() {
@@ -20,6 +20,7 @@ fn main() {
         SweepSize::Full => mib(64),
     };
     let mesh = Mesh::square(8).expect("8x8 mesh is constructible");
+    let ctx = SimContext::new();
     let mut records = Vec::new();
 
     println!(
@@ -30,24 +31,34 @@ fn main() {
         "{:<12} {:>12} {:>12} {:>10}",
         "algorithm", "XY GB/s", "YX GB/s", "delta %"
     );
-    for algo in [
+    let algorithms = [
         Algorithm::Ring,
         Algorithm::RingBiEven,
         Algorithm::MultiTree,
         Algorithm::Tto,
         Algorithm::DBTree,
         Algorithm::Ring2D,
-    ] {
-        let bw = |routing: RoutingAlgorithm| {
-            let engine = SimEngine::new(NocConfig {
-                routing,
-                ..NocConfig::paper_default()
-            });
-            bandwidth::measure(&engine, &mesh, algo, data)
-                .unwrap_or_else(|e| panic!("measuring {algo} under {routing:?} routing: {e}"))
-                .bandwidth_gbps
-        };
-        let (xy, yx) = (bw(RoutingAlgorithm::Xy), bw(RoutingAlgorithm::Yx));
+    ];
+    let points: Vec<(Algorithm, RoutingAlgorithm)> = algorithms
+        .iter()
+        .flat_map(|&algo| {
+            [RoutingAlgorithm::Xy, RoutingAlgorithm::Yx]
+                .into_iter()
+                .map(move |routing| (algo, routing))
+        })
+        .collect();
+    let results = cli.runner().run(&points, |&(algo, routing)| {
+        let engine = ctx.engine(NocConfig {
+            routing,
+            ..NocConfig::paper_default()
+        });
+        bandwidth::measure(&engine, &mesh, algo, data)
+            .unwrap_or_else(|e| panic!("measuring {algo} under {routing:?} routing: {e}"))
+            .bandwidth_gbps
+    });
+
+    for (i, algo) in algorithms.iter().enumerate() {
+        let (xy, yx) = (results[2 * i], results[2 * i + 1]);
         println!(
             "{:<12} {:>12.1} {:>12.1} {:>9.1}%",
             algo.name(),

@@ -5,7 +5,7 @@
 //! paper's 3-tree TTO against a 2-tree variant that keeps all N chiplets
 //! training, on both raw AllReduce bandwidth and end-to-end epoch time.
 
-use meshcoll_bench::{fmt_bytes, mib, Cli, DnnModel, Mesh, Record, SimEngine, SweepSize};
+use meshcoll_bench::{fmt_bytes, mib, Cli, DnnModel, Mesh, Record, SimContext, SweepSize};
 use meshcoll_collectives::{tto, Algorithm};
 use meshcoll_compute::ChipletConfig;
 use meshcoll_sim::epoch::{epoch_time, EpochParams};
@@ -17,7 +17,8 @@ fn main() {
         SweepSize::Default => mib(32),
         SweepSize::Full => mib(128),
     };
-    let engine = SimEngine::paper_default();
+    let engine = SimContext::new().paper_engine();
+    let runner = cli.runner();
     let mut records = Vec::new();
 
     println!("Ablation: TTO's three trees vs a two-tree, no-exclusion variant");
@@ -26,12 +27,14 @@ fn main() {
         "{:<8} {:>14} {:>14} {:>10}",
         "mesh", "3 trees GB/s", "2 trees GB/s", "ratio"
     );
-    for n in [4usize, 5, 8, 9] {
+    let sides = [4usize, 5, 8, 9];
+    let engine_ref = &engine;
+    let bandwidths = runner.run(&sides, |&n| {
         let mesh = Mesh::square(n).unwrap_or_else(|e| panic!("{n}x{n} mesh: {e}"));
         let three = {
             let s = tto::schedule(&mesh, data)
                 .unwrap_or_else(|e| panic!("TTO schedule on {mesh}: {e}"));
-            let r = engine
+            let r = engine_ref
                 .run(&mesh, &s)
                 .unwrap_or_else(|e| panic!("simulating TTO on {mesh}: {e}"));
             r.bandwidth_gbps(data)
@@ -39,14 +42,17 @@ fn main() {
         let two = {
             let s = tto::two_tree_schedule_with(&mesh, data, tto::DEFAULT_CHUNK_BYTES)
                 .unwrap_or_else(|e| panic!("two-tree schedule on {mesh}: {e}"));
-            let r = engine
+            let r = engine_ref
                 .run(&mesh, &s)
                 .unwrap_or_else(|e| panic!("simulating two-tree TTO on {mesh}: {e}"));
             r.bandwidth_gbps(data)
         };
+        (mesh, three, two)
+    });
+    for (mesh, three, two) in &bandwidths {
         println!(
             "{:<8} {:>14.1} {:>14.1} {:>10.2}",
-            format!("{n}x{n}"),
+            mesh.to_string(),
             three,
             two,
             three / two
@@ -58,8 +64,8 @@ fn main() {
                 "TTO",
                 &fmt_bytes(data),
             )
-            .with("three_tree_gbps", three)
-            .with("two_tree_gbps", two),
+            .with("three_tree_gbps", *three)
+            .with("two_tree_gbps", *two),
         );
     }
 
@@ -71,27 +77,49 @@ fn main() {
     let model = DnnModel::ResNet152.model();
     let chiplet = ChipletConfig::paper_default();
     let params = EpochParams::default();
-    for n in [4usize, 8] {
+    let epoch_sides = [4usize, 8];
+    let (model_ref, chiplet_ref, params_ref) = (&model, &chiplet, &params);
+    let epochs = runner.run(&epoch_sides, |&n| {
         let mesh = Mesh::square(n).unwrap_or_else(|e| panic!("{n}x{n} mesh: {e}"));
-        let three = epoch_time(&engine, &mesh, Algorithm::Tto, &model, &chiplet, &params)
-            .unwrap_or_else(|e| panic!("TTO epoch time on {mesh}: {e}"))
-            .epoch_ns()
+        let three = epoch_time(
+            engine_ref,
+            &mesh,
+            Algorithm::Tto,
+            model_ref,
+            chiplet_ref,
+            params_ref,
+        )
+        .unwrap_or_else(|e| panic!("TTO epoch time on {mesh}: {e}"))
+        .epoch_ns()
             / 1e9;
         // Two-tree variant: all N chiplets train (baseline iteration count),
         // with the two-tree AllReduce time.
-        let two_sched =
-            tto::two_tree_schedule_with(&mesh, model.gradient_bytes(4), tto::DEFAULT_CHUNK_BYTES)
-                .unwrap_or_else(|e| panic!("two-tree schedule on {mesh}: {e}"));
-        let two_ar = engine
+        let two_sched = tto::two_tree_schedule_with(
+            &mesh,
+            model_ref.gradient_bytes(4),
+            tto::DEFAULT_CHUNK_BYTES,
+        )
+        .unwrap_or_else(|e| panic!("two-tree schedule on {mesh}: {e}"));
+        let two_ar = engine_ref
             .run(&mesh, &two_sched)
             .unwrap_or_else(|e| panic!("simulating two-tree on {mesh}: {e}"))
             .total_time_ns;
-        let base = epoch_time(&engine, &mesh, Algorithm::Ring, &model, &chiplet, &params)
-            .unwrap_or_else(|e| panic!("Ring epoch time on {mesh}: {e}"));
+        let base = epoch_time(
+            engine_ref,
+            &mesh,
+            Algorithm::Ring,
+            model_ref,
+            chiplet_ref,
+            params_ref,
+        )
+        .unwrap_or_else(|e| panic!("Ring epoch time on {mesh}: {e}"));
         let two = base.iterations as f64 * (base.compute_ns + two_ar) / 1e9;
+        (mesh, three, two)
+    });
+    for (mesh, three, two) in &epochs {
         println!(
             "{:<8} {:>14.1} {:>14.1} {:>12}",
-            format!("{n}x{n}"),
+            mesh.to_string(),
             three,
             two,
             if three < two { "yes" } else { "no" }
@@ -103,8 +131,8 @@ fn main() {
                 "TTO",
                 "ResNet152-epoch",
             )
-            .with("three_tree_epoch_s", three)
-            .with("two_tree_epoch_s", two),
+            .with("three_tree_epoch_s", *three)
+            .with("two_tree_epoch_s", *two),
         );
     }
 

@@ -2,7 +2,7 @@
 //! on 8x8 (Fig 10a) and 9x9 (Fig 10b) meshes, with AllReduce,
 //! forward+back-propagation, and end-to-end speedups normalized to Ring.
 
-use meshcoll_bench::{applicable_benchmarks, Cli, DnnModel, Mesh, Record, SimEngine, SweepSize};
+use meshcoll_bench::{applicable_benchmarks, Cli, DnnModel, Mesh, Record, SimContext, SweepSize};
 use meshcoll_compute::ChipletConfig;
 use meshcoll_sim::epoch::{epoch_time, EpochParams};
 
@@ -18,7 +18,7 @@ fn main() {
         SweepSize::Quick => vec![DnnModel::GoogLeNet, DnnModel::Ncf],
         _ => DnnModel::ALL.to_vec(),
     };
-    let engine = SimEngine::paper_default();
+    let engine = SimContext::new().paper_engine();
     let chiplet = ChipletConfig::paper_default();
     let params = EpochParams::default();
     let mut records = Vec::new();
@@ -34,13 +34,20 @@ fn main() {
         println!("   (columns: epoch speedup / AllReduce fraction)");
         meshcoll_bench::rule(14 + 12 * algorithms.len());
 
+        let points: Vec<(DnnModel, meshcoll_bench::Algorithm)> = models
+            .iter()
+            .flat_map(|&m| algorithms.iter().map(move |&algo| (m, algo)))
+            .collect();
+        let results = cli.runner().run(&points, |&(m, algo)| {
+            epoch_time(&engine, &mesh, algo, &m.model(), &chiplet, &params).expect("epoch model")
+        });
+
+        let mut cells = points.iter().zip(&results);
         for m in &models {
-            let model = m.model();
             let mut row: Vec<(f64, f64)> = Vec::new();
             let mut ring_epoch = 0.0;
             for algo in &algorithms {
-                let b = epoch_time(&engine, &mesh, *algo, &model, &chiplet, &params)
-                    .expect("epoch model");
+                let (_, b) = cells.next().expect("one result per sweep point");
                 if *algo == meshcoll_bench::Algorithm::Ring {
                     ring_epoch = b.epoch_ns();
                 }

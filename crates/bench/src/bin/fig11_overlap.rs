@@ -1,7 +1,7 @@
 //! Figure 11 — training-time breakdown with layer-wise AllReduce overlapped
 //! with back-propagation, on an 8x8 mesh, normalized to Ring.
 
-use meshcoll_bench::{applicable_benchmarks, Cli, DnnModel, Mesh, Record, SimEngine, SweepSize};
+use meshcoll_bench::{applicable_benchmarks, Cli, DnnModel, Mesh, Record, SimContext, SweepSize};
 use meshcoll_compute::ChipletConfig;
 use meshcoll_sim::epoch::EpochParams;
 use meshcoll_sim::overlap::overlapped_iteration;
@@ -16,7 +16,7 @@ fn main() {
         SweepSize::Quick => vec![DnnModel::GoogLeNet, DnnModel::Ncf],
         _ => DnnModel::ALL.to_vec(),
     };
-    let engine = SimEngine::paper_default();
+    let engine = SimContext::new().paper_engine();
     let chiplet = ChipletConfig::paper_default();
     let params = EpochParams::default();
     let algorithms = applicable_benchmarks(&mesh);
@@ -30,13 +30,21 @@ fn main() {
     println!();
     meshcoll_bench::rule(14 + 14 * algorithms.len());
 
+    let points: Vec<(DnnModel, meshcoll_bench::Algorithm)> = models
+        .iter()
+        .flat_map(|&m| algorithms.iter().map(move |&algo| (m, algo)))
+        .collect();
+    let results = cli.runner().run(&points, |&(m, algo)| {
+        overlapped_iteration(&engine, &mesh, algo, &m.model(), &chiplet, &params)
+            .expect("overlap model")
+    });
+
+    let mut cells = results.iter();
     for m in &models {
-        let model = m.model();
         let mut ring_iter = 0.0;
         print!("{:<14}", m.name());
         for algo in &algorithms {
-            let r = overlapped_iteration(&engine, &mesh, *algo, &model, &chiplet, &params)
-                .expect("overlap model");
+            let r = cells.next().expect("one result per sweep point");
             if *algo == meshcoll_bench::Algorithm::Ring {
                 ring_iter = r.iteration_ns;
             }

@@ -2,7 +2,7 @@
 //! on a 9x9 mesh with 256 MB of AllReduce data.
 
 use meshcoll_bench::{
-    applicable_benchmarks, fmt_bytes, mib, Cli, Mesh, Record, SimEngine, SweepSize,
+    applicable_benchmarks, fmt_bytes, mib, Cli, Mesh, Record, SimContext, SweepSize,
 };
 use meshcoll_sim::bandwidth;
 
@@ -14,7 +14,7 @@ fn main() {
         SweepSize::Full => mib(256),
     };
     let mesh = Mesh::square(9).expect("9x9 mesh is constructible");
-    let engine = SimEngine::paper_default();
+    let engine = SimContext::new().paper_engine();
     let mut records = Vec::new();
 
     println!(
@@ -26,8 +26,11 @@ fn main() {
         "algorithm", "utilization %", "bandwidth GB/s"
     );
     meshcoll_bench::rule(44);
-    for algo in applicable_benchmarks(&mesh) {
-        let p = bandwidth::measure(&engine, &mesh, algo, data).expect("measurement");
+    let algorithms = applicable_benchmarks(&mesh);
+    let results = cli.runner().run(&algorithms, |&algo| {
+        bandwidth::measure(&engine, &mesh, algo, data).expect("measurement")
+    });
+    for (algo, p) in algorithms.iter().zip(&results) {
         println!(
             "{:<12} {:>13.1}% {:>16.1}",
             algo.name(),

@@ -3,7 +3,7 @@
 //! End-to-end speedups shrink as the MAC array shrinks (compute dominates),
 //! while AllReduce speedups stay constant.
 
-use meshcoll_bench::{applicable_benchmarks, Cli, DnnModel, Mesh, Record, SimEngine, SweepSize};
+use meshcoll_bench::{applicable_benchmarks, Cli, DnnModel, Mesh, Record, SimContext, SweepSize};
 use meshcoll_compute::ChipletConfig;
 use meshcoll_sim::epoch::{epoch_time, EpochParams};
 
@@ -14,13 +14,28 @@ fn main() {
         SweepSize::Quick => vec![DnnModel::GoogLeNet, DnnModel::Ncf],
         _ => DnnModel::ALL.to_vec(),
     };
-    let engine = SimEngine::paper_default();
+    let engine = SimContext::new().paper_engine();
     let params = EpochParams::default();
     let algorithms = applicable_benchmarks(&mesh);
     let mut records = Vec::new();
 
-    for mac in [32u64, 16] {
+    let macs = [32u64, 16];
+    let (models_ref, algorithms_ref) = (&models, &algorithms);
+    let points: Vec<(u64, DnnModel, meshcoll_bench::Algorithm)> = macs
+        .iter()
+        .flat_map(|&mac| {
+            models_ref
+                .iter()
+                .flat_map(move |&m| algorithms_ref.iter().map(move |&algo| (mac, m, algo)))
+        })
+        .collect();
+    let results = cli.runner().run(&points, |&(mac, m, algo)| {
         let chiplet = ChipletConfig::simba(mac);
+        epoch_time(&engine, &mesh, algo, &m.model(), &chiplet, &params).expect("epoch model")
+    });
+
+    let mut cells = results.iter();
+    for mac in macs {
         println!(
             "\nFig 13 (Simba {mesh}, {mac}x{mac} MAC arrays): end-to-end and AllReduce speedup over Ring"
         );
@@ -32,12 +47,10 @@ fn main() {
         meshcoll_bench::rule(14 + 16 * algorithms.len());
 
         for m in &models {
-            let model = m.model();
             let mut ring = None;
             print!("{:<14}", m.name());
             for algo in &algorithms {
-                let b = epoch_time(&engine, &mesh, *algo, &model, &chiplet, &params)
-                    .expect("epoch model");
+                let b = cells.next().expect("one result per sweep point");
                 let (e, ar) = (b.epoch_ns(), b.allreduce_ns);
                 let ring_vals = *ring.get_or_insert((e, ar));
                 records.push(

@@ -1,7 +1,7 @@
 //! Figure 14 — impact of the TTO chunk size on bandwidth, 8x8 mesh, 128 MB
 //! of AllReduce data, chunk sizes 12 KB – 6 MB.
 
-use meshcoll_bench::{fmt_bytes, kib, mib, Cli, Mesh, Record, SimEngine, SweepSize};
+use meshcoll_bench::{fmt_bytes, kib, mib, Cli, Mesh, Record, SimContext, SweepSize};
 use meshcoll_collectives::{Algorithm, ScheduleOptions};
 use meshcoll_sim::bandwidth;
 
@@ -25,7 +25,7 @@ fn main() {
         mib(6),
     ];
     let mesh = Mesh::square(8).expect("8x8 mesh is constructible");
-    let engine = SimEngine::paper_default();
+    let engine = SimContext::new().paper_engine();
     let mut records = Vec::new();
 
     println!(
@@ -34,14 +34,15 @@ fn main() {
     );
     println!("{:<12} {:>16}", "chunk", "bandwidth GB/s");
     meshcoll_bench::rule(30);
-    let mut best = (0u64, 0.0f64);
-    for &c in &chunks {
+    let results = cli.runner().run(&chunks, |&c| {
         let opts = ScheduleOptions {
             tto_chunk_bytes: c,
             ..ScheduleOptions::default()
         };
-        let p = bandwidth::measure_with(&engine, &mesh, Algorithm::Tto, data, &opts)
-            .expect("measurement");
+        bandwidth::measure_with(&engine, &mesh, Algorithm::Tto, data, &opts).expect("measurement")
+    });
+    let mut best = (0u64, 0.0f64);
+    for (&c, p) in chunks.iter().zip(&results) {
         println!("{:<12} {:>16.1}", fmt_bytes(c), p.bandwidth_gbps);
         if p.bandwidth_gbps > best.1 {
             best = (c, p.bandwidth_gbps);

@@ -2,7 +2,7 @@
 //! 8x8 and 9x9 meshes, for every applicable algorithm.
 
 use meshcoll_bench::{
-    applicable_benchmarks, fmt_bytes, mib, Cli, Mesh, Record, SimEngine, SweepSize,
+    applicable_benchmarks, fmt_bytes, mib, Cli, Mesh, Record, SimContext, SweepSize,
 };
 use meshcoll_sim::bandwidth;
 
@@ -13,12 +13,31 @@ fn main() {
         SweepSize::Default => vec![mib(1), mib(4), mib(16), mib(64)],
         SweepSize::Full => vec![mib(1), mib(4), mib(16), mib(64), mib(256), mib(1024)],
     };
-    let engine = SimEngine::paper_default();
+    let engine = SimContext::new().paper_engine();
     let mut records = Vec::new();
 
-    for n in [4usize, 5, 8, 9] {
-        let mesh = Mesh::square(n).unwrap_or_else(|e| panic!("{n}x{n} mesh: {e}"));
-        let algorithms = applicable_benchmarks(&mesh);
+    let meshes: Vec<Mesh> = [4usize, 5, 8, 9]
+        .into_iter()
+        .map(|n| Mesh::square(n).unwrap_or_else(|e| panic!("{n}x{n} mesh: {e}")))
+        .collect();
+    // One point per (mesh, algorithm, size) cell, simulated across threads;
+    // results come back in input order, so printing below just replays them.
+    let sizes_ref = &sizes;
+    let points: Vec<(&Mesh, meshcoll_bench::Algorithm, u64)> = meshes
+        .iter()
+        .flat_map(|mesh| {
+            applicable_benchmarks(mesh)
+                .into_iter()
+                .flat_map(move |algo| sizes_ref.iter().map(move |&s| (mesh, algo, s)))
+        })
+        .collect();
+    let results = cli.runner().run(&points, |&(mesh, algo, s)| {
+        bandwidth::measure(&engine, mesh, algo, s).expect("measurement")
+    });
+
+    let mut cells = points.iter().zip(&results);
+    for mesh in &meshes {
+        let algorithms = applicable_benchmarks(mesh);
         println!("\nFig 8 ({mesh}): AllReduce bandwidth (GB/s) by data size");
         print!("{:<12}", "algorithm");
         for &s in &sizes {
@@ -29,7 +48,7 @@ fn main() {
         for algo in &algorithms {
             print!("{:<12}", algo.name());
             for &s in &sizes {
-                let p = bandwidth::measure(&engine, &mesh, *algo, s).expect("measurement");
+                let (_, p) = cells.next().expect("one result per sweep point");
                 print!("{:>10.1}", p.bandwidth_gbps);
                 records.push(
                     Record::new("fig8", &mesh.to_string(), algo.name(), &fmt_bytes(s))

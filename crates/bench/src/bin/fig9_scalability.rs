@@ -2,7 +2,7 @@
 //! AllReduce data, normalized to Ring AllReduce on the smallest mesh of the
 //! same parity (4x4 for even-sized, 3x3 for odd-sized).
 
-use meshcoll_bench::{applicable_benchmarks, Cli, Mesh, Record, SimEngine, SweepSize};
+use meshcoll_bench::{applicable_benchmarks, Cli, Mesh, Record, SimContext, SweepSize};
 use meshcoll_collectives::Algorithm;
 use meshcoll_sim::bandwidth;
 
@@ -13,7 +13,8 @@ fn main() {
         SweepSize::Default => (vec![4, 6, 8, 10], vec![3, 5, 7, 9]),
         SweepSize::Full => (vec![4, 6, 8, 10, 12, 14, 16], vec![3, 5, 7, 9, 11, 13, 15]),
     };
-    let engine = SimEngine::paper_default();
+    let engine = SimContext::new().paper_engine();
+    let runner = cli.runner();
     let mut records = Vec::new();
 
     for (parity, sizes, base_n) in [("even", even_sizes, 4usize), ("odd", odd_sizes, 3usize)] {
@@ -39,17 +40,27 @@ fn main() {
         let all_algos = applicable_benchmarks(
             &Mesh::square(sizes[0]).expect("sweep sizes are valid mesh sizes"),
         );
+        let points: Vec<(Algorithm, usize)> = all_algos
+            .iter()
+            .flat_map(|&algo| sizes.iter().map(move |&n| (algo, n)))
+            .collect();
+        let results = runner.run(&points, |&(algo, n)| {
+            let mesh = Mesh::square(n).unwrap_or_else(|e| panic!("{n}x{n} mesh: {e}"));
+            let data = bandwidth::scalability_data_bytes(&mesh);
+            let p = bandwidth::measure(&engine, &mesh, algo, data).expect("measurement");
+            (mesh, data, p)
+        });
+
+        let mut cells = results.iter();
         for algo in all_algos {
             print!("{:<12}", algo.name());
-            for &n in &sizes {
-                let mesh = Mesh::square(n).unwrap_or_else(|e| panic!("{n}x{n} mesh: {e}"));
-                let data = bandwidth::scalability_data_bytes(&mesh);
-                let p = bandwidth::measure(&engine, &mesh, algo, data).expect("measurement");
+            for _ in &sizes {
+                let (mesh, data, p) = cells.next().expect("one result per sweep point");
                 let norm = p.time_ns / base;
                 print!("{norm:>10.2}");
                 records.push(
                     Record::new("fig9", &mesh.to_string(), algo.name(), parity)
-                        .with("data_bytes", data as f64)
+                        .with("data_bytes", *data as f64)
                         .with("time_ns", p.time_ns)
                         .with("normalized_time", norm),
                 );

@@ -1,0 +1,125 @@
+//! Performance baseline for the simulation engine itself.
+//!
+//! Two parts:
+//!
+//! 1. An engine microbenchmark — one uncongested 64 MB message, timed under
+//!    the packet-train fast path and under the exact per-packet reference —
+//!    reporting the fast-path speedup and the makespan drift between them.
+//! 2. Wall-clock timings of a fixed set of representative collective runs
+//!    (5x5 mesh, TTO / RingBiOdd / Ring at 1–64 MB) on the production
+//!    `Auto` engine.
+//!
+//! Results land in `BENCH_sim.json` (repo root by convention) so future
+//! changes to the engine can be diffed against this baseline.
+
+use meshcoll_bench::{fmt_bytes, mib, Cli, Mesh, Record, SimContext, SweepSize};
+use meshcoll_collectives::Algorithm;
+use meshcoll_noc::{Message, MsgId, NocConfig, PacketSim};
+use meshcoll_sim::bandwidth;
+use meshcoll_topo::NodeId;
+use std::time::Instant;
+
+/// Median wall-clock of `reps` invocations, in microseconds.
+fn time_micros<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let (reps, sizes): (usize, Vec<u64>) = match cli.sweep {
+        SweepSize::Quick => (3, vec![mib(1), mib(4)]),
+        SweepSize::Default => (5, vec![mib(1), mib(4), mib(16), mib(64)]),
+        SweepSize::Full => (9, vec![mib(1), mib(4), mib(16), mib(64)]),
+    };
+    let mut records = Vec::new();
+
+    // Part 1: fast path vs per-packet reference, one uncongested message.
+    let line = Mesh::new(1, 2).expect("1x2 mesh is constructible");
+    let msgs = [Message::new(MsgId(0), NodeId(0), NodeId(1), mib(64))];
+    let sim = PacketSim::new(NocConfig::paper_default());
+    let fast_out = sim
+        .run_coalesced(&line, &msgs)
+        .expect("valid message set")
+        .expect("an uncongested single message coalesces");
+    let ref_out = sim.run_reference(&line, &msgs).expect("valid message set");
+    let fast_us = time_micros(reps.max(5), || {
+        sim.run_coalesced(&line, &msgs).unwrap().unwrap();
+    });
+    let ref_us = time_micros(reps.max(5), || {
+        sim.run_reference(&line, &msgs).unwrap();
+    });
+    let speedup = ref_us / fast_us;
+    let drift = (fast_out.makespan_ns() - ref_out.makespan_ns()).abs();
+    println!("Engine microbenchmark: one uncongested 64MB message (1x2 mesh)");
+    println!("  per-packet reference: {ref_us:>10.1} us/run");
+    println!("  packet-train fast:    {fast_us:>10.1} us/run  ({speedup:.0}x speedup)");
+    println!("  makespan drift:       {drift:.3e} ns (tolerance 1e-6)");
+    records.push(
+        Record::new("perf_baseline", "1x2", "engine_fastpath", "64MB")
+            .with("fast_micros", fast_us)
+            .with("reference_micros", ref_us)
+            .with("speedup", speedup)
+            .with("makespan_drift_ns", drift),
+    );
+
+    // Part 2: representative collective runs on the production engine.
+    let mesh = Mesh::square(5).expect("5x5 mesh is constructible");
+    let engine = SimContext::new().paper_engine();
+    let algorithms = [Algorithm::Tto, Algorithm::RingBiOdd, Algorithm::Ring];
+    println!("\nRepresentative runs ({mesh}, Auto engine, median of {reps}):");
+    println!(
+        "{:<12} {:>8} {:>14} {:>14} {:>14}",
+        "algorithm", "data", "wall us/run", "sim time ns", "GB/s"
+    );
+    meshcoll_bench::rule(66);
+    for algo in algorithms {
+        for &size in &sizes {
+            // Warm the shared route cache (and the allocator) once.
+            let p = bandwidth::measure(&engine, &mesh, algo, size)
+                .unwrap_or_else(|e| panic!("measuring {algo} at {size} B: {e}"));
+            let wall = time_micros(reps, || {
+                bandwidth::measure(&engine, &mesh, algo, size).unwrap();
+            });
+            println!(
+                "{:<12} {:>8} {:>14.1} {:>14.0} {:>14.1}",
+                algo.name(),
+                fmt_bytes(size),
+                wall,
+                p.time_ns,
+                p.bandwidth_gbps
+            );
+            records.push(
+                Record::new(
+                    "perf_baseline",
+                    &mesh.to_string(),
+                    algo.name(),
+                    &fmt_bytes(size),
+                )
+                .with("wall_micros", wall)
+                .with("time_ns", p.time_ns)
+                .with("bandwidth_gbps", p.bandwidth_gbps),
+            );
+        }
+    }
+
+    let path = std::path::Path::new("BENCH_sim.json");
+    meshcoll_bench::write_json(path, &records)
+        .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    println!("\n[saved {} records to {}]", records.len(), path.display());
+    assert!(
+        speedup >= 5.0,
+        "fast path regressed: {speedup:.1}x < 5x over the per-packet reference"
+    );
+    assert!(
+        drift <= 1e-6,
+        "fast path drifted {drift:.3e} ns from the reference"
+    );
+}

@@ -5,7 +5,7 @@
 //! directed links busy during the AllReduce, which this binary measures on
 //! the packet simulator (static any-use percentages are also reported).
 
-use meshcoll_bench::{applicable_benchmarks, mib, Cli, Mesh, Record, SimEngine, SweepSize};
+use meshcoll_bench::{applicable_benchmarks, mib, Cli, Mesh, Record, SimContext, SweepSize};
 use meshcoll_collectives::{link_usage, Algorithm, Applicability};
 
 fn main() {
@@ -15,7 +15,7 @@ fn main() {
         SweepSize::Default => mib(32),
         SweepSize::Full => mib(64),
     };
-    let engine = SimEngine::paper_default();
+    let engine = SimContext::new().paper_engine();
     let meshes = [
         Mesh::square(8).expect("8x8 mesh is constructible"),
         Mesh::square(9).expect("9x9 mesh is constructible"),
@@ -34,25 +34,42 @@ fn main() {
     );
     meshcoll_bench::rule(104);
 
+    // One point per (algorithm, mesh) cell; inapplicable cells short-circuit
+    // inside the worker so the result list still lines up with the table.
+    let points: Vec<(Algorithm, &Mesh)> = Algorithm::ALL
+        .iter()
+        .flat_map(|&algo| meshes.iter().map(move |mesh| (algo, mesh)))
+        .collect();
+    let results = cli.runner().run(&points, |&(algo, mesh)| {
+        let applicability = algo.applicability(mesh);
+        if applicability == Applicability::Inapplicable {
+            return (applicability, None, None);
+        }
+        let schedule = algo.schedule(mesh, data).expect("applicable algorithm");
+        let run = engine.run(mesh, &schedule).expect("simulation");
+        let static_pct = link_usage::used_link_percent(mesh, &schedule);
+        (
+            applicability,
+            Some(run.link_utilization_percent),
+            Some(static_pct),
+        )
+    });
+
     let mut records = Vec::new();
+    let mut cells_iter = points.iter().zip(&results);
     for algo in Algorithm::ALL {
         let mut cells = Vec::new();
-        for mesh in &meshes {
-            let applicability = algo.applicability(mesh);
-            let (used, statics) = if applicability == Applicability::Inapplicable {
-                (None, None)
-            } else {
-                let schedule = algo.schedule(mesh, data).expect("applicable algorithm");
-                let run = engine.run(mesh, &schedule).expect("simulation");
-                let static_pct = link_usage::used_link_percent(mesh, &schedule);
+        for _ in &meshes {
+            let (&(_, mesh), &(applicability, used, statics)) =
+                cells_iter.next().expect("one result per sweep point");
+            if let (Some(used), Some(statics)) = (used, statics) {
                 records.push(
                     Record::new("table1", &mesh.to_string(), algo.name(), "")
-                        .with("used_link_percent", run.link_utilization_percent)
-                        .with("static_link_percent", static_pct)
+                        .with("used_link_percent", used)
+                        .with("static_link_percent", statics)
                         .with("data_bytes", data as f64),
                 );
-                (Some(run.link_utilization_percent), Some(static_pct))
-            };
+            }
             cells.push((applicability, used, statics));
         }
         let fmt = |v: Option<f64>| v.map_or("-".to_owned(), |x| format!("{x:.0}%"));

@@ -12,7 +12,7 @@ pub use meshcoll_collectives::{Algorithm, ScheduleOptions};
 pub use meshcoll_models::DnnModel;
 pub use meshcoll_noc::NocConfig;
 pub use meshcoll_sim::experiment::{write_json, Record};
-pub use meshcoll_sim::SimEngine;
+pub use meshcoll_sim::{SimContext, SimEngine, SweepRunner};
 pub use meshcoll_topo::Mesh;
 
 /// Sweep size selected on the command line.
@@ -33,11 +33,14 @@ pub struct Cli {
     pub sweep: SweepSize,
     /// Output directory for JSON records (default `results/`).
     pub out_dir: PathBuf,
+    /// Worker threads for sweep execution (`0` = machine parallelism).
+    pub jobs: usize,
 }
 
 impl Cli {
-    /// Parses `--quick` / `--full` / `--out <dir>` from `std::env::args`,
-    /// plus the `MESHCOLL_QUICK` environment variable.
+    /// Parses `--quick` / `--full` / `--out <dir>` / `--jobs <n>` from
+    /// `std::env::args`, plus the `MESHCOLL_QUICK` and `MESHCOLL_JOBS`
+    /// environment variables.
     pub fn parse() -> Self {
         let mut sweep = if std::env::var_os("MESHCOLL_QUICK").is_some() {
             SweepSize::Quick
@@ -45,6 +48,10 @@ impl Cli {
             SweepSize::Default
         };
         let mut out_dir = PathBuf::from("results");
+        let mut jobs: usize = std::env::var("MESHCOLL_JOBS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -56,13 +63,30 @@ impl Cli {
                         std::process::exit(2);
                     }));
                 }
+                "--jobs" => {
+                    jobs = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--jobs needs a thread count");
+                        std::process::exit(2);
+                    });
+                }
                 other => {
-                    eprintln!("unknown argument {other}; accepted: --quick --full --out <dir>");
+                    eprintln!(
+                        "unknown argument {other}; accepted: --quick --full --out <dir> --jobs <n>"
+                    );
                     std::process::exit(2);
                 }
             }
         }
-        Cli { sweep, out_dir }
+        Cli {
+            sweep,
+            out_dir,
+            jobs,
+        }
+    }
+
+    /// A [`SweepRunner`] honoring this invocation's `--jobs` selection.
+    pub fn runner(&self) -> SweepRunner {
+        SweepRunner::new(self.jobs)
     }
 
     /// Writes this figure's records to `<out_dir>/<name>.json`.
@@ -82,6 +106,7 @@ impl Default for Cli {
         Cli {
             sweep: SweepSize::Default,
             out_dir: PathBuf::from("results"),
+            jobs: 0,
         }
     }
 }
@@ -150,5 +175,7 @@ mod tests {
         let cli = Cli::default();
         assert_eq!(cli.sweep, SweepSize::Default);
         assert_eq!(cli.out_dir, std::path::PathBuf::from("results"));
+        assert_eq!(cli.jobs, 0, "default = machine parallelism");
+        assert!(cli.runner().jobs() >= 1);
     }
 }

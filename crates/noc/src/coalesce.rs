@@ -1,0 +1,364 @@
+//! Packet-train coalescing fast path for [`PacketSim`](crate::PacketSim).
+//!
+//! The exact per-packet engine pays one heap event per packet per hop, so a
+//! 64 MB transfer (8192 packets) across 8 hops costs ~65k events. In the
+//! common uncongested case — no other message's packets interleave with the
+//! train on any link it crosses — those per-packet events are pure overhead:
+//! the train's timing is fully determined by a small recurrence. This module
+//! advances whole trains, one event per (message, hop), collapsing the cost
+//! from O(packets × hops) to O(messages × hops).
+//!
+//! # The start-curve recurrence
+//!
+//! Within one train on one link, packet `k` starts at
+//! `start[k] = max(arrival[k], start[k-1] + s)` where `s` is the full-packet
+//! service time (serialization + per-packet overhead) on that link. With
+//! `start[0] = max(arrival[0], link_free)` this unrolls to the pointwise
+//! maximum of a *burst line* `start[0] + k·s` and the arrival curve — and
+//! because each hop's arrival curve is the previous hop's start curve
+//! shifted by the header latency, every curve stays convex piecewise-linear
+//! in `k` with at most one segment added per hop. A train's passage through
+//! a hop is therefore O(segments) ≤ O(hops), independent of packet count.
+//!
+//! # When coalescing is sound
+//!
+//! The per-packet engine serves each link FIFO in event (arrival) order. A
+//! train's packet events at a link span the window `[arrival[0],
+//! arrival[P-1]]`; if no other train's event falls inside that window, the
+//! per-packet engine serves the train contiguously and the recurrence above
+//! reproduces it (same `max`/`+` operations, reassociated only within a
+//! train — equivalence tests bound the drift at 1e-6 ns). If another train's
+//! head event lands inside a committed window, packets would interleave and
+//! the fair FIFO order matters: the fast path reports [`Coalesce::Contended`]
+//! and the caller reruns the exact per-packet engine. Transient link flaps
+//! are also left to the per-packet engine (each packet must individually
+//! re-check the outage windows).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use meshcoll_topo::{LinkId, Mesh};
+
+use crate::packet_sim::{last_packet_bytes, Time};
+use crate::{LinkStats, Message, NocConfig, NocError, SimOutcome};
+
+/// Outcome of attempting the coalescing fast path.
+pub(crate) enum Coalesce {
+    /// The run completed with no interleaved contention anywhere; the
+    /// outcome matches the per-packet engine.
+    Done(SimOutcome),
+    /// Two packet trains' event windows interleave on some link; the exact
+    /// per-packet engine must arbitrate the FIFO order.
+    Contended,
+}
+
+/// One train-level event: the head packet of message `msg` arrives at hop
+/// `hop` of its route at time `at`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Event {
+    at: Time,
+    seq: u64,
+    msg: u32,
+    hop: u32,
+}
+
+/// One linear piece of a per-hop curve: packets `k0..` start (or arrive) at
+/// `t + (k - k0) · slope` until the next segment's `k0`.
+#[derive(Debug, Clone, Copy)]
+struct Seg {
+    k0: u64,
+    t: f64,
+    slope: f64,
+}
+
+/// Evaluates a piecewise-linear curve at packet index `k`.
+fn eval(curve: &[Seg], k: u64) -> f64 {
+    let i = curve.partition_point(|s| s.k0 <= k) - 1;
+    let seg = &curve[i];
+    seg.t + (k - seg.k0) as f64 * seg.slope
+}
+
+/// Pointwise maximum of the burst line `st0 + k·s` and the convex arrival
+/// curve `arr`, over `k ∈ [0, pcount)`. Requires `st0 >= arr(0)`, which
+/// holds because `st0 = max(arr(0), link_free)`; the line minus a convex
+/// curve is concave, so there is at most one crossing, found per segment by
+/// direct comparison (binary search within the crossing segment).
+fn max_line_curve(st0: f64, s: f64, arr: &[Seg], pcount: u64) -> Vec<Seg> {
+    let line = |k: u64| st0 + k as f64 * s;
+    let mut cross: Option<u64> = None;
+    'outer: for (i, seg) in arr.iter().enumerate() {
+        let end = arr.get(i + 1).map_or(pcount, |n| n.k0); // exclusive
+        let lo = seg.k0.max(1);
+        if lo >= end {
+            continue;
+        }
+        if eval(arr, lo) > line(lo) {
+            cross = Some(lo);
+            break 'outer;
+        }
+        if eval(arr, end - 1) > line(end - 1) {
+            // The sign change is inside this segment; the predicate is
+            // monotone there (the difference is linear within a segment).
+            let (mut a, mut b) = (lo, end - 1);
+            while a + 1 < b {
+                let mid = a + (b - a) / 2;
+                if eval(arr, mid) > line(mid) {
+                    b = mid;
+                } else {
+                    a = mid;
+                }
+            }
+            cross = Some(b);
+            break 'outer;
+        }
+    }
+    let mut out = vec![Seg {
+        k0: 0,
+        t: st0,
+        slope: s,
+    }];
+    if let Some(c) = cross {
+        out.push(Seg {
+            k0: c,
+            t: eval(arr, c),
+            slope: arr[arr.partition_point(|s| s.k0 <= c) - 1].slope,
+        });
+        out.extend(arr.iter().filter(|seg| seg.k0 > c).copied());
+    }
+    out
+}
+
+/// Per-link occupancy bookkeeping for the train engine.
+#[derive(Debug, Clone, Copy, Default)]
+struct LinkState {
+    /// When the link can next begin serving a packet.
+    free: f64,
+    /// Latest committed packet-event (arrival) time on this link.
+    last_event: f64,
+    /// Whether any train has been committed to this link yet.
+    used: bool,
+}
+
+/// Runs the message DAG at train granularity. `routes`/`blocked` come from
+/// the caller's shared preparation pass. The fault model must have no
+/// transient flaps (the caller checks).
+pub(crate) fn run(
+    cfg: &NocConfig,
+    mesh: &Mesh,
+    messages: &[Message],
+    routes: &[Arc<[LinkId]>],
+    blocked: &[bool],
+) -> Result<Coalesce, NocError> {
+    debug_assert!(cfg.faults.flaps().is_empty());
+    let n = messages.len();
+
+    let mut pending_deps: Vec<usize> = messages.iter().map(|m| m.deps.len()).collect();
+    let mut dependents: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for m in messages {
+        for d in &m.deps {
+            dependents[d.index()].push(m.id.index() as u32);
+        }
+    }
+    let mut earliest: Vec<f64> = messages.iter().map(|m| m.ready_at_ns).collect();
+
+    let mut links: Vec<LinkState> = vec![LinkState::default(); mesh.link_id_space()];
+    let mut stats = LinkStats::new(mesh);
+    let mut completion = vec![f64::NAN; n];
+    // Arrival curve of each in-flight train at its pending hop.
+    let mut curves: Vec<Vec<Seg>> = vec![Vec::new(); n];
+
+    let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+    let mut seq: u64 = 0;
+    let mut injected = 0usize;
+    let mut stalled = 0usize;
+    let mut delivered = 0usize;
+    let mut last_progress: f64 = 0.0;
+
+    let inject = |heap: &mut BinaryHeap<Reverse<Event>>,
+                  curves: &mut Vec<Vec<Seg>>,
+                  seq: &mut u64,
+                  id: usize,
+                  at: f64| {
+        // Every packet of the train is eligible at the injection instant:
+        // the arrival curve at hop 0 is the constant `at`.
+        curves[id] = vec![Seg {
+            k0: 0,
+            t: at,
+            slope: 0.0,
+        }];
+        *seq += 1;
+        heap.push(Reverse(Event {
+            at: Time(at),
+            seq: *seq,
+            msg: id as u32,
+            hop: 0,
+        }));
+    };
+
+    for (i, m) in messages.iter().enumerate() {
+        if pending_deps[i] == 0 {
+            if blocked[i] {
+                stalled += 1;
+            } else {
+                inject(&mut heap, &mut curves, &mut seq, i, m.ready_at_ns);
+            }
+            injected += 1;
+        }
+    }
+
+    let hop_lat = cfg.per_flit_latency_ns;
+    let ovh = cfg.per_packet_overhead_ns;
+    while let Some(Reverse(ev)) = heap.pop() {
+        let mi = ev.msg as usize;
+        let route = &routes[mi];
+        let j = ev.hop as usize;
+        let link = route[j];
+        let total = messages[mi].bytes;
+        let pcount = cfg.packets_for(total);
+        let arr = std::mem::take(&mut curves[mi]);
+        let a_last = eval(&arr, pcount - 1);
+
+        let st = links[link.index()];
+        if st.used && ev.at.0 <= st.last_event {
+            // Our head event would pop at or before another train's
+            // committed event on this link: packets would interleave.
+            return Ok(Coalesce::Contended);
+        }
+        let st0 = ev.at.0.max(st.free);
+        let full_bytes = if pcount > 1 { cfg.packet_bytes } else { total };
+        let last_bytes = last_packet_bytes(cfg, total, pcount);
+        let ser_full = cfg.serialization_on(link, full_bytes);
+        let ser_last = cfg.serialization_on(link, last_bytes);
+        let starts = if pcount == 1 {
+            vec![Seg {
+                k0: 0,
+                t: st0,
+                slope: 0.0,
+            }]
+        } else {
+            max_line_curve(st0, ser_full + ovh, &arr, pcount)
+        };
+        let start_last = eval(&starts, pcount - 1);
+
+        links[link.index()] = LinkState {
+            free: start_last + ser_last + ovh,
+            last_event: a_last,
+            used: true,
+        };
+        if pcount > 1 {
+            stats.add_busy(link, (pcount - 1) as f64 * (ser_full + ovh));
+        }
+        stats.add_busy(link, ser_last + ovh);
+
+        if j + 1 < route.len() {
+            // Cut-through: each packet's header reaches the next router one
+            // per-flit latency after it wins this link.
+            let next_at = st0 + hop_lat;
+            curves[mi] = starts
+                .into_iter()
+                .map(|s| Seg {
+                    t: s.t + hop_lat,
+                    ..s
+                })
+                .collect();
+            seq += 1;
+            heap.push(Reverse(Event {
+                at: Time(next_at),
+                seq,
+                msg: ev.msg,
+                hop: ev.hop + 1,
+            }));
+        } else {
+            // Final hop: the train's last packet is delivered after its full
+            // serialization plus the hop latency — always the latest
+            // delivery of the train (its start trails every predecessor's by
+            // at least one full service time).
+            let done = start_last + ser_last + hop_lat;
+            completion[mi] = done;
+            delivered += 1;
+            last_progress = last_progress.max(done);
+            for &d in &dependents[mi] {
+                let di = d as usize;
+                earliest[di] = earliest[di].max(done);
+                pending_deps[di] -= 1;
+                if pending_deps[di] == 0 {
+                    if blocked[di] {
+                        stalled += 1;
+                    } else {
+                        inject(&mut heap, &mut curves, &mut seq, di, earliest[di]);
+                    }
+                    injected += 1;
+                }
+            }
+        }
+    }
+
+    if stalled > 0 {
+        return Err(NocError::Stalled {
+            pending_msgs: n - delivered,
+            last_progress_ns: last_progress as u64,
+        });
+    }
+    if injected < n {
+        return Err(NocError::DependencyCycle {
+            stuck: n - injected,
+        });
+    }
+    Ok(Coalesce::Done(SimOutcome::new(completion, stats)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(k0: u64, t: f64, slope: f64) -> Seg {
+        Seg { k0, t, slope }
+    }
+
+    #[test]
+    fn eval_walks_segments() {
+        let c = vec![seg(0, 10.0, 2.0), seg(4, 18.0, 5.0)];
+        assert_eq!(eval(&c, 0), 10.0);
+        assert_eq!(eval(&c, 3), 16.0);
+        assert_eq!(eval(&c, 4), 18.0);
+        assert_eq!(eval(&c, 6), 28.0);
+    }
+
+    #[test]
+    fn burst_line_dominates_slow_arrivals() {
+        // Arrivals spaced 1 ns, service 5 ns: the queue line wins everywhere.
+        let arr = vec![seg(0, 0.0, 1.0)];
+        let out = max_line_curve(0.0, 5.0, &arr, 100);
+        assert_eq!(out.len(), 1);
+        assert_eq!(eval(&out, 99), 495.0);
+    }
+
+    #[test]
+    fn fast_arrivals_overtake_burst_line() {
+        // Head waited (st0 = 100) but arrivals stream at 10 ns spacing with
+        // only 2 ns service: packets 0..=45 drain the backlog, then starts
+        // track arrivals.
+        let arr = vec![seg(0, 0.0, 10.0)];
+        let out = max_line_curve(100.0, 2.0, &arr, 1000);
+        assert_eq!(out.len(), 2);
+        let cross = out[1].k0;
+        // Before the crossing the queue line rules, after it the arrivals.
+        assert!(eval(&arr, cross) > 100.0 + cross as f64 * 2.0);
+        assert!(eval(&arr, cross - 1) <= 100.0 + (cross - 1) as f64 * 2.0);
+        assert_eq!(eval(&out, 999), eval(&arr, 999));
+    }
+
+    #[test]
+    fn crossing_respects_later_segments() {
+        // Arrival curve flat then steep; crossing falls in the steep tail.
+        let arr = vec![seg(0, 0.0, 0.0), seg(10, 0.0, 20.0)];
+        let out = max_line_curve(5.0, 3.0, &arr, 40);
+        let cross = out[1].k0;
+        assert!(cross > 10, "cross={cross}");
+        for k in [cross - 1, cross, cross + 1, 39] {
+            let expect = (5.0 + k as f64 * 3.0).max(eval(&arr, k));
+            assert!((eval(&out, k) - expect).abs() < 1e-9, "k={k}");
+        }
+    }
+}

@@ -41,6 +41,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+mod coalesce;
 mod config;
 mod error;
 mod flit_sim;
@@ -52,7 +53,7 @@ pub use config::NocConfig;
 pub use error::NocError;
 pub use flit_sim::FlitSim;
 pub use message::{Message, MsgId};
-pub use packet_sim::PacketSim;
+pub use packet_sim::{PacketSim, SimMode};
 pub use stats::{LatencySummary, LinkStats, SimOutcome};
 
 use meshcoll_topo::Mesh;

@@ -14,83 +14,180 @@
 //!
 //! Dependencies are honored at message granularity: a message is injected
 //! when all messages it depends on have delivered their last packet.
+//!
+//! Two engines implement these semantics. The exact per-packet engine pays
+//! one heap event per packet per hop; the packet-train coalescing fast path
+//! (see [`crate::coalesce`]) advances whole trains in O(messages × hops) and
+//! is used by default whenever no two trains interleave on a link. The
+//! [`SimMode`] policy selects between them.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
-use meshcoll_topo::{LinkId, Mesh};
+use meshcoll_topo::{LinkId, Mesh, RouteCache};
 
+use crate::coalesce::{self, Coalesce};
 use crate::message::validate;
 use crate::{LinkStats, Message, NetworkSim, NocConfig, NocError, SimOutcome};
+
+/// Engine-selection policy for [`PacketSim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimMode {
+    /// Try the packet-train coalescing fast path and fall back to the exact
+    /// per-packet engine when trains interleave on a link (or when transient
+    /// link flaps are configured). This is the default; its results match
+    /// the per-packet engine to within floating-point reassociation.
+    #[default]
+    Auto,
+    /// Always run the exact per-packet reference engine.
+    PerPacket,
+}
 
 /// The event-driven packet-granularity simulator. See the module docs.
 #[derive(Debug, Clone)]
 pub struct PacketSim {
     cfg: NocConfig,
+    routes: Arc<RouteCache>,
+    mode: SimMode,
+}
+
+/// Per-run preparation shared by both engines: cached routes and the flags
+/// for messages whose route crosses a permanently dead link.
+pub(crate) struct RunSetup {
+    pub(crate) routes: Vec<Arc<[LinkId]>>,
+    pub(crate) blocked: Vec<bool>,
 }
 
 impl PacketSim {
-    /// Creates a simulator with the given configuration.
+    /// Creates a simulator with the given configuration and a fresh private
+    /// route cache.
     pub fn new(cfg: NocConfig) -> Self {
-        PacketSim { cfg }
+        PacketSim {
+            cfg,
+            routes: Arc::new(RouteCache::new()),
+            mode: SimMode::Auto,
+        }
+    }
+
+    /// Shares an existing route cache, e.g. across engines or sweep threads.
+    #[must_use]
+    pub fn with_route_cache(mut self, routes: Arc<RouteCache>) -> Self {
+        self.routes = routes;
+        self
+    }
+
+    /// Selects the engine policy (see [`SimMode`]).
+    #[must_use]
+    pub fn with_mode(mut self, mode: SimMode) -> Self {
+        self.mode = mode;
+        self
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &NocConfig {
         &self.cfg
     }
-}
 
-/// Totally ordered f64 event key (all simulation times are finite).
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct Time(f64);
-
-impl Eq for Time {}
-impl PartialOrd for Time {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+    /// The route cache in use.
+    pub fn route_cache(&self) -> &Arc<RouteCache> {
+        &self.routes
     }
-}
-impl Ord for Time {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0)
+
+    /// The engine policy in use.
+    pub fn mode(&self) -> SimMode {
+        self.mode
     }
-}
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-struct Event {
-    at: Time,
-    seq: u64,
-    msg: u32,
-    packet: u32,
-    hop: u32,
-}
+    /// Simulates the message DAG to completion.
+    ///
+    /// Unlike [`NetworkSim::run`] this takes `&self`, so one simulator can
+    /// serve many runs — including concurrently from several threads (the
+    /// route cache is internally synchronized).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError`] when a message references an out-of-range node,
+    /// a missing or cyclic dependency, or a zero-byte payload, and when
+    /// messages can never deliver because their route crosses a dead link.
+    pub fn simulate(&self, mesh: &Mesh, messages: &[Message]) -> Result<SimOutcome, NocError> {
+        let setup = self.prepare(mesh, messages)?;
+        if self.mode == SimMode::Auto && self.cfg.faults.flaps().is_empty() {
+            // A contended (or erroring) fast-path attempt is re-run by the
+            // reference engine, which arbitrates FIFO order exactly and
+            // keeps error bookkeeping bit-identical.
+            if let Ok(Coalesce::Done(out)) =
+                coalesce::run(&self.cfg, mesh, messages, &setup.routes, &setup.blocked)
+            {
+                return Ok(out);
+            }
+        }
+        self.run_per_packet(mesh, messages, &setup)
+    }
 
-impl NetworkSim for PacketSim {
-    fn run(&mut self, mesh: &Mesh, messages: &[Message]) -> Result<SimOutcome, NocError> {
+    /// Runs the exact per-packet reference engine unconditionally.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PacketSim::simulate`].
+    pub fn run_reference(&self, mesh: &Mesh, messages: &[Message]) -> Result<SimOutcome, NocError> {
+        let setup = self.prepare(mesh, messages)?;
+        self.run_per_packet(mesh, messages, &setup)
+    }
+
+    /// Attempts only the coalescing fast path, returning `Ok(None)` when it
+    /// declines (interleaved contention, or transient flaps configured).
+    /// Used by the equivalence tests to assert which engine actually ran.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PacketSim::simulate`].
+    pub fn run_coalesced(
+        &self,
+        mesh: &Mesh,
+        messages: &[Message],
+    ) -> Result<Option<SimOutcome>, NocError> {
+        let setup = self.prepare(mesh, messages)?;
+        if !self.cfg.faults.flaps().is_empty() {
+            return Ok(None);
+        }
+        match coalesce::run(&self.cfg, mesh, messages, &setup.routes, &setup.blocked)? {
+            Coalesce::Done(out) => Ok(Some(out)),
+            Coalesce::Contended => Ok(None),
+        }
+    }
+
+    /// Validates the DAG, resolves routes through the shared cache, and
+    /// flags messages that can never deliver because their route crosses a
+    /// permanently dead link (or dead chiplet) — rather than waiting forever
+    /// the engines report those as stalled.
+    fn prepare(&self, mesh: &Mesh, messages: &[Message]) -> Result<RunSetup, NocError> {
         validate(messages)?;
-        let n = messages.len();
-
-        // Precompute routes and payload split.
-        let mut routes: Vec<Vec<LinkId>> = Vec::with_capacity(n);
+        let mut routes: Vec<Arc<[LinkId]>> = Vec::with_capacity(messages.len());
         for m in messages {
             mesh.check_node(m.src)?;
             mesh.check_node(m.dst)?;
-            routes.push(meshcoll_topo::routing::route(
-                mesh,
-                m.src,
-                m.dst,
-                self.cfg.routing,
-            )?);
+            routes.push(self.routes.route(mesh, m.src, m.dst, self.cfg.routing)?);
         }
-        // A message whose route crosses a permanently dead link (or dead
-        // chiplet) can never be delivered; rather than waiting forever the
-        // watchdog reports it as stalled.
         let faults = &self.cfg.faults;
         let blocked: Vec<bool> = routes
             .iter()
             .map(|r| r.iter().any(|&l| !faults.link_usable(mesh, l)))
             .collect();
+        Ok(RunSetup { routes, blocked })
+    }
+
+    /// The exact per-packet event loop (reference engine).
+    fn run_per_packet(
+        &self,
+        mesh: &Mesh,
+        messages: &[Message],
+        setup: &RunSetup,
+    ) -> Result<SimOutcome, NocError> {
+        let n = messages.len();
+        let routes = &setup.routes;
+        let blocked = &setup.blocked;
+        let faults = &self.cfg.faults;
 
         // Dependency bookkeeping.
         let mut pending_deps: Vec<usize> = messages.iter().map(|m| m.deps.len()).collect();
@@ -123,7 +220,7 @@ impl NetworkSim for PacketSim {
         // forward progress (defensive; cannot trip on well-formed input).
         let event_budget: u64 = messages
             .iter()
-            .zip(&routes)
+            .zip(routes)
             .map(|(m, r)| self.cfg.packets_for(m.bytes) * (r.len() as u64 + 1))
             .sum::<u64>()
             .saturating_add(16);
@@ -235,20 +332,56 @@ impl NetworkSim for PacketSim {
     }
 }
 
+/// Totally ordered f64 event key (all simulation times are finite).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct Time(pub(crate) f64);
+
+impl Eq for Time {}
+impl PartialOrd for Time {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Time {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Event {
+    at: Time,
+    seq: u64,
+    msg: u32,
+    packet: u32,
+    hop: u32,
+}
+
+impl NetworkSim for PacketSim {
+    fn run(&mut self, mesh: &Mesh, messages: &[Message]) -> Result<SimOutcome, NocError> {
+        self.simulate(mesh, messages)
+    }
+}
+
+/// Size of the final packet of a `total_bytes` message split into `count`
+/// packets (the last packet carries the remainder).
+pub(crate) fn last_packet_bytes(cfg: &NocConfig, total_bytes: u64, count: u64) -> u64 {
+    let rem = total_bytes - (count - 1) * cfg.packet_bytes;
+    if rem == 0 {
+        cfg.packet_bytes
+    } else {
+        rem
+    }
+}
+
 /// Size of packet `idx` within a `total_bytes` message (the last packet
 /// carries the remainder).
 fn packet_bytes(cfg: &NocConfig, total_bytes: u64, idx: u64) -> u64 {
-    let full = cfg.packet_bytes;
     let count = cfg.packets_for(total_bytes);
     if idx + 1 < count {
-        full
+        cfg.packet_bytes
     } else {
-        let rem = total_bytes - (count - 1) * full;
-        if rem == 0 {
-            full
-        } else {
-            rem
-        }
+        last_packet_bytes(cfg, total_bytes, count)
     }
 }
 
@@ -511,6 +644,72 @@ mod tests {
             (out.makespan_ns() - expect).abs() < 1e-6,
             "got {}",
             out.makespan_ns()
+        );
+    }
+
+    #[test]
+    fn fast_path_handles_uncongested_runs() {
+        // A dependency chain of multi-packet trains on disjoint links has no
+        // interleaved contention: the fast path must accept it and agree
+        // with the reference engine.
+        let mesh = Mesh::new(1, 4).unwrap();
+        let msgs = vec![
+            Message::new(MsgId(0), NodeId(0), NodeId(1), 8192 * 7 + 100),
+            Message::new(MsgId(1), NodeId(1), NodeId(2), 8192 * 7 + 100).with_deps([MsgId(0)]),
+            Message::new(MsgId(2), NodeId(2), NodeId(3), 8192 * 7 + 100).with_deps([MsgId(1)]),
+        ];
+        let sim = PacketSim::new(cfg());
+        let fast = sim.run_coalesced(&mesh, &msgs).unwrap().expect("fast path");
+        let exact = sim.run_reference(&mesh, &msgs).unwrap();
+        for id in 0..3 {
+            let (a, b) = (
+                fast.completion_ns(MsgId(id)),
+                exact.completion_ns(MsgId(id)),
+            );
+            assert!((a - b).abs() < 1e-6, "msg {id}: fast {a} vs exact {b}");
+        }
+    }
+
+    #[test]
+    fn fast_path_declines_interleaved_contention() {
+        // Two sources inject onto the same link at the same instant: FIFO
+        // order between their packets matters, so the fast path must decline
+        // and Auto must match the per-packet reference exactly.
+        let mesh = Mesh::new(1, 4).unwrap();
+        let msgs: Vec<Message> = (0..6)
+            .map(|i| Message::new(MsgId(i), NodeId(i % 3), NodeId(3), 8192 * 3))
+            .collect();
+        let sim = PacketSim::new(cfg());
+        assert!(sim.run_coalesced(&mesh, &msgs).unwrap().is_none());
+        let auto = sim.simulate(&mesh, &msgs).unwrap();
+        let exact = sim.run_reference(&mesh, &msgs).unwrap();
+        assert_eq!(auto.makespan_ns(), exact.makespan_ns());
+    }
+
+    #[test]
+    fn per_packet_mode_forces_reference_engine() {
+        let mesh = Mesh::new(1, 2).unwrap();
+        let msgs = vec![Message::new(MsgId(0), NodeId(0), NodeId(1), 1 << 20)];
+        let sim = PacketSim::new(cfg()).with_mode(SimMode::PerPacket);
+        assert_eq!(sim.mode(), SimMode::PerPacket);
+        let forced = sim.simulate(&mesh, &msgs).unwrap();
+        let reference = sim.run_reference(&mesh, &msgs).unwrap();
+        assert_eq!(forced.makespan_ns(), reference.makespan_ns());
+    }
+
+    #[test]
+    fn route_cache_is_shared_and_populated() {
+        let mesh = Mesh::new(2, 2).unwrap();
+        let cache = std::sync::Arc::new(meshcoll_topo::RouteCache::new());
+        let sim = PacketSim::new(cfg()).with_route_cache(cache.clone());
+        let msgs = vec![Message::new(MsgId(0), NodeId(0), NodeId(3), 8192)];
+        sim.simulate(&mesh, &msgs).unwrap();
+        assert_eq!(cache.len(), 1);
+        sim.simulate(&mesh, &msgs).unwrap();
+        assert!(cache.hits() >= 1);
+        assert_eq!(
+            std::sync::Arc::as_ptr(sim.route_cache()),
+            std::sync::Arc::as_ptr(&cache)
         );
     }
 }

@@ -1,0 +1,65 @@
+//! Reusable simulation context: state worth sharing across runs.
+//!
+//! Sweeps run thousands of schedules on a handful of meshes; the XY routes
+//! between chiplet pairs never change within one mesh shape. A
+//! [`SimContext`] owns the [`RouteCache`] those runs share — across repeated
+//! calls on one engine, across engines with different [`NocConfig`]s, and
+//! across [`SweepRunner`](crate::SweepRunner) threads (the cache is
+//! internally synchronized).
+
+use std::sync::Arc;
+
+use meshcoll_noc::NocConfig;
+use meshcoll_topo::RouteCache;
+
+use crate::SimEngine;
+
+/// Shared state for building [`SimEngine`]s that reuse each other's routes.
+#[derive(Debug, Clone, Default)]
+pub struct SimContext {
+    routes: Arc<RouteCache>,
+}
+
+impl SimContext {
+    /// Creates an empty context.
+    pub fn new() -> Self {
+        SimContext::default()
+    }
+
+    /// The route cache held by this context.
+    pub fn route_cache(&self) -> &Arc<RouteCache> {
+        &self.routes
+    }
+
+    /// Builds an engine that resolves routes through this context's cache.
+    /// Equivalent to [`SimEngine::with_context`].
+    pub fn engine(&self, noc: NocConfig) -> SimEngine {
+        SimEngine::with_context(noc, self)
+    }
+
+    /// An engine at the paper's Table II configuration, on this context.
+    pub fn paper_engine(&self) -> SimEngine {
+        self.engine(NocConfig::paper_default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meshcoll_collectives::Algorithm;
+    use meshcoll_topo::Mesh;
+
+    #[test]
+    fn engines_share_the_context_cache() {
+        let ctx = SimContext::new();
+        let mesh = Mesh::square(4).unwrap();
+        let s = Algorithm::Ring.schedule(&mesh, 1 << 20).unwrap();
+        ctx.paper_engine().run(&mesh, &s).unwrap();
+        let populated = ctx.route_cache().len();
+        assert!(populated > 0, "first run should populate the cache");
+        // A second engine on the same context recomputes nothing.
+        ctx.paper_engine().run(&mesh, &s).unwrap();
+        assert_eq!(ctx.route_cache().len(), populated);
+        assert!(ctx.route_cache().hits() > 0);
+    }
+}

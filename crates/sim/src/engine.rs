@@ -1,19 +1,24 @@
 //! Schedule → network-simulation bridge.
 
 use meshcoll_collectives::{fault, Algorithm, CollectiveError, Schedule, ScheduleOptions};
-use meshcoll_noc::{Message, MsgId, NetworkSim, NocConfig, PacketSim};
+use meshcoll_noc::{Message, MsgId, NocConfig, PacketSim, SimMode};
 use meshcoll_topo::Mesh;
 
-use crate::SimError;
+use crate::{SimContext, SimError};
 
 /// Times collective schedules on the packet-level network simulator.
 ///
 /// Reduction at a receiving chiplet is modelled as free, matching the
 /// paper's methodology (double buffering and sufficient memory bandwidth are
 /// assumed, so aggregation keeps up with line rate).
+///
+/// The engine owns one [`PacketSim`] constructed up front (no per-run
+/// configuration cloning) and is usable from several threads at once —
+/// [`SweepRunner`](crate::SweepRunner) fans sweep points across a shared
+/// engine.
 #[derive(Debug, Clone)]
 pub struct SimEngine {
-    noc: NocConfig,
+    sim: PacketSim,
 }
 
 /// The timing result of one schedule execution.
@@ -80,9 +85,21 @@ pub struct DegradedRun {
 }
 
 impl SimEngine {
-    /// Creates an engine with the given network configuration.
+    /// Creates an engine with the given network configuration and a private
+    /// route cache.
     pub fn new(noc: NocConfig) -> Self {
-        SimEngine { noc }
+        SimEngine {
+            sim: PacketSim::new(noc),
+        }
+    }
+
+    /// Creates an engine sharing `ctx`'s route cache, so repeated runs on
+    /// the same mesh — including from other engines built on the same
+    /// context — reuse each other's routes.
+    pub fn with_context(noc: NocConfig, ctx: &SimContext) -> Self {
+        SimEngine {
+            sim: PacketSim::new(noc).with_route_cache(ctx.route_cache().clone()),
+        }
     }
 
     /// An engine at the paper's Table II configuration.
@@ -90,9 +107,20 @@ impl SimEngine {
         SimEngine::new(NocConfig::paper_default())
     }
 
+    /// Selects the packet-engine mode ([`SimMode::Auto`] by default).
+    ///
+    /// [`SimMode::PerPacket`] forces the exact per-packet reference engine;
+    /// the equivalence suite uses it to check the packet-train fast path
+    /// against the reference through the full schedule pipeline.
+    #[must_use]
+    pub fn with_mode(mut self, mode: SimMode) -> Self {
+        self.sim = self.sim.with_mode(mode);
+        self
+    }
+
     /// The network configuration.
     pub fn noc(&self) -> &NocConfig {
-        &self.noc
+        self.sim.config()
     }
 
     /// Times one schedule.
@@ -131,9 +159,9 @@ impl SimEngine {
         data_bytes: u64,
         opts: &ScheduleOptions,
     ) -> Result<DegradedRun, SimError> {
-        let faults = &self.noc.faults;
+        let faults = &self.noc().faults;
         let schedule = algorithm.schedule_with(mesh, data_bytes, opts)?;
-        let issues = fault::lint(mesh, faults, &schedule, self.noc.routing);
+        let issues = fault::lint(mesh, faults, &schedule, self.noc().routing);
         if issues.is_empty() {
             return Ok(DegradedRun {
                 status: RunStatus::Completed,
@@ -196,7 +224,7 @@ impl SimEngine {
             base += schedule.len() as u32;
             spans.push((start, messages.len()));
         }
-        let outcome = PacketSim::new(self.noc.clone()).run(mesh, &messages)?;
+        let outcome = self.sim.simulate(mesh, &messages)?;
         let makespan = outcome.makespan_ns();
         let per_schedule = spans
             .iter()

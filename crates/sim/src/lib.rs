@@ -8,6 +8,10 @@
 //!   utilization (Figures 8, 9, 12, 14); under a configured fault model,
 //!   [`SimEngine::run_degraded`] lints, repairs, and reports a
 //!   [`RunStatus`] (completed / repaired / infeasible),
+//! * [`SimContext`] / [`SweepRunner`] — a shared route cache for engines
+//!   that repeat runs on the same mesh, and a scoped-thread fan-out over
+//!   sweep points with deterministic result ordering (the `--jobs` flag of
+//!   the figure binaries),
 //! * [`epoch`] — the end-to-end one-epoch training-time model, including
 //!   TTO's `N-1`-chiplet iteration-count adjustment and the §VIII-B overhead
 //!   equations (Figures 10, 13),
@@ -36,8 +40,10 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+mod context;
 mod engine;
 mod error;
+mod sweep;
 
 pub mod bandwidth;
 pub mod epoch;
@@ -45,5 +51,8 @@ pub mod experiment;
 pub mod overlap;
 pub mod theory;
 
+pub use context::SimContext;
 pub use engine::{DegradedRun, RunResult, RunStatus, SimEngine};
 pub use error::SimError;
+pub use meshcoll_noc::SimMode;
+pub use sweep::SweepRunner;

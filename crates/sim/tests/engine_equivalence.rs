@@ -1,0 +1,126 @@
+//! Golden equivalence tests through the full schedule pipeline: every
+//! collective schedule this workspace generates must time identically
+//! (within 1e-6 ns) whether the packet engine runs in `Auto` mode — the
+//! packet-train fast path with per-packet fallback — or is forced onto the
+//! exact per-packet reference.
+
+use meshcoll_collectives::{Algorithm, ScheduleOptions};
+use meshcoll_noc::NocConfig;
+use meshcoll_sim::{SimEngine, SimMode};
+use meshcoll_topo::Mesh;
+
+const TOL_NS: f64 = 1e-6;
+
+/// Times `algo` on `mesh` under both engine modes and checks the results
+/// agree on makespan, per-schedule completion, and both link metrics.
+fn assert_schedule_equivalent(mesh: &Mesh, algo: Algorithm, data: u64) {
+    let schedule = algo
+        .schedule(mesh, data)
+        .unwrap_or_else(|e| panic!("{algo} schedule on {mesh}: {e}"));
+    let auto = SimEngine::paper_default();
+    let exact = SimEngine::paper_default().with_mode(SimMode::PerPacket);
+    let (ra, ca) = auto.run_phased(mesh, &[(&schedule, 0.0)]).unwrap();
+    let (re, ce) = exact.run_phased(mesh, &[(&schedule, 0.0)]).unwrap();
+    assert!(
+        (ra.total_time_ns - re.total_time_ns).abs() <= TOL_NS,
+        "{algo} on {mesh}: auto {} ns vs per-packet {} ns",
+        ra.total_time_ns,
+        re.total_time_ns
+    );
+    assert!(
+        (ca[0] - ce[0]).abs() <= TOL_NS,
+        "{algo} on {mesh}: phase completion {} vs {}",
+        ca[0],
+        ce[0]
+    );
+    assert!(
+        (ra.link_utilization_percent - re.link_utilization_percent).abs() <= 1e-6,
+        "{algo} on {mesh}: utilization {} vs {}",
+        ra.link_utilization_percent,
+        re.link_utilization_percent
+    );
+    assert!(
+        (ra.used_link_percent - re.used_link_percent).abs() <= 1e-9,
+        "{algo} on {mesh}: used-link {} vs {}",
+        ra.used_link_percent,
+        re.used_link_percent
+    );
+}
+
+#[test]
+fn ring_schedules_time_identically() {
+    let mesh = Mesh::square(5).unwrap();
+    for data in [1 << 20, 4 << 20] {
+        assert_schedule_equivalent(&mesh, Algorithm::Ring, data);
+    }
+}
+
+#[test]
+fn bidirectional_ring_schedules_time_identically() {
+    assert_schedule_equivalent(&Mesh::square(5).unwrap(), Algorithm::RingBiOdd, 4 << 20);
+    assert_schedule_equivalent(&Mesh::square(4).unwrap(), Algorithm::RingBiEven, 4 << 20);
+}
+
+#[test]
+fn multitree_schedules_time_identically() {
+    let mesh = Mesh::square(5).unwrap();
+    for data in [1 << 20, 4 << 20] {
+        assert_schedule_equivalent(&mesh, Algorithm::MultiTree, data);
+    }
+}
+
+#[test]
+fn tto_schedules_time_identically() {
+    for n in [4usize, 5] {
+        let mesh = Mesh::square(n).unwrap();
+        assert_schedule_equivalent(&mesh, Algorithm::Tto, 4 << 20);
+    }
+}
+
+#[test]
+fn phased_overlap_runs_time_identically() {
+    // Two staggered schedules sharing the network — the Fig 11 shape.
+    let mesh = Mesh::square(4).unwrap();
+    let s1 = Algorithm::RingBiEven.schedule(&mesh, 1 << 20).unwrap();
+    let s2 = Algorithm::RingBiEven.schedule(&mesh, 2 << 20).unwrap();
+    let phases = [(&s1, 0.0), (&s2, 25_000.0)];
+    let (ra, ca) = SimEngine::paper_default()
+        .run_phased(&mesh, &phases)
+        .unwrap();
+    let (re, ce) = SimEngine::paper_default()
+        .with_mode(SimMode::PerPacket)
+        .run_phased(&mesh, &phases)
+        .unwrap();
+    assert!((ra.total_time_ns - re.total_time_ns).abs() <= TOL_NS);
+    for (a, e) in ca.iter().zip(&ce) {
+        assert!((a - e).abs() <= TOL_NS, "phase completion {a} vs {e}");
+    }
+}
+
+#[test]
+fn repaired_schedules_time_identically_under_faults() {
+    // Fault-repair generates irregular relay-routed schedules; they must
+    // agree across engine modes too.
+    let mesh = Mesh::square(5).unwrap();
+    let opts = ScheduleOptions::default();
+    let mut noc = NocConfig::paper_default();
+    noc.faults
+        .fail_node(mesh.node_at(meshcoll_topo::Coord::new(2, 2)));
+    for algo in [Algorithm::Ring, Algorithm::Tto] {
+        let run_a = SimEngine::new(noc.clone())
+            .run_degraded(&mesh, algo, 1 << 20, &opts)
+            .unwrap();
+        let run_e = SimEngine::new(noc.clone())
+            .with_mode(SimMode::PerPacket)
+            .run_degraded(&mesh, algo, 1 << 20, &opts)
+            .unwrap();
+        let (ta, te) = (
+            run_a.result.as_ref().expect("repaired").total_time_ns,
+            run_e.result.as_ref().expect("repaired").total_time_ns,
+        );
+        assert!(
+            (ta - te).abs() <= TOL_NS,
+            "{algo} repaired: auto {ta} vs per-packet {te}"
+        );
+    }
+}

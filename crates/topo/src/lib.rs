@@ -44,5 +44,5 @@ pub use error::TopologyError;
 pub use fault::{FaultModel, LinkFlap};
 pub use masked::MaskedCycle;
 pub use mesh::{Coord, Direction, LinkId, Mesh, NodeId};
-pub use routing::RoutingAlgorithm;
+pub use routing::{RouteCache, RoutingAlgorithm};
 pub use tree::Tree;

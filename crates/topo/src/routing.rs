@@ -7,6 +7,10 @@
 //! contends on these routes, which is a large part of why those algorithms
 //! underperform on a mesh.
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
 use crate::{LinkId, Mesh, NodeId, TopologyError};
 
 /// Deterministic dimension-order routing variants.
@@ -109,6 +113,117 @@ pub fn xy_route_nodes(mesh: &Mesh, src: NodeId, dst: NodeId) -> Result<Vec<NodeI
         nodes.push(mesh.node_at(crate::Coord::new(row, d.col)));
     }
     Ok(nodes)
+}
+
+/// Cache key: routes are a pure function of the mesh shape, the routing
+/// variant, and the endpoints — not of any particular [`Mesh`] instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct RouteKey {
+    rows: usize,
+    cols: usize,
+    torus: bool,
+    algorithm: RoutingAlgorithm,
+    src: usize,
+    dst: usize,
+}
+
+/// A thread-safe memo of dimension-order routes.
+///
+/// Repeated simulation runs on the same mesh shape (figure sweeps, epoch
+/// models, schedule search) recompute the same XY/YX routes for every
+/// message of every run. This cache computes each `(shape, routing, src,
+/// dst)` route once and hands out shared `Arc<[LinkId]>` slices afterwards.
+/// It is `Sync`, so one cache can back every engine of a parallel sweep.
+///
+/// # Example
+///
+/// ```
+/// use meshcoll_topo::{routing::RouteCache, Mesh, NodeId, RoutingAlgorithm};
+/// let cache = RouteCache::new();
+/// let mesh = Mesh::square(4)?;
+/// let a = cache.route(&mesh, NodeId(0), NodeId(15), RoutingAlgorithm::Xy)?;
+/// let b = cache.route(&mesh, NodeId(0), NodeId(15), RoutingAlgorithm::Xy)?;
+/// assert_eq!(a, b);
+/// assert_eq!(cache.misses(), 1);
+/// assert_eq!(cache.hits(), 1);
+/// # Ok::<(), meshcoll_topo::TopologyError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct RouteCache {
+    routes: RwLock<HashMap<RouteKey, Arc<[LinkId]>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl RouteCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        RouteCache::default()
+    }
+
+    /// Returns the route from `src` to `dst` on `mesh`, computing and
+    /// memoizing it on first use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::NodeOutOfRange`] if either node is out of
+    /// range (error results are not cached).
+    pub fn route(
+        &self,
+        mesh: &Mesh,
+        src: NodeId,
+        dst: NodeId,
+        algorithm: RoutingAlgorithm,
+    ) -> Result<Arc<[LinkId]>, TopologyError> {
+        let key = RouteKey {
+            rows: mesh.rows(),
+            cols: mesh.cols(),
+            torus: mesh.is_torus(),
+            algorithm,
+            src: src.index(),
+            dst: dst.index(),
+        };
+        if let Some(hit) = self
+            .routes
+            .read()
+            .expect("route cache lock poisoned")
+            .get(&key)
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+        let computed: Arc<[LinkId]> = route(mesh, src, dst, algorithm)?.into();
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // A racing writer may have inserted the same key; both computed the
+        // same deterministic route, so either Arc is fine to return.
+        Ok(Arc::clone(
+            self.routes
+                .write()
+                .expect("route cache lock poisoned")
+                .entry(key)
+                .or_insert(computed),
+        ))
+    }
+
+    /// Number of cached routes.
+    pub fn len(&self) -> usize {
+        self.routes.read().expect("route cache lock poisoned").len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to compute the route.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
 }
 
 /// The coordinates visited moving from `from` to `to` along one dimension of
@@ -236,5 +351,74 @@ mod tests {
     fn out_of_range_is_error() {
         let m = Mesh::square(2).unwrap();
         assert!(xy_route(&m, NodeId(0), NodeId(99)).is_err());
+    }
+
+    #[test]
+    fn cache_returns_computed_routes() {
+        let cache = RouteCache::new();
+        let m = Mesh::new(3, 5).unwrap();
+        for a in m.node_ids() {
+            for b in m.node_ids() {
+                for algo in [RoutingAlgorithm::Xy, RoutingAlgorithm::Yx] {
+                    let cached = cache.route(&m, a, b, algo).unwrap();
+                    assert_eq!(cached.as_ref(), route(&m, a, b, algo).unwrap().as_slice());
+                }
+            }
+        }
+        assert_eq!(cache.misses(), (15 * 15 * 2) as u64);
+        assert_eq!(cache.hits(), 0);
+        cache
+            .route(&m, NodeId(0), NodeId(14), RoutingAlgorithm::Xy)
+            .unwrap();
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn cache_distinguishes_shape_routing_and_wrap() {
+        let cache = RouteCache::new();
+        let mesh = Mesh::square(4).unwrap();
+        let torus = Mesh::torus(4, 4).unwrap();
+        let (a, b) = (NodeId(0), NodeId(3));
+        let plain = cache.route(&mesh, a, b, RoutingAlgorithm::Xy).unwrap();
+        let wrapped = cache.route(&torus, a, b, RoutingAlgorithm::Xy).unwrap();
+        // 0 -> 3 is three hops east on the mesh, one hop west on the torus.
+        assert_eq!(plain.len(), 3);
+        assert_eq!(wrapped.len(), 1);
+        assert_eq!(cache.len(), 2);
+        // Same-row routes coincide across XY/YX but are cached separately.
+        let yx = cache.route(&mesh, a, b, RoutingAlgorithm::Yx).unwrap();
+        assert_eq!(plain, yx);
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn cache_is_shareable_across_threads() {
+        let cache = std::sync::Arc::new(RouteCache::new());
+        let m = Mesh::square(4).unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let cache = std::sync::Arc::clone(&cache);
+                let m = m.clone();
+                s.spawn(move || {
+                    for a in m.node_ids() {
+                        for b in m.node_ids() {
+                            cache.route(&m, a, b, RoutingAlgorithm::Xy).unwrap();
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 16 * 16);
+        assert_eq!(cache.hits() + cache.misses(), (4 * 16 * 16) as u64);
+    }
+
+    #[test]
+    fn cache_does_not_memoize_errors() {
+        let cache = RouteCache::new();
+        let m = Mesh::square(2).unwrap();
+        assert!(cache
+            .route(&m, NodeId(0), NodeId(99), RoutingAlgorithm::Xy)
+            .is_err());
+        assert!(cache.is_empty());
     }
 }
