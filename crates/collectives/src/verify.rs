@@ -50,6 +50,16 @@ pub enum VerifyError {
         /// Gradient size.
         data_bytes: u64,
     },
+    /// An atom is covered by fewer Reduce ops than combining all
+    /// participants' contributions requires.
+    TooFewReduces {
+        /// Start of the under-reduced atom.
+        offset: u64,
+        /// Reduce ops covering the atom.
+        got: usize,
+        /// Minimum required (`participants - 1`).
+        need: usize,
+    },
 }
 
 impl fmt::Display for VerifyError {
@@ -68,6 +78,10 @@ impl fmt::Display for VerifyError {
             VerifyError::RangeOutOfBounds { end, data_bytes } => {
                 write!(f, "op range end {end} exceeds gradient size {data_bytes}")
             }
+            VerifyError::TooFewReduces { offset, got, need } => write!(
+                f,
+                "atom at byte offset {offset} covered by {got} reduce ops, needs at least {need}"
+            ),
         }
     }
 }
@@ -112,6 +126,54 @@ pub fn check_allreduce_seeded(
 ) -> Result<(), VerifyError> {
     let order = random_topo_order(schedule, seed);
     check_with_order(mesh, schedule, &order)
+}
+
+/// Checks that every atom of the gradient is covered by at least
+/// `participants - 1` Reduce ops — the information-theoretic minimum for
+/// combining all contributions into one sum. Fewer means some participant's
+/// gradient can never reach the reduced value for that range, no matter how
+/// the ops are ordered.
+///
+/// This is a *structural* check, cheaper than executing the schedule, and a
+/// lower bound only: hierarchical partial-sum schemes satisfy it with
+/// exactly `participants - 1` adds per atom, tree rebalancing may use more.
+/// Gather ops are deliberately unbounded — broadcast trees legitimately
+/// duplicate data.
+///
+/// # Errors
+///
+/// Returns [`VerifyError::TooFewReduces`] for the first under-covered atom,
+/// or [`VerifyError::RangeOutOfBounds`] if an op exceeds the gradient.
+pub fn check_reduce_indegree(schedule: &Schedule) -> Result<(), VerifyError> {
+    let need = schedule.participants().len().saturating_sub(1);
+    let breaks = schedule.atom_breaks();
+    for op in schedule.ops() {
+        if op.end() > schedule.data_bytes() {
+            return Err(VerifyError::RangeOutOfBounds {
+                end: op.end(),
+                data_bytes: schedule.data_bytes(),
+            });
+        }
+    }
+    for window in breaks.windows(2) {
+        let (lo, hi) = (window[0], window[1]);
+        if hi > schedule.data_bytes() {
+            break;
+        }
+        let got = schedule
+            .ops()
+            .iter()
+            .filter(|op| op.kind == OpKind::Reduce && op.offset <= lo && op.end() >= hi)
+            .count();
+        if got < need {
+            return Err(VerifyError::TooFewReduces {
+                offset: lo,
+                got,
+                need,
+            });
+        }
+    }
+    Ok(())
 }
 
 /// Checks the Reduce post-condition: `root` ends with the element-wise sum
@@ -259,10 +321,6 @@ fn run(
     schedule: &Schedule,
     order: &[u32],
 ) -> Result<(Vec<u64>, Vec<Vec<f64>>), VerifyError> {
-    // Atom boundaries from all op ranges.
-    let mut breaks: Vec<u64> = Vec::with_capacity(schedule.len() * 2 + 2);
-    breaks.push(0);
-    breaks.push(schedule.data_bytes());
     for op in schedule.ops() {
         if op.end() > schedule.data_bytes() {
             return Err(VerifyError::RangeOutOfBounds {
@@ -270,11 +328,9 @@ fn run(
                 data_bytes: schedule.data_bytes(),
             });
         }
-        breaks.push(op.offset);
-        breaks.push(op.end());
     }
-    breaks.sort_unstable();
-    breaks.dedup();
+    // Atom boundaries from all op ranges.
+    let breaks = schedule.atom_breaks();
     let atoms = breaks.len() - 1;
 
     let mut bufs = vec![vec![0.0f64; atoms]; mesh.nodes()];
@@ -449,6 +505,61 @@ mod tests {
         b.push(NodeId(1), NodeId(0), 0, 4, OpKind::Gather, 0, &[d]);
         let s = b.build();
         check_allreduce(&mesh, &s).unwrap();
+    }
+
+    #[test]
+    fn reduce_indegree_accepts_valid_schedules() {
+        check_reduce_indegree(&tiny_schedule()).unwrap();
+        // Real algorithm output on a mesh.
+        let mesh = Mesh::square(4).unwrap();
+        let s = crate::Algorithm::Ring.schedule(&mesh, 4096).unwrap();
+        check_reduce_indegree(&s).unwrap();
+    }
+
+    #[test]
+    fn reduce_indegree_catches_missing_contribution() {
+        // Three participants but only one Reduce covering the atom: one
+        // node's gradient can never enter the sum.
+        let mut b = Schedule::builder("short", 8);
+        b.set_participants(vec![NodeId(0), NodeId(1), NodeId(2)]);
+        let r = b.push(NodeId(0), NodeId(1), 0, 8, OpKind::Reduce, 0, &[]);
+        b.push(NodeId(1), NodeId(2), 0, 8, OpKind::Gather, 0, &[r]);
+        let s = b.build();
+        assert!(matches!(
+            check_reduce_indegree(&s),
+            Err(VerifyError::TooFewReduces {
+                offset: 0,
+                got: 1,
+                need: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn reduce_indegree_checks_each_atom_separately() {
+        // First half properly reduced, second half missing one add.
+        let mut b = Schedule::builder("split", 8);
+        b.set_participants(vec![NodeId(0), NodeId(1), NodeId(2)]);
+        let a = b.push(NodeId(0), NodeId(1), 0, 4, OpKind::Reduce, 0, &[]);
+        b.push(NodeId(1), NodeId(2), 0, 4, OpKind::Reduce, 0, &[a]);
+        b.push(NodeId(0), NodeId(2), 4, 4, OpKind::Reduce, 0, &[]);
+        let s = b.build();
+        assert!(matches!(
+            check_reduce_indegree(&s),
+            Err(VerifyError::TooFewReduces { offset: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn reduce_indegree_rejects_out_of_bounds_ranges() {
+        let mut b = Schedule::builder("oob", 8);
+        b.set_participants(vec![NodeId(0)]);
+        b.push(NodeId(0), NodeId(1), 4, 8, OpKind::Reduce, 0, &[]);
+        let s = b.build();
+        assert!(matches!(
+            check_reduce_indegree(&s),
+            Err(VerifyError::RangeOutOfBounds { .. })
+        ));
     }
 
     #[test]

@@ -41,6 +41,7 @@ use std::sync::Arc;
 use meshcoll_topo::{LinkId, Mesh};
 
 use crate::packet_sim::{last_packet_bytes, Time};
+use crate::trace::{TraceEvent, TraceSink};
 use crate::{LinkStats, Message, NocConfig, NocError, SimOutcome};
 
 /// Outcome of attempting the coalescing fast path.
@@ -142,13 +143,17 @@ struct LinkState {
 
 /// Runs the message DAG at train granularity. `routes`/`blocked` come from
 /// the caller's shared preparation pass. The fault model must have no
-/// transient flaps (the caller checks).
-pub(crate) fn run(
+/// transient flaps (the caller checks). Trace events go to `sink`; on a
+/// [`Coalesce::Contended`] return the sink holds a partial trace, so callers
+/// wanting clean traces buffer into a temporary sink first (see
+/// [`PacketSim::simulate_traced`](crate::PacketSim::simulate_traced)).
+pub(crate) fn run<T: TraceSink>(
     cfg: &NocConfig,
     mesh: &Mesh,
     messages: &[Message],
     routes: &[Arc<[LinkId]>],
     blocked: &[bool],
+    sink: &mut T,
 ) -> Result<Coalesce, NocError> {
     debug_assert!(cfg.faults.flaps().is_empty());
     let n = messages.len();
@@ -163,7 +168,7 @@ pub(crate) fn run(
     let mut earliest: Vec<f64> = messages.iter().map(|m| m.ready_at_ns).collect();
 
     let mut links: Vec<LinkState> = vec![LinkState::default(); mesh.link_id_space()];
-    let mut stats = LinkStats::new(mesh);
+    let mut stats = LinkStats::new(mesh, &cfg.faults);
     let mut completion = vec![f64::NAN; n];
     // Arrival curve of each in-flight train at its pending hop.
     let mut curves: Vec<Vec<Seg>> = vec![Vec::new(); n];
@@ -178,8 +183,19 @@ pub(crate) fn run(
     let inject = |heap: &mut BinaryHeap<Reverse<Event>>,
                   curves: &mut Vec<Vec<Seg>>,
                   seq: &mut u64,
+                  sink: &mut T,
                   id: usize,
                   at: f64| {
+        if T::ENABLED {
+            sink.record(TraceEvent::Inject {
+                msg: messages[id].id,
+                src: messages[id].src,
+                dst: messages[id].dst,
+                bytes: messages[id].bytes,
+                packets: cfg.packets_for(messages[id].bytes),
+                at_ns: at,
+            });
+        }
         // Every packet of the train is eligible at the injection instant:
         // the arrival curve at hop 0 is the constant `at`.
         curves[id] = vec![Seg {
@@ -201,7 +217,7 @@ pub(crate) fn run(
             if blocked[i] {
                 stalled += 1;
             } else {
-                inject(&mut heap, &mut curves, &mut seq, i, m.ready_at_ns);
+                inject(&mut heap, &mut curves, &mut seq, sink, i, m.ready_at_ns);
             }
             injected += 1;
         }
@@ -250,6 +266,17 @@ pub(crate) fn run(
             stats.add_busy(link, (pcount - 1) as f64 * (ser_full + ovh));
         }
         stats.add_busy(link, ser_last + ovh);
+        if T::ENABLED {
+            sink.record(TraceEvent::TrainHop {
+                msg: messages[mi].id,
+                hop: ev.hop,
+                link,
+                packets: pcount,
+                arrive_ns: ev.at.0,
+                first_start_ns: st0,
+                last_start_ns: start_last,
+            });
+        }
 
         if j + 1 < route.len() {
             // Cut-through: each packet's header reaches the next router one
@@ -278,6 +305,13 @@ pub(crate) fn run(
             completion[mi] = done;
             delivered += 1;
             last_progress = last_progress.max(done);
+            if T::ENABLED {
+                sink.record(TraceEvent::Deliver {
+                    msg: messages[mi].id,
+                    bytes: messages[mi].bytes,
+                    at_ns: done,
+                });
+            }
             for &d in &dependents[mi] {
                 let di = d as usize;
                 earliest[di] = earliest[di].max(done);
@@ -286,7 +320,7 @@ pub(crate) fn run(
                     if blocked[di] {
                         stalled += 1;
                     } else {
-                        inject(&mut heap, &mut curves, &mut seq, di, earliest[di]);
+                        inject(&mut heap, &mut curves, &mut seq, sink, di, earliest[di]);
                     }
                     injected += 1;
                 }

@@ -19,6 +19,7 @@ use std::collections::VecDeque;
 use meshcoll_topo::{Direction, LinkId, Mesh, NodeId};
 
 use crate::message::validate;
+use crate::trace::{NullSink, TraceEvent, TraceSink};
 use crate::{LinkStats, Message, NetworkSim, NocConfig, NocError, SimOutcome};
 
 /// The cycle-driven flit-level simulator. See the module docs.
@@ -77,6 +78,25 @@ struct Ctx {
 
 impl NetworkSim for FlitSim {
     fn run(&mut self, mesh: &Mesh, messages: &[Message]) -> Result<SimOutcome, NocError> {
+        self.run_traced(mesh, messages, &mut NullSink)
+    }
+}
+
+impl FlitSim {
+    /// Like [`NetworkSim::run`], but emits [`TraceEvent`]s into `sink`. The
+    /// flit engine traces at message granularity only — injections and
+    /// deliveries, no per-hop events (its flit-slot quantization makes hop
+    /// times incomparable with the packet engines').
+    ///
+    /// # Errors
+    ///
+    /// Same as [`NetworkSim::run`].
+    pub fn run_traced<T: TraceSink>(
+        &self,
+        mesh: &Mesh,
+        messages: &[Message],
+        sink: &mut T,
+    ) -> Result<SimOutcome, NocError> {
         validate(messages)?;
         let n = messages.len();
         let vcs = self.cfg.num_vcs;
@@ -181,7 +201,7 @@ impl NetworkSim for FlitSim {
         // streaming into each injection VC.
         let mut inj_alloc: Vec<Vec<Option<usize>>> = vec![vec![None; vcs]; mesh.nodes()];
 
-        let mut stats = LinkStats::new(mesh);
+        let mut stats = LinkStats::new(mesh, &self.cfg.faults);
         let mut completion = vec![f64::NAN; n];
         let mut ejected: Vec<u64> = vec![0; n];
         let mut done = 0usize;
@@ -210,6 +230,16 @@ impl NetworkSim for FlitSim {
                 let i = to_enqueue[j];
                 if ready_at_cycle[i] <= cycle {
                     enqueue_flits(i, &mut inj_queue);
+                    if T::ENABLED {
+                        sink.record(TraceEvent::Inject {
+                            msg: messages[i].id,
+                            src: messages[i].src,
+                            dst: messages[i].dst,
+                            bytes: messages[i].bytes,
+                            packets: self.cfg.packets_for(messages[i].bytes),
+                            at_ns: cycle as f64 * slot,
+                        });
+                    }
                     to_enqueue.swap_remove(j);
                     activity = true;
                 } else {
@@ -317,6 +347,13 @@ impl NetworkSim for FlitSim {
                         if ejected[mi] == flits_total[mi] {
                             completion[mi] = (cycle + 1) as f64 * slot;
                             done += 1;
+                            if T::ENABLED {
+                                sink.record(TraceEvent::Deliver {
+                                    msg: messages[mi].id,
+                                    bytes: messages[mi].bytes,
+                                    at_ns: completion[mi],
+                                });
+                            }
                             for &d in &dependents[mi] {
                                 pending_deps[d] -= 1;
                                 ready_at_cycle[d] = ready_at_cycle[d].max(cycle + 1);
@@ -478,7 +515,7 @@ mod tests {
             Message::new(MsgId(1), NodeId(1), NodeId(3), 4096).with_deps([MsgId(0)]),
         ];
         let out = FlitSim::new(cfg()).run(&mesh, &msgs).unwrap();
-        assert!(out.completion_ns(MsgId(1)) > out.completion_ns(MsgId(0)));
+        assert!(out.completion_ns(MsgId(1)).unwrap() > out.completion_ns(MsgId(0)).unwrap());
     }
 
     #[test]

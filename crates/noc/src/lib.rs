@@ -37,10 +37,20 @@
 //!     Message::new(MsgId(1), NodeId(15), NodeId(0), 1 << 20).with_deps([MsgId(0)]),
 //! ];
 //! let outcome = PacketSim::new(cfg).run(&mesh, &msgs)?;
-//! assert!(outcome.completion_ns(MsgId(1)) > outcome.completion_ns(MsgId(0)));
+//! let reply = outcome.completion_ns(MsgId(1)).expect("simulated");
+//! assert!(reply > outcome.completion_ns(MsgId(0)).expect("simulated"));
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! # Tracing and auditing
+//!
+//! Both engines can emit a structured event stream ([`TraceEvent`]) through
+//! any [`TraceSink`] via `run_traced`/`simulate_traced`. The default
+//! [`NullSink`] compiles the emission paths out entirely, so untraced runs
+//! pay nothing. The [`InvariantAuditor`] replays a collected trace and
+//! checks conservation, causality, and link exclusivity; see [`audit`].
 
+pub mod audit;
 mod coalesce;
 mod config;
 mod error;
@@ -48,13 +58,16 @@ mod flit_sim;
 mod message;
 mod packet_sim;
 mod stats;
+pub mod trace;
 
+pub use audit::{InvariantAuditor, TraceAudit, Violation};
 pub use config::NocConfig;
 pub use error::NocError;
 pub use flit_sim::FlitSim;
 pub use message::{Message, MsgId};
 pub use packet_sim::{PacketSim, SimMode};
 pub use stats::{LatencySummary, LinkStats, SimOutcome};
+pub use trace::{JsonlSink, MemorySink, NullSink, RingSink, TraceEvent, TraceSink};
 
 use meshcoll_topo::Mesh;
 

@@ -29,6 +29,7 @@ use meshcoll_topo::{LinkId, Mesh, RouteCache};
 
 use crate::coalesce::{self, Coalesce};
 use crate::message::validate;
+use crate::trace::{MemorySink, NullSink, TraceEvent, TraceSink};
 use crate::{LinkStats, Message, NetworkSim, NocConfig, NocError, SimOutcome};
 
 /// Engine-selection policy for [`PacketSim`].
@@ -111,18 +112,57 @@ impl PacketSim {
     /// a missing or cyclic dependency, or a zero-byte payload, and when
     /// messages can never deliver because their route crosses a dead link.
     pub fn simulate(&self, mesh: &Mesh, messages: &[Message]) -> Result<SimOutcome, NocError> {
+        self.simulate_traced(mesh, messages, &mut NullSink)
+    }
+
+    /// Like [`PacketSim::simulate`], but emits the run's [`TraceEvent`]
+    /// stream into `sink`. With the default [`NullSink`] this monomorphizes
+    /// to the untraced hot path. Because the fast path may decline mid-run,
+    /// an enabled sink only receives events of the engine that actually
+    /// completed the run: a declined fast-path attempt's partial trace is
+    /// discarded, never replayed into `sink`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PacketSim::simulate`].
+    pub fn simulate_traced<T: TraceSink>(
+        &self,
+        mesh: &Mesh,
+        messages: &[Message],
+        sink: &mut T,
+    ) -> Result<SimOutcome, NocError> {
         let setup = self.prepare(mesh, messages)?;
         if self.mode == SimMode::Auto && self.cfg.faults.flaps().is_empty() {
             // A contended (or erroring) fast-path attempt is re-run by the
             // reference engine, which arbitrates FIFO order exactly and
             // keeps error bookkeeping bit-identical.
-            if let Ok(Coalesce::Done(out)) =
-                coalesce::run(&self.cfg, mesh, messages, &setup.routes, &setup.blocked)
-            {
+            if T::ENABLED {
+                let mut buf = MemorySink::new();
+                if let Ok(Coalesce::Done(out)) = coalesce::run(
+                    &self.cfg,
+                    mesh,
+                    messages,
+                    &setup.routes,
+                    &setup.blocked,
+                    &mut buf,
+                ) {
+                    for ev in buf.events() {
+                        sink.record(*ev);
+                    }
+                    return Ok(out);
+                }
+            } else if let Ok(Coalesce::Done(out)) = coalesce::run(
+                &self.cfg,
+                mesh,
+                messages,
+                &setup.routes,
+                &setup.blocked,
+                sink,
+            ) {
                 return Ok(out);
             }
         }
-        self.run_per_packet(mesh, messages, &setup)
+        self.run_per_packet(mesh, messages, &setup, sink)
     }
 
     /// Runs the exact per-packet reference engine unconditionally.
@@ -131,8 +171,22 @@ impl PacketSim {
     ///
     /// Same as [`PacketSim::simulate`].
     pub fn run_reference(&self, mesh: &Mesh, messages: &[Message]) -> Result<SimOutcome, NocError> {
+        self.run_reference_traced(mesh, messages, &mut NullSink)
+    }
+
+    /// Like [`PacketSim::run_reference`], but traced into `sink`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PacketSim::simulate`].
+    pub fn run_reference_traced<T: TraceSink>(
+        &self,
+        mesh: &Mesh,
+        messages: &[Message],
+        sink: &mut T,
+    ) -> Result<SimOutcome, NocError> {
         let setup = self.prepare(mesh, messages)?;
-        self.run_per_packet(mesh, messages, &setup)
+        self.run_per_packet(mesh, messages, &setup, sink)
     }
 
     /// Attempts only the coalescing fast path, returning `Ok(None)` when it
@@ -147,13 +201,55 @@ impl PacketSim {
         mesh: &Mesh,
         messages: &[Message],
     ) -> Result<Option<SimOutcome>, NocError> {
+        self.run_coalesced_traced(mesh, messages, &mut NullSink)
+    }
+
+    /// Like [`PacketSim::run_coalesced`], but traced into `sink`. On a
+    /// declined attempt (`Ok(None)`), nothing reaches `sink`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PacketSim::simulate`].
+    pub fn run_coalesced_traced<T: TraceSink>(
+        &self,
+        mesh: &Mesh,
+        messages: &[Message],
+        sink: &mut T,
+    ) -> Result<Option<SimOutcome>, NocError> {
         let setup = self.prepare(mesh, messages)?;
         if !self.cfg.faults.flaps().is_empty() {
             return Ok(None);
         }
-        match coalesce::run(&self.cfg, mesh, messages, &setup.routes, &setup.blocked)? {
-            Coalesce::Done(out) => Ok(Some(out)),
-            Coalesce::Contended => Ok(None),
+        if T::ENABLED {
+            let mut buf = MemorySink::new();
+            match coalesce::run(
+                &self.cfg,
+                mesh,
+                messages,
+                &setup.routes,
+                &setup.blocked,
+                &mut buf,
+            )? {
+                Coalesce::Done(out) => {
+                    for ev in buf.events() {
+                        sink.record(*ev);
+                    }
+                    Ok(Some(out))
+                }
+                Coalesce::Contended => Ok(None),
+            }
+        } else {
+            match coalesce::run(
+                &self.cfg,
+                mesh,
+                messages,
+                &setup.routes,
+                &setup.blocked,
+                sink,
+            )? {
+                Coalesce::Done(out) => Ok(Some(out)),
+                Coalesce::Contended => Ok(None),
+            }
         }
     }
 
@@ -178,11 +274,12 @@ impl PacketSim {
     }
 
     /// The exact per-packet event loop (reference engine).
-    fn run_per_packet(
+    fn run_per_packet<T: TraceSink>(
         &self,
         mesh: &Mesh,
         messages: &[Message],
         setup: &RunSetup,
+        sink: &mut T,
     ) -> Result<SimOutcome, NocError> {
         let n = messages.len();
         let routes = &setup.routes;
@@ -202,7 +299,7 @@ impl PacketSim {
         let mut earliest: Vec<f64> = messages.iter().map(|m| m.ready_at_ns).collect();
 
         let mut link_free: Vec<f64> = vec![0.0; mesh.link_id_space()];
-        let mut stats = LinkStats::new(mesh);
+        let mut stats = LinkStats::new(mesh, faults);
         let mut completion = vec![f64::NAN; n];
         let mut packets_left: Vec<u64> = messages
             .iter()
@@ -226,8 +323,22 @@ impl PacketSim {
             .saturating_add(16);
         let mut events_popped: u64 = 0;
 
-        let inject = |heap: &mut BinaryHeap<Reverse<Event>>, seq: &mut u64, id: usize, at: f64| {
+        let inject = |heap: &mut BinaryHeap<Reverse<Event>>,
+                      seq: &mut u64,
+                      sink: &mut T,
+                      id: usize,
+                      at: f64| {
             let count = self.cfg.packets_for(messages[id].bytes);
+            if T::ENABLED {
+                sink.record(TraceEvent::Inject {
+                    msg: messages[id].id,
+                    src: messages[id].src,
+                    dst: messages[id].dst,
+                    bytes: messages[id].bytes,
+                    packets: count,
+                    at_ns: at,
+                });
+            }
             for p in 0..count {
                 *seq += 1;
                 heap.push(Reverse(Event {
@@ -245,7 +356,7 @@ impl PacketSim {
                 if blocked[i] {
                     stalled += 1;
                 } else {
-                    inject(&mut heap, &mut seq, i, m.ready_at_ns);
+                    inject(&mut heap, &mut seq, sink, i, m.ready_at_ns);
                 }
                 injected += 1;
             }
@@ -274,6 +385,18 @@ impl PacketSim {
                 // can follow.
                 link_free[link.index()] = start + ser + self.cfg.per_packet_overhead_ns;
                 stats.add_busy(link, ser + self.cfg.per_packet_overhead_ns);
+                if T::ENABLED {
+                    sink.record(TraceEvent::PacketHop {
+                        msg: messages[mi].id,
+                        packet: ev.packet as u64,
+                        hop: ev.hop,
+                        link,
+                        bytes,
+                        arrive_ns: ev.at.0,
+                        start_ns: start,
+                        busy_until_ns: link_free[link.index()],
+                    });
+                }
                 seq += 1;
                 let next_at = if (ev.hop as usize) + 1 < route.len() {
                     // Cut-through: the header reaches the next router after
@@ -298,6 +421,13 @@ impl PacketSim {
                     completion[mi] = ev.at.0;
                     delivered += 1;
                     last_progress = last_progress.max(ev.at.0);
+                    if T::ENABLED {
+                        sink.record(TraceEvent::Deliver {
+                            msg: messages[mi].id,
+                            bytes: messages[mi].bytes,
+                            at_ns: ev.at.0,
+                        });
+                    }
                     for &d in &dependents[mi] {
                         let di = d as usize;
                         earliest[di] = earliest[di].max(ev.at.0);
@@ -306,7 +436,7 @@ impl PacketSim {
                             if blocked[di] {
                                 stalled += 1;
                             } else {
-                                inject(&mut heap, &mut seq, di, earliest[di]);
+                                inject(&mut heap, &mut seq, sink, di, earliest[di]);
                             }
                             injected += 1;
                         }
@@ -481,8 +611,8 @@ mod tests {
             Message::new(MsgId(2), NodeId(2), NodeId(3), 8192).with_deps([MsgId(1)]),
         ];
         let out = sim(&mesh, &msgs);
-        assert!(out.completion_ns(MsgId(0)) < out.completion_ns(MsgId(1)));
-        assert!(out.completion_ns(MsgId(1)) < out.completion_ns(MsgId(2)));
+        assert!(out.completion_ns(MsgId(0)).unwrap() < out.completion_ns(MsgId(1)).unwrap());
+        assert!(out.completion_ns(MsgId(1)).unwrap() < out.completion_ns(MsgId(2)).unwrap());
         let step = cfg().serialization_ns(8192) + cfg().per_flit_latency_ns;
         assert!((out.makespan_ns() - 3.0 * step).abs() < 1e-6);
     }
@@ -531,8 +661,8 @@ mod tests {
             Message::new(MsgId(1), NodeId(1), NodeId(2), 1 << 20),
         ];
         let out = PacketSim::new(c.clone()).run(&mesh, &msgs).unwrap();
-        let slow_t = out.completion_ns(MsgId(0));
-        let fast_t = out.completion_ns(MsgId(1));
+        let slow_t = out.completion_ns(MsgId(0)).unwrap();
+        let fast_t = out.completion_ns(MsgId(1)).unwrap();
         assert!(slow_t > 4.0 * fast_t, "slow {slow_t} vs fast {fast_t}");
         assert!((c.bandwidth_of(slow) - 5.0).abs() < 1e-9);
     }
@@ -663,8 +793,8 @@ mod tests {
         let exact = sim.run_reference(&mesh, &msgs).unwrap();
         for id in 0..3 {
             let (a, b) = (
-                fast.completion_ns(MsgId(id)),
-                exact.completion_ns(MsgId(id)),
+                fast.completion_ns(MsgId(id)).unwrap(),
+                exact.completion_ns(MsgId(id)).unwrap(),
             );
             assert!((a - b).abs() < 1e-6, "msg {id}: fast {a} vs exact {b}");
         }

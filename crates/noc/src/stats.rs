@@ -1,4 +1,4 @@
-use meshcoll_topo::{LinkId, Mesh};
+use meshcoll_topo::{FaultModel, LinkId, Mesh};
 
 use crate::MsgId;
 
@@ -10,10 +10,17 @@ pub struct LinkStats {
 }
 
 impl LinkStats {
-    pub(crate) fn new(mesh: &Mesh) -> Self {
+    /// Counts only links the fault model leaves usable: a dead link cannot
+    /// carry traffic, so including it in the denominator would under-report
+    /// the utilization of degraded runs.
+    pub(crate) fn new(mesh: &Mesh, faults: &FaultModel) -> Self {
+        let usable = mesh
+            .links()
+            .filter(|&(_, _, link)| faults.link_usable(mesh, link))
+            .count();
         LinkStats {
             busy_ns: vec![0.0; mesh.link_id_space()],
-            physical_links: mesh.directed_links(),
+            physical_links: usable.max(1),
         }
     }
 
@@ -31,16 +38,18 @@ impl LinkStats {
         self.busy_ns.iter().filter(|&&b| b > 0.0).count()
     }
 
-    /// Fraction of the mesh's directed links that carried traffic, in
-    /// percent (the Table I metric).
+    /// Fraction of the mesh's *usable* directed links that carried traffic,
+    /// in percent (the Table I metric). Links killed by the fault model are
+    /// excluded from the denominator.
     pub fn used_link_percent(&self) -> f64 {
         100.0 * self.used_links() as f64 / self.physical_links as f64
     }
 
     /// Time-averaged network occupancy in percent over a window of
-    /// `makespan_ns`: `sum(busy) / (links * makespan)`. This is the Fig 12
-    /// link-utilization metric — an algorithm keeping 83 % of links busy for
-    /// the whole AllReduce scores ~83 %.
+    /// `makespan_ns`: `sum(busy) / (usable_links * makespan)`. This is the
+    /// Fig 12 link-utilization metric — an algorithm keeping 83 % of links
+    /// busy for the whole AllReduce scores ~83 %. Dead links are excluded
+    /// from the denominator.
     pub fn utilization_percent(&self, makespan_ns: f64) -> f64 {
         if makespan_ns <= 0.0 {
             return 0.0;
@@ -68,13 +77,11 @@ impl SimOutcome {
         }
     }
 
-    /// Completion time of a message (delivery of its last packet), in ns.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the id was not part of the run.
-    pub fn completion_ns(&self, id: MsgId) -> f64 {
-        self.completion_ns[id.index()]
+    /// Completion time of a message (delivery of its last packet), in ns,
+    /// or `None` when the id was not part of the run — consistent with the
+    /// guarded [`LinkStats::busy_ns`] accessor.
+    pub fn completion_ns(&self, id: MsgId) -> Option<f64> {
+        self.completion_ns.get(id.index()).copied()
     }
 
     /// Completion times of all messages, indexed by message id.
@@ -119,11 +126,19 @@ impl SimOutcome {
         }
         LatencySummary {
             mean_ns: lat.iter().sum::<f64>() / n as f64,
-            p50_ns: lat[n / 2],
-            p99_ns: lat[(n * 99 / 100).min(n - 1)],
+            p50_ns: lat[nearest_rank(n, 50)],
+            p99_ns: lat[nearest_rank(n, 99)],
             max_ns: lat[n - 1],
         }
     }
+}
+
+/// Nearest-rank percentile index into a sorted sample of `n` elements:
+/// `ceil(p/100 * n) - 1`. For even `n`, p50 lands on the lower-mid element
+/// (rank n/2), and p99 never truncates down to p98 for small samples.
+fn nearest_rank(n: usize, percentile: usize) -> usize {
+    debug_assert!(n > 0 && (1..=100).contains(&percentile));
+    (n * percentile).div_ceil(100).max(1) - 1
 }
 
 /// Message-latency distribution summary; see [`SimOutcome::latency_stats`].
@@ -137,4 +152,67 @@ pub struct LatencySummary {
     pub p99_ns: f64,
     /// Worst-case completion latency, ns.
     pub max_ns: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meshcoll_topo::Mesh;
+
+    #[test]
+    fn nearest_rank_median_is_lower_mid_for_even_n() {
+        // n = 4: ranks 1..=4, p50 -> rank 2 -> index 1 (not index 2).
+        assert_eq!(nearest_rank(4, 50), 1);
+        // n = 5: rank ceil(2.5) = 3 -> index 2, the true middle.
+        assert_eq!(nearest_rank(5, 50), 2);
+        assert_eq!(nearest_rank(1, 50), 0);
+    }
+
+    #[test]
+    fn nearest_rank_p99_does_not_truncate_to_p98() {
+        // n = 100: rank 99 -> index 98 (the 99th smallest).
+        assert_eq!(nearest_rank(100, 99), 98);
+        // Small n: p99 must land on the max, not one below it.
+        assert_eq!(nearest_rank(10, 99), 9);
+        assert_eq!(nearest_rank(3, 99), 2);
+        assert_eq!(nearest_rank(100, 100), 99);
+    }
+
+    #[test]
+    fn latency_stats_uses_nearest_rank() {
+        let mesh = Mesh::square(3).unwrap();
+        let faults = FaultModel::default();
+        // Completions 10, 20, 30, 40 with ready = 0.
+        let out = SimOutcome::new(vec![40.0, 10.0, 30.0, 20.0], LinkStats::new(&mesh, &faults));
+        let s = out.latency_stats(|_| 0.0);
+        assert_eq!(s.p50_ns, 20.0); // lower-mid of even sample
+        assert_eq!(s.p99_ns, 40.0); // max for n = 4
+        assert_eq!(s.max_ns, 40.0);
+        assert_eq!(s.mean_ns, 25.0);
+    }
+
+    #[test]
+    fn completion_ns_is_none_for_unknown_id() {
+        let mesh = Mesh::square(3).unwrap();
+        let faults = FaultModel::default();
+        let out = SimOutcome::new(vec![5.0], LinkStats::new(&mesh, &faults));
+        assert_eq!(out.completion_ns(MsgId(0)), Some(5.0));
+        assert_eq!(out.completion_ns(MsgId(7)), None);
+    }
+
+    #[test]
+    fn dead_links_shrink_the_utilization_denominator() {
+        let mesh = Mesh::square(3).unwrap();
+        let healthy = LinkStats::new(&mesh, &FaultModel::default());
+        let mut faults = FaultModel::default();
+        let a = mesh.node_ids().next().unwrap();
+        let b = mesh
+            .node_ids()
+            .find(|&n| mesh.link_between(a, n).is_ok())
+            .unwrap();
+        faults.fail_link_between(&mesh, a, b).unwrap();
+        let degraded = LinkStats::new(&mesh, &faults);
+        assert!(degraded.physical_links < healthy.physical_links);
+        assert_eq!(healthy.physical_links, mesh.directed_links());
+    }
 }

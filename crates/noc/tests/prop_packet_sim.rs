@@ -1,7 +1,9 @@
 //! Property tests on the packet simulator: physical sanity bounds that must
 //! hold for arbitrary message DAGs.
 
-use meshcoll_noc::{Message, MsgId, NetworkSim, NocConfig, PacketSim};
+use meshcoll_noc::{
+    InvariantAuditor, MemorySink, Message, MsgId, NetworkSim, NocConfig, PacketSim,
+};
 use meshcoll_topo::{Mesh, NodeId};
 use proptest::prelude::*;
 
@@ -35,7 +37,7 @@ proptest! {
         let out = PacketSim::new(cfg.clone()).run(&mesh, &msgs).unwrap();
 
         for m in &msgs {
-            let t = out.completion_ns(m.id);
+            let t = out.completion_ns(m.id).expect("simulated");
             // Completion respects readiness plus the zero-load latency.
             let hops = mesh.distance(m.src, m.dst) as f64;
             let min = m.ready_at_ns
@@ -44,7 +46,7 @@ proptest! {
             prop_assert!(t >= min - 1e-6, "{}: {t} < {min}", m.id);
             // Dependencies strictly precede dependents.
             for d in &m.deps {
-                prop_assert!(out.completion_ns(*d) < t);
+                prop_assert!(out.completion_ns(*d).expect("simulated") < t);
             }
         }
 
@@ -54,6 +56,61 @@ proptest! {
             prop_assert!(stats.busy_ns(l) <= out.makespan_ns() + 1e-6);
         }
         prop_assert!(stats.utilization_percent(out.makespan_ns()) <= 100.0 + 1e-9);
+    }
+
+    // Dependency chains never interleave two trains on a link (at most one
+    // message is in flight at a time), so the coalescing fast path must
+    // accept them — and its makespan may never beat the exact per-packet
+    // engine by more than the documented 1e-6 ns tolerance. The trace-level
+    // auditor cross-checks the train start curves against the per-packet
+    // lower bound for the same guarantee at every hop, not just the end.
+    #[test]
+    fn fast_path_never_beats_reference_on_contention_free_dags(
+        raw in prop::collection::vec((0usize..16, 0usize..16, 1u64..400_000), 1..10),
+        ready0 in 0.0f64..5_000.0,
+    ) {
+        let mesh = Mesh::square(4).unwrap();
+        let msgs: Vec<Message> = raw
+            .into_iter()
+            .enumerate()
+            .map(|(i, (s, d, bytes))| {
+                let dst = if s == d { (d + 1) % 16 } else { d };
+                let m = Message::new(MsgId(i), NodeId(s), NodeId(dst), bytes);
+                if i == 0 {
+                    m.with_ready_at(ready0)
+                } else {
+                    m.with_deps([MsgId(i - 1)])
+                }
+            })
+            .collect();
+        let sim = PacketSim::new(NocConfig::paper_default());
+        let mut fast_trace = MemorySink::new();
+        let fast = sim
+            .run_coalesced_traced(&mesh, &msgs, &mut fast_trace)
+            .unwrap()
+            .expect("chain DAGs are contention-free; the fast path must accept");
+        let mut ref_trace = MemorySink::new();
+        let exact = sim.run_reference_traced(&mesh, &msgs, &mut ref_trace).unwrap();
+
+        prop_assert!(
+            fast.makespan_ns() >= exact.makespan_ns() - 1e-6,
+            "fast {} beats reference {}",
+            fast.makespan_ns(),
+            exact.makespan_ns()
+        );
+        for m in &msgs {
+            let (a, b) = (
+                fast.completion_ns(m.id).expect("simulated"),
+                exact.completion_ns(m.id).expect("simulated"),
+            );
+            prop_assert!(a >= b - 1e-6, "{}: fast {a} beats reference {b}", m.id);
+        }
+
+        let auditor = InvariantAuditor::new();
+        let cross = auditor.check_fast_path(fast_trace.events(), ref_trace.events());
+        prop_assert!(cross.is_clean(), "fast-path audit: {:?}", cross.violations);
+        let per_packet = auditor.check_trace(ref_trace.events());
+        prop_assert!(per_packet.is_clean(), "reference audit: {:?}", per_packet.violations);
     }
 
     #[test]

@@ -1,0 +1,342 @@
+//! Opt-in invariant auditing for schedule executions.
+//!
+//! The network engines can narrate a run as a [`TraceEvent`] stream; this
+//! module replays a collective [`Schedule`] through the *traced* engines and
+//! cross-examines the stream with the noc-level
+//! [`InvariantAuditor`] plus schedule-level checks the noc layer cannot
+//! know about:
+//!
+//! * **conservation / causality / link exclusivity** — every byte injected
+//!   is delivered, no packet departs a hop before it arrives, no two
+//!   packets hold one directed link at once (delegated to
+//!   [`InvariantAuditor::check_trace`] over the exact per-packet engine),
+//! * **fast-path lower bound** — when the packet-train fast path accepts
+//!   the DAG, its per-hop start curves may never precede the per-packet
+//!   reference ([`InvariantAuditor::check_fast_path`]),
+//! * **schedule conformance** — every declared dependency is honored: a
+//!   dependent op's injection never precedes its dependency's delivery,
+//! * **reduction contract** — each gradient atom receives at least
+//!   `participants - 1` Reduce ops
+//!   ([`verify::check_reduce_indegree`]) and the executed schedule
+//!   leaves every participant holding the full sum
+//!   ([`verify::check_allreduce`]).
+//!
+//! Auditing re-runs the schedule on the reference engine with tracing
+//! enabled, so it costs a multiple of a plain [`SimEngine::run`]; it is off
+//! by default and enabled per run via [`RunOptions::audit`] (or called
+//! directly via [`SimEngine::audit`]).
+
+use std::fmt;
+
+use meshcoll_collectives::verify::{self, VerifyError};
+use meshcoll_collectives::{OpKind, Schedule};
+use meshcoll_noc::{InvariantAuditor, MemorySink, MsgId, TraceEvent, TraceSink, Violation};
+use meshcoll_topo::Mesh;
+
+use crate::engine::schedule_messages;
+use crate::{RunResult, SimEngine, SimError};
+
+/// Per-run options for [`SimEngine::run_with`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunOptions {
+    /// Also run the invariant auditor over the schedule (slower: the
+    /// schedule executes again on the traced reference engine).
+    pub audit: bool,
+}
+
+impl RunOptions {
+    /// Options with auditing enabled.
+    pub fn audited() -> Self {
+        RunOptions { audit: true }
+    }
+}
+
+/// One violated invariant found while auditing a run.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AuditViolation {
+    /// A trace-level invariant failed: conservation, causality, link
+    /// exclusivity, or the fast-path lower bound.
+    Trace(Violation),
+    /// A schedule dependency was not honored by the engine: the dependent
+    /// op injected before its dependency delivered.
+    DependencyViolated {
+        /// The dependent op (message id in the lowered DAG).
+        op: u32,
+        /// The dependency that should have completed first.
+        dep: u32,
+        /// When the dependent injected, ns.
+        inject_ns: f64,
+        /// When the dependency delivered, ns.
+        dep_deliver_ns: f64,
+    },
+    /// The schedule itself breaks the collective's functional contract
+    /// (too few reductions for an atom, or a wrong final value).
+    Functional(VerifyError),
+}
+
+impl fmt::Display for AuditViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuditViolation::Trace(v) => write!(f, "{v}"),
+            AuditViolation::DependencyViolated {
+                op,
+                dep,
+                inject_ns,
+                dep_deliver_ns,
+            } => write!(
+                f,
+                "op {op} injected at {inject_ns} ns before its dependency \
+                 op {dep} delivered at {dep_deliver_ns} ns"
+            ),
+            AuditViolation::Functional(e) => write!(f, "schedule contract: {e}"),
+        }
+    }
+}
+
+/// The auditor's verdict over one schedule execution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AuditReport {
+    /// Trace events examined (reference engine, plus the fast path when it
+    /// accepted the DAG).
+    pub events: usize,
+    /// Individual invariant checks performed.
+    pub checks: usize,
+    /// Everything that failed; empty on a correct run.
+    pub violations: Vec<AuditViolation>,
+}
+
+impl AuditReport {
+    /// `true` when every check passed.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} events, {} checks, {} violations",
+            self.events,
+            self.checks,
+            self.violations.len()
+        )
+    }
+}
+
+impl SimEngine {
+    /// Times one schedule like [`SimEngine::run`], optionally auditing it.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SimEngine::run`]. Audit *violations* are not errors — they
+    /// come back in the report for the caller to assert on.
+    pub fn run_with(
+        &self,
+        mesh: &Mesh,
+        schedule: &Schedule,
+        opts: &RunOptions,
+    ) -> Result<(RunResult, Option<AuditReport>), SimError> {
+        let result = self.run(mesh, schedule)?;
+        let report = if opts.audit {
+            Some(self.audit(mesh, schedule)?)
+        } else {
+            None
+        };
+        Ok((result, report))
+    }
+
+    /// Replays `schedule` through the traced engines and checks every
+    /// invariant listed in the [module docs](crate::audit).
+    ///
+    /// Faults configured in this engine's [`NocConfig`](meshcoll_noc::NocConfig)
+    /// apply, so fault-repaired schedules are audited under the very fault
+    /// model they were repaired for.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Network`] when the schedule cannot execute at
+    /// all (e.g. it routes over a dead link); violations of invariants are
+    /// reported, not errors.
+    pub fn audit(&self, mesh: &Mesh, schedule: &Schedule) -> Result<AuditReport, SimError> {
+        let (messages, _) = schedule_messages(&[(schedule, 0.0)]);
+        let auditor = InvariantAuditor::new();
+        let mut report = AuditReport::default();
+
+        // Exact per-packet reference: conservation, causality, exclusivity.
+        let mut reference = MemorySink::new();
+        self.packet_sim()
+            .run_reference_traced(mesh, &messages, &mut reference)?;
+        let trace = auditor.check_trace(reference.events());
+        report.checks += trace.checks;
+        report
+            .violations
+            .extend(trace.violations.into_iter().map(AuditViolation::Trace));
+
+        // Fast path, when it accepts this DAG: start-curve lower bound.
+        let mut fast = MemorySink::new();
+        if self
+            .packet_sim()
+            .run_coalesced_traced(mesh, &messages, &mut fast)?
+            .is_some()
+        {
+            let cross = auditor.check_fast_path(fast.events(), reference.events());
+            report.checks += cross.checks;
+            report
+                .violations
+                .extend(cross.violations.into_iter().map(AuditViolation::Trace));
+        }
+        report.events = reference.events().len() + fast.events().len();
+
+        // Schedule conformance: dependencies honored in the reference run.
+        let mut inject = vec![f64::NAN; messages.len()];
+        let mut deliver = vec![f64::NAN; messages.len()];
+        for ev in reference.events() {
+            match *ev {
+                TraceEvent::Inject { msg, at_ns, .. } => inject[msg.index()] = at_ns,
+                TraceEvent::Deliver { msg, at_ns, .. } => deliver[msg.index()] = at_ns,
+                _ => {}
+            }
+        }
+        for m in &messages {
+            for d in &m.deps {
+                report.checks += 1;
+                let (at, dep_done) = (inject[m.id.index()], deliver[d.index()]);
+                // NaN (a message that never injected/delivered) fails too,
+                // which `at < dep_done - tol` would silently pass.
+                #[allow(clippy::neg_cmp_op_on_partial_ord)]
+                if !(at >= dep_done - auditor.tolerance_ns) {
+                    report.violations.push(AuditViolation::DependencyViolated {
+                        op: m.id.index() as u32,
+                        dep: d.index() as u32,
+                        inject_ns: at,
+                        dep_deliver_ns: dep_done,
+                    });
+                }
+            }
+        }
+
+        // The collective's functional contract.
+        report.checks += 1;
+        if let Err(e) = verify::check_reduce_indegree(schedule) {
+            report.violations.push(AuditViolation::Functional(e));
+        }
+        report.checks += 1;
+        if let Err(e) = verify::check_allreduce(mesh, schedule) {
+            report.violations.push(AuditViolation::Functional(e));
+        }
+        Ok(report)
+    }
+
+    /// Times one schedule while streaming its [`TraceEvent`]s into `sink`,
+    /// augmenting the engine-level stream with the schedule layer's
+    /// [`TraceEvent::Reduce`] events (one per Reduce op, timestamped at the
+    /// delivery of its operands — reduction itself is modelled as free).
+    ///
+    /// # Errors
+    ///
+    /// As for [`SimEngine::run`].
+    pub fn run_traced<T: TraceSink>(
+        &self,
+        mesh: &Mesh,
+        schedule: &Schedule,
+        sink: &mut T,
+    ) -> Result<RunResult, SimError> {
+        let (messages, _) = schedule_messages(&[(schedule, 0.0)]);
+        let outcome = self.packet_sim().simulate_traced(mesh, &messages, sink)?;
+        if T::ENABLED {
+            for id in schedule.op_ids() {
+                let op = schedule.op(id);
+                if op.kind == OpKind::Reduce {
+                    if let Some(at_ns) = outcome.completion_ns(MsgId(id.index())) {
+                        sink.record(TraceEvent::Reduce {
+                            op: id.0,
+                            node: op.dst,
+                            offset: op.offset,
+                            bytes: op.bytes,
+                            at_ns,
+                        });
+                    }
+                }
+            }
+        }
+        let makespan = outcome.makespan_ns();
+        Ok(RunResult {
+            total_time_ns: makespan,
+            link_utilization_percent: outcome.link_stats().utilization_percent(makespan),
+            used_link_percent: outcome.link_stats().used_link_percent(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meshcoll_collectives::{Algorithm, OpKind, Schedule};
+    use meshcoll_noc::NullSink;
+    use meshcoll_topo::NodeId;
+
+    #[test]
+    fn ring_audit_is_clean() {
+        let mesh = Mesh::square(3).unwrap();
+        let s = Algorithm::Ring.schedule(&mesh, 9000).unwrap();
+        let report = SimEngine::paper_default().audit(&mesh, &s).unwrap();
+        assert!(report.is_clean(), "{:?}", report.violations);
+        assert!(report.events > 0 && report.checks > 0);
+    }
+
+    #[test]
+    fn run_with_attaches_a_report_only_when_asked() {
+        let mesh = Mesh::square(3).unwrap();
+        let s = Algorithm::Ring.schedule(&mesh, 9000).unwrap();
+        let e = SimEngine::paper_default();
+        let (_, none) = e.run_with(&mesh, &s, &RunOptions::default()).unwrap();
+        assert!(none.is_none());
+        let (timed, some) = e.run_with(&mesh, &s, &RunOptions::audited()).unwrap();
+        assert!(some.expect("audited").is_clean());
+        assert!(timed.total_time_ns > 0.0);
+    }
+
+    #[test]
+    fn functionally_broken_schedule_is_flagged_not_erred() {
+        // Reduce-only schedule: node 0 never gets the sum back, and the
+        // third participant's contribution never enters the sum.
+        let mesh = Mesh::square(2).unwrap();
+        let mut b = Schedule::builder("broken", 8);
+        b.set_participants(vec![NodeId(0), NodeId(1), NodeId(2)]);
+        b.push(NodeId(0), NodeId(1), 0, 8, OpKind::Reduce, 0, &[]);
+        let s = b.build();
+        let report = SimEngine::paper_default().audit(&mesh, &s).unwrap();
+        assert!(!report.is_clean());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, AuditViolation::Functional(_))));
+    }
+
+    #[test]
+    fn run_traced_emits_one_reduce_event_per_reduce_op() {
+        let mesh = Mesh::square(3).unwrap();
+        let s = Algorithm::Ring.schedule(&mesh, 9000).unwrap();
+        let e = SimEngine::paper_default();
+        let mut sink = MemorySink::new();
+        let run = e.run_traced(&mesh, &s, &mut sink).unwrap();
+        let reduce_ops = s.ops().iter().filter(|o| o.kind == OpKind::Reduce).count();
+        let reduce_events = sink
+            .events()
+            .iter()
+            .filter(|ev| matches!(ev, TraceEvent::Reduce { .. }))
+            .count();
+        assert_eq!(reduce_events, reduce_ops);
+        for ev in sink.events() {
+            if let TraceEvent::Reduce { at_ns, .. } = ev {
+                assert!(*at_ns <= run.total_time_ns + 1e-6);
+            }
+        }
+        // The untraced overload agrees with the plain run.
+        let plain = e.run(&mesh, &s).unwrap();
+        let untraced = e.run_traced(&mesh, &s, &mut NullSink).unwrap();
+        assert_eq!(plain, untraced);
+    }
+}

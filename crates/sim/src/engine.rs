@@ -204,26 +204,7 @@ impl SimEngine {
         mesh: &Mesh,
         schedules: &[(&Schedule, f64)],
     ) -> Result<(RunResult, Vec<f64>), SimError> {
-        let total_ops: usize = schedules.iter().map(|(s, _)| s.len()).sum();
-        let mut messages: Vec<Message> = Vec::with_capacity(total_ops);
-        let mut base = 0u32;
-        let mut spans: Vec<(usize, usize)> = Vec::with_capacity(schedules.len());
-        for (schedule, ready_at) in schedules {
-            let start = messages.len();
-            for id in schedule.op_ids() {
-                let op = schedule.op(id);
-                let deps = schedule
-                    .deps(id)
-                    .iter()
-                    .map(|d| MsgId((base + d.0) as usize));
-                let mut m = Message::new(MsgId((base + id.0) as usize), op.src, op.dst, op.bytes)
-                    .with_deps(deps);
-                m.ready_at_ns = *ready_at;
-                messages.push(m);
-            }
-            base += schedule.len() as u32;
-            spans.push((start, messages.len()));
-        }
+        let (messages, spans) = schedule_messages(schedules);
         let outcome = self.sim.simulate(mesh, &messages)?;
         let makespan = outcome.makespan_ns();
         let per_schedule = spans
@@ -244,6 +225,43 @@ impl SimEngine {
             per_schedule,
         ))
     }
+
+    /// The underlying packet engine, for the audit layer.
+    pub(crate) fn packet_sim(&self) -> &PacketSim {
+        &self.sim
+    }
+}
+
+/// Lowers schedules to the simulator's message DAG: one [`Message`] per op,
+/// dependencies preserved, ids offset so several schedules share one id
+/// space. Returns the messages plus each schedule's `[start, end)` span.
+///
+/// Shared by [`SimEngine::run_phased`] and the audit layer, so the audited
+/// DAG is byte-for-byte the DAG production runs time.
+pub(crate) fn schedule_messages(
+    schedules: &[(&Schedule, f64)],
+) -> (Vec<Message>, Vec<(usize, usize)>) {
+    let total_ops: usize = schedules.iter().map(|(s, _)| s.len()).sum();
+    let mut messages: Vec<Message> = Vec::with_capacity(total_ops);
+    let mut base = 0u32;
+    let mut spans: Vec<(usize, usize)> = Vec::with_capacity(schedules.len());
+    for (schedule, ready_at) in schedules {
+        let start = messages.len();
+        for id in schedule.op_ids() {
+            let op = schedule.op(id);
+            let deps = schedule
+                .deps(id)
+                .iter()
+                .map(|d| MsgId((base + d.0) as usize));
+            let mut m = Message::new(MsgId((base + id.0) as usize), op.src, op.dst, op.bytes)
+                .with_deps(deps);
+            m.ready_at_ns = *ready_at;
+            messages.push(m);
+        }
+        base += schedule.len() as u32;
+        spans.push((start, messages.len()));
+    }
+    (messages, spans)
 }
 
 #[cfg(test)]
@@ -299,6 +317,30 @@ mod tests {
         let (delayed, per) = e.run_phased(&mesh, &[(&s, 50_000.0)]).unwrap();
         assert!(delayed.total_time_ns >= solo.total_time_ns + 50_000.0 - 1.0);
         assert_eq!(per.len(), 1);
+    }
+
+    #[test]
+    fn dead_links_are_excluded_from_percent_denominators() {
+        // Regression for the `ablation_faults` sweep: the percent metrics
+        // are over *usable* links. On a 1x3 row with the right channel dead
+        // in both directions, a 2-node exchange saturates every usable link
+        // — 100%, not the 50% a stale all-links denominator would report.
+        use meshcoll_collectives::{OpKind, Schedule};
+        use meshcoll_topo::NodeId;
+
+        let mesh = Mesh::new(1, 3).unwrap();
+        let mut noc = NocConfig::paper_default();
+        noc.faults
+            .fail_link_between(&mesh, NodeId(1), NodeId(2))
+            .unwrap();
+        let e = SimEngine::new(noc);
+        let mut b = Schedule::builder("pair", 8192);
+        b.set_participants(vec![NodeId(0), NodeId(1)]);
+        let r = b.push(NodeId(0), NodeId(1), 0, 8192, OpKind::Reduce, 0, &[]);
+        b.push(NodeId(1), NodeId(0), 0, 8192, OpKind::Gather, 0, &[r]);
+        let run = e.run(&mesh, &b.build()).unwrap();
+        assert_eq!(run.used_link_percent, 100.0);
+        assert!(run.link_utilization_percent <= 100.0);
     }
 
     #[test]

@@ -125,7 +125,16 @@ pub struct OverheadAnalysis {
 
 impl OverheadAnalysis {
     /// Relative improvement of TTO over the baseline, in percent.
+    ///
+    /// Follows Eq. 2's sign convention: `gain_ns = epoch_base - epoch_tto`,
+    /// so positive means TTO is faster, negative means the `N - 1`-chiplet
+    /// iteration overhead outweighs the communication win. Returns `0.0`
+    /// when the baseline epoch is zero (degenerate inputs — an empty model
+    /// or a zero-size training set) rather than a NaN/infinite ratio.
     pub fn improvement_percent(&self) -> f64 {
+        if self.epoch_base_ns == 0.0 {
+            return 0.0;
+        }
         100.0 * self.gain_ns / self.epoch_base_ns
     }
 }
@@ -204,6 +213,19 @@ mod tests {
         assert_eq!(b.iterations, 10_000u64.div_ceil(144));
         assert!(b.compute_ns > 0.0 && b.allreduce_ns > 0.0);
         assert!((b.epoch_ns() - b.iterations as f64 * b.iteration_ns()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn improvement_percent_is_zero_not_nan_for_degenerate_epoch() {
+        let a = OverheadAnalysis {
+            iterations_base: 0,
+            iterations_tto: 0,
+            extra_iterations: 0,
+            epoch_base_ns: 0.0,
+            epoch_tto_ns: 0.0,
+            gain_ns: 0.0,
+        };
+        assert_eq!(a.improvement_percent(), 0.0);
     }
 
     #[test]

@@ -7,7 +7,13 @@
 //!   network simulator, reporting makespan, achieved bandwidth, and link
 //!   utilization (Figures 8, 9, 12, 14); under a configured fault model,
 //!   [`SimEngine::run_degraded`] lints, repairs, and reports a
-//!   [`RunStatus`] (completed / repaired / infeasible),
+//!   [`RunStatus`] (completed / repaired / infeasible); opt-in
+//!   ([`RunOptions::audit`]), [`SimEngine::audit`] replays a schedule
+//!   through the traced engines and checks conservation, causality, link
+//!   exclusivity, dependency conformance, and the AllReduce contract,
+//!   while [`SimEngine::run_traced`] streams the structured event trace
+//!   (including schedule-layer reductions) into any
+//!   [`TraceSink`](meshcoll_noc::TraceSink),
 //! * [`SimContext`] / [`SweepRunner`] — a shared route cache for engines
 //!   that repeat runs on the same mesh, and a scoped-thread fan-out over
 //!   sweep points with deterministic result ordering (the `--jobs` flag of
@@ -40,6 +46,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+mod audit;
 mod context;
 mod engine;
 mod error;
@@ -51,6 +58,7 @@ pub mod experiment;
 pub mod overlap;
 pub mod theory;
 
+pub use audit::{AuditReport, AuditViolation, RunOptions};
 pub use context::SimContext;
 pub use engine::{DegradedRun, RunResult, RunStatus, SimEngine};
 pub use error::SimError;

@@ -1,0 +1,95 @@
+//! Tier-1 invariant audit: every benchmark algorithm on every mesh size the
+//! paper sweeps (3x3 through 8x8), healthy and fault-repaired, must execute
+//! with a clean [`meshcoll_sim::AuditReport`] — bytes conserved, causality
+//! respected, links exclusive, dependencies honored, fast path bounded by
+//! the per-packet reference, and the AllReduce contract satisfied.
+
+use meshcoll_collectives::{fault, Algorithm, Applicability, ScheduleOptions};
+use meshcoll_noc::NocConfig;
+use meshcoll_sim::{RunOptions, SimEngine};
+use meshcoll_topo::{Coord, Mesh};
+
+/// Gradient size: large enough for multi-packet trains and every
+/// algorithm's chunking, small enough to keep the per-packet reference
+/// replay fast.
+const DATA: u64 = 1 << 20;
+
+fn violations(report: &meshcoll_sim::AuditReport) -> String {
+    report
+        .violations
+        .iter()
+        .map(|v| format!("\n  - {v}"))
+        .collect()
+}
+
+#[test]
+fn healthy_runs_audit_clean_on_all_paper_meshes() {
+    for side in 3..=8 {
+        let mesh = Mesh::square(side).unwrap();
+        let engine = SimEngine::paper_default();
+        for a in Algorithm::BENCHMARKS {
+            if a.applicability(&mesh) == Applicability::Inapplicable {
+                continue;
+            }
+            let s = a.schedule(&mesh, DATA).unwrap();
+            let report = engine.audit(&mesh, &s).unwrap();
+            assert!(
+                report.is_clean(),
+                "{a} on {side}x{side}: {} violations:{}",
+                report.violations.len(),
+                violations(&report)
+            );
+            assert!(report.events > 0, "{a} on {side}x{side}: empty trace");
+        }
+    }
+}
+
+#[test]
+fn fault_repaired_runs_audit_clean_on_all_paper_meshes() {
+    let opts = ScheduleOptions::default();
+    for side in 3..=8 {
+        let mesh = Mesh::square(side).unwrap();
+        // Kill a central link (both directions): busy enough to break every
+        // algorithm's healthy routes on most sizes, while keeping the
+        // package connected so repairs exist.
+        let a = mesh.node_at(Coord::new(side / 2, side / 2));
+        let b = mesh.node_at(Coord::new(side / 2, side / 2 + 1));
+        let mut noc = NocConfig::paper_default();
+        noc.faults.fail_link_between(&mesh, a, b).unwrap();
+        let engine = SimEngine::new(noc.clone());
+        for algo in Algorithm::BENCHMARKS {
+            if algo.applicability(&mesh) == Applicability::Inapplicable {
+                continue;
+            }
+            let rep = match fault::repair(algo, &mesh, &noc.faults, DATA, &opts) {
+                Ok(rep) => rep,
+                Err(meshcoll_collectives::CollectiveError::Infeasible { .. }) => continue,
+                Err(e) => panic!("{algo} on {side}x{side}: repair failed: {e}"),
+            };
+            let report = engine.audit(&mesh, &rep.schedule).unwrap();
+            assert!(
+                report.is_clean(),
+                "{algo} (repaired, {}) on {side}x{side}: {} violations:{}",
+                rep.strategy,
+                report.violations.len(),
+                violations(&report)
+            );
+        }
+    }
+}
+
+#[test]
+fn run_with_audit_option_reports_through_the_engine_api() {
+    let mesh = Mesh::square(4).unwrap();
+    let s = Algorithm::Tto.schedule(&mesh, DATA).unwrap();
+    let engine = SimEngine::paper_default();
+    let (run, report) = engine
+        .run_with(&mesh, &s, &RunOptions { audit: true })
+        .unwrap();
+    let report = report.expect("audit requested");
+    assert!(run.total_time_ns > 0.0);
+    assert!(report.is_clean(), "TTO 4x4:{}", violations(&report));
+    // The timing of the audited run matches the unaudited one exactly.
+    let plain = engine.run(&mesh, &s).unwrap();
+    assert_eq!(plain, run);
+}
