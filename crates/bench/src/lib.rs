@@ -35,12 +35,15 @@ pub struct Cli {
     pub out_dir: PathBuf,
     /// Worker threads for sweep execution (`0` = machine parallelism).
     pub jobs: usize,
+    /// Committed baseline to gate against (`--gate <file>`); used by
+    /// `perf_baseline` to fail CI on wall-clock regressions.
+    pub gate: Option<PathBuf>,
 }
 
 impl Cli {
-    /// Parses `--quick` / `--full` / `--out <dir>` / `--jobs <n>` from
-    /// `std::env::args`, plus the `MESHCOLL_QUICK` and `MESHCOLL_JOBS`
-    /// environment variables.
+    /// Parses `--quick` / `--full` / `--out <dir>` / `--jobs <n>` /
+    /// `--gate <file>` from `std::env::args`, plus the `MESHCOLL_QUICK`
+    /// and `MESHCOLL_JOBS` environment variables.
     pub fn parse() -> Self {
         let mut sweep = if std::env::var_os("MESHCOLL_QUICK").is_some() {
             SweepSize::Quick
@@ -52,11 +55,18 @@ impl Cli {
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(0);
+        let mut gate = None;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--quick" => sweep = SweepSize::Quick,
                 "--full" => sweep = SweepSize::Full,
+                "--gate" => {
+                    gate = Some(PathBuf::from(args.next().unwrap_or_else(|| {
+                        eprintln!("--gate needs a baseline JSON file");
+                        std::process::exit(2);
+                    })));
+                }
                 "--out" => {
                     out_dir = PathBuf::from(args.next().unwrap_or_else(|| {
                         eprintln!("--out needs a directory");
@@ -71,7 +81,8 @@ impl Cli {
                 }
                 other => {
                     eprintln!(
-                        "unknown argument {other}; accepted: --quick --full --out <dir> --jobs <n>"
+                        "unknown argument {other}; accepted: --quick --full --out <dir> \
+                         --jobs <n> --gate <file>"
                     );
                     std::process::exit(2);
                 }
@@ -81,6 +92,7 @@ impl Cli {
             sweep,
             out_dir,
             jobs,
+            gate,
         }
     }
 
@@ -107,6 +119,7 @@ impl Default for Cli {
             sweep: SweepSize::Default,
             out_dir: PathBuf::from("results"),
             jobs: 0,
+            gate: None,
         }
     }
 }

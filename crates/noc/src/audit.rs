@@ -345,6 +345,27 @@ impl InvariantAuditor {
                     // injected bytes so the cross-hop check stays uniform.
                     l.hops[hop as usize].1 += l.injected_bytes;
                 }
+                TraceEvent::TrainSplit {
+                    msg,
+                    hop,
+                    first_start_ns,
+                    last_start_ns,
+                    ..
+                } => {
+                    // Supersedes the matching TrainHop's tail timing; the
+                    // packets and bytes were already counted there, so only
+                    // the causal ordering is re-checked.
+                    audit.checks += 1;
+                    if last_start_ns < first_start_ns - tol {
+                        audit.violations.push(Violation::Causality {
+                            msg,
+                            packet: 0,
+                            hop,
+                            arrive_ns: first_start_ns,
+                            start_ns: last_start_ns,
+                        });
+                    }
+                }
                 TraceEvent::Deliver { msg, bytes, at_ns } => {
                     let l = ledger.entry(msg.index()).or_default();
                     l.delivered_bytes = Some(bytes);
@@ -437,6 +458,11 @@ impl InvariantAuditor {
                 _ => {}
             }
         }
+        // Fast-path per (msg, hop) first/last starts. A TrainSplit
+        // supersedes the tail timing of the matching TrainHop (the split
+        // re-serves the tail behind an interloper), so the maps are built
+        // first and compared after.
+        let mut fast_trains: HashMap<(usize, u32), (f64, f64)> = HashMap::new();
         for ev in fast {
             match *ev {
                 TraceEvent::TrainHop {
@@ -446,27 +472,16 @@ impl InvariantAuditor {
                     last_start_ns,
                     ..
                 } => {
-                    if let Some(&r0) = ref_first.get(&(msg.index(), hop)) {
-                        audit.checks += 1;
-                        if first_start_ns < r0 - tol {
-                            audit.violations.push(Violation::FastPathEarly {
-                                msg,
-                                hop,
-                                fast_ns: first_start_ns,
-                                reference_ns: r0,
-                            });
-                        }
-                    }
-                    if let Some(&(_, rl)) = ref_last.get(&(msg.index(), hop)) {
-                        audit.checks += 1;
-                        if last_start_ns < rl - tol {
-                            audit.violations.push(Violation::FastPathEarly {
-                                msg,
-                                hop,
-                                fast_ns: last_start_ns,
-                                reference_ns: rl,
-                            });
-                        }
+                    fast_trains.insert((msg.index(), hop), (first_start_ns, last_start_ns));
+                }
+                TraceEvent::TrainSplit {
+                    msg,
+                    hop,
+                    last_start_ns,
+                    ..
+                } => {
+                    if let Some(e) = fast_trains.get_mut(&(msg.index(), hop)) {
+                        e.1 = last_start_ns;
                     }
                 }
                 TraceEvent::Deliver { msg, at_ns, .. } => {
@@ -482,6 +497,31 @@ impl InvariantAuditor {
                     }
                 }
                 _ => {}
+            }
+        }
+        for (&(mi, hop), &(first_start_ns, last_start_ns)) in &fast_trains {
+            let msg = MsgId(mi);
+            if let Some(&r0) = ref_first.get(&(mi, hop)) {
+                audit.checks += 1;
+                if first_start_ns < r0 - tol {
+                    audit.violations.push(Violation::FastPathEarly {
+                        msg,
+                        hop,
+                        fast_ns: first_start_ns,
+                        reference_ns: r0,
+                    });
+                }
+            }
+            if let Some(&(_, rl)) = ref_last.get(&(mi, hop)) {
+                audit.checks += 1;
+                if last_start_ns < rl - tol {
+                    audit.violations.push(Violation::FastPathEarly {
+                        msg,
+                        hop,
+                        fast_ns: last_start_ns,
+                        reference_ns: rl,
+                    });
+                }
             }
         }
         audit

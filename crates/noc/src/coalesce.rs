@@ -2,37 +2,54 @@
 //!
 //! The exact per-packet engine pays one heap event per packet per hop, so a
 //! 64 MB transfer (8192 packets) across 8 hops costs ~65k events. In the
-//! common uncongested case — no other message's packets interleave with the
-//! train on any link it crosses — those per-packet events are pure overhead:
-//! the train's timing is fully determined by a small recurrence. This module
-//! advances whole trains, one event per (message, hop), collapsing the cost
-//! from O(packets × hops) to O(messages × hops).
+//! common case those per-packet events are pure overhead: the train's timing
+//! is fully determined by a small recurrence. This module advances whole
+//! trains, one event per (message, hop), collapsing the cost from
+//! O(packets × hops) to O(messages × hops).
 //!
 //! # The start-curve recurrence
 //!
 //! Within one train on one link, packet `k` starts at
 //! `start[k] = max(arrival[k], start[k-1] + s)` where `s` is the full-packet
 //! service time (serialization + per-packet overhead) on that link. With
-//! `start[0] = max(arrival[0], link_free)` this unrolls to the pointwise
-//! maximum of a *burst line* `start[0] + k·s` and the arrival curve — and
-//! because each hop's arrival curve is the previous hop's start curve
-//! shifted by the header latency, every curve stays convex piecewise-linear
-//! in `k` with at most one segment added per hop. A train's passage through
-//! a hop is therefore O(segments) ≤ O(hops), independent of packet count.
+//! `start[0] = max(arrival[0], link_free)` this unrolls to a piecewise-linear
+//! curve in `k` ([`serve_curve`]) with at most one segment added per hop, so
+//! a train's passage through a hop is O(segments), independent of packet
+//! count. Arrival curves are monotone but — after a train split — not
+//! necessarily convex, so [`serve_curve`] walks segments instead of assuming
+//! a single line/curve crossing.
 //!
 //! # When coalescing is sound
 //!
-//! The per-packet engine serves each link FIFO in event (arrival) order. A
-//! train's packet events at a link span the window `[arrival[0],
-//! arrival[P-1]]`; if no other train's event falls inside that window, the
-//! per-packet engine serves the train contiguously and the recurrence above
-//! reproduces it (same `max`/`+` operations, reassociated only within a
-//! train — equivalence tests bound the drift at 1e-6 ns). If another train's
-//! head event lands inside a committed window, packets would interleave and
-//! the fair FIFO order matters: the fast path reports [`Coalesce::Contended`]
-//! and the caller reruns the exact per-packet engine. Transient link flaps
-//! are also left to the per-packet engine (each packet must individually
-//! re-check the outage windows).
+//! The per-packet engine serves each link FIFO in event `(arrival, seq)`
+//! order. A train's packet events at a link span the window
+//! `[arrival[0], arrival[P-1]]`. Contention is arbitrated at link
+//! granularity, in three tiers:
+//!
+//! 1. **Exact flat ties at injection.** Collective schedules routinely
+//!    inject several trains onto one link at the *bit-identical* instant
+//!    (same ready time or same dependency completion). Both engines then
+//!    serve the trains back-to-back in injection (`seq`) order, which the
+//!    fast path reproduces by appending the tying train behind the committed
+//!    window. This only holds when injection order itself is provable:
+//!    dependents released by deliveries that are within the equivalence
+//!    tolerance of each other are *tainted* (the engines may disagree on
+//!    their relative order) and may not claim a tie.
+//! 2. **FIFO train splitting.** When a flat train's head lands strictly
+//!    inside another train's *sloped* committed window — cleanly between two
+//!    of its packet arrivals — the per-packet FIFO order is still provable:
+//!    the owner's first `split_index` packets, then the whole interloper,
+//!    then the owner's tail. The fast path re-serves the owner's tail behind
+//!    the interloper, amends the owner's downstream curve (or re-arms its
+//!    delivery), and emits a [`TraceEvent::TrainSplit`].
+//! 3. **Scoped fallback.** Everything else — near-ties inside the
+//!    equivalence tolerance, ≥2 interlopers in one window, heads landing
+//!    within the tolerance of a packet arrival — returns
+//!    [`Coalesce::Contended`] and the caller re-runs only the affected
+//!    messages through the per-packet engine (see
+//!    [`PacketSim`](crate::PacketSim)). Transient link flaps are also left
+//!    to the per-packet engine (each packet must individually re-check the
+//!    outage windows).
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -40,28 +57,131 @@ use std::sync::Arc;
 
 use meshcoll_topo::{LinkId, Mesh};
 
+use crate::audit::DEFAULT_TOLERANCE_NS;
 use crate::packet_sim::{last_packet_bytes, Time};
 use crate::trace::{TraceEvent, TraceSink};
 use crate::{LinkStats, Message, NocConfig, NocError, SimOutcome};
 
+/// Ambiguity margin, matched to the equivalence/audit tolerance: two event
+/// times closer than this may be ordered differently by the two engines
+/// (floating-point reassociation), so the fast path refuses to arbitrate.
+const EPS: f64 = DEFAULT_TOLERANCE_NS;
+
 /// Outcome of attempting the coalescing fast path.
 pub(crate) enum Coalesce {
-    /// The run completed with no interleaved contention anywhere; the
-    /// outcome matches the per-packet engine.
+    /// The run completed; the outcome matches the per-packet engine within
+    /// the equivalence tolerance.
     Done(SimOutcome),
-    /// Two packet trains' event windows interleave on some link; the exact
-    /// per-packet engine must arbitrate the FIFO order.
+    /// Packet trains interleave on some link in a way whose FIFO order the
+    /// fast path cannot prove; the exact per-packet engine must arbitrate.
     Contended,
 }
 
-/// One train-level event: the head packet of message `msg` arrives at hop
-/// `hop` of its route at time `at`.
+/// Train-level event kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Kind {
+    /// The head packet of `msg` arrives at hop `hop` of its route.
+    Arrive,
+    /// The last packet of `msg` reaches its destination (generation `gen`;
+    /// superseded deliveries are lazily dropped).
+    Deliver,
+}
+
+/// One train-level event. Ordering is `(at, seq)`; `seq` is unique. Kept to
+/// 24 bytes (`hop` as `u16`, `seq` as `u32`) so queue traffic stays cheap —
+/// the congested sweeps move hundreds of thousands of these.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 struct Event {
     at: Time,
-    seq: u64,
+    seq: u32,
     msg: u32,
-    hop: u32,
+    gen: u32,
+    hop: u16,
+    kind: Kind,
+}
+
+/// Two-level event queue tuned for wave-synchronous collective schedules.
+///
+/// The paper's congested schedules release trains in large same-instant
+/// waves, so a flat binary heap spends most of its time sifting through
+/// tens of thousands of far-future events. This queue buckets events by
+/// coarse time (O(1) push) and keeps an exact `(at, seq)`-ordered heap only
+/// for the bucket currently being drained, so sift depth tracks the wave
+/// size instead of the whole backlog. Bucket boundaries never reorder
+/// events: `bucket(t1) < bucket(t2)` implies `t1 < t2`, and same-bucket
+/// order is restored by the heap. Events past the estimated horizon clamp
+/// into the last bucket, degrading gracefully to plain-heap behaviour.
+struct EventQueue {
+    inv_width: f64,
+    buckets: Vec<Vec<Event>>,
+    /// Bucket currently feeding `active`; pushes at or before it go to
+    /// `active` directly (event times never precede the current drain time).
+    cur: usize,
+    active: BinaryHeap<Reverse<Event>>,
+    /// Events parked in buckets strictly after `cur`.
+    parked: usize,
+}
+
+impl EventQueue {
+    fn new(horizon_ns: f64, expected_events: usize) -> Self {
+        // Aim for a handful of events per bucket; the clamp bounds memory
+        // for degenerate inputs.
+        let nbuckets = (expected_events / 4).clamp(16, 1 << 19);
+        let width = (horizon_ns / nbuckets as f64).max(1e-3);
+        EventQueue {
+            inv_width: 1.0 / width,
+            buckets: vec![Vec::new(); nbuckets],
+            cur: 0,
+            active: BinaryHeap::new(),
+            parked: 0,
+        }
+    }
+
+    #[inline]
+    fn bucket_of(&self, at: f64) -> usize {
+        // The `as` cast saturates: negative times clamp to bucket 0.
+        ((at * self.inv_width) as usize).min(self.buckets.len() - 1)
+    }
+
+    #[inline]
+    fn push(&mut self, ev: Event) {
+        let b = self.bucket_of(ev.at.0);
+        if b <= self.cur {
+            self.active.push(Reverse(ev));
+        } else {
+            self.buckets[b].push(ev);
+            self.parked += 1;
+        }
+    }
+
+    /// Moves buckets forward until `active` holds the global minimum.
+    fn refill(&mut self) {
+        while self.active.is_empty() && self.parked > 0 {
+            self.cur += 1;
+            while self.buckets[self.cur].is_empty() {
+                self.cur += 1;
+            }
+            let cur = self.cur;
+            self.parked -= self.buckets[cur].len();
+            self.active.extend(self.buckets[cur].drain(..).map(Reverse));
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<Event> {
+        if self.active.is_empty() {
+            self.refill();
+        }
+        self.active.pop().map(|Reverse(e)| e)
+    }
+
+    #[inline]
+    fn peek(&mut self) -> Option<Event> {
+        if self.active.is_empty() {
+            self.refill();
+        }
+        self.active.peek().map(|&Reverse(e)| e)
+    }
 }
 
 /// One linear piece of a per-hop curve: packets `k0..` start (or arrive) at
@@ -80,65 +200,154 @@ fn eval(curve: &[Seg], k: u64) -> f64 {
     seg.t + (k - seg.k0) as f64 * seg.slope
 }
 
-/// Pointwise maximum of the burst line `st0 + k·s` and the convex arrival
-/// curve `arr`, over `k ∈ [0, pcount)`. Requires `st0 >= arr(0)`, which
-/// holds because `st0 = max(arr(0), link_free)`; the line minus a convex
-/// curve is concave, so there is at most one crossing, found per segment by
-/// direct comparison (binary search within the crossing segment).
-fn max_line_curve(st0: f64, s: f64, arr: &[Seg], pcount: u64) -> Vec<Seg> {
-    let line = |k: u64| st0 + k as f64 * s;
-    let mut cross: Option<u64> = None;
-    'outer: for (i, seg) in arr.iter().enumerate() {
-        let end = arr.get(i + 1).map_or(pcount, |n| n.k0); // exclusive
-        let lo = seg.k0.max(1);
-        if lo >= end {
-            continue;
-        }
-        if eval(arr, lo) > line(lo) {
-            cross = Some(lo);
-            break 'outer;
-        }
-        if eval(arr, end - 1) > line(end - 1) {
-            // The sign change is inside this segment; the predicate is
-            // monotone there (the difference is linear within a segment).
-            let (mut a, mut b) = (lo, end - 1);
-            while a + 1 < b {
-                let mid = a + (b - a) / 2;
-                if eval(arr, mid) > line(mid) {
-                    b = mid;
-                } else {
-                    a = mid;
-                }
-            }
-            cross = Some(b);
-            break 'outer;
+/// Appends `seg`, merging when it is a bit-exact continuation of the last
+/// segment (same slope, collinear) so curves stay minimal.
+fn push_seg(out: &mut Vec<Seg>, seg: Seg) {
+    if let Some(last) = out.last() {
+        if last.slope == seg.slope && last.t + (seg.k0 - last.k0) as f64 * last.slope == seg.t {
+            return;
         }
     }
+    out.push(seg);
+}
+
+/// Serves the recurrence `start[k] = max(arrival[k], start[k-1] + s)` with
+/// `start[0] = st0` over `k ∈ [0, pcount)`, where `arr` is a monotone
+/// non-decreasing piecewise-linear arrival curve (convexity is *not*
+/// required — post-split curves carry upward steps). Requires
+/// `st0 >= arr(0)`, which holds because `st0 = max(arr(0), link_free)`.
+///
+/// Within each arrival segment the service alternates between two regimes:
+/// *queued* (starts follow the burst line at slope `s`) and
+/// *arrival-following* (starts equal arrivals, possible only when the
+/// arrival slope is ≥ `s`). The crossing inside a segment is found by
+/// binary search on the sign of `arrival − line`, which is linear there.
+fn serve_curve(st0: f64, s: f64, arr: &[Seg], pcount: u64) -> Vec<Seg> {
+    let mut out = Vec::new();
+    serve_curve_into(st0, s, arr, pcount, &mut out);
+    out
+}
+
+/// [`serve_curve`] writing into a caller-owned buffer, so the hot loop can
+/// reuse one allocation across every commit.
+fn serve_curve_into(st0: f64, s: f64, arr: &[Seg], pcount: u64, out: &mut Vec<Seg>) {
+    debug_assert!(st0 >= eval(arr, 0));
+    out.clear();
+    let mut k: u64 = 0;
+    let mut prev: f64 = 0.0; // start of packet k-1 (meaningful once k > 0)
+    while k < pcount {
+        let i = arr.partition_point(|sg| sg.k0 <= k) - 1;
+        let seg = arr[i];
+        let end = arr.get(i + 1).map_or(pcount, |n| n.k0.min(pcount)); // exclusive
+        let m = seg.slope;
+        let a_k = seg.t + (k - seg.k0) as f64 * m;
+        let q0 = if k == 0 { st0 } else { (prev + s).max(a_k) };
+        let a_end = seg.t + (end - 1 - seg.k0) as f64 * m;
+        if q0 <= a_k && m >= s {
+            // No backlog and arrivals at least service-spaced: starts track
+            // arrivals through the rest of this segment.
+            push_seg(
+                out,
+                Seg {
+                    k0: k,
+                    t: a_k,
+                    slope: m,
+                },
+            );
+            prev = a_end;
+            k = end;
+        } else {
+            let line = |kk: u64| q0 + (kk - k) as f64 * s;
+            if m > s && a_end > line(end - 1) {
+                // The backlog drains inside this segment: find the first
+                // packet whose arrival overtakes the burst line.
+                let (mut lo, mut hi) = (k, end - 1);
+                while lo + 1 < hi {
+                    let mid = lo + (hi - lo) / 2;
+                    let a_mid = seg.t + (mid - seg.k0) as f64 * m;
+                    if a_mid > line(mid) {
+                        hi = mid;
+                    } else {
+                        lo = mid;
+                    }
+                }
+                push_seg(
+                    out,
+                    Seg {
+                        k0: k,
+                        t: q0,
+                        slope: s,
+                    },
+                );
+                prev = line(hi - 1);
+                k = hi;
+            } else {
+                // Queued through the whole segment.
+                push_seg(
+                    out,
+                    Seg {
+                        k0: k,
+                        t: q0,
+                        slope: s,
+                    },
+                );
+                prev = line(end - 1);
+                k = end;
+            }
+        }
+    }
+}
+
+/// The sub-curve of `curve` covering packets `from..pcount`, re-indexed so
+/// the first remaining packet is index 0.
+fn slice_curve(curve: &[Seg], from: u64, pcount: u64) -> Vec<Seg> {
+    let i = curve.partition_point(|s| s.k0 <= from) - 1;
     let mut out = vec![Seg {
         k0: 0,
-        t: st0,
-        slope: s,
+        t: eval(curve, from),
+        slope: curve[i].slope,
     }];
-    if let Some(c) = cross {
-        out.push(Seg {
-            k0: c,
-            t: eval(arr, c),
-            slope: arr[arr.partition_point(|s| s.k0 <= c) - 1].slope,
-        });
-        out.extend(arr.iter().filter(|seg| seg.k0 > c).copied());
+    for seg in &curve[i + 1..] {
+        if seg.k0 >= pcount {
+            break;
+        }
+        push_seg(
+            &mut out,
+            Seg {
+                k0: seg.k0 - from,
+                t: seg.t,
+                slope: seg.slope,
+            },
+        );
     }
     out
 }
 
 /// Per-link occupancy bookkeeping for the train engine.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 struct LinkState {
     /// When the link can next begin serving a packet.
     free: f64,
-    /// Latest committed packet-event (arrival) time on this link.
+    /// Latest committed packet-arrival time on this link.
     last_event: f64,
     /// Whether any train has been committed to this link yet.
     used: bool,
+    /// The committed window is a flat hop-0 injection whose injection order
+    /// is provable, so a bit-identical flat hop-0 arrival may append.
+    tie_head: bool,
+    /// The committed window has already absorbed one split; a second
+    /// interloper cannot be ordered.
+    split: bool,
+    /// Owner of the committed window (meaningful when `owner_arr` is
+    /// non-empty, i.e. the window is sloped and splittable).
+    owner: u32,
+    /// The owner's hop index on this link.
+    owner_hop: u16,
+    /// The owner's arrival curve on this link (sloped windows only; cleared
+    /// for flat windows, which have no strict interior to split at).
+    owner_arr: Vec<Seg>,
+    /// The owner's committed start curve on this link (sloped windows only).
+    owner_starts: Vec<Seg>,
 }
 
 /// Runs the message DAG at train granularity. `routes`/`blocked` come from
@@ -147,6 +356,7 @@ struct LinkState {
 /// [`Coalesce::Contended`] return the sink holds a partial trace, so callers
 /// wanting clean traces buffer into a temporary sink first (see
 /// [`PacketSim::simulate_traced`](crate::PacketSim::simulate_traced)).
+#[allow(clippy::too_many_lines)]
 pub(crate) fn run<T: TraceSink>(
     cfg: &NocConfig,
     mesh: &Mesh,
@@ -159,12 +369,28 @@ pub(crate) fn run<T: TraceSink>(
     let n = messages.len();
 
     let mut pending_deps: Vec<usize> = messages.iter().map(|m| m.deps.len()).collect();
-    let mut dependents: Vec<Vec<u32>> = vec![Vec::new(); n];
+    // Dependents in CSR layout (offsets + one flat slab): per-message Vecs
+    // would cost an allocation apiece, and the congested schedules carry
+    // ~10^5 messages.
+    let mut dep_off: Vec<u32> = vec![0; n + 1];
     for m in messages {
         for d in &m.deps {
-            dependents[d.index()].push(m.id.index() as u32);
+            dep_off[d.index() + 1] += 1;
         }
     }
+    for i in 0..n {
+        dep_off[i + 1] += dep_off[i];
+    }
+    let mut dep_flat: Vec<u32> = vec![0; dep_off[n] as usize];
+    let mut dep_cursor: Vec<u32> = dep_off[..n].to_vec();
+    for m in messages {
+        for d in &m.deps {
+            let c = &mut dep_cursor[d.index()];
+            dep_flat[*c as usize] = m.id.index() as u32;
+            *c += 1;
+        }
+    }
+    drop(dep_cursor);
     let mut earliest: Vec<f64> = messages.iter().map(|m| m.ready_at_ns).collect();
 
     let mut links: Vec<LinkState> = vec![LinkState::default(); mesh.link_id_space()];
@@ -172,20 +398,55 @@ pub(crate) fn run<T: TraceSink>(
     let mut completion = vec![f64::NAN; n];
     // Arrival curve of each in-flight train at its pending hop.
     let mut curves: Vec<Vec<Seg>> = vec![Vec::new(); n];
+    // Which hop the pending curve (and heap event) of each message is for.
+    let mut pending_hop: Vec<u16> = vec![0; n];
+    // Injection-order provability: cleared once a message's injection
+    // instant came from an ambiguous (EPS-close) group of deliveries, whose
+    // relative order the two engines may disagree on.
+    let mut tie_ok: Vec<bool> = vec![true; n];
+    // Delivery generation per message: a final-hop train split supersedes
+    // the queued Deliver by bumping this (stale events drop lazily).
+    let mut delivery_gen: Vec<u32> = vec![0; n];
+    let mut completed: Vec<bool> = vec![false; n];
 
-    let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
-    let mut seq: u64 = 0;
+    // Per-link bandwidth, resolved once: `NocConfig::bandwidth_of` scans
+    // the override list and the fault model per call, which the hot loop
+    // cannot afford. Dividing by the identical cached value keeps every
+    // serialization time bit-identical to the per-packet engine's.
+    let bw: Vec<f64> = (0..mesh.link_id_space())
+        .map(|i| cfg.bandwidth_of(LinkId(i)))
+        .collect();
+    // Per-message packet counts and last-packet sizes, precomputed.
+    let pcount_of: Vec<u64> = messages.iter().map(|m| cfg.packets_for(m.bytes)).collect();
+
+    // Size the event queue from an arrival-agnostic horizon estimate (the
+    // busiest link's total service time). Underestimates only crowd the
+    // last bucket; order is unaffected either way.
+    let mut busy_est: Vec<f64> = vec![0.0; mesh.link_id_space()];
+    let mut max_ready: f64 = 0.0;
+    let mut expected_events = n;
+    for (m, r) in messages.iter().zip(routes) {
+        if r.len() >= usize::from(u16::MAX) {
+            // Event hop indices are u16; no physical mesh route gets close.
+            return Ok(Coalesce::Contended);
+        }
+        max_ready = max_ready.max(m.ready_at_ns);
+        expected_events += r.len() + 1;
+        let pcount = pcount_of[m.id.index()] as f64;
+        for &l in r.iter() {
+            let s = cfg.packet_bytes as f64 / bw[l.index()] + cfg.per_packet_overhead_ns;
+            busy_est[l.index()] += pcount * s;
+        }
+    }
+    let horizon = 2.0 * (max_ready + busy_est.iter().fold(0.0f64, |a, &b| a.max(b))) + 1.0;
+    let mut heap = EventQueue::new(horizon, expected_events);
+    let mut seq: u32 = 0;
     let mut injected = 0usize;
     let mut stalled = 0usize;
     let mut delivered = 0usize;
     let mut last_progress: f64 = 0.0;
 
-    let inject = |heap: &mut BinaryHeap<Reverse<Event>>,
-                  curves: &mut Vec<Vec<Seg>>,
-                  seq: &mut u64,
-                  sink: &mut T,
-                  id: usize,
-                  at: f64| {
+    let inject = |heap: &mut EventQueue, seq: &mut u32, sink: &mut T, id: usize, at: f64| {
         if T::ENABLED {
             sink.record(TraceEvent::Inject {
                 msg: messages[id].id,
@@ -196,20 +457,19 @@ pub(crate) fn run<T: TraceSink>(
                 at_ns: at,
             });
         }
-        // Every packet of the train is eligible at the injection instant:
-        // the arrival curve at hop 0 is the constant `at`.
-        curves[id] = vec![Seg {
-            k0: 0,
-            t: at,
-            slope: 0.0,
-        }];
+        // Every packet of the train is eligible at the injection instant,
+        // so the hop-0 arrival curve is the constant `at` — it stays
+        // implicit (the Arrive handler synthesizes it from the event time)
+        // to keep injection allocation-free.
         *seq += 1;
-        heap.push(Reverse(Event {
+        heap.push(Event {
             at: Time(at),
             seq: *seq,
+            kind: Kind::Arrive,
             msg: id as u32,
             hop: 0,
-        }));
+            gen: 0,
+        });
     };
 
     for (i, m) in messages.iter().enumerate() {
@@ -217,7 +477,7 @@ pub(crate) fn run<T: TraceSink>(
             if blocked[i] {
                 stalled += 1;
             } else {
-                inject(&mut heap, &mut curves, &mut seq, sink, i, m.ready_at_ns);
+                inject(&mut heap, &mut seq, sink, i, m.ready_at_ns);
             }
             injected += 1;
         }
@@ -225,51 +485,335 @@ pub(crate) fn run<T: TraceSink>(
 
     let hop_lat = cfg.per_flit_latency_ns;
     let ovh = cfg.per_packet_overhead_ns;
-    while let Some(Reverse(ev)) = heap.pop() {
+    // Scratch buffers reused across events so the steady-state loop never
+    // allocates (the congested sweeps push ~10^5 messages through here).
+    let mut group: Vec<(usize, f64)> = Vec::new();
+    let mut stash: Vec<Event> = Vec::new();
+    let mut starts: Vec<Seg> = Vec::new();
+    while let Some(ev) = heap.pop() {
         let mi = ev.msg as usize;
+        if ev.kind == Kind::Deliver {
+            if ev.gen != delivery_gen[mi] {
+                continue; // superseded by a final-hop split
+            }
+            // Deliveries within EPS of each other process as one group: the
+            // engines may disagree on their relative order, so dependents
+            // they release are tainted and may not claim exact-tie windows.
+            group.clear();
+            group.push((mi, ev.at.0));
+            let mut window_end = ev.at.0 + EPS;
+            while let Some(top) = heap.peek() {
+                if top.at.0 > window_end {
+                    break;
+                }
+                let e = heap.pop().expect("peeked");
+                match e.kind {
+                    Kind::Deliver if e.gen == delivery_gen[e.msg as usize] => {
+                        window_end = window_end.max(e.at.0 + EPS);
+                        group.push((e.msg as usize, e.at.0));
+                    }
+                    Kind::Deliver => {} // stale: drop
+                    Kind::Arrive => stash.push(e),
+                }
+            }
+            for e in stash.drain(..) {
+                heap.push(e);
+            }
+            let taint = group.len() > 1;
+            for &(gi, done) in &group {
+                completed[gi] = true;
+                completion[gi] = done;
+                delivered += 1;
+                last_progress = last_progress.max(done);
+                if T::ENABLED {
+                    sink.record(TraceEvent::Deliver {
+                        msg: messages[gi].id,
+                        bytes: messages[gi].bytes,
+                        at_ns: done,
+                    });
+                }
+                for &d in &dep_flat[dep_off[gi] as usize..dep_off[gi + 1] as usize] {
+                    let di = d as usize;
+                    earliest[di] = earliest[di].max(done);
+                    pending_deps[di] -= 1;
+                    if pending_deps[di] == 0 {
+                        if taint {
+                            tie_ok[di] = false;
+                        }
+                        if blocked[di] {
+                            stalled += 1;
+                        } else {
+                            inject(&mut heap, &mut seq, sink, di, earliest[di]);
+                        }
+                        injected += 1;
+                    }
+                }
+            }
+            continue;
+        }
+
+        // Kind::Arrive: the train's head reaches hop `ev.hop`.
         let route = &routes[mi];
         let j = ev.hop as usize;
         let link = route[j];
+        let li = link.index();
         let total = messages[mi].bytes;
-        let pcount = cfg.packets_for(total);
-        let arr = std::mem::take(&mut curves[mi]);
-        let a_last = eval(&arr, pcount - 1);
+        let pcount = pcount_of[mi];
+        // Hop-0 curves are implicitly the constant injection instant (never
+        // materialized); deeper hops read the stored curve. Bit-exact
+        // equality is deliberate: a tie is only provable when both engines
+        // compute the identical instant.
+        let a_last = if ev.hop == 0 {
+            ev.at.0
+        } else {
+            eval(&curves[mi], pcount - 1)
+        };
+        let flat_instant = a_last == ev.at.0;
 
-        let st = links[link.index()];
-        if st.used && ev.at.0 <= st.last_event {
-            // Our head event would pop at or before another train's
-            // committed event on this link: packets would interleave.
-            return Ok(Coalesce::Contended);
-        }
-        let st0 = ev.at.0.max(st.free);
         let full_bytes = if pcount > 1 { cfg.packet_bytes } else { total };
         let last_bytes = last_packet_bytes(cfg, total, pcount);
-        let ser_full = cfg.serialization_on(link, full_bytes);
-        let ser_last = cfg.serialization_on(link, last_bytes);
-        let starts = if pcount == 1 {
-            vec![Seg {
+        let ser_full = full_bytes as f64 / bw[li];
+        let ser_last = last_bytes as f64 / bw[li];
+        let s = ser_full + ovh;
+
+        let mut tie_append = false;
+        if links[li].used && ev.at.0 <= links[li].last_event {
+            tie_append = ev.at.0 == links[li].last_event
+                && ev.hop == 0
+                && flat_instant
+                && links[li].tie_head
+                && tie_ok[mi];
+            if !tie_append {
+                // --- FIFO train split: serve this flat train between two of
+                // the owner's packet arrivals, re-serving the owner's tail
+                // behind it. Every unprovable shape declines. ---
+                if links[li].split || !flat_instant || links[li].owner_arr.is_empty() {
+                    return Ok(Coalesce::Contended);
+                }
+                let am = links[li].owner as usize;
+                let a_hop = links[li].owner_hop;
+                let a_final = (a_hop as usize) + 1 == routes[am].len();
+                // The owner's downstream bookkeeping must still be pending
+                // (its next-hop event or delivery not yet processed).
+                let amendable = if a_final {
+                    !completed[am]
+                } else {
+                    !curves[am].is_empty() && pending_hop[am] == a_hop + 1
+                };
+                if !amendable {
+                    return Ok(Coalesce::Contended);
+                }
+                let t = ev.at.0;
+                let a0 = eval(&links[li].owner_arr, 0);
+                if t <= a0 + EPS || t >= links[li].last_event - EPS {
+                    return Ok(Coalesce::Contended);
+                }
+                let a_total = messages[am].bytes;
+                let a_pcount = pcount_of[am];
+                // Smallest owner packet index arriving strictly after `t`.
+                let (mut lo, mut hi) = (0u64, a_pcount - 1);
+                while lo + 1 < hi {
+                    let mid = lo + (hi - lo) / 2;
+                    if eval(&links[li].owner_arr, mid) > t {
+                        hi = mid;
+                    } else {
+                        lo = mid;
+                    }
+                }
+                let k_a = hi;
+                // The head must land cleanly between two arrivals, else the
+                // per-packet FIFO order at the boundary is ambiguous.
+                if eval(&links[li].owner_arr, k_a) <= t + EPS
+                    || eval(&links[li].owner_arr, k_a - 1) >= t - EPS
+                {
+                    return Ok(Coalesce::Contended);
+                }
+
+                let st = std::mem::take(&mut links[li]);
+                let a_last_bytes = last_packet_bytes(cfg, a_total, a_pcount);
+                let a_ser_full = cfg.packet_bytes as f64 / bw[li];
+                let a_ser_last = a_last_bytes as f64 / bw[li];
+                let a_s = a_ser_full + ovh;
+
+                // The interloper's head queues behind owner packet k_a - 1
+                // (always a full packet, since k_a < a_pcount).
+                let free_head = eval(&st.owner_starts, k_a - 1) + a_s;
+                let st0_b = t.max(free_head);
+                let starts_b = vec![Seg {
+                    k0: 0,
+                    t: st0_b,
+                    slope: if pcount > 1 { s } else { 0.0 },
+                }];
+                let b_last_start = eval(&starts_b, pcount - 1);
+                let free_after_b = b_last_start + ser_last + ovh;
+
+                // Re-serve the owner's tail behind the interloper.
+                let tail_len = a_pcount - k_a;
+                let arr_tail = slice_curve(&st.owner_arr, k_a, a_pcount);
+                let st0_tail = eval(&arr_tail, 0).max(free_after_b);
+                let starts_tail = if tail_len == 1 {
+                    vec![Seg {
+                        k0: 0,
+                        t: st0_tail,
+                        slope: 0.0,
+                    }]
+                } else {
+                    serve_curve(st0_tail, a_s, &arr_tail, tail_len)
+                };
+                let a_new_last = eval(&starts_tail, tail_len - 1);
+                let free_final = a_new_last + a_ser_last + ovh;
+
+                if a_final {
+                    // Supersede the owner's queued delivery.
+                    delivery_gen[am] += 1;
+                    seq += 1;
+                    heap.push(Event {
+                        at: Time(a_new_last + a_ser_last + hop_lat),
+                        seq,
+                        kind: Kind::Deliver,
+                        msg: am as u32,
+                        hop: a_hop,
+                        gen: delivery_gen[am],
+                    });
+                } else {
+                    // Amend the owner's pending next-hop arrival curve. Its
+                    // head start is unchanged (k_a ≥ 1), so the queued heap
+                    // event's time stays valid.
+                    let mut amended: Vec<Seg> = Vec::new();
+                    for sg in st.owner_starts.iter().filter(|sg| sg.k0 < k_a) {
+                        push_seg(
+                            &mut amended,
+                            Seg {
+                                t: sg.t + hop_lat,
+                                ..*sg
+                            },
+                        );
+                    }
+                    for sg in &starts_tail {
+                        push_seg(
+                            &mut amended,
+                            Seg {
+                                k0: sg.k0 + k_a,
+                                t: sg.t + hop_lat,
+                                slope: sg.slope,
+                            },
+                        );
+                    }
+                    curves[am] = amended;
+                }
+
+                // The owner's per-link busy time is order-independent and
+                // was accounted at its commit; only the interloper adds.
+                stats.add_busy(link, (pcount - 1) as f64 * s + ser_last + ovh);
+                if T::ENABLED {
+                    sink.record(TraceEvent::TrainSplit {
+                        msg: messages[am].id,
+                        hop: u32::from(a_hop),
+                        link,
+                        split_index: k_a,
+                        first_start_ns: eval(&st.owner_starts, 0),
+                        last_start_ns: a_new_last,
+                    });
+                    sink.record(TraceEvent::TrainHop {
+                        msg: messages[mi].id,
+                        hop: u32::from(ev.hop),
+                        link,
+                        packets: pcount,
+                        arrive_ns: t,
+                        first_start_ns: st0_b,
+                        last_start_ns: b_last_start,
+                    });
+                }
+                links[li] = LinkState {
+                    free: free_final,
+                    last_event: st.last_event,
+                    used: true,
+                    tie_head: false,
+                    split: true,
+                    ..LinkState::default()
+                };
+
+                // Advance the interloper.
+                if j + 1 < route.len() {
+                    let next = &mut curves[mi];
+                    next.clear();
+                    next.extend(starts_b.iter().map(|sg| Seg {
+                        t: sg.t + hop_lat,
+                        ..*sg
+                    }));
+                    pending_hop[mi] = ev.hop + 1;
+                    seq += 1;
+                    heap.push(Event {
+                        at: Time(st0_b + hop_lat),
+                        seq,
+                        kind: Kind::Arrive,
+                        msg: ev.msg,
+                        hop: ev.hop + 1,
+                        gen: 0,
+                    });
+                } else {
+                    curves[mi].clear();
+                    seq += 1;
+                    heap.push(Event {
+                        at: Time(b_last_start + ser_last + hop_lat),
+                        seq,
+                        kind: Kind::Deliver,
+                        msg: ev.msg,
+                        hop: ev.hop,
+                        gen: delivery_gen[mi],
+                    });
+                }
+                continue;
+            }
+        } else if links[li].used && ev.at.0 - links[li].last_event <= EPS {
+            // Near-tie just past the window: the engines may disagree on
+            // which head goes first.
+            return Ok(Coalesce::Contended);
+        }
+
+        // Serial commit: the train owns the link after everything already
+        // committed (tie appends land here too — `free` points behind the
+        // tying window, which is exactly the per-packet FIFO order).
+        let st0 = ev.at.0.max(links[li].free);
+        starts.clear();
+        if pcount == 1 {
+            starts.push(Seg {
                 k0: 0,
                 t: st0,
                 slope: 0.0,
-            }]
+            });
+        } else if ev.hop == 0 {
+            // Flat arrivals: the train queues behind `st0` at service
+            // spacing — the recurrence degenerates to one burst segment.
+            starts.push(Seg {
+                k0: 0,
+                t: st0,
+                slope: s,
+            });
         } else {
-            max_line_curve(st0, ser_full + ovh, &arr, pcount)
-        };
+            let arr = &curves[mi];
+            let (a0, m) = (arr[0].t, arr[0].slope);
+            if arr.len() == 1 && (m <= s || st0 == a0) {
+                // Single arrival segment that either never overtakes the
+                // service line (m ≤ s ⇒ queued throughout) or is followed
+                // from packet 0 (head started on time with m ≥ s): one
+                // output segment, computed without the general walk.
+                starts.push(Seg {
+                    k0: 0,
+                    t: st0,
+                    slope: if m > s { m } else { s },
+                });
+            } else {
+                serve_curve_into(st0, s, arr, pcount, &mut starts);
+            }
+        }
         let start_last = eval(&starts, pcount - 1);
 
-        links[link.index()] = LinkState {
-            free: start_last + ser_last + ovh,
-            last_event: a_last,
-            used: true,
-        };
-        if pcount > 1 {
-            stats.add_busy(link, (pcount - 1) as f64 * (ser_full + ovh));
-        }
-        stats.add_busy(link, ser_last + ovh);
+        stats.add_busy(link, (pcount - 1) as f64 * s + ser_last + ovh);
         if T::ENABLED {
             sink.record(TraceEvent::TrainHop {
                 msg: messages[mi].id,
-                hop: ev.hop,
+                hop: u32::from(ev.hop),
                 link,
                 packets: pcount,
                 arrive_ns: ev.at.0,
@@ -278,53 +822,69 @@ pub(crate) fn run<T: TraceSink>(
             });
         }
 
+        {
+            let stl = &mut links[li];
+            stl.free = start_last + ser_last + ovh;
+            stl.used = true;
+            if !tie_append {
+                stl.last_event = a_last;
+                stl.tie_head = ev.hop == 0 && flat_instant && tie_ok[mi];
+                stl.split = false;
+                if flat_instant {
+                    // Flat windows have no strict interior to split at.
+                    stl.owner_arr.clear();
+                    stl.owner_starts.clear();
+                } else {
+                    stl.owner = ev.msg;
+                    stl.owner_hop = ev.hop;
+                    stl.owner_arr.clear();
+                    stl.owner_arr.extend_from_slice(&curves[mi]);
+                    stl.owner_starts.clear();
+                    stl.owner_starts.extend_from_slice(&starts);
+                }
+            }
+            // On a tie append the window instant, tie_head, and cleared
+            // owner fields all carry over unchanged.
+        }
+
         if j + 1 < route.len() {
             // Cut-through: each packet's header reaches the next router one
             // per-flit latency after it wins this link.
             let next_at = st0 + hop_lat;
-            curves[mi] = starts
-                .into_iter()
-                .map(|s| Seg {
-                    t: s.t + hop_lat,
-                    ..s
-                })
-                .collect();
+            let next = &mut curves[mi];
+            next.clear();
+            next.extend(starts.iter().map(|sg| Seg {
+                t: sg.t + hop_lat,
+                ..*sg
+            }));
+            pending_hop[mi] = ev.hop + 1;
             seq += 1;
-            heap.push(Reverse(Event {
+            heap.push(Event {
                 at: Time(next_at),
                 seq,
+                kind: Kind::Arrive,
                 msg: ev.msg,
                 hop: ev.hop + 1,
-            }));
+                gen: 0,
+            });
         } else {
             // Final hop: the train's last packet is delivered after its full
-            // serialization plus the hop latency — always the latest
-            // delivery of the train (its start trails every predecessor's by
-            // at least one full service time).
+            // serialization plus the hop latency. Delivery (and dependent
+            // release) goes through the heap so it happens in global time
+            // order — matching the per-packet engine's injection order.
+            // Release the curve so the split amendability probe can't
+            // mistake the stale state for a pending next-hop curve.
+            curves[mi].clear();
             let done = start_last + ser_last + hop_lat;
-            completion[mi] = done;
-            delivered += 1;
-            last_progress = last_progress.max(done);
-            if T::ENABLED {
-                sink.record(TraceEvent::Deliver {
-                    msg: messages[mi].id,
-                    bytes: messages[mi].bytes,
-                    at_ns: done,
-                });
-            }
-            for &d in &dependents[mi] {
-                let di = d as usize;
-                earliest[di] = earliest[di].max(done);
-                pending_deps[di] -= 1;
-                if pending_deps[di] == 0 {
-                    if blocked[di] {
-                        stalled += 1;
-                    } else {
-                        inject(&mut heap, &mut curves, &mut seq, sink, di, earliest[di]);
-                    }
-                    injected += 1;
-                }
-            }
+            seq += 1;
+            heap.push(Event {
+                at: Time(done),
+                seq,
+                kind: Kind::Deliver,
+                msg: ev.msg,
+                hop: ev.hop,
+                gen: delivery_gen[mi],
+            });
         }
     }
 
@@ -345,9 +905,21 @@ pub(crate) fn run<T: TraceSink>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use meshcoll_util::Rng;
 
     fn seg(k0: u64, t: f64, slope: f64) -> Seg {
         Seg { k0, t, slope }
+    }
+
+    /// The recurrence, computed packet by packet.
+    fn brute_serve(st0: f64, s: f64, arr: &[Seg], pcount: u64) -> Vec<f64> {
+        let mut out = Vec::with_capacity(pcount as usize);
+        out.push(st0);
+        for k in 1..pcount {
+            let prev = out[(k - 1) as usize];
+            out.push((prev + s).max(eval(arr, k)));
+        }
+        out
     }
 
     #[test]
@@ -363,7 +935,7 @@ mod tests {
     fn burst_line_dominates_slow_arrivals() {
         // Arrivals spaced 1 ns, service 5 ns: the queue line wins everywhere.
         let arr = vec![seg(0, 0.0, 1.0)];
-        let out = max_line_curve(0.0, 5.0, &arr, 100);
+        let out = serve_curve(0.0, 5.0, &arr, 100);
         assert_eq!(out.len(), 1);
         assert_eq!(eval(&out, 99), 495.0);
     }
@@ -374,7 +946,7 @@ mod tests {
         // only 2 ns service: packets 0..=45 drain the backlog, then starts
         // track arrivals.
         let arr = vec![seg(0, 0.0, 10.0)];
-        let out = max_line_curve(100.0, 2.0, &arr, 1000);
+        let out = serve_curve(100.0, 2.0, &arr, 1000);
         assert_eq!(out.len(), 2);
         let cross = out[1].k0;
         // Before the crossing the queue line rules, after it the arrivals.
@@ -387,12 +959,81 @@ mod tests {
     fn crossing_respects_later_segments() {
         // Arrival curve flat then steep; crossing falls in the steep tail.
         let arr = vec![seg(0, 0.0, 0.0), seg(10, 0.0, 20.0)];
-        let out = max_line_curve(5.0, 3.0, &arr, 40);
+        let out = serve_curve(5.0, 3.0, &arr, 40);
         let cross = out[1].k0;
         assert!(cross > 10, "cross={cross}");
         for k in [cross - 1, cross, cross + 1, 39] {
             let expect = (5.0 + k as f64 * 3.0).max(eval(&arr, k));
             assert!((eval(&out, k) - expect).abs() < 1e-9, "k={k}");
         }
+    }
+
+    #[test]
+    fn serve_curve_handles_nonconvex_steps() {
+        // A post-split shape: arrivals ramp, jump upward (the interloper's
+        // service gap), then ramp again — non-convex, with the queue
+        // emptying and refilling across the step.
+        let arr = vec![seg(0, 0.0, 4.0), seg(5, 100.0, 4.0), seg(9, 130.0, 1.0)];
+        let st0 = 10.0;
+        let s = 3.0;
+        let out = serve_curve(st0, s, &arr, 14);
+        let brute = brute_serve(st0, s, &arr, 14);
+        for (k, want) in brute.iter().enumerate() {
+            let got = eval(&out, k as u64);
+            assert!((got - want).abs() < 1e-9, "k={k}: got {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn serve_curve_matches_bruteforce_on_random_monotone_curves() {
+        let mut rng = Rng::new(0x5eed);
+        for case in 0..200 {
+            // Random monotone non-decreasing arrival curve with upward
+            // jumps at segment boundaries.
+            let nsegs = rng.range_usize(1, 5);
+            let pcount = rng.range_u64(1, 60);
+            let mut arr = Vec::new();
+            let mut k0 = 0u64;
+            let mut t = rng.range_f64(0.0, 50.0);
+            for i in 0..nsegs {
+                let slope = rng.range_f64(0.0, 8.0);
+                arr.push(seg(k0, t, slope));
+                let span = rng.range_u64(1, 20);
+                t = eval(&arr, k0 + span - 1) + rng.range_f64(0.0, 30.0);
+                k0 += span;
+                if i + 1 < nsegs && k0 >= pcount {
+                    break;
+                }
+            }
+            let s = rng.range_f64(0.1, 6.0);
+            let st0 = eval(&arr, 0) + rng.range_f64(0.0, 40.0);
+            let out = serve_curve(st0, s, &arr, pcount);
+            let brute = brute_serve(st0, s, &arr, pcount);
+            for (k, want) in brute.iter().enumerate() {
+                let got = eval(&out, k as u64);
+                assert!(
+                    (got - want).abs() < 1e-9,
+                    "case {case}, k={k}: got {got}, want {want} (arr={arr:?}, s={s}, st0={st0})"
+                );
+            }
+            // Starts must be monotone with at least service spacing.
+            for k in 1..pcount {
+                assert!(eval(&out, k) >= eval(&out, k - 1) + s - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn slice_curve_reindexes_the_tail() {
+        let arr = vec![seg(0, 0.0, 2.0), seg(6, 20.0, 5.0), seg(10, 50.0, 1.0)];
+        let tail = slice_curve(&arr, 8, 14);
+        assert_eq!(tail[0].k0, 0);
+        for k in 8..14u64 {
+            assert!((eval(&tail, k - 8) - eval(&arr, k)).abs() < 1e-12, "k={k}");
+        }
+        // Slicing exactly at a segment boundary keeps it minimal.
+        let at_boundary = slice_curve(&arr, 6, 14);
+        assert_eq!(at_boundary.len(), 2);
+        assert_eq!(at_boundary[0].t, 20.0);
     }
 }

@@ -207,6 +207,10 @@ impl FlitSim {
         let mut done = 0usize;
         let mut cycle: u64 = 0;
         let mut idle_cycles = 0u64;
+        // Flits admitted to an injection queue and not yet ejected. While
+        // this is zero the network state cannot change on its own, so the
+        // clock can jump without scanning a single router.
+        let mut in_flight: u64 = 0;
 
         // Output direction for a flit sitting at route hop h.
         let out_link = |mi: usize, hop: usize| -> Option<LinkId> {
@@ -222,6 +226,20 @@ impl FlitSim {
         };
 
         while done < n {
+            // Idle-cycle skipping: with no flit anywhere in the network,
+            // nothing moves until the next message becomes ready, so jump
+            // the clock straight there. Credits return in the same cycle in
+            // this model, so injections are the only future-time events —
+            // there is no credit event to wait for while drained. (The
+            // `activity` fallback below still covers the drained-but-waiting
+            // shape for the deadlock detector.)
+            if in_flight == 0 {
+                if let Some(&next) = to_enqueue.iter().map(|&i| &ready_at_cycle[i]).min() {
+                    if next > cycle {
+                        cycle = next;
+                    }
+                }
+            }
             let mut activity = false;
 
             // Enqueue freshly ready messages.
@@ -230,6 +248,7 @@ impl FlitSim {
                 let i = to_enqueue[j];
                 if ready_at_cycle[i] <= cycle {
                     enqueue_flits(i, &mut inj_queue);
+                    in_flight += flits_total[i];
                     if T::ENABLED {
                         sink.record(TraceEvent::Inject {
                             msg: messages[i].id,
@@ -343,6 +362,7 @@ impl FlitSim {
                         }
                         let mi = f.msg as usize;
                         ejected[mi] += 1;
+                        in_flight -= 1;
                         activity = true;
                         if ejected[mi] == flits_total[mi] {
                             completion[mi] = (cycle + 1) as f64 * slot;
@@ -550,6 +570,71 @@ mod tests {
         assert!(pkt.makespan_ns() < one_hop * 1.5, "{}", pkt.makespan_ns());
         let ratio = flit.makespan_ns() / pkt.makespan_ns();
         assert!((0.7..1.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    /// Whole cycles in a run's makespan (completions are exact multiples of
+    /// the flit slot, so the division recovers the integer cycle count).
+    fn cycles_of(makespan_ns: f64) -> u64 {
+        let c = makespan_ns / cfg().flit_slot_ns();
+        c.round() as u64
+    }
+
+    #[test]
+    fn idle_skip_is_cycle_identical() {
+        // A ~49-million-slot readiness gap must shift completion by exactly
+        // the gap's cycle count: the jumped clock has to land on the same
+        // cycle a cycle-by-cycle walk would have reached (and the walk
+        // itself would take minutes, so this also guards the skip's
+        // existence).
+        let mesh = Mesh::new(1, 3).unwrap();
+        let msg = |ready: f64| {
+            vec![Message::new(MsgId(0), NodeId(0), NodeId(2), 8192 * 3).with_ready_at(ready)]
+        };
+        let base = FlitSim::new(cfg()).run(&mesh, &msg(0.0)).unwrap();
+        let gap_ns = 1e9;
+        let shifted = FlitSim::new(cfg()).run(&mesh, &msg(gap_ns)).unwrap();
+        let gap_cycles = (gap_ns / cfg().flit_slot_ns()).ceil() as u64;
+        assert_eq!(
+            cycles_of(shifted.makespan_ns()),
+            cycles_of(base.makespan_ns()) + gap_cycles,
+        );
+    }
+
+    #[test]
+    fn mid_run_drain_gap_is_skipped_cycle_identically() {
+        // The network fully drains after msg 0, then msg 1 (dependent, with
+        // a far-future ready time) wakes it again: the mid-run jump must
+        // resume on exactly the cycle msg 1 becomes ready.
+        let mesh = Mesh::new(1, 3).unwrap();
+        let gap_ns = 2e8;
+        let msgs = vec![
+            Message::new(MsgId(0), NodeId(0), NodeId(2), 8192),
+            Message::new(MsgId(1), NodeId(0), NodeId(2), 8192 * 2)
+                .with_deps([MsgId(0)])
+                .with_ready_at(gap_ns),
+        ];
+        let out = FlitSim::new(cfg()).run(&mesh, &msgs).unwrap();
+        let solo = FlitSim::new(cfg())
+            .run(
+                &mesh,
+                &[Message::new(MsgId(0), NodeId(0), NodeId(2), 8192 * 2)],
+            )
+            .unwrap();
+        let gap_cycles = (gap_ns / cfg().flit_slot_ns()).ceil() as u64;
+        assert_eq!(
+            cycles_of(out.completion_ns(MsgId(1)).unwrap()),
+            gap_cycles + cycles_of(solo.makespan_ns()),
+        );
+        // Msg 0's own timing is untouched by the later gap.
+        assert_eq!(
+            cycles_of(out.completion_ns(MsgId(0)).unwrap()),
+            cycles_of(
+                FlitSim::new(cfg())
+                    .run(&mesh, &[Message::new(MsgId(0), NodeId(0), NodeId(2), 8192)])
+                    .unwrap()
+                    .makespan_ns()
+            ),
+        );
     }
 
     #[test]

@@ -30,7 +30,7 @@ use meshcoll_topo::{LinkId, Mesh, RouteCache};
 use crate::coalesce::{self, Coalesce};
 use crate::message::validate;
 use crate::trace::{MemorySink, NullSink, TraceEvent, TraceSink};
-use crate::{LinkStats, Message, NetworkSim, NocConfig, NocError, SimOutcome};
+use crate::{LinkStats, Message, MsgId, NetworkSim, NocConfig, NocError, SimOutcome};
 
 /// Engine-selection policy for [`PacketSim`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -133,12 +133,16 @@ impl PacketSim {
     ) -> Result<SimOutcome, NocError> {
         let setup = self.prepare(mesh, messages)?;
         if self.mode == SimMode::Auto && self.cfg.faults.flaps().is_empty() {
-            // A contended (or erroring) fast-path attempt is re-run by the
-            // reference engine, which arbitrates FIFO order exactly and
-            // keeps error bookkeeping bit-identical.
+            // A contended fast-path attempt is scoped before giving up: the
+            // DAG splits into link- and dependency-disjoint components, and
+            // only the contended components re-run through the per-packet
+            // engine; everything else keeps the fast path. An erroring
+            // attempt is re-run whole by the reference engine, which
+            // arbitrates FIFO order exactly and keeps error bookkeeping
+            // bit-identical.
             if T::ENABLED {
                 let mut buf = MemorySink::new();
-                if let Ok(Coalesce::Done(out)) = coalesce::run(
+                match coalesce::run(
                     &self.cfg,
                     mesh,
                     messages,
@@ -146,23 +150,184 @@ impl PacketSim {
                     &setup.blocked,
                     &mut buf,
                 ) {
-                    for ev in buf.events() {
-                        sink.record(*ev);
+                    Ok(Coalesce::Done(out)) => {
+                        for ev in buf.events() {
+                            sink.record(*ev);
+                        }
+                        return Ok(out);
                     }
-                    return Ok(out);
+                    Ok(Coalesce::Contended) => {
+                        if let Some(out) = self.run_scoped(mesh, messages, &setup, sink) {
+                            return Ok(out);
+                        }
+                    }
+                    Err(_) => {}
                 }
-            } else if let Ok(Coalesce::Done(out)) = coalesce::run(
-                &self.cfg,
-                mesh,
-                messages,
-                &setup.routes,
-                &setup.blocked,
-                sink,
-            ) {
-                return Ok(out);
+            } else {
+                match coalesce::run(
+                    &self.cfg,
+                    mesh,
+                    messages,
+                    &setup.routes,
+                    &setup.blocked,
+                    sink,
+                ) {
+                    Ok(Coalesce::Done(out)) => return Ok(out),
+                    Ok(Coalesce::Contended) => {
+                        if let Some(out) = self.run_scoped(mesh, messages, &setup, sink) {
+                            return Ok(out);
+                        }
+                    }
+                    Err(_) => {}
+                }
             }
         }
         self.run_per_packet(mesh, messages, &setup, sink)
+    }
+
+    /// The scoped fallback behind [`SimMode::Auto`]: after a contended
+    /// global fast-path attempt, partitions the DAG into connected
+    /// components over dependency edges and shared route links. Components
+    /// are mutually link-disjoint and dependency-closed, so each one's
+    /// timeline is independent of the others and can be simulated alone:
+    /// the fast path re-runs per component, and only the components whose
+    /// own links are contended drop to the per-packet engine.
+    ///
+    /// Returns `None` when scoping cannot help (the DAG is one component)
+    /// or when any component errors — the caller then re-runs the whole
+    /// DAG through the reference engine so that typed errors, their
+    /// bookkeeping, and the emitted trace stay bit-identical to an
+    /// unscoped run. On `Some`, buffered (remapped) component traces have
+    /// been flushed to `sink` grouped by component.
+    fn run_scoped<T: TraceSink>(
+        &self,
+        mesh: &Mesh,
+        messages: &[Message],
+        setup: &RunSetup,
+        sink: &mut T,
+    ) -> Option<SimOutcome> {
+        let n = messages.len();
+        // Union-find with path halving over message indices.
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        fn find(parent: &mut [u32], mut x: u32) -> u32 {
+            while parent[x as usize] != x {
+                parent[x as usize] = parent[parent[x as usize] as usize];
+                x = parent[x as usize];
+            }
+            x
+        }
+        let union = |parent: &mut Vec<u32>, a: u32, b: u32| {
+            let (ra, rb) = (find(parent, a), find(parent, b));
+            if ra != rb {
+                parent[ra as usize] = rb;
+            }
+        };
+        for (i, m) in messages.iter().enumerate() {
+            for d in &m.deps {
+                union(&mut parent, i as u32, d.index() as u32);
+            }
+        }
+        let mut link_owner: Vec<u32> = vec![u32::MAX; mesh.link_id_space()];
+        for (i, r) in setup.routes.iter().enumerate() {
+            for &l in r.iter() {
+                let o = link_owner[l.index()];
+                if o == u32::MAX {
+                    link_owner[l.index()] = i as u32;
+                } else {
+                    union(&mut parent, i as u32, o);
+                }
+            }
+        }
+        // Components in first-appearance order; members stay in id order so
+        // each component run arbitrates same-time events exactly like the
+        // global run restricted to it.
+        let mut comp_index: Vec<u32> = vec![u32::MAX; n];
+        let mut comps: Vec<Vec<u32>> = Vec::new();
+        for i in 0..n as u32 {
+            let r = find(&mut parent, i) as usize;
+            if comp_index[r] == u32::MAX {
+                comp_index[r] = comps.len() as u32;
+                comps.push(Vec::new());
+            }
+            comps[comp_index[r] as usize].push(i);
+        }
+        if comps.len() < 2 {
+            return None;
+        }
+
+        let mut completion = vec![f64::NAN; n];
+        let mut stats = LinkStats::new(mesh, &self.cfg.faults);
+        let mut trace: Vec<TraceEvent> = Vec::new();
+        let mut new_id: Vec<u32> = vec![0; n];
+        for comp in &comps {
+            for (j, &i) in comp.iter().enumerate() {
+                new_id[i as usize] = j as u32;
+            }
+            let msgs_c: Vec<Message> = comp
+                .iter()
+                .map(|&i| {
+                    let m = &messages[i as usize];
+                    Message::new(MsgId(new_id[i as usize] as usize), m.src, m.dst, m.bytes)
+                        .with_deps(m.deps.iter().map(|d| MsgId(new_id[d.index()] as usize)))
+                        .with_ready_at(m.ready_at_ns)
+                })
+                .collect();
+            let routes_c: Vec<Arc<[LinkId]>> = comp
+                .iter()
+                .map(|&i| Arc::clone(&setup.routes[i as usize]))
+                .collect();
+            let blocked_c: Vec<bool> = comp.iter().map(|&i| setup.blocked[i as usize]).collect();
+            let setup_c = RunSetup {
+                routes: routes_c,
+                blocked: blocked_c,
+            };
+            let mut buf = MemorySink::new();
+            let out_c = if T::ENABLED {
+                match coalesce::run(
+                    &self.cfg,
+                    mesh,
+                    &msgs_c,
+                    &setup_c.routes,
+                    &setup_c.blocked,
+                    &mut buf,
+                ) {
+                    Ok(Coalesce::Done(o)) => o,
+                    Ok(Coalesce::Contended) => {
+                        // Discard the declined attempt's partial trace.
+                        buf = MemorySink::new();
+                        self.run_per_packet(mesh, &msgs_c, &setup_c, &mut buf)
+                            .ok()?
+                    }
+                    Err(_) => return None,
+                }
+            } else {
+                match coalesce::run(
+                    &self.cfg,
+                    mesh,
+                    &msgs_c,
+                    &setup_c.routes,
+                    &setup_c.blocked,
+                    &mut NullSink,
+                ) {
+                    Ok(Coalesce::Done(o)) => o,
+                    Ok(Coalesce::Contended) => self
+                        .run_per_packet(mesh, &msgs_c, &setup_c, &mut NullSink)
+                        .ok()?,
+                    Err(_) => return None,
+                }
+            };
+            for (j, &i) in comp.iter().enumerate() {
+                completion[i as usize] = out_c.completions()[j];
+            }
+            stats.absorb(out_c.link_stats());
+            if T::ENABLED {
+                trace.extend(buf.events().iter().map(|ev| remap_msg(*ev, comp)));
+            }
+        }
+        for ev in trace {
+            sink.record(ev);
+        }
+        Some(SimOutcome::new(completion, stats))
     }
 
     /// Runs the exact per-packet reference engine unconditionally.
@@ -260,10 +425,28 @@ impl PacketSim {
     fn prepare(&self, mesh: &Mesh, messages: &[Message]) -> Result<RunSetup, NocError> {
         validate(messages)?;
         let mut routes: Vec<Arc<[LinkId]>> = Vec::with_capacity(messages.len());
+        // Large schedules repeat the same few hundred (src, dst) pairs tens
+        // of thousands of times; a dense per-pair memo keeps the shared
+        // cache's lock+hash cost off the per-message path.
+        let nn = mesh.rows() * mesh.cols();
+        let mut memo: Vec<Option<Arc<[LinkId]>>> = if nn <= 256 {
+            vec![None; nn * nn]
+        } else {
+            Vec::new()
+        };
         for m in messages {
             mesh.check_node(m.src)?;
             mesh.check_node(m.dst)?;
-            routes.push(self.routes.route(mesh, m.src, m.dst, self.cfg.routing)?);
+            let slot = m.src.index() * nn + m.dst.index();
+            if let Some(Some(r)) = memo.get(slot) {
+                routes.push(Arc::clone(r));
+                continue;
+            }
+            let r = self.routes.route(mesh, m.src, m.dst, self.cfg.routing)?;
+            if let Some(entry) = memo.get_mut(slot) {
+                *entry = Some(Arc::clone(&r));
+            }
+            routes.push(r);
         }
         let faults = &self.cfg.faults;
         let blocked: Vec<bool> = routes
@@ -491,6 +674,23 @@ impl NetworkSim for PacketSim {
     fn run(&mut self, mesh: &Mesh, messages: &[Message]) -> Result<SimOutcome, NocError> {
         self.simulate(mesh, messages)
     }
+}
+
+/// Rewrites a component-local trace event's message id back to the global
+/// DAG's id (`comp[local] == global`); used when the scoped fallback flushes
+/// buffered component traces to the caller's sink.
+fn remap_msg(ev: TraceEvent, comp: &[u32]) -> TraceEvent {
+    let orig = |m: MsgId| MsgId(comp[m.index()] as usize);
+    let mut ev = ev;
+    match &mut ev {
+        TraceEvent::Inject { msg, .. }
+        | TraceEvent::PacketHop { msg, .. }
+        | TraceEvent::TrainHop { msg, .. }
+        | TraceEvent::TrainSplit { msg, .. }
+        | TraceEvent::Deliver { msg, .. } => *msg = orig(*msg),
+        TraceEvent::Reduce { .. } => {}
+    }
+    ev
 }
 
 /// Size of the final packet of a `total_bytes` message split into `count`
@@ -801,14 +1001,37 @@ mod tests {
     }
 
     #[test]
-    fn fast_path_declines_interleaved_contention() {
-        // Two sources inject onto the same link at the same instant: FIFO
-        // order between their packets matters, so the fast path must decline
-        // and Auto must match the per-packet reference exactly.
+    fn fast_path_arbitrates_exact_injection_ties() {
+        // Several sources inject onto shared links at the bit-identical
+        // instant. Both engines then serve the trains back-to-back in
+        // injection order, so the fast path accepts the tie and must match
+        // the per-packet reference within the equivalence tolerance.
         let mesh = Mesh::new(1, 4).unwrap();
         let msgs: Vec<Message> = (0..6)
             .map(|i| Message::new(MsgId(i), NodeId(i % 3), NodeId(3), 8192 * 3))
             .collect();
+        let sim = PacketSim::new(cfg());
+        let fast = sim.run_coalesced(&mesh, &msgs).unwrap().expect("fast path");
+        let exact = sim.run_reference(&mesh, &msgs).unwrap();
+        for id in 0..6 {
+            let (a, b) = (
+                fast.completion_ns(MsgId(id)).unwrap(),
+                exact.completion_ns(MsgId(id)).unwrap(),
+            );
+            assert!((a - b).abs() < 1e-6, "msg {id}: fast {a} vs exact {b}");
+        }
+    }
+
+    #[test]
+    fn fast_path_declines_near_tie_contention() {
+        // Heads separated by less than the equivalence tolerance: the
+        // engines may disagree on which goes first, so the fast path must
+        // decline and Auto must match the per-packet reference exactly.
+        let mesh = Mesh::new(1, 2).unwrap();
+        let msgs = vec![
+            Message::new(MsgId(0), NodeId(0), NodeId(1), 8192 * 3),
+            Message::new(MsgId(1), NodeId(0), NodeId(1), 8192 * 3).with_ready_at(5e-7),
+        ];
         let sim = PacketSim::new(cfg());
         assert!(sim.run_coalesced(&mesh, &msgs).unwrap().is_none());
         let auto = sim.simulate(&mesh, &msgs).unwrap();

@@ -28,6 +28,16 @@ impl LinkStats {
         self.busy_ns[link.index()] += ns;
     }
 
+    /// Folds another run's busy time in link-wise; used by the scoped
+    /// fallback to merge per-component outcomes (components are
+    /// link-disjoint, so each link's total comes from exactly one side).
+    pub(crate) fn absorb(&mut self, other: &LinkStats) {
+        debug_assert_eq!(self.busy_ns.len(), other.busy_ns.len());
+        for (a, b) in self.busy_ns.iter_mut().zip(&other.busy_ns) {
+            *a += b;
+        }
+    }
+
     /// Total busy time accumulated on `link`, in ns.
     pub fn busy_ns(&self, link: LinkId) -> f64 {
         self.busy_ns.get(link.index()).copied().unwrap_or(0.0)

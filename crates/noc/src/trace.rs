@@ -88,6 +88,26 @@ pub enum TraceEvent {
         /// Tail-packet link-win time, ns.
         last_start_ns: f64,
     },
+    /// A later train's head landed inside this train's committed arrival
+    /// window on `link`; the fast path split the train at packet
+    /// `split_index` and re-served the tail behind the interloper
+    /// (coalescing fast path). Supersedes the `last_start_ns` of the
+    /// matching earlier [`TraceEvent::TrainHop`]; packets and bytes are
+    /// *not* re-counted.
+    TrainSplit {
+        /// The message (train) whose committed window was split.
+        msg: MsgId,
+        /// Hop index along the route.
+        hop: u32,
+        /// The directed link the split happened on.
+        link: LinkId,
+        /// First packet index served after the interloper.
+        split_index: u64,
+        /// Head-packet link-win time, ns (unchanged by the split).
+        first_start_ns: f64,
+        /// Tail-packet link-win time after the split, ns.
+        last_start_ns: f64,
+    },
     /// A message's last packet arrived at its destination.
     Deliver {
         /// The message.
@@ -306,6 +326,19 @@ impl<W: Write> JsonlSink<W> {
                 msg.index(),
                 link.index(),
             ),
+            TraceEvent::TrainSplit {
+                msg,
+                hop,
+                link,
+                split_index,
+                first_start_ns,
+                last_start_ns,
+            } => writeln!(
+                self.out,
+                r#"{{"ev":"train_split","msg":{},"hop":{hop},"link":{},"split_index":{split_index},"first_start_ns":{first_start_ns},"last_start_ns":{last_start_ns}}}"#,
+                msg.index(),
+                link.index(),
+            ),
             TraceEvent::Deliver { msg, bytes, at_ns } => writeln!(
                 self.out,
                 r#"{{"ev":"deliver","msg":{},"bytes":{bytes},"at_ns":{at_ns}}}"#,
@@ -400,12 +433,12 @@ mod tests {
         assert!(lines[1].contains(r#""ev":"deliver""#) && lines[1].contains("348.68"));
         // Each line must parse as a JSON object.
         for l in lines {
-            let v: serde_json::Value = serde_json::from_str(l).unwrap();
-            assert!(v.is_object());
+            assert!(meshcoll_util::json::parse(l).unwrap().is_object(), "{l}");
         }
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // the consts ARE the contract
     fn null_sink_is_disabled() {
         assert!(!NullSink::ENABLED);
         assert!(MemorySink::ENABLED);

@@ -1,0 +1,339 @@
+//! Minimal in-tree stand-in for the `proptest` crate.
+//!
+//! The workspace builds in fully offline environments, so the property-test
+//! suites run against this deterministic re-implementation of the narrow
+//! API surface they use: `proptest!` with `ProptestConfig::with_cases`,
+//! range/tuple/`prop::collection::vec` strategies, `prop_map`, and the
+//! `prop_assert*` macros. Unlike upstream proptest there is no shrinking and
+//! no persisted failure corpus; instead every test draws its cases from a
+//! splitmix64 stream seeded by the test's fully-qualified name, so failures
+//! reproduce exactly on every platform and every run.
+
+use std::fmt;
+use std::ops::Range;
+
+pub use meshcoll_util::Rng as TestRng;
+
+/// Per-invocation configuration; only the case count is meaningful here.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Runs each property over `cases` sampled inputs.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// A failed property case; `prop_assert*` return this through the harness.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    #[must_use]
+    pub fn fail(message: String) -> Self {
+        TestCaseError { message }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Seeds the deterministic stream for one test from its qualified name
+/// (FNV-1a), so each test gets an independent but reproducible sequence.
+#[must_use]
+pub fn rng_for(test_name: &str) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    TestRng::new(h)
+}
+
+/// A value generator. Mirrors proptest's `Strategy` in name and in the
+/// `prop_map` combinator; generation is direct sampling (no value trees).
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Samples one value from the deterministic stream.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty => $below:ident),* $(,)?) => {
+        $(impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                self.start + rng.$below((self.end - self.start) as u64) as $t
+            }
+        })*
+    };
+}
+
+int_range_strategy!(usize => below, u64 => below, u32 => below, u16 => below, u8 => below);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.range_f64(self.start, self.end)
+    }
+}
+
+impl Strategy for Range<i64> {
+    type Value = i64;
+
+    fn generate(&self, rng: &mut TestRng) -> i64 {
+        let span = self.end.checked_sub(self.start).expect("ordered range");
+        assert!(span > 0, "empty strategy range");
+        self.start + rng.below(span as u64) as i64
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $idx:tt),+))*) => {
+        $(impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        })*
+    };
+}
+
+tuple_strategy! {
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod prop {
+    /// Container generators.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// Generates `Vec`s of `element` with a length drawn from `size`.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        /// Output of [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = self.size.generate(rng);
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Everything the test suites import.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+/// Defines deterministic property tests; see the crate docs for semantics.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@harness $cfg; $($rest)*);
+    };
+    (@harness $cfg:expr; $($(#[$meta:meta])* fn $name:ident(
+        $($arg:ident in $strat:expr),* $(,)?
+    ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let mut rng =
+                    $crate::rng_for(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..cfg.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                    let outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let Err(e) = outcome {
+                        panic!(
+                            "{} failed on case {case}/{}: {e}",
+                            stringify!($name),
+                            cfg.cases
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@harness $crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// `assert!` that reports through the property harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the property harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        match (&$a, &$b) {
+            (a, b) => {
+                $crate::prop_assert!(*a == *b, "assertion failed: {:?} != {:?}", a, b);
+            }
+        }
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        match (&$a, &$b) {
+            (a, b) => {
+                $crate::prop_assert!(*a == *b, $($fmt)*);
+            }
+        }
+    };
+}
+
+/// `assert_ne!` that reports through the property harness.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {
+        match (&$a, &$b) {
+            (a, b) => {
+                $crate::prop_assert!(*a != *b, "assertion failed: {:?} == {:?}", a, b);
+            }
+        }
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        match (&$a, &$b) {
+            (a, b) => {
+                $crate::prop_assert!(*a != *b, $($fmt)*);
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_vecs_sample_within_bounds() {
+        let mut rng = crate::rng_for("bounds");
+        for _ in 0..500 {
+            let v = (1usize..16).generate(&mut rng);
+            assert!((1..16).contains(&v));
+            let f = (0.0f64..10_000.0).generate(&mut rng);
+            assert!((0.0..10_000.0).contains(&f));
+            let t = (0usize..4, 1u64..9).generate(&mut rng);
+            assert!(t.0 < 4 && (1..9).contains(&t.1));
+            let xs = prop::collection::vec(0u64..5, 1..24).generate(&mut rng);
+            assert!((1..24).contains(&xs.len()));
+            assert!(xs.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn mapped_strategies_apply_the_function() {
+        let doubled = (0u64..10).prop_map(|x| x * 2);
+        let mut rng = crate::rng_for("map");
+        for _ in 0..100 {
+            assert_eq!(doubled.generate(&mut rng) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn named_streams_are_reproducible() {
+        let a: Vec<u64> = {
+            let mut r = crate::rng_for("x");
+            (0..4).map(|_| r.next()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = crate::rng_for("x");
+            (0..4).map(|_| r.next()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn the_macro_runs_and_asserts(x in 0usize..10, ys in prop::collection::vec(0u64..3, 1..5)) {
+            prop_assert!(x < 10);
+            prop_assert_eq!(ys.len(), ys.len());
+            prop_assert_ne!(ys.len(), 0);
+            if x == 0 {
+                return Ok(());
+            }
+            prop_assert!(x >= 1, "x was {x}");
+        }
+    }
+}

@@ -10,9 +10,11 @@
 //!   is delivered, no packet departs a hop before it arrives, no two
 //!   packets hold one directed link at once (delegated to
 //!   [`InvariantAuditor::check_trace`] over the exact per-packet engine),
-//! * **fast-path lower bound** — when the packet-train fast path accepts
-//!   the DAG, its per-hop start curves may never precede the per-packet
-//!   reference ([`InvariantAuditor::check_fast_path`]),
+//! * **fast-path lower bound** — for every component of the DAG the
+//!   packet-train fast path carried (the whole DAG, or the uncontended
+//!   components under the scoped fallback), its per-hop start curves may
+//!   never precede the per-packet reference
+//!   ([`InvariantAuditor::check_fast_path`]),
 //! * **schedule conformance** — every declared dependency is honored: a
 //!   dependent op's injection never precedes its dependency's delivery,
 //! * **reduction contract** — each gradient atom receives at least
@@ -174,12 +176,19 @@ impl SimEngine {
             .violations
             .extend(trace.violations.into_iter().map(AuditViolation::Trace));
 
-        // Fast path, when it accepts this DAG: start-curve lower bound.
+        // The Auto engine's trace: train claims for every component the
+        // fast path kept (globally, or per scoped-fallback component), and
+        // per-packet events for components that fell back. Any train claim
+        // is cross-checked against the per-packet lower bound; a trace with
+        // no trains means the whole DAG ran per-packet and there is nothing
+        // to cross-check.
         let mut fast = MemorySink::new();
-        if self
-            .packet_sim()
-            .run_coalesced_traced(mesh, &messages, &mut fast)?
-            .is_some()
+        self.packet_sim()
+            .simulate_traced(mesh, &messages, &mut fast)?;
+        if fast
+            .events()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::TrainHop { .. }))
         {
             let cross = auditor.check_fast_path(fast.events(), reference.events());
             report.checks += cross.checks;

@@ -6,12 +6,12 @@ use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
 
-use serde::{Deserialize, Serialize};
+use meshcoll_util::json::{self, Value};
 
 use crate::SimError;
 
 /// One measurement row of a table or figure.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Record {
     /// Experiment id (e.g. `"fig8"`, `"table1"`).
     pub experiment: String,
@@ -43,6 +43,38 @@ impl Record {
         self.metrics.insert(key.to_owned(), value);
         self
     }
+
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("experiment".into(), Value::String(self.experiment.clone())),
+            ("mesh".into(), Value::String(self.mesh.clone())),
+            ("algorithm".into(), Value::String(self.algorithm.clone())),
+            ("workload".into(), Value::String(self.workload.clone())),
+            (
+                "metrics".into(),
+                Value::Object(
+                    self.metrics
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::Number(*v)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Option<Record> {
+        let field = |key: &str| v.get(key)?.as_str().map(str::to_owned);
+        Some(Record {
+            experiment: field("experiment")?,
+            mesh: field("mesh")?,
+            algorithm: field("algorithm")?,
+            workload: field("workload")?,
+            metrics: match v.get("metrics")? {
+                m @ Value::Object(_) => m.to_f64_map(),
+                _ => return None,
+            },
+        })
+    }
 }
 
 /// Writes records as pretty-printed JSON.
@@ -57,8 +89,8 @@ pub fn write_json<P: AsRef<Path>>(path: P, records: &[Record]) -> Result<(), Sim
         }
     }
     let mut w = BufWriter::new(File::create(path)?);
-    let json = serde_json::to_string_pretty(records).map_err(std::io::Error::other)?;
-    w.write_all(json.as_bytes())?;
+    let doc = Value::Array(records.iter().map(Record::to_value).collect());
+    w.write_all(json::to_string_pretty(&doc).as_bytes())?;
     w.write_all(b"\n")?;
     Ok(())
 }
@@ -70,7 +102,18 @@ pub fn write_json<P: AsRef<Path>>(path: P, records: &[Record]) -> Result<(), Sim
 /// Returns [`SimError::Io`] on filesystem or parse errors.
 pub fn read_json<P: AsRef<Path>>(path: P) -> Result<Vec<Record>, SimError> {
     let data = std::fs::read_to_string(path)?;
-    serde_json::from_str(&data).map_err(|e| SimError::Io(std::io::Error::other(e)))
+    let parse_err = |what: String| SimError::Io(std::io::Error::other(what));
+    let doc = json::parse(&data).map_err(|e| parse_err(e.to_string()))?;
+    let items = doc
+        .as_array()
+        .ok_or_else(|| parse_err("expected a top-level array of records".into()))?;
+    items
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            Record::from_value(v).ok_or_else(|| parse_err(format!("record {i} is malformed")))
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -5,7 +5,7 @@
 //! exact per-packet reference.
 
 use meshcoll_collectives::{Algorithm, ScheduleOptions};
-use meshcoll_noc::NocConfig;
+use meshcoll_noc::{MemorySink, NocConfig, TraceEvent};
 use meshcoll_sim::{SimEngine, SimMode};
 use meshcoll_topo::Mesh;
 
@@ -75,6 +75,58 @@ fn tto_schedules_time_identically() {
         let mesh = Mesh::square(n).unwrap();
         assert_schedule_equivalent(&mesh, Algorithm::Tto, 4 << 20);
     }
+}
+
+/// Asserts the Auto engine carries `algo` at `data` bytes entirely on the
+/// packet-train fast path: the trace must contain train hops and no
+/// per-packet hop at all (i.e. neither the global fallback nor any scoped
+/// component dropped to the reference engine).
+fn assert_fast_path_carries(mesh: &Mesh, algo: Algorithm, data: u64) {
+    let schedule = algo.schedule(mesh, data).unwrap();
+    let engine = SimEngine::paper_default();
+    let mut sink = MemorySink::new();
+    engine.run_traced(mesh, &schedule, &mut sink).unwrap();
+    let trains = sink
+        .events()
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::TrainHop { .. }))
+        .count();
+    let packets = sink
+        .events()
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::PacketHop { .. }))
+        .count();
+    assert!(
+        trains > 0 && packets == 0,
+        "{algo} {}MB on {mesh}: {trains} train hops, {packets} packet hops — \
+         expected a pure fast-path run",
+        data >> 20,
+    );
+}
+
+#[test]
+fn congested_tto_64mb_stays_on_fast_path() {
+    // The paper's most contended schedule at full Fig 8 scale: ~97k
+    // messages with exact hop-0 injection ties on every column link. The
+    // tie/split tiers must keep the whole run coalesced.
+    assert_fast_path_carries(&Mesh::square(5).unwrap(), Algorithm::Tto, 64 << 20);
+}
+
+#[test]
+fn congested_ring_64mb_stays_on_fast_path() {
+    assert_fast_path_carries(&Mesh::square(5).unwrap(), Algorithm::Ring, 64 << 20);
+    assert_fast_path_carries(&Mesh::square(5).unwrap(), Algorithm::RingBiOdd, 64 << 20);
+}
+
+#[test]
+fn congested_golden_schedules_time_identically() {
+    // Drift check at a size large enough to produce hundreds of packets
+    // per train on every shared link (the 64 MB fast-path runs above are
+    // cross-checked against the reference at full size by the perf
+    // baseline, where the ≥10x speedup gate also runs).
+    let mesh = Mesh::square(5).unwrap();
+    assert_schedule_equivalent(&mesh, Algorithm::Tto, 16 << 20);
+    assert_schedule_equivalent(&mesh, Algorithm::Ring, 16 << 20);
 }
 
 #[test]

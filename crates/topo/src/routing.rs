@@ -133,7 +133,9 @@ struct RouteKey {
 /// models, schedule search) recompute the same XY/YX routes for every
 /// message of every run. This cache computes each `(shape, routing, src,
 /// dst)` route once and hands out shared `Arc<[LinkId]>` slices afterwards.
-/// It is `Sync`, so one cache can back every engine of a parallel sweep.
+/// It is `Sync`, so one cache can back every engine of a parallel sweep;
+/// entries are spread over [`ROUTE_SHARDS`] independently-locked shards so
+/// concurrent sweep workers don't serialize on a single lock.
 ///
 /// # Example
 ///
@@ -150,9 +152,19 @@ struct RouteKey {
 /// ```
 #[derive(Debug, Default)]
 pub struct RouteCache {
-    routes: RwLock<HashMap<RouteKey, Arc<[LinkId]>>>,
+    shards: [RwLock<HashMap<RouteKey, Arc<[LinkId]>>>; ROUTE_SHARDS],
     hits: AtomicU64,
     misses: AtomicU64,
+}
+
+/// Number of independently-locked map shards in a [`RouteCache`].
+pub const ROUTE_SHARDS: usize = 16;
+
+fn shard_of(key: &RouteKey) -> usize {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() as usize) % ROUTE_SHARDS
 }
 
 impl RouteCache {
@@ -183,12 +195,8 @@ impl RouteCache {
             src: src.index(),
             dst: dst.index(),
         };
-        if let Some(hit) = self
-            .routes
-            .read()
-            .expect("route cache lock poisoned")
-            .get(&key)
-        {
+        let shard = &self.shards[shard_of(&key)];
+        if let Some(hit) = shard.read().expect("route cache lock poisoned").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(hit));
         }
@@ -197,7 +205,7 @@ impl RouteCache {
         // A racing writer may have inserted the same key; both computed the
         // same deterministic route, so either Arc is fine to return.
         Ok(Arc::clone(
-            self.routes
+            shard
                 .write()
                 .expect("route cache lock poisoned")
                 .entry(key)
@@ -207,7 +215,10 @@ impl RouteCache {
 
     /// Number of cached routes.
     pub fn len(&self) -> usize {
-        self.routes.read().expect("route cache lock poisoned").len()
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("route cache lock poisoned").len())
+            .sum()
     }
 
     /// True when nothing has been cached yet.

@@ -1,0 +1,13 @@
+//! Dependency-free support code shared across the workspace.
+//!
+//! The repository builds in fully offline environments, so everything that
+//! would normally come from small utility crates lives here instead: a
+//! minimal JSON value model with a strict parser and writer ([`json`]), and
+//! the splitmix64 deterministic generator the test suites use to synthesize
+//! reproducible workloads ([`rng`]).
+
+pub mod json;
+pub mod rng;
+
+pub use json::{JsonError, Value};
+pub use rng::Rng;

@@ -1,0 +1,88 @@
+//! Splitmix64 deterministic generator — same seed, same sequence, on every
+//! platform. This is the workspace's only randomness source; tests and
+//! property harnesses seed it explicitly so failures replay exactly.
+
+/// Deterministic splitmix64 stream.
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Creates a generator from an explicit seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Rng(seed)
+    }
+
+    /// Next raw 64-bit draw.
+    #[allow(clippy::should_implement_trait)] // deliberate: not an Iterator
+    pub fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `0..n` (n must be non-zero).
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next() % n
+    }
+
+    /// Uniform draw in `lo..hi` as `usize` (`lo < hi`).
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo < hi);
+        lo + self.below((hi - lo) as u64) as usize
+    }
+
+    /// Uniform draw in `lo..hi` as `u64` (`lo < hi`).
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo < hi);
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform draw in `[lo, hi)` as `f64` (`lo < hi`, both finite).
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo < hi);
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (self.next() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_and_seed_sensitive() {
+        let a: Vec<u64> = std::iter::repeat_with({
+            let mut r = Rng::new(7);
+            move || r.next()
+        })
+        .take(8)
+        .collect();
+        let b: Vec<u64> = std::iter::repeat_with({
+            let mut r = Rng::new(7);
+            move || r.next()
+        })
+        .take(8)
+        .collect();
+        assert_eq!(a, b);
+        let mut other = Rng::new(8);
+        assert_ne!(a[0], other.next());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = Rng::new(42);
+        for _ in 0..1000 {
+            let u = r.range_usize(3, 9);
+            assert!((3..9).contains(&u));
+            let v = r.range_u64(100, 200_000);
+            assert!((100..200_000).contains(&v));
+            let f = r.range_f64(0.5, 10_000.0);
+            assert!((0.5..10_000.0).contains(&f));
+        }
+    }
+}
