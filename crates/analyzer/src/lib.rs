@@ -1,0 +1,577 @@
+#![warn(missing_docs)]
+
+//! Static schedule analyzer: certified makespan lower bounds, deadlock
+//! proofs, and fault-mask feasibility — all computed from the schedule
+//! alone, without instantiating a network engine.
+//!
+//! The simulators in `meshcoll-noc` answer "how long does this schedule
+//! take?"; this crate answers two cheaper questions first:
+//!
+//! 1. **Can it complete at all?** [`analyze`] proves the dependency
+//!    relation acyclic (naming the offending SCC otherwise — today a cyclic
+//!    message DAG only surfaces at runtime via the stall watchdog) and
+//!    checks every XY route against the fault mask without routing a single
+//!    packet.
+//! 2. **How fast could it possibly be?** Three certified lower bounds on
+//!    makespan, each with a *witness*:
+//!    - the **link serialization bound** ([`LinkBound`]): every byte routed
+//!      over a directed link must serialize through it one packet at a
+//!      time, so the busiest link's demand (minus the hold of the last
+//!      packet, plus its final hop latency) bounds the makespan;
+//!    - the **critical-path bound** ([`PathBound`]): the longest
+//!      inject→deliver chain through the dependency DAG with every transfer
+//!      costed at its contention-free minimum latency under the engine's
+//!      cut-through timing model;
+//!    - the **bisection bound** ([`CutBound`]): bytes whose endpoints
+//!      straddle a row/column cut must cross the cut's surviving aggregate
+//!      bandwidth — valid for *any* routing, which makes it the yardstick a
+//!      schedule-synthesis search can use before routes are even chosen.
+//!
+//! Every bound is sound against both NoC engines (the per-packet reference
+//! and the packet-train fast path): `sim::audit` machine-checks
+//! *simulated makespan ≥ static lower bound* on every audited run, so a
+//! violation pinpoints either a sim bug or a bound bug.
+//!
+//! The pass is cheap — one route walk per transfer over preallocated
+//! scratch, no engine state — which makes [`analyze`] usable as the
+//! pruning oracle in a schedule-synthesis inner loop (ROADMAP item 1).
+//!
+//! # Example
+//!
+//! ```
+//! use meshcoll_analyzer::analyze;
+//! use meshcoll_collectives::Algorithm;
+//! use meshcoll_noc::NocConfig;
+//! use meshcoll_topo::Mesh;
+//!
+//! let mesh = Mesh::square(5)?;
+//! let schedule = Algorithm::Ring.schedule(&mesh, 1 << 20)?;
+//! let report = analyze(&mesh, &schedule, &NocConfig::paper_default());
+//! assert!(report.is_feasible());
+//! assert!(report.lower_bound_ns() > 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod report;
+
+pub use report::{AnalysisIssue, CutAxis, CutBound, LinkBound, PathBound, Report};
+
+use meshcoll_collectives::{OpId, Schedule};
+use meshcoll_noc::{Message, NocConfig};
+use meshcoll_topo::routing::for_each_route_link;
+use meshcoll_topo::{LinkId, Mesh, NodeId};
+use meshcoll_util::graph;
+
+/// One transfer as the analyzer sees it, whichever layer it came from.
+#[derive(Clone, Copy)]
+struct Transfer {
+    src: NodeId,
+    dst: NodeId,
+    bytes: u64,
+    ready_at_ns: f64,
+}
+
+/// Statically analyzes a collective [`Schedule`]: feasibility under the
+/// fault mask in `noc.faults`, deadlock freedom, and certified makespan
+/// lower bounds. Never instantiates an engine.
+pub fn analyze(mesh: &Mesh, schedule: &Schedule, noc: &NocConfig) -> Report {
+    let mut issues = Vec::new();
+    for &p in schedule.participants() {
+        if p.index() < mesh.nodes() && noc.faults.node_failed(p) {
+            issues.push(AnalysisIssue::DeadParticipant { node: p });
+        }
+    }
+    analyze_core(
+        mesh,
+        noc,
+        schedule.len(),
+        |i| {
+            let op = schedule.op(OpId(i as u32));
+            Transfer {
+                src: op.src,
+                dst: op.dst,
+                bytes: op.bytes,
+                ready_at_ns: 0.0,
+            }
+        },
+        |v, out| out.extend(schedule.deps(OpId(v as u32)).iter().map(|d| d.index())),
+        issues,
+    )
+}
+
+/// Statically analyzes a raw NoC message DAG — the level at which cyclic
+/// dependencies can actually be constructed ([`Schedule`]s are acyclic by
+/// construction, but `Message::validate` performs no cycle check, so a
+/// cyclic message set today stalls into the runtime watchdog).
+pub fn analyze_messages(mesh: &Mesh, messages: &[Message], noc: &NocConfig) -> Report {
+    analyze_core(
+        mesh,
+        noc,
+        messages.len(),
+        |i| {
+            let m = &messages[i];
+            Transfer {
+                src: m.src,
+                dst: m.dst,
+                bytes: m.bytes,
+                ready_at_ns: m.ready_at_ns,
+            }
+        },
+        |v, out| out.extend(messages[v].deps.iter().map(|d| d.index())),
+        Vec::new(),
+    )
+}
+
+fn analyze_core(
+    mesh: &Mesh,
+    noc: &NocConfig,
+    n: usize,
+    transfer: impl Fn(usize) -> Transfer,
+    mut deps: impl FnMut(usize, &mut Vec<usize>),
+    mut issues: Vec<AnalysisIssue>,
+) -> Report {
+    let hop_lat = noc.per_flit_latency_ns;
+    let ovh = noc.per_packet_overhead_ns;
+    let nodes = mesh.nodes();
+
+    // Endpoint validity. Transfers with out-of-range endpoints cannot be
+    // routed and are excluded from every bound (which keeps the bounds
+    // sound: dropping demand only lowers them).
+    let mut valid = vec![true; n];
+    for (i, ok) in valid.iter_mut().enumerate() {
+        let t = transfer(i);
+        if t.src.index() >= nodes || t.dst.index() >= nodes {
+            issues.push(AnalysisIssue::NodeOutOfRange { op: i });
+            *ok = false;
+            continue;
+        }
+        for node in [t.src, t.dst] {
+            if noc.faults.node_failed(node) {
+                issues.push(AnalysisIssue::DeadEndpoint { op: i, node });
+            }
+        }
+    }
+
+    // One route walk per transfer, accumulating everything at once:
+    // per-link busy demand and maximum single-packet hold (link bound),
+    // per-transfer hop count / final link / bottleneck hold (path bound),
+    // and the first unusable link (fault feasibility).
+    let mut demand = vec![0.0f64; mesh.link_id_space()];
+    let mut max_hold = vec![0.0f64; mesh.link_id_space()];
+    let mut hops = vec![0u32; n];
+    let mut final_link: Vec<Option<LinkId>> = vec![None; n];
+    let mut route_hold = vec![0.0f64; n];
+    for i in 0..n {
+        if !valid[i] {
+            continue;
+        }
+        let t = transfer(i);
+        if t.src == t.dst {
+            continue;
+        }
+        let packets = noc.packets_for(t.bytes) as f64;
+        let head_bytes = t.bytes.min(noc.packet_bytes);
+        let mut dead: Option<LinkId> = None;
+        for_each_route_link(mesh, t.src, t.dst, noc.routing, |l| {
+            if dead.is_none() && !noc.faults.link_usable(mesh, l) {
+                dead = Some(l);
+            }
+            let li = l.index();
+            demand[li] += noc.serialization_on(l, t.bytes) + packets * ovh;
+            max_hold[li] = max_hold[li].max(noc.serialization_on(l, head_bytes) + ovh);
+            route_hold[i] = route_hold[i].max(noc.serialization_on(l, noc.packet_bytes) + ovh);
+            hops[i] += 1;
+            final_link[i] = Some(l);
+        })
+        .expect("endpoints already checked in range");
+        if let Some(link) = dead {
+            issues.push(AnalysisIssue::DeadRoute { op: i, link });
+        }
+    }
+
+    // Link serialization bound. On the witness link the busy intervals of
+    // all routed packets are disjoint and start at t >= 0, so the
+    // last-departing packet starts no earlier than demand - (its own
+    // hold <= max_hold); its delivery adds at least one hop latency.
+    let mut link_bound: Option<LinkBound> = None;
+    for (li, &d) in demand.iter().enumerate() {
+        if d <= 0.0 {
+            continue;
+        }
+        let bound_ns = d - max_hold[li] + hop_lat;
+        if link_bound
+            .as_ref()
+            .is_none_or(|cur| bound_ns > cur.bound_ns)
+        {
+            link_bound = Some(LinkBound {
+                bound_ns,
+                link: LinkId(li),
+                demand_ns: d,
+            });
+        }
+    }
+
+    // Deadlock proof: any non-trivial SCC of the dependency relation can
+    // never make progress. An empty result certifies a DAG.
+    let found_cycles = graph::cycles(n, &mut deps);
+    let cyclic = !found_cycles.is_empty();
+    issues.extend(
+        found_cycles
+            .into_iter()
+            .map(|ops| AnalysisIssue::DependencyCycle { ops }),
+    );
+
+    // Critical-path bound over the DAG: every transfer is costed at its
+    // contention-free minimum under the engine's cut-through model
+    // (h hops of latency, the last packet's serialization on the final
+    // link, and P-1 full-packet holds on the route's slowest link), and
+    // chained through dependency completions. Undefined on cyclic inputs.
+    let mut path_bound: Option<PathBound> = None;
+    if !cyclic {
+        if let Some(order) = graph::topological_order(n, &mut deps) {
+            let mut finish = vec![0.0f64; n];
+            let mut prev: Vec<Option<usize>> = vec![None; n];
+            let mut scratch: Vec<usize> = Vec::new();
+            for &v in &order {
+                if !valid[v] {
+                    continue;
+                }
+                let t = transfer(v);
+                let mut start = t.ready_at_ns;
+                scratch.clear();
+                deps(v, &mut scratch);
+                for &d in &scratch {
+                    if d < n && finish[d] > start {
+                        start = finish[d];
+                        prev[v] = Some(d);
+                    }
+                }
+                let min_lat = match final_link[v] {
+                    None => 0.0,
+                    Some(last) => {
+                        let packets = noc.packets_for(t.bytes);
+                        let last_pkt = t.bytes - (packets - 1) * noc.packet_bytes;
+                        f64::from(hops[v]) * hop_lat
+                            + noc.serialization_on(last, last_pkt)
+                            + (packets - 1) as f64 * route_hold[v]
+                    }
+                };
+                finish[v] = start + min_lat;
+            }
+            let best = (0..n).max_by(|&a, &b| finish[a].total_cmp(&finish[b]));
+            if let Some(best) = best.filter(|&b| finish[b] > 0.0) {
+                let mut path = Vec::new();
+                let mut cur = Some(best);
+                while let Some(c) = cur {
+                    path.push(c);
+                    cur = prev[c];
+                }
+                path.reverse();
+                path_bound = Some(PathBound {
+                    bound_ns: finish[best],
+                    path,
+                });
+            }
+        }
+    }
+
+    let bisection_bound = bisection(mesh, noc, &transfer, &valid, hop_lat, ovh);
+
+    Report {
+        issues,
+        link_bound,
+        path_bound,
+        bisection_bound,
+    }
+}
+
+/// Routing-oblivious bisection bound: for every vertical/horizontal cut and
+/// crossing direction, all straddling bytes must pass through the cut's
+/// surviving aggregate bandwidth no matter how they are routed. Weaker than
+/// the route-aware link bound on XY-routed schedules, but it holds for any
+/// routing — which is exactly what a synthesis search needs before routes
+/// exist. A torus is never separated by a single cut (wraparound links
+/// bypass it), so the bound is not computed there.
+fn bisection(
+    mesh: &Mesh,
+    noc: &NocConfig,
+    transfer: &impl Fn(usize) -> Transfer,
+    valid: &[bool],
+    hop_lat: f64,
+    ovh: f64,
+) -> Option<CutBound> {
+    if mesh.is_torus() {
+        return None;
+    }
+    // crossing[b][dir]: bytes that must cross boundary b (forward = 0),
+    // accumulated as a difference array over boundaries in one pass.
+    let mut col_diff = vec![[0i64; 2]; mesh.cols() + 2];
+    let mut row_diff = vec![[0i64; 2]; mesh.rows() + 2];
+    for (i, &ok) in valid.iter().enumerate() {
+        if !ok {
+            continue;
+        }
+        let t = transfer(i);
+        let (s, d) = (mesh.coord(t.src), mesh.coord(t.dst));
+        let bytes = i64::try_from(t.bytes).expect("transfer size fits i64");
+        if s.col != d.col {
+            let (lo, hi, dir) = if s.col < d.col {
+                (s.col, d.col, 0)
+            } else {
+                (d.col, s.col, 1)
+            };
+            col_diff[lo + 1][dir] += bytes;
+            col_diff[hi + 1][dir] -= bytes;
+        }
+        if s.row != d.row {
+            let (lo, hi, dir) = if s.row < d.row {
+                (s.row, d.row, 0)
+            } else {
+                (d.row, s.row, 1)
+            };
+            row_diff[lo + 1][dir] += bytes;
+            row_diff[hi + 1][dir] -= bytes;
+        }
+    }
+
+    let mut best: Option<CutBound> = None;
+    let mut consider = |axis: CutAxis, boundaries: usize, diff: &[[i64; 2]]| {
+        let mut running = [0i64; 2];
+        for (boundary, d) in diff.iter().enumerate().take(boundaries).skip(1) {
+            running[0] += d[0];
+            running[1] += d[1];
+            for (dir, &crossing) in running.iter().enumerate() {
+                if crossing <= 0 {
+                    continue;
+                }
+                let forward = dir == 0;
+                let mut capacity = 0.0f64;
+                let mut hold = 0.0f64;
+                let mut tally = |l: LinkId| {
+                    if noc.faults.link_usable(mesh, l) {
+                        capacity += noc.bandwidth_of(l);
+                        hold = hold.max(noc.serialization_on(l, noc.packet_bytes) + ovh);
+                    }
+                };
+                match axis {
+                    CutAxis::Columns => {
+                        mesh.column_cut_links(boundary, forward)
+                            .for_each(&mut tally);
+                    }
+                    CutAxis::Rows => mesh.row_cut_links(boundary, forward).for_each(&mut tally),
+                }
+                if capacity <= 0.0 {
+                    // A severed cut with pending traffic: infeasibility is
+                    // reported per-op by the route check; no finite bound.
+                    continue;
+                }
+                let bound_ns = (crossing as f64 / capacity - hold + hop_lat).max(0.0);
+                if best.as_ref().is_none_or(|cur| bound_ns > cur.bound_ns) {
+                    best = Some(CutBound {
+                        bound_ns,
+                        axis,
+                        boundary,
+                        forward,
+                        bytes: crossing as u64,
+                        capacity_bpns: capacity,
+                    });
+                }
+            }
+        }
+    };
+    consider(CutAxis::Columns, mesh.cols(), &col_diff);
+    consider(CutAxis::Rows, mesh.rows(), &row_diff);
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meshcoll_collectives::{Algorithm, OpKind, Schedule};
+    use meshcoll_noc::MsgId;
+    use meshcoll_topo::Coord;
+
+    fn cfg() -> NocConfig {
+        NocConfig::paper_default()
+    }
+
+    #[test]
+    fn solo_single_hop_bound_is_exact() {
+        // One 8 KiB transfer over one link: the engine delivers at exactly
+        // ser + hop latency, and the path bound must match it.
+        let mesh = Mesh::square(3).unwrap();
+        let noc = cfg();
+        let msgs = [Message::new(MsgId(0), NodeId(0), NodeId(1), 8192)];
+        let report = analyze_messages(&mesh, &msgs, &noc);
+        assert!(report.is_feasible());
+        let expect = noc.serialization_ns(8192) + noc.per_flit_latency_ns;
+        let path = report.path_bound.as_ref().unwrap();
+        assert!((path.bound_ns - expect).abs() < 1e-9, "{path:?}");
+        assert_eq!(path.path, vec![0]);
+    }
+
+    #[test]
+    fn solo_multi_hop_cut_through_bound_is_exact() {
+        // Four hops under cut-through: 4 hop latencies + one serialization.
+        let mesh = Mesh::new(1, 5).unwrap();
+        let noc = cfg();
+        let msgs = [Message::new(MsgId(0), NodeId(0), NodeId(4), 8192)];
+        let report = analyze_messages(&mesh, &msgs, &noc);
+        let expect = 4.0 * noc.per_flit_latency_ns + noc.serialization_ns(8192);
+        let path = report.path_bound.as_ref().unwrap();
+        assert!((path.bound_ns - expect).abs() < 1e-9, "{path:?}");
+    }
+
+    #[test]
+    fn multi_packet_pipeline_bound_is_exact() {
+        // 3 full packets over one healthy link: packets pipeline with
+        // (ser + overhead) spacing, so delivery of the last is
+        // 2*(ser+ovh) + ser + hop.
+        let mesh = Mesh::square(3).unwrap();
+        let noc = cfg();
+        let bytes = 3 * noc.packet_bytes;
+        let msgs = [Message::new(MsgId(0), NodeId(0), NodeId(1), bytes)];
+        let report = analyze_messages(&mesh, &msgs, &noc);
+        let step = noc.serialization_ns(noc.packet_bytes) + noc.per_packet_overhead_ns;
+        let expect = 2.0 * step + noc.serialization_ns(noc.packet_bytes) + noc.per_flit_latency_ns;
+        let path = report.path_bound.as_ref().unwrap();
+        assert!((path.bound_ns - expect).abs() < 1e-9, "{path:?}");
+    }
+
+    #[test]
+    fn dependency_chain_adds_up() {
+        let mesh = Mesh::square(3).unwrap();
+        let noc = cfg();
+        let a = Message::new(MsgId(0), NodeId(0), NodeId(1), 4096);
+        let b = Message::new(MsgId(1), NodeId(1), NodeId(2), 4096).with_deps([MsgId(0)]);
+        let report = analyze_messages(&mesh, &[a, b], &noc);
+        let one = noc.serialization_ns(4096) + noc.per_flit_latency_ns;
+        let path = report.path_bound.as_ref().unwrap();
+        assert!((path.bound_ns - 2.0 * one).abs() < 1e-9, "{path:?}");
+        assert_eq!(path.path, vec![0, 1]);
+    }
+
+    #[test]
+    fn cycle_is_rejected_and_named() {
+        let mesh = Mesh::square(3).unwrap();
+        let a = Message::new(MsgId(0), NodeId(0), NodeId(1), 64).with_deps([MsgId(2)]);
+        let b = Message::new(MsgId(1), NodeId(1), NodeId(2), 64).with_deps([MsgId(0)]);
+        let c = Message::new(MsgId(2), NodeId(2), NodeId(0), 64).with_deps([MsgId(1)]);
+        let report = analyze_messages(&mesh, &[a, b, c], &cfg());
+        assert!(!report.is_feasible());
+        assert!(report
+            .issues
+            .iter()
+            .any(|i| matches!(i, AnalysisIssue::DependencyCycle { ops } if *ops == vec![0, 1, 2])));
+        assert!(report.path_bound.is_none(), "no finite path on a cycle");
+    }
+
+    #[test]
+    fn dead_route_is_detected_without_an_engine() {
+        let mesh = Mesh::square(3).unwrap();
+        let mut noc = cfg();
+        let a = mesh.node_at(Coord::new(0, 0));
+        let b = mesh.node_at(Coord::new(0, 1));
+        noc.faults.fail_link_between(&mesh, a, b).unwrap();
+        let dead = mesh.link_between(a, b).unwrap();
+        let msgs = [Message::new(MsgId(0), a, b, 512)];
+        let report = analyze_messages(&mesh, &msgs, &noc);
+        assert!(report
+            .issues
+            .iter()
+            .any(|i| matches!(i, AnalysisIssue::DeadRoute { op: 0, link } if *link == dead)));
+    }
+
+    #[test]
+    fn dead_endpoint_and_participant_are_detected() {
+        let mesh = Mesh::square(3).unwrap();
+        let mut noc = cfg();
+        noc.faults.fail_node(NodeId(4));
+        let mut b = Schedule::builder("dead", 64);
+        b.set_participants(vec![NodeId(0), NodeId(4)]);
+        let r = b.push(NodeId(4), NodeId(0), 0, 64, OpKind::Reduce, 0, &[]);
+        b.push(NodeId(0), NodeId(4), 0, 64, OpKind::Gather, 0, &[r]);
+        let report = analyze(&mesh, &b.build(), &noc);
+        assert!(report
+            .issues
+            .iter()
+            .any(|i| matches!(i, AnalysisIssue::DeadParticipant { node } if *node == NodeId(4))));
+        assert!(report.issues.iter().any(
+            |i| matches!(i, AnalysisIssue::DeadEndpoint { op: 0, node } if *node == NodeId(4))
+        ));
+    }
+
+    #[test]
+    fn degraded_link_raises_the_link_bound() {
+        let mesh = Mesh::square(3).unwrap();
+        let healthy = cfg();
+        let msgs = [Message::new(MsgId(0), NodeId(0), NodeId(2), 1 << 20)];
+        let base = analyze_messages(&mesh, &msgs, &healthy);
+        let mut degraded = cfg();
+        degraded
+            .faults
+            .degrade_link(mesh.link_between(NodeId(0), NodeId(1)).unwrap(), 0.25);
+        let slow = analyze_messages(&mesh, &msgs, &degraded);
+        assert!(
+            slow.link_bound.as_ref().unwrap().bound_ns > base.link_bound.as_ref().unwrap().bound_ns,
+            "degradation must raise the serialization bound"
+        );
+        assert_eq!(
+            slow.link_bound.as_ref().unwrap().link,
+            mesh.link_between(NodeId(0), NodeId(1)).unwrap(),
+            "witness should be the degraded link"
+        );
+    }
+
+    #[test]
+    fn bisection_bound_present_on_mesh_absent_on_torus() {
+        let mesh = Mesh::square(4).unwrap();
+        let noc = cfg();
+        let s = Algorithm::Ring.schedule(&mesh, 1 << 16).unwrap();
+        let report = analyze(&mesh, &s, &noc);
+        let cut = report.bisection_bound.as_ref().expect("mesh has cuts");
+        assert!(cut.bound_ns > 0.0);
+        assert!(cut.bytes > 0);
+
+        let torus = Mesh::torus(4, 4).unwrap();
+        let st = Algorithm::Ring.schedule(&torus, 1 << 16).unwrap();
+        let rt = analyze(&torus, &st, &noc);
+        assert!(
+            rt.bisection_bound.is_none(),
+            "no single cut separates a torus"
+        );
+    }
+
+    #[test]
+    fn empty_input_has_no_bounds_and_is_feasible() {
+        let mesh = Mesh::square(3).unwrap();
+        let report = analyze_messages(&mesh, &[], &cfg());
+        assert!(report.is_feasible());
+        assert_eq!(report.lower_bound_ns(), 0.0);
+        assert!(report.link_bound.is_none());
+        assert!(report.path_bound.is_none());
+    }
+
+    #[test]
+    fn paper_schedules_are_feasible_with_consistent_bounds() {
+        let noc = cfg();
+        for side in [3usize, 4, 5] {
+            let mesh = Mesh::square(side).unwrap();
+            for algo in Algorithm::BENCHMARKS {
+                let Ok(s) = algo.schedule(&mesh, 1 << 16) else {
+                    continue;
+                };
+                let report = analyze(&mesh, &s, &noc);
+                assert!(
+                    report.is_feasible(),
+                    "{algo} on {mesh}: {:?}",
+                    report.issues
+                );
+                let link = report.link_bound.as_ref().expect("traffic exists");
+                let path = report.path_bound.as_ref().expect("acyclic");
+                assert!(link.bound_ns > 0.0 && path.bound_ns > 0.0);
+                assert!(link.demand_ns >= link.bound_ns - noc.per_flit_latency_ns);
+            }
+        }
+    }
+}

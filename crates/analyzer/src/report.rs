@@ -1,0 +1,169 @@
+//! The analyzer's output: feasibility issues and certified lower bounds,
+//! each with a witness.
+
+use std::fmt;
+
+use meshcoll_topo::{LinkId, NodeId};
+
+/// One static feasibility defect. Any reported issue means no engine run
+/// can complete the schedule as written (dead routes stall forever, cycles
+/// deadlock), so a non-empty issue list is a rejection certificate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AnalysisIssue {
+    /// The dependency relation contains a cycle: no member can ever become
+    /// ready. The ops of one offending cycle are named in id order.
+    DependencyCycle {
+        /// Transfer indices forming one strongly connected component.
+        ops: Vec<usize>,
+    },
+    /// A transfer's XY route crosses a link that is dead or has a dead
+    /// endpoint under the fault mask.
+    DeadRoute {
+        /// The transfer whose route is severed.
+        op: usize,
+        /// The first unusable link on its route.
+        link: LinkId,
+    },
+    /// A transfer's source or destination chiplet is dead.
+    DeadEndpoint {
+        /// The transfer.
+        op: usize,
+        /// The dead chiplet.
+        node: NodeId,
+    },
+    /// A transfer references a node outside the mesh.
+    NodeOutOfRange {
+        /// The transfer.
+        op: usize,
+    },
+    /// A declared participant chiplet is dead — the AllReduce
+    /// post-condition is unsatisfiable for it.
+    DeadParticipant {
+        /// The dead participant.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for AnalysisIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisIssue::DependencyCycle { ops } => {
+                write!(
+                    f,
+                    "dependency cycle among ops {ops:?}: none can become ready"
+                )
+            }
+            AnalysisIssue::DeadRoute { op, link } => {
+                write!(f, "op {op} routes over unusable link {link}")
+            }
+            AnalysisIssue::DeadEndpoint { op, node } => {
+                write!(f, "op {op} has dead endpoint chiplet {node}")
+            }
+            AnalysisIssue::NodeOutOfRange { op } => {
+                write!(f, "op {op} references a node outside the mesh")
+            }
+            AnalysisIssue::DeadParticipant { node } => {
+                write!(f, "participant chiplet {node} is dead")
+            }
+        }
+    }
+}
+
+/// Per-directed-link serialization bound: every byte routed over the
+/// saturated link must serialize through it, one packet at a time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkBound {
+    /// The certified lower bound on makespan, in ns.
+    pub bound_ns: f64,
+    /// Witness: the saturated directed link.
+    pub link: LinkId,
+    /// Total busy time demanded on the witness link (serialization plus
+    /// per-packet overheads), in ns.
+    pub demand_ns: f64,
+}
+
+/// Critical-path bound: the longest inject→deliver chain through the
+/// dependency DAG, each transfer costed at its contention-free minimum
+/// latency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathBound {
+    /// The certified lower bound on makespan, in ns.
+    pub bound_ns: f64,
+    /// Witness: transfer indices along the critical chain, in dependency
+    /// order (each entry depends on the previous one).
+    pub path: Vec<usize>,
+}
+
+/// The axis of a bisection cut.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CutAxis {
+    /// A vertical cut between two adjacent columns.
+    Columns,
+    /// A horizontal cut between two adjacent rows.
+    Rows,
+}
+
+/// Topology bisection bound: all bytes whose endpoints straddle a cut must
+/// cross it through the cut's surviving aggregate bandwidth, regardless of
+/// routing. Only computed for non-torus meshes (wraparound links bypass any
+/// single cut).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CutBound {
+    /// The certified lower bound on makespan, in ns.
+    pub bound_ns: f64,
+    /// Witness: the cut's axis.
+    pub axis: CutAxis,
+    /// Witness: the cut sits between line `boundary - 1` and `boundary`.
+    pub boundary: usize,
+    /// Witness: crossing direction (`true` = east/south-ward).
+    pub forward: bool,
+    /// Bytes that must cross the witness cut.
+    pub bytes: u64,
+    /// Surviving aggregate bandwidth across the cut, in bytes/ns.
+    pub capacity_bpns: f64,
+}
+
+/// The full result of a static analysis pass: feasibility issues plus up to
+/// three certified makespan lower bounds, each with its witness.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Report {
+    /// Static feasibility defects; empty means the schedule is provably
+    /// deadlock-free and every route survives the fault mask.
+    pub issues: Vec<AnalysisIssue>,
+    /// Per-directed-link serialization bound, absent for empty schedules.
+    pub link_bound: Option<LinkBound>,
+    /// Dependency critical-path bound, absent for empty or cyclic schedules.
+    pub path_bound: Option<PathBound>,
+    /// Bisection bound, absent on torus meshes, single-line dimensions, and
+    /// schedules with no cut-crossing traffic.
+    pub bisection_bound: Option<CutBound>,
+}
+
+impl Report {
+    /// True when no static defect was found. A feasible report does not
+    /// prove functional correctness (see `collectives::verify`), but an
+    /// infeasible one is a rejection certificate.
+    pub fn is_feasible(&self) -> bool {
+        self.issues.is_empty()
+    }
+
+    /// The best (largest) certified lower bound on makespan, in ns. Zero
+    /// when no bound applies (e.g. an empty schedule).
+    pub fn lower_bound_ns(&self) -> f64 {
+        self.bounds().fold(0.0, |best, (_, b)| best.max(b))
+    }
+
+    /// The bounds present in this report, as `(name, bound_ns)` pairs.
+    pub fn bounds(&self) -> impl Iterator<Item = (&'static str, f64)> + '_ {
+        self.link_bound
+            .iter()
+            .map(|b| ("link", b.bound_ns))
+            .chain(self.path_bound.iter().map(|b| ("path", b.bound_ns)))
+            .chain(
+                self.bisection_bound
+                    .iter()
+                    .map(|b| ("bisection", b.bound_ns)),
+            )
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests for the static analyzer: on arbitrary message DAGs the
+//! certified lower bounds must stay below whatever either packet engine
+//! simulates, and cyclic mutations must always be caught statically.
+
+use meshcoll_analyzer::{analyze_messages, AnalysisIssue};
+use meshcoll_noc::{Message, MsgId, NocConfig, PacketSim};
+use meshcoll_topo::{Mesh, NodeId};
+use proptest::prelude::*;
+
+/// Arbitrary DAG: deps only point backward, endpoints within a 4x4 mesh.
+fn messages_strategy() -> impl Strategy<Value = Vec<Message>> {
+    prop::collection::vec(
+        (0usize..16, 0usize..16, 1u64..200_000, 0.0f64..10_000.0),
+        1..24,
+    )
+    .prop_map(|raw| {
+        let mut msgs = Vec::new();
+        for (i, (s, d, bytes, ready)) in raw.into_iter().enumerate() {
+            let dst = if s == d { (d + 1) % 16 } else { d };
+            let mut m = Message::new(MsgId(i), NodeId(s), NodeId(dst), bytes).with_ready_at(ready);
+            if i > 0 && i % 3 == 0 {
+                m = m.with_deps([MsgId(i - 1)]);
+            }
+            msgs.push(m);
+        }
+        msgs
+    })
+}
+
+/// Healthy paper config plus a variant with one surviving-but-degraded link,
+/// so the bounds are exercised under heterogeneous bandwidths too.
+fn configs(mesh: &Mesh) -> Vec<NocConfig> {
+    let healthy = NocConfig::paper_default();
+    let mut degraded = NocConfig::paper_default();
+    degraded
+        .faults
+        .degrade_link_between(mesh, NodeId(5), NodeId(6), 0.25)
+        .unwrap();
+    vec![healthy, degraded]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Both engines' makespans dominate every static lower bound, healthy
+    /// and fault-degraded alike.
+    #[test]
+    fn simulated_makespan_dominates_every_static_bound(msgs in messages_strategy()) {
+        let mesh = Mesh::square(4).unwrap();
+        for cfg in configs(&mesh) {
+            let report = analyze_messages(&mesh, &msgs, &cfg);
+            prop_assert!(report.is_feasible(), "{:?}", report.issues);
+
+            let sim = PacketSim::new(cfg);
+            let exact = sim.run_reference(&mesh, &msgs).unwrap();
+            for (name, bound) in report.bounds() {
+                prop_assert!(
+                    exact.makespan_ns() >= bound * (1.0 - 1e-9) - 1e-6,
+                    "reference makespan {} undercuts {name} bound {bound}",
+                    exact.makespan_ns()
+                );
+            }
+            if let Some(fast) = sim.run_coalesced(&mesh, &msgs).unwrap() {
+                for (name, bound) in report.bounds() {
+                    prop_assert!(
+                        fast.makespan_ns() >= bound * (1.0 - 1e-9) - 1e-6,
+                        "fast-path makespan {} undercuts {name} bound {bound}",
+                        fast.makespan_ns()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Rewiring any chain DAG into a dependency cycle is always caught
+    /// statically, with the offending cycle named and no path bound claimed.
+    #[test]
+    fn cyclic_mutations_are_always_caught(
+        raw in prop::collection::vec((0usize..16, 0usize..16, 1u64..100_000), 2..12),
+    ) {
+        let mesh = Mesh::square(4).unwrap();
+        let n = raw.len();
+        let msgs: Vec<Message> = raw
+            .into_iter()
+            .enumerate()
+            .map(|(i, (s, d, bytes))| {
+                let dst = if s == d { (d + 1) % 16 } else { d };
+                let m = Message::new(MsgId(i), NodeId(s), NodeId(dst), bytes);
+                if i == 0 {
+                    // Close the loop: the head depends on the tail.
+                    m.with_deps([MsgId(n - 1)])
+                } else {
+                    m.with_deps([MsgId(i - 1)])
+                }
+            })
+            .collect();
+
+        let report = analyze_messages(&mesh, &msgs, &NocConfig::paper_default());
+        prop_assert!(!report.is_feasible());
+        let cycle = report.issues.iter().find_map(|i| match i {
+            AnalysisIssue::DependencyCycle { ops } => Some(ops.clone()),
+            _ => None,
+        });
+        let cycle = cycle.expect("cycle must be named");
+        let mut sorted = cycle;
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+        prop_assert!(report.path_bound.is_none(), "no critical path on a cyclic DAG");
+    }
+}

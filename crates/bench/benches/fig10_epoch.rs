@@ -34,7 +34,7 @@ fn bench_fig10(c: &mut Criterion) {
                             .unwrap()
                             .epoch_ns(),
                     )
-                })
+                });
             },
         );
     }

@@ -29,7 +29,7 @@ fn bench_fig8(c: &mut Criterion) {
                                 .unwrap()
                                 .bandwidth_gbps,
                         )
-                    })
+                    });
                 },
             );
         }

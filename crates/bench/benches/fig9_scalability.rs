@@ -25,7 +25,7 @@ fn bench_fig9(c: &mut Criterion) {
                                 .unwrap()
                                 .time_ns,
                         )
-                    })
+                    });
                 },
             );
         }

@@ -36,7 +36,7 @@ fn bench_engines(c: &mut Criterion) {
                     .unwrap()
                     .makespan_ns(),
             )
-        })
+        });
     });
     g.bench_function("flit_sim", |b| {
         b.iter(|| {
@@ -46,7 +46,7 @@ fn bench_engines(c: &mut Criterion) {
                     .unwrap()
                     .makespan_ns(),
             )
-        })
+        });
     });
     g.finish();
 }
@@ -68,10 +68,10 @@ fn bench_packet_train(c: &mut Criterion) {
                     .expect("uncongested message coalesces")
                     .makespan_ns(),
             )
-        })
+        });
     });
     g.bench_function("per_packet_reference", |b| {
-        b.iter(|| black_box(sim.run_reference(&mesh, &msgs).unwrap().makespan_ns()))
+        b.iter(|| black_box(sim.run_reference(&mesh, &msgs).unwrap().makespan_ns()));
     });
     g.finish();
 }

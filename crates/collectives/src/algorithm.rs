@@ -229,9 +229,9 @@ mod tests {
 
     #[test]
     fn applicability_matches_table1() {
+        use Applicability::*;
         let even = Mesh::square(8).unwrap();
         let odd = Mesh::square(9).unwrap();
-        use Applicability::*;
         let expect = [
             (Algorithm::Ring, Easy, Easy),
             (Algorithm::Ring2D, Hard, Hard),

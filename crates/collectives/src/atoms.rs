@@ -1,0 +1,170 @@
+//! Shared atom-granularity coverage pass.
+//!
+//! The linter, the functional verifier, and the static analyzer all reason
+//! about the gradient at *atom* granularity — the coarsest partition of
+//! `[0, data_bytes)` induced by every op boundary (see
+//! [`Schedule::atom_breaks`]). Before this module each consumer recomputed
+//! coverage with its own loop (the verifier's was `O(ops × atoms)`), and
+//! the three could in principle disagree on atom boundaries. [`AtomCoverage`]
+//! is the one implementation they all share: a single
+//! `O(ops · log atoms + atoms)` difference-array sweep that records, per
+//! atom, how many ops and how many `Reduce` ops cover it.
+
+use crate::{OpId, OpKind, Schedule};
+
+/// Per-atom op-coverage counts for one schedule, computed in a single pass.
+///
+/// Atoms whose range extends past `data_bytes` exist (out-of-range ops
+/// still contribute their boundaries) but are excluded from all the
+/// `first_*` queries — callers report those ops through
+/// [`AtomCoverage::first_out_of_bounds`] instead.
+#[derive(Debug, Clone)]
+pub struct AtomCoverage {
+    breaks: Vec<u64>,
+    /// Ops of any kind covering atom `i` = `[breaks[i], breaks[i+1])`.
+    any_cover: Vec<u32>,
+    /// `Reduce` ops covering atom `i`.
+    reduce_cover: Vec<u32>,
+    data_bytes: u64,
+    first_out_of_bounds: Option<OpId>,
+}
+
+impl AtomCoverage {
+    /// Sweeps `schedule` once, accumulating per-atom coverage counts.
+    pub fn new(schedule: &Schedule) -> Self {
+        let breaks = schedule.atom_breaks();
+        let windows = breaks.len().saturating_sub(1);
+        let mut any = vec![0i64; windows + 1];
+        let mut red = vec![0i64; windows + 1];
+        let mut first_out_of_bounds = None;
+        for id in schedule.op_ids() {
+            let op = schedule.op(id);
+            if op.end() > schedule.data_bytes() && first_out_of_bounds.is_none() {
+                first_out_of_bounds = Some(id);
+            }
+            // Every op boundary is an atom break by construction, so the
+            // op's range is exactly the atoms in [lo, hi).
+            let lo = breaks
+                .binary_search(&op.offset)
+                .expect("op offset is an atom break");
+            let hi = breaks
+                .binary_search(&op.end())
+                .expect("op end is an atom break");
+            any[lo] += 1;
+            any[hi] -= 1;
+            if op.kind == OpKind::Reduce {
+                red[lo] += 1;
+                red[hi] -= 1;
+            }
+        }
+        let prefix = |diff: &[i64]| {
+            let mut run = 0i64;
+            diff[..windows]
+                .iter()
+                .map(|&d| {
+                    run += d;
+                    u32::try_from(run).expect("coverage count is non-negative")
+                })
+                .collect()
+        };
+        AtomCoverage {
+            any_cover: prefix(&any),
+            reduce_cover: prefix(&red),
+            breaks,
+            data_bytes: schedule.data_bytes(),
+            first_out_of_bounds,
+        }
+    }
+
+    /// The atom boundaries, as returned by [`Schedule::atom_breaks`].
+    pub fn breaks(&self) -> &[u64] {
+        &self.breaks
+    }
+
+    /// The schedule's gradient size in bytes.
+    pub fn data_bytes(&self) -> u64 {
+        self.data_bytes
+    }
+
+    /// The first op (in id order) whose byte range extends past
+    /// `data_bytes`, if any.
+    pub fn first_out_of_bounds(&self) -> Option<OpId> {
+        self.first_out_of_bounds
+    }
+
+    /// Start offset of the first in-bounds atom no op covers — a byte range
+    /// the schedule can never synchronize. `None` when the whole gradient
+    /// is covered (or empty).
+    pub fn first_uncovered(&self) -> Option<u64> {
+        self.in_bounds_atoms()
+            .find(|&i| self.any_cover[i] == 0)
+            .map(|i| self.breaks[i])
+    }
+
+    /// The first in-bounds atom covered by fewer than `need` `Reduce` ops,
+    /// as `(start offset, reduce ops found)`. `None` when every atom meets
+    /// the requirement.
+    pub fn first_under_reduced(&self, need: usize) -> Option<(u64, usize)> {
+        self.in_bounds_atoms()
+            .find(|&i| (self.reduce_cover[i] as usize) < need)
+            .map(|i| (self.breaks[i], self.reduce_cover[i] as usize))
+    }
+
+    /// Indices of the atoms lying entirely within `[0, data_bytes)`.
+    /// `data_bytes` is itself a break, so an atom is either entirely in or
+    /// entirely out.
+    fn in_bounds_atoms(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.any_cover.len()).take_while(|&i| self.breaks[i + 1] <= self.data_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Schedule;
+    use meshcoll_topo::NodeId;
+
+    #[test]
+    fn coverage_counts_match_brute_force() {
+        let mut b = Schedule::builder("cov", 100);
+        b.set_participants(vec![NodeId(0), NodeId(1), NodeId(2)]);
+        let a = b.push(NodeId(0), NodeId(1), 0, 60, OpKind::Reduce, 0, &[]);
+        let c = b.push(NodeId(2), NodeId(1), 20, 80, OpKind::Reduce, 0, &[a]);
+        b.push(NodeId(1), NodeId(0), 0, 100, OpKind::Gather, 0, &[c]);
+        let s = b.build();
+        let cov = AtomCoverage::new(&s);
+        assert_eq!(cov.breaks(), &[0, 20, 60, 100]);
+        for (i, w) in cov.breaks().windows(2).enumerate() {
+            let (lo, hi) = (w[0], w[1]);
+            let brute = |kind: Option<OpKind>| {
+                s.ops()
+                    .iter()
+                    .filter(|op| {
+                        kind.is_none_or(|k| op.kind == k) && op.offset <= lo && op.end() >= hi
+                    })
+                    .count() as u32
+            };
+            assert_eq!(cov.any_cover[i], brute(None), "atom [{lo},{hi})");
+            assert_eq!(
+                cov.reduce_cover[i],
+                brute(Some(OpKind::Reduce)),
+                "atom [{lo},{hi})"
+            );
+        }
+        assert_eq!(cov.first_uncovered(), None);
+        assert_eq!(cov.first_under_reduced(2), Some((0, 1)));
+        assert_eq!(cov.first_under_reduced(1), None);
+    }
+
+    #[test]
+    fn gap_and_out_of_bounds_are_reported() {
+        let mut b = Schedule::builder("gap", 100);
+        b.set_participants(vec![NodeId(0), NodeId(1)]);
+        let r = b.push(NodeId(0), NodeId(1), 0, 40, OpKind::Reduce, 0, &[]);
+        b.push(NodeId(1), NodeId(0), 60, 50, OpKind::Gather, 0, &[r]);
+        let s = b.build();
+        let cov = AtomCoverage::new(&s);
+        assert_eq!(cov.first_uncovered(), Some(40));
+        assert_eq!(cov.first_out_of_bounds(), Some(OpId(1)), "end 110 > 100");
+    }
+}

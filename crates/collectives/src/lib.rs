@@ -47,6 +47,7 @@ mod ring_common;
 mod tree_common;
 
 pub mod analysis;
+pub mod atoms;
 pub mod dbtree;
 pub mod export;
 pub mod fault;

@@ -9,7 +9,9 @@
 use std::collections::HashMap;
 
 use meshcoll_topo::Mesh;
+use meshcoll_util::graph;
 
+use crate::atoms::AtomCoverage;
 use crate::{OpId, OpKind, Schedule};
 
 /// One structural issue found in a schedule.
@@ -43,6 +45,24 @@ pub enum LintIssue {
         /// Start of the first uncovered byte range.
         offset: u64,
     },
+    /// The declared dependencies contain a cycle — no member op can ever
+    /// become ready, so the schedule deadlocks. [`ScheduleBuilder`] forbids
+    /// forward dependencies, making this impossible by construction; the
+    /// check guards schedules from other sources (deserialization, future
+    /// builders) with the same SCC machinery the static analyzer uses.
+    ///
+    /// [`ScheduleBuilder`]: crate::ScheduleBuilder
+    DependencyCycle {
+        /// The ops of one offending cycle, in id order.
+        ops: Vec<OpId>,
+    },
+    /// No op delivering to a participant transitively depends on this op,
+    /// so its result can never reach any participant's final state — it is
+    /// dead work burning link bandwidth.
+    DanglingOp {
+        /// The dangling op.
+        op: OpId,
+    },
 }
 
 /// Lints a schedule, returning all issues found (empty means clean).
@@ -56,8 +76,7 @@ pub fn lint(mesh: &Mesh, schedule: &Schedule) -> Vec<LintIssue> {
         issues.push(LintIssue::NoParticipants);
     }
 
-    // Per-op basic validity + coverage map.
-    let mut covered: Vec<(u64, u64)> = Vec::new();
+    // Per-op basic validity.
     for id in schedule.op_ids() {
         let op = schedule.op(id);
         if op.src.index() >= mesh.nodes() || op.dst.index() >= mesh.nodes() {
@@ -66,26 +85,47 @@ pub fn lint(mesh: &Mesh, schedule: &Schedule) -> Vec<LintIssue> {
         if op.end() > schedule.data_bytes() {
             issues.push(LintIssue::RangeOutOfBounds { op: id });
         }
-        covered.push((op.offset, op.end()));
-    }
-    covered.sort_unstable();
-    let mut at = 0u64;
-    for (lo, hi) in covered {
-        if lo > at {
-            issues.push(LintIssue::UncoveredRange { offset: at });
-            break;
-        }
-        at = at.max(hi);
-    }
-    if at < schedule.data_bytes()
-        && !issues
-            .iter()
-            .any(|i| matches!(i, LintIssue::UncoveredRange { .. }))
-    {
-        issues.push(LintIssue::UncoveredRange { offset: at });
     }
 
+    // Coverage at atom granularity — the same pass the verifier and the
+    // static analyzer use, so the three agree on atom boundaries.
+    if let Some(offset) = AtomCoverage::new(schedule).first_uncovered() {
+        issues.push(LintIssue::UncoveredRange { offset });
+    }
+
+    issues.extend(dependency_issues(schedule));
     issues.extend(reduce_after_gather_hazards(schedule));
+    issues
+}
+
+/// Dependency-graph issues: deadlock cycles and dangling (dead-work) ops,
+/// both via the shared graph machinery in `meshcoll-util`.
+fn dependency_issues(schedule: &Schedule) -> Vec<LintIssue> {
+    let n = schedule.len();
+    let successors = |v: usize, out: &mut Vec<usize>| {
+        out.extend(schedule.deps(OpId(v as u32)).iter().map(|d| d.index()));
+    };
+
+    let mut issues: Vec<LintIssue> = graph::cycles(n, successors)
+        .into_iter()
+        .map(|c| LintIssue::DependencyCycle {
+            ops: c.into_iter().map(|i| OpId(i as u32)).collect(),
+        })
+        .collect();
+
+    // An op is useful iff some op delivering to a participant transitively
+    // depends on it; the deliveries themselves seed the closure.
+    let seeds = schedule
+        .op_ids()
+        .filter(|&id| schedule.participants().contains(&schedule.op(id).dst))
+        .map(OpId::index);
+    let useful = graph::reachable_from(n, successors, seeds);
+    issues.extend(
+        schedule
+            .op_ids()
+            .filter(|id| !useful[id.index()])
+            .map(|id| LintIssue::DanglingOp { op: id }),
+    );
     issues
 }
 
@@ -222,6 +262,38 @@ mod tests {
         assert!(!lint(&mesh, &s)
             .iter()
             .any(|i| matches!(i, LintIssue::ReduceAfterGatherHazard { .. })));
+    }
+
+    #[test]
+    fn detects_dangling_op() {
+        // Node 2 is not a participant; an op delivering there that nothing
+        // useful depends on is dead work.
+        let mesh = Mesh::new(1, 3).unwrap();
+        let mut b = Schedule::builder("dangling", 8);
+        b.set_participants(vec![NodeId(0), NodeId(1)]);
+        let r = b.push(NodeId(0), NodeId(1), 0, 8, OpKind::Reduce, 0, &[]);
+        b.push(NodeId(1), NodeId(0), 0, 8, OpKind::Gather, 0, &[r]);
+        b.push(NodeId(0), NodeId(2), 0, 8, OpKind::Gather, 0, &[]);
+        let s = b.build();
+        assert!(lint(&mesh, &s)
+            .iter()
+            .any(|i| matches!(i, LintIssue::DanglingOp { op } if *op == OpId(2))));
+    }
+
+    #[test]
+    fn relay_through_non_participant_is_not_dangling() {
+        // Same relay node, but a participant-bound op depends on the relay:
+        // the relay is useful.
+        let mesh = Mesh::new(1, 3).unwrap();
+        let mut b = Schedule::builder("relay", 8);
+        b.set_participants(vec![NodeId(0), NodeId(1)]);
+        let r = b.push(NodeId(0), NodeId(1), 0, 8, OpKind::Reduce, 0, &[]);
+        let relay = b.push(NodeId(1), NodeId(2), 0, 8, OpKind::Gather, 0, &[r]);
+        b.push(NodeId(2), NodeId(0), 0, 8, OpKind::Gather, 0, &[relay]);
+        let s = b.build();
+        assert!(!lint(&mesh, &s)
+            .iter()
+            .any(|i| matches!(i, LintIssue::DanglingOp { .. })));
     }
 
     #[test]

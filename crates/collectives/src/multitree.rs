@@ -90,7 +90,7 @@ fn emit_tree_ops(b: &mut ScheduleBuilder, built: &[BuiltTree], parts: &[(u64, u6
         scratch.clear();
         scratch.resize(n, OpId(u32::MAX));
         let mut deps: Vec<OpId> = Vec::new();
-        for &(child, parent, _t) in bt.edges_desc.iter() {
+        for &(child, parent, _t) in &bt.edges_desc {
             deps.clear();
             for &c in &bt.children[child.index()] {
                 deps.push(scratch[c.index()]);

@@ -60,7 +60,7 @@ pub fn schedule(mesh: &Mesh, data_bytes: u64) -> Result<Schedule, CollectiveErro
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{link_usage, verify};
+    use crate::{link_usage, verify, CollectiveOp};
 
     #[test]
     fn bi_ring_is_correct() {
@@ -98,7 +98,7 @@ mod tests {
             .ops()
             .iter()
             .filter(|o| o.offset < 400)
-            .map(|o| o.end())
+            .map(CollectiveOp::end)
             .max()
             .unwrap();
         assert!(a_max <= 400);

@@ -146,32 +146,15 @@ pub fn check_allreduce_seeded(
 /// or [`VerifyError::RangeOutOfBounds`] if an op exceeds the gradient.
 pub fn check_reduce_indegree(schedule: &Schedule) -> Result<(), VerifyError> {
     let need = schedule.participants().len().saturating_sub(1);
-    let breaks = schedule.atom_breaks();
-    for op in schedule.ops() {
-        if op.end() > schedule.data_bytes() {
-            return Err(VerifyError::RangeOutOfBounds {
-                end: op.end(),
-                data_bytes: schedule.data_bytes(),
-            });
-        }
+    let coverage = crate::atoms::AtomCoverage::new(schedule);
+    if let Some(op) = coverage.first_out_of_bounds() {
+        return Err(VerifyError::RangeOutOfBounds {
+            end: schedule.op(op).end(),
+            data_bytes: schedule.data_bytes(),
+        });
     }
-    for window in breaks.windows(2) {
-        let (lo, hi) = (window[0], window[1]);
-        if hi > schedule.data_bytes() {
-            break;
-        }
-        let got = schedule
-            .ops()
-            .iter()
-            .filter(|op| op.kind == OpKind::Reduce && op.offset <= lo && op.end() >= hi)
-            .count();
-        if got < need {
-            return Err(VerifyError::TooFewReduces {
-                offset: lo,
-                got,
-                need,
-            });
-        }
+    if let Some((offset, got)) = coverage.first_under_reduced(need) {
+        return Err(VerifyError::TooFewReduces { offset, got, need });
     }
     Ok(())
 }

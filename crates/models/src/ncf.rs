@@ -26,12 +26,14 @@ pub(crate) fn model() -> Model {
 
 #[cfg(test)]
 mod tests {
+    use meshcoll_compute::Layer;
+
     #[test]
     fn embeddings_dominate() {
         let m = super::model();
         let p = m.params();
         assert!((20_000_000..23_000_000).contains(&p), "{p}");
-        let emb: u64 = m.layers()[..2].iter().map(|l| l.params()).sum();
+        let emb: u64 = m.layers()[..2].iter().map(Layer::params).sum();
         assert!(emb as f64 / p as f64 > 0.99);
     }
 }

@@ -123,6 +123,14 @@ pub enum Violation {
         /// Per-packet reference delivery, ns.
         reference_ns: f64,
     },
+    /// A simulated makespan undercuts a certified static lower bound —
+    /// either the engine teleported bytes or the bound derivation is wrong.
+    MakespanBelowBound {
+        /// Simulated makespan, ns.
+        makespan_ns: f64,
+        /// The static lower bound it undercuts, ns.
+        bound_ns: f64,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -190,6 +198,13 @@ impl fmt::Display for Violation {
             } => write!(
                 f,
                 "{msg}: fast-path delivery {fast_ns} ns vs per-packet {reference_ns} ns"
+            ),
+            Violation::MakespanBelowBound {
+                makespan_ns,
+                bound_ns,
+            } => write!(
+                f,
+                "simulated makespan {makespan_ns} ns undercuts static lower bound {bound_ns} ns"
             ),
         }
     }
@@ -420,6 +435,24 @@ impl InvariantAuditor {
                     });
                 }
             }
+        }
+        audit
+    }
+
+    /// Checks the bound invariant *simulated makespan ≥ static lower
+    /// bound*. The comparison allows the auditor's absolute tolerance plus
+    /// a small relative slack, so the ns-scale float accumulation of a long
+    /// run is not reported as a violation.
+    pub fn check_makespan_bound(&self, makespan_ns: f64, bound_ns: f64) -> TraceAudit {
+        let mut audit = TraceAudit {
+            checks: 1,
+            ..TraceAudit::default()
+        };
+        if makespan_ns < bound_ns * (1.0 - 1e-9) - self.tolerance_ns {
+            audit.violations.push(Violation::MakespanBelowBound {
+                makespan_ns,
+                bound_ns,
+            });
         }
         audit
     }
@@ -683,6 +716,20 @@ mod tests {
             deliver(0, 100, 56.0),
         ]);
         assert!(audit.is_clean(), "{:?}", audit.violations);
+    }
+
+    #[test]
+    fn makespan_bound_invariant() {
+        let a = InvariantAuditor::new();
+        assert!(a.check_makespan_bound(1000.0, 900.0).is_clean());
+        assert!(a.check_makespan_bound(1000.0, 1000.0).is_clean());
+        // Sub-tolerance undercut is float noise, not a violation.
+        assert!(a.check_makespan_bound(1000.0 - 1e-8, 1000.0).is_clean());
+        let bad = a.check_makespan_bound(900.0, 1000.0);
+        assert!(matches!(
+            bad.violations[..],
+            [Violation::MakespanBelowBound { .. }]
+        ));
     }
 
     #[test]

@@ -432,7 +432,7 @@ impl FlitSim {
                 if let Some(&next) = to_enqueue
                     .iter()
                     .map(|&i| &ready_at_cycle[i])
-                    .min_by(|a, b| a.cmp(b))
+                    .min_by(Ord::cmp)
                 {
                     if next > cycle {
                         cycle = next;

@@ -206,9 +206,7 @@ impl PacketSim {
         setup: &RunSetup,
         sink: &mut T,
     ) -> Option<SimOutcome> {
-        let n = messages.len();
         // Union-find with path halving over message indices.
-        let mut parent: Vec<u32> = (0..n as u32).collect();
         fn find(parent: &mut [u32], mut x: u32) -> u32 {
             while parent[x as usize] != x {
                 parent[x as usize] = parent[parent[x as usize] as usize];
@@ -216,6 +214,8 @@ impl PacketSim {
             }
             x
         }
+        let n = messages.len();
+        let mut parent: Vec<u32> = (0..n as u32).collect();
         let union = |parent: &mut Vec<u32>, a: u32, b: u32| {
             let (ra, rb) = (find(parent, a), find(parent, b));
             if ra != rb {

@@ -21,7 +21,11 @@
 //!   `participants - 1` Reduce ops
 //!   ([`verify::check_reduce_indegree`]) and the executed schedule
 //!   leaves every participant holding the full sum
-//!   ([`verify::check_allreduce`]).
+//!   ([`verify::check_allreduce`]),
+//! * **bound invariant** — the simulated makespan is at or above every
+//!   certified lower bound from the static analyzer
+//!   (`meshcoll_analyzer::analyze`, re-exported as [`crate::analyzer`]);
+//!   see [`InvariantAuditor::check_makespan_bound`].
 //!
 //! Auditing re-runs the schedule on the reference engine with tracing
 //! enabled, so it costs a multiple of a plain [`SimEngine::run`]; it is off
@@ -44,12 +48,28 @@ pub struct RunOptions {
     /// Also run the invariant auditor over the schedule (slower: the
     /// schedule executes again on the traced reference engine).
     pub audit: bool,
+    /// Statically analyze the schedule first and reject infeasible or
+    /// cyclic ones with [`SimError::Static`] *before* engine dispatch —
+    /// cheap insurance against burning the stall watchdog on a schedule
+    /// that provably cannot complete.
+    pub static_check: bool,
 }
 
 impl RunOptions {
     /// Options with auditing enabled.
     pub fn audited() -> Self {
-        RunOptions { audit: true }
+        RunOptions {
+            audit: true,
+            ..RunOptions::default()
+        }
+    }
+
+    /// Options with the static pre-check enabled.
+    pub fn statically_checked() -> Self {
+        RunOptions {
+            static_check: true,
+            ..RunOptions::default()
+        }
     }
 }
 
@@ -132,14 +152,24 @@ impl SimEngine {
     ///
     /// # Errors
     ///
-    /// As for [`SimEngine::run`]. Audit *violations* are not errors — they
-    /// come back in the report for the caller to assert on.
+    /// As for [`SimEngine::run`]; additionally [`SimError::Static`] when
+    /// [`RunOptions::static_check`] is set and the analyzer proves the
+    /// schedule infeasible. Audit *violations* are not errors — they come
+    /// back in the report for the caller to assert on.
     pub fn run_with(
         &self,
         mesh: &Mesh,
         schedule: &Schedule,
         opts: &RunOptions,
     ) -> Result<(RunResult, Option<AuditReport>), SimError> {
+        if opts.static_check {
+            let report = meshcoll_analyzer::analyze(mesh, schedule, self.noc());
+            if !report.is_feasible() {
+                return Err(SimError::Static {
+                    issues: report.issues,
+                });
+            }
+        }
         let result = self.run(mesh, schedule)?;
         let report = if opts.audit {
             Some(self.audit(mesh, schedule)?)
@@ -235,6 +265,25 @@ impl SimEngine {
         if let Err(e) = verify::check_allreduce(mesh, schedule) {
             report.violations.push(AuditViolation::Functional(e));
         }
+
+        // Bound invariant: the simulated makespan may never undercut the
+        // static analyzer's certified lower bound. A violation pinpoints
+        // either an engine that teleported bytes or a broken bound
+        // derivation.
+        let makespan = reference
+            .events()
+            .iter()
+            .filter_map(|ev| match *ev {
+                TraceEvent::Deliver { at_ns, .. } => Some(at_ns),
+                _ => None,
+            })
+            .fold(0.0f64, f64::max);
+        let static_report = meshcoll_analyzer::analyze(mesh, schedule, self.noc());
+        let bound = auditor.check_makespan_bound(makespan, static_report.lower_bound_ns());
+        report.checks += bound.checks;
+        report
+            .violations
+            .extend(bound.violations.into_iter().map(AuditViolation::Trace));
         Ok(report)
     }
 
@@ -305,6 +354,53 @@ mod tests {
         let (timed, some) = e.run_with(&mesh, &s, &RunOptions::audited()).unwrap();
         assert!(some.expect("audited").is_clean());
         assert!(timed.total_time_ns > 0.0);
+    }
+
+    #[test]
+    fn static_check_rejects_dead_route_before_dispatch() {
+        // Kill the channel an op must route over: without the static check
+        // the run only dies in the stall watchdog; with it, the engine is
+        // never dispatched and the error names the analyzer's certificate.
+        let mesh = Mesh::square(3).unwrap();
+        let s = Algorithm::Ring.schedule(&mesh, 9000).unwrap();
+        let mut noc = meshcoll_noc::NocConfig::paper_default();
+        noc.faults
+            .fail_link_between(&mesh, NodeId(0), NodeId(1))
+            .unwrap();
+        let e = SimEngine::new(noc);
+        let err = e
+            .run_with(&mesh, &s, &RunOptions::statically_checked())
+            .expect_err("severed route must be rejected");
+        match err {
+            SimError::Static { issues } => {
+                assert!(issues
+                    .iter()
+                    .any(|i| matches!(i, meshcoll_analyzer::AnalysisIssue::DeadRoute { .. })));
+            }
+            other => panic!("expected SimError::Static, got {other}"),
+        }
+        // The same options on a healthy engine pass through untouched.
+        let healthy = SimEngine::paper_default();
+        let (run, report) = healthy
+            .run_with(&mesh, &s, &RunOptions::statically_checked())
+            .unwrap();
+        assert!(run.total_time_ns > 0.0 && report.is_none());
+    }
+
+    #[test]
+    fn audit_enforces_the_static_bound_invariant() {
+        let mesh = Mesh::square(4).unwrap();
+        let e = SimEngine::paper_default();
+        let s = Algorithm::Tto.schedule(&mesh, 1 << 16).unwrap();
+        let report = e.audit(&mesh, &s).unwrap();
+        assert!(report.is_clean(), "{:?}", report.violations);
+        // And the bound itself is non-trivial: the analyzer certifies a
+        // positive floor under the simulated makespan.
+        let static_report = crate::analyzer::analyze(&mesh, &s, e.noc());
+        let run = e.run(&mesh, &s).unwrap();
+        let bound = static_report.lower_bound_ns();
+        assert!(bound > 0.0);
+        assert!(run.total_time_ns >= bound * (1.0 - 1e-9));
     }
 
     #[test]

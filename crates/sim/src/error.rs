@@ -1,6 +1,7 @@
 use std::error::Error;
 use std::fmt;
 
+use meshcoll_analyzer::AnalysisIssue;
 use meshcoll_collectives::CollectiveError;
 use meshcoll_noc::NocError;
 
@@ -12,6 +13,14 @@ pub enum SimError {
     Collective(CollectiveError),
     /// Network simulation failed.
     Network(NocError),
+    /// The static analyzer rejected the schedule before engine dispatch
+    /// (see [`RunOptions::static_check`](crate::RunOptions)): it would
+    /// deadlock or route over dead hardware, so running it could only end
+    /// in the stall watchdog.
+    Static {
+        /// The analyzer's rejection certificate.
+        issues: Vec<AnalysisIssue>,
+    },
     /// Result serialization failed.
     Io(std::io::Error),
 }
@@ -21,6 +30,16 @@ impl fmt::Display for SimError {
         match self {
             SimError::Collective(e) => write!(f, "collective error: {e}"),
             SimError::Network(e) => write!(f, "network error: {e}"),
+            SimError::Static { issues } => {
+                write!(f, "statically infeasible ({} issues):", issues.len())?;
+                for issue in issues.iter().take(3) {
+                    write!(f, " [{issue}]")?;
+                }
+                if issues.len() > 3 {
+                    write!(f, " ...")?;
+                }
+                Ok(())
+            }
             SimError::Io(e) => write!(f, "io error: {e}"),
         }
     }
@@ -31,6 +50,7 @@ impl Error for SimError {
         match self {
             SimError::Collective(e) => Some(e),
             SimError::Network(e) => Some(e),
+            SimError::Static { .. } => None,
             SimError::Io(e) => Some(e),
         }
     }

@@ -62,5 +62,8 @@ pub use audit::{AuditReport, AuditViolation, RunOptions};
 pub use context::SimContext;
 pub use engine::{DegradedRun, RunResult, RunStatus, SimEngine};
 pub use error::SimError;
+/// The static schedule analyzer, re-exported so experiment code can pair
+/// every simulated run with its certified lower bounds.
+pub use meshcoll_analyzer as analyzer;
 pub use meshcoll_noc::SimMode;
 pub use sweep::SweepRunner;

@@ -20,7 +20,7 @@ impl SweepRunner {
     /// machine's available parallelism.
     pub fn new(jobs: usize) -> Self {
         let jobs = if jobs == 0 {
-            std::thread::available_parallelism().map_or(1, |n| n.get())
+            std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
         } else {
             jobs
         };

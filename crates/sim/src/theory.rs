@@ -19,7 +19,7 @@
 
 use meshcoll_collectives::{multitree, tto, Algorithm};
 use meshcoll_noc::NocConfig;
-use meshcoll_topo::Mesh;
+use meshcoll_topo::{Mesh, Tree};
 
 /// Per-step fixed latency: one per-hop header latency (single-hop steps).
 fn alpha(noc: &NocConfig) -> f64 {
@@ -65,7 +65,7 @@ pub fn predicted_allreduce_ns(
         }
         Algorithm::Tto => {
             let trees = tto::disjoint_trees(mesh).ok()?;
-            let height = trees.iter().map(|t| t.height()).max()? as u64;
+            let height = trees.iter().map(Tree::height).max()? as u64;
             let chunks = data_bytes.div_ceil(tto::DEFAULT_CHUNK_BYTES).max(1);
             let part = data_bytes.div_ceil(chunks) / 3;
             // Reduce then gather: each is (height + chunks - 1) pipelined

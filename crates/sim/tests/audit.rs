@@ -83,9 +83,7 @@ fn run_with_audit_option_reports_through_the_engine_api() {
     let mesh = Mesh::square(4).unwrap();
     let s = Algorithm::Tto.schedule(&mesh, DATA).unwrap();
     let engine = SimEngine::paper_default();
-    let (run, report) = engine
-        .run_with(&mesh, &s, &RunOptions { audit: true })
-        .unwrap();
+    let (run, report) = engine.run_with(&mesh, &s, &RunOptions::audited()).unwrap();
     let report = report.expect("audit requested");
     assert!(run.total_time_ns > 0.0);
     assert!(report.is_clean(), "TTO 4x4:{}", violations(&report));

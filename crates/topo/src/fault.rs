@@ -65,6 +65,10 @@ impl FaultModel {
 
     /// Kills both directions of the physical channel between two neighbor
     /// chiplets.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `a` and `b` are out of range or not neighbors on `mesh`.
     pub fn fail_link_between(
         &mut self,
         mesh: &Mesh,
@@ -86,6 +90,10 @@ impl FaultModel {
     }
 
     /// Degrades both directions of the channel between two neighbor chiplets.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `a` and `b` are out of range or not neighbors on `mesh`.
     pub fn degrade_link_between(
         &mut self,
         mesh: &Mesh,
@@ -200,6 +208,10 @@ impl FaultModel {
     }
 
     /// Checks that every recorded id is in range for `mesh`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a recorded node or link id does not exist on `mesh`.
     pub fn validate(&self, mesh: &Mesh) -> Result<(), TopologyError> {
         for &n in &self.failed_nodes {
             mesh.check_node(NodeId(n))?;

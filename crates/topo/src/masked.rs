@@ -81,6 +81,8 @@ fn reachable_from(mesh: &Mesh, faults: &FaultModel, start: NodeId) -> Vec<NodeId
 
 /// Builds a BFS tree rooted at `root` spanning every surviving chiplet.
 ///
+/// # Errors
+///
 /// Returns [`TopologyError::Infeasible`] when the root is dead or the
 /// survivors are partitioned.
 pub fn masked_tree(mesh: &Mesh, faults: &FaultModel, root: NodeId) -> Result<Tree, TopologyError> {
@@ -118,6 +120,12 @@ pub fn masked_tree(mesh: &Mesh, faults: &FaultModel, root: NodeId) -> Result<Tre
 /// cycle for odd ones). Under faults it searches: bipartite color balance
 /// dictates how many survivors must sit out, candidate exclusion sets are
 /// tried smallest-first, and a budget-bounded DFS looks for the cycle.
+///
+/// # Errors
+///
+/// Returns [`TopologyError::Infeasible`] when no cycle exists within the
+/// search budget, and propagates invalid fault records from
+/// [`FaultModel::validate`].
 pub fn masked_cycle(mesh: &Mesh, faults: &FaultModel) -> Result<MaskedCycle, TopologyError> {
     faults.validate(mesh)?;
     if faults.is_empty() && mesh.rows() >= 2 && mesh.cols() >= 2 {

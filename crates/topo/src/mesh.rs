@@ -426,6 +426,61 @@ impl Mesh {
         let (ca, cb) = (self.coord(a), self.coord(b));
         self.row_dist(ca.row, cb.row) + self.col_dist(ca.col, cb.col)
     }
+
+    /// The directed links crossing the vertical cut between columns
+    /// `boundary - 1` and `boundary`, in the given direction (`eastward`
+    /// means column `boundary - 1` → column `boundary`). One link per row.
+    ///
+    /// On a torus the wraparound links between the first and last column
+    /// bypass this cut entirely, so a single column cut does not separate
+    /// the topology — the bisection bound in the static analyzer only uses
+    /// these on non-torus meshes.
+    ///
+    /// Panics unless `1 <= boundary < cols`.
+    pub fn column_cut_links(
+        &self,
+        boundary: usize,
+        eastward: bool,
+    ) -> impl Iterator<Item = LinkId> + '_ {
+        assert!(
+            boundary >= 1 && boundary < self.cols,
+            "column cut boundary {boundary} out of range for {self}"
+        );
+        (0..self.rows).map(move |row| {
+            let (col, d) = if eastward {
+                (boundary - 1, Direction::East)
+            } else {
+                (boundary, Direction::West)
+            };
+            LinkId(self.node_at(Coord::new(row, col)).0 * 4 + d.slot())
+        })
+    }
+
+    /// The directed links crossing the horizontal cut between rows
+    /// `boundary - 1` and `boundary`, in the given direction (`southward`
+    /// means row `boundary - 1` → row `boundary`). One link per column.
+    ///
+    /// The torus caveat of [`Mesh::column_cut_links`] applies here too.
+    ///
+    /// Panics unless `1 <= boundary < rows`.
+    pub fn row_cut_links(
+        &self,
+        boundary: usize,
+        southward: bool,
+    ) -> impl Iterator<Item = LinkId> + '_ {
+        assert!(
+            boundary >= 1 && boundary < self.rows,
+            "row cut boundary {boundary} out of range for {self}"
+        );
+        (0..self.cols).map(move |col| {
+            let (row, d) = if southward {
+                (boundary - 1, Direction::South)
+            } else {
+                (boundary, Direction::North)
+            };
+            LinkId(self.node_at(Coord::new(row, col)).0 * 4 + d.slot())
+        })
+    }
 }
 
 impl fmt::Display for Mesh {
@@ -539,5 +594,47 @@ mod tests {
         let m = Mesh::new(4, 4).unwrap();
         assert_eq!(m.distance(NodeId(0), NodeId(15)), 6);
         assert_eq!(m.distance(NodeId(5), NodeId(5)), 0);
+    }
+
+    #[test]
+    fn cut_links_straddle_their_boundary() {
+        let m = Mesh::new(3, 5).unwrap();
+        for boundary in 1..m.cols() {
+            for eastward in [true, false] {
+                let links: Vec<LinkId> = m.column_cut_links(boundary, eastward).collect();
+                assert_eq!(links.len(), m.rows());
+                for l in links {
+                    let (src, dst) = m.link_endpoints(l);
+                    let (cs, cd) = (m.coord(src), m.coord(dst));
+                    if eastward {
+                        assert_eq!((cs.col, cd.col), (boundary - 1, boundary));
+                    } else {
+                        assert_eq!((cs.col, cd.col), (boundary, boundary - 1));
+                    }
+                }
+            }
+        }
+        for boundary in 1..m.rows() {
+            for southward in [true, false] {
+                let links: Vec<LinkId> = m.row_cut_links(boundary, southward).collect();
+                assert_eq!(links.len(), m.cols());
+                for l in links {
+                    let (src, dst) = m.link_endpoints(l);
+                    let (cs, cd) = (m.coord(src), m.coord(dst));
+                    if southward {
+                        assert_eq!((cs.row, cd.row), (boundary - 1, boundary));
+                    } else {
+                        assert_eq!((cs.row, cd.row), (boundary, boundary - 1));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cut_boundary_zero_is_rejected() {
+        let m = Mesh::square(3).unwrap();
+        let _ = m.column_cut_links(0, true);
     }
 }

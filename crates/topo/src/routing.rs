@@ -115,6 +115,114 @@ pub fn xy_route_nodes(mesh: &Mesh, src: NodeId, dst: NodeId) -> Result<Vec<NodeI
     Ok(nodes)
 }
 
+/// Visits the route from `src` to `dst` link by link without allocating —
+/// the same links, in the same order, that [`route`] would return. The
+/// static analyzer walks every op's route this way so a single `analyze`
+/// call stays allocation-free on its hot path.
+///
+/// # Errors
+///
+/// Returns [`TopologyError::NodeOutOfRange`] if either node is out of range.
+pub fn for_each_route_link<F: FnMut(LinkId)>(
+    mesh: &Mesh,
+    src: NodeId,
+    dst: NodeId,
+    algorithm: RoutingAlgorithm,
+    mut f: F,
+) -> Result<(), TopologyError> {
+    mesh.check_node(src)?;
+    mesh.check_node(dst)?;
+    let s = mesh.coord(src);
+    let d = mesh.coord(dst);
+    let mut at = src;
+    match algorithm {
+        RoutingAlgorithm::Xy => {
+            walk_dim(
+                mesh,
+                &mut at,
+                s.col,
+                d.col,
+                mesh.cols(),
+                |c| crate::Coord::new(s.row, c),
+                &mut f,
+            )?;
+            walk_dim(
+                mesh,
+                &mut at,
+                s.row,
+                d.row,
+                mesh.rows(),
+                |r| crate::Coord::new(r, d.col),
+                &mut f,
+            )?;
+        }
+        RoutingAlgorithm::Yx => {
+            walk_dim(
+                mesh,
+                &mut at,
+                s.row,
+                d.row,
+                mesh.rows(),
+                |r| crate::Coord::new(r, s.col),
+                &mut f,
+            )?;
+            walk_dim(
+                mesh,
+                &mut at,
+                s.col,
+                d.col,
+                mesh.cols(),
+                |c| crate::Coord::new(d.row, c),
+                &mut f,
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Steps `at` along one dimension from `from` to `to` (shorter way around
+/// on a torus, ties forward — the same choice as [`dim_steps`]), feeding
+/// each traversed link to `f`.
+fn walk_dim(
+    mesh: &Mesh,
+    at: &mut NodeId,
+    from: usize,
+    to: usize,
+    n: usize,
+    mut coord_of: impl FnMut(usize) -> crate::Coord,
+    f: &mut impl FnMut(LinkId),
+) -> Result<(), TopologyError> {
+    if from == to {
+        return Ok(());
+    }
+    let wrap = mesh.is_torus();
+    let forward = (to + n - from) % n;
+    let go_forward = if !wrap {
+        to > from
+    } else {
+        forward <= n - forward
+    };
+    let hops = if !wrap {
+        to.abs_diff(from)
+    } else if go_forward {
+        forward
+    } else {
+        n - forward
+    };
+    let mut c = from;
+    for _ in 0..hops {
+        c = if go_forward {
+            (c + 1) % n
+        } else {
+            (c + n - 1) % n
+        };
+        let next = mesh.node_at(coord_of(c));
+        f(mesh.link_between(*at, next)?);
+        *at = next;
+    }
+    Ok(())
+}
+
 /// Cache key: routes are a pure function of the mesh shape, the routing
 /// variant, and the endpoints — not of any particular [`Mesh`] instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -362,6 +470,33 @@ mod tests {
     fn out_of_range_is_error() {
         let m = Mesh::square(2).unwrap();
         assert!(xy_route(&m, NodeId(0), NodeId(99)).is_err());
+        assert!(
+            for_each_route_link(&m, NodeId(0), NodeId(99), RoutingAlgorithm::Xy, |_| {}).is_err()
+        );
+    }
+
+    #[test]
+    fn allocation_free_walker_matches_route_everywhere() {
+        for m in [
+            Mesh::new(5, 7).unwrap(),
+            Mesh::new(1, 4).unwrap(),
+            Mesh::torus(4, 5).unwrap(),
+            Mesh::torus(3, 3).unwrap(),
+        ] {
+            for algo in [RoutingAlgorithm::Xy, RoutingAlgorithm::Yx] {
+                for a in m.node_ids() {
+                    for b in m.node_ids() {
+                        let mut walked = Vec::new();
+                        for_each_route_link(&m, a, b, algo, |l| walked.push(l)).unwrap();
+                        assert_eq!(
+                            walked,
+                            route(&m, a, b, algo).unwrap(),
+                            "{m} {algo:?} {a}->{b}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

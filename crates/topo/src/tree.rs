@@ -71,7 +71,7 @@ impl Tree {
     /// Whether `n` is in the tree.
     #[inline]
     pub fn contains(&self, n: NodeId) -> bool {
-        self.parent.get(n.index()).is_some_and(|p| p.is_some())
+        self.parent.get(n.index()).is_some_and(Option::is_some)
     }
 
     /// The parent of `n`, or `None` if `n` is the root or not in the tree.

@@ -1,0 +1,244 @@
+//! Directed-graph machinery shared by the schedule linter, the network
+//! auditor, and the static analyzer.
+//!
+//! All functions work on dense node ids `0..n` and take the edge relation as
+//! a callback pushing each node's *successors* into a scratch vector, so the
+//! collective-schedule layer (deps stored in an arena) and the NoC layer
+//! (deps stored per message) can share one implementation without building
+//! an adjacency structure first.
+//!
+//! The convention throughout: an edge `a -> b` means "`a` depends on `b`"
+//! (`b` must complete before `a`). A cycle under this relation is a
+//! deadlock: no member can ever become ready.
+
+/// Strongly connected components of a directed graph, via an iterative
+/// Tarjan traversal (no recursion, so deep dependency chains cannot
+/// overflow the stack). Components are returned in reverse topological
+/// order; singleton components without a self-loop are included.
+///
+/// `successors(v, out)` must push `v`'s successors into `out` (which is
+/// handed over cleared).
+pub fn strongly_connected_components(
+    n: usize,
+    mut successors: impl FnMut(usize, &mut Vec<usize>),
+) -> Vec<Vec<usize>> {
+    const UNVISITED: usize = usize::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut components: Vec<Vec<usize>> = Vec::new();
+    let mut scratch: Vec<usize> = Vec::new();
+
+    // Explicit DFS frames: (node, successor list, next successor position).
+    let mut frames: Vec<(usize, Vec<usize>, usize)> = Vec::new();
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        index[root] = next_index;
+        low[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+        scratch.clear();
+        successors(root, &mut scratch);
+        frames.push((root, std::mem::take(&mut scratch), 0));
+
+        while let Some(frame) = frames.last_mut() {
+            let v = frame.0;
+            if frame.2 < frame.1.len() {
+                let w = frame.1[frame.2];
+                frame.2 += 1;
+                if index[w] == UNVISITED {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    scratch.clear();
+                    successors(w, &mut scratch);
+                    frames.push((w, std::mem::take(&mut scratch), 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(parent) = frames.last() {
+                    low[parent.0] = low[parent.0].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut component = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        component.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    component.sort_unstable();
+                    components.push(component);
+                }
+            }
+        }
+    }
+    components
+}
+
+/// The dependency cycles of a graph: every strongly connected component
+/// that is larger than one node, or a single node depending on itself.
+/// An empty result proves the dependency relation is a DAG.
+pub fn cycles(n: usize, mut successors: impl FnMut(usize, &mut Vec<usize>)) -> Vec<Vec<usize>> {
+    let mut probe: Vec<usize> = Vec::new();
+    let mut self_loop = vec![false; n];
+    for (v, has) in self_loop.iter_mut().enumerate() {
+        probe.clear();
+        successors(v, &mut probe);
+        *has = probe.contains(&v);
+    }
+    strongly_connected_components(n, successors)
+        .into_iter()
+        .filter(|c| c.len() > 1 || self_loop[c[0]])
+        .collect()
+}
+
+/// Marks every node from which some seed is reachable by following
+/// successor edges — with the `a -> b` = "`a` depends on `b`" convention
+/// and seeds chosen as the useful sinks, the marked set is "the seeds plus
+/// everything they transitively depend on".
+///
+/// Callers invert the result to find dead work: nodes nothing useful
+/// depends on. Note the direction: this walks *from* the seeds *along*
+/// their successor edges, so it marks each seed's dependency closure.
+pub fn reachable_from(
+    n: usize,
+    mut successors: impl FnMut(usize, &mut Vec<usize>),
+    seeds: impl IntoIterator<Item = usize>,
+) -> Vec<bool> {
+    let mut marked = vec![false; n];
+    let mut work: Vec<usize> = seeds.into_iter().filter(|&s| s < n).collect();
+    let mut scratch: Vec<usize> = Vec::new();
+    for &s in &work {
+        marked[s] = true;
+    }
+    while let Some(v) = work.pop() {
+        scratch.clear();
+        successors(v, &mut scratch);
+        for &w in &scratch {
+            if w < n && !marked[w] {
+                marked[w] = true;
+                work.push(w);
+            }
+        }
+    }
+    marked
+}
+
+/// A topological order of the graph (dependencies before dependents), or
+/// `None` when the dependency relation has a cycle. Kahn's algorithm over
+/// the `a -> b` = "`a` depends on `b`" convention: nodes with no
+/// outstanding dependencies drain first.
+pub fn topological_order(
+    n: usize,
+    mut successors: impl FnMut(usize, &mut Vec<usize>),
+) -> Option<Vec<usize>> {
+    // outstanding[v] = unresolved dependencies of v;
+    // dependents[b] = nodes that depend on b.
+    let mut outstanding = vec![0usize; n];
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut scratch: Vec<usize> = Vec::new();
+    for (v, out) in outstanding.iter_mut().enumerate() {
+        scratch.clear();
+        successors(v, &mut scratch);
+        *out = scratch.len();
+        for &dep in &scratch {
+            dependents[dep].push(v);
+        }
+    }
+    let mut ready: Vec<usize> = (0..n).filter(|&v| outstanding[v] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(v) = ready.pop() {
+        order.push(v);
+        for &w in &dependents[v] {
+            outstanding[w] -= 1;
+            if outstanding[w] == 0 {
+                ready.push(w);
+            }
+        }
+    }
+    (order.len() == n).then_some(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_adj<'a>(adj: &'a [&'a [usize]]) -> impl FnMut(usize, &mut Vec<usize>) + 'a {
+        move |v, out| out.extend_from_slice(adj[v])
+    }
+
+    #[test]
+    fn dag_has_no_cycles_and_a_valid_order() {
+        // 2 depends on 1 depends on 0; 3 depends on 0.
+        let adj: &[&[usize]] = &[&[], &[0], &[1], &[0]];
+        assert!(cycles(4, from_adj(adj)).is_empty());
+        let order = topological_order(4, from_adj(adj)).expect("acyclic");
+        let pos = |x: usize| order.iter().position(|&v| v == x).unwrap();
+        assert!(pos(0) < pos(1) && pos(1) < pos(2) && pos(0) < pos(3));
+    }
+
+    #[test]
+    fn cycle_is_named_and_order_refused() {
+        // 0 -> 1 -> 2 -> 0, plus an innocent bystander 3.
+        let adj: &[&[usize]] = &[&[1], &[2], &[0], &[]];
+        let found = cycles(4, from_adj(adj));
+        assert_eq!(found, vec![vec![0, 1, 2]]);
+        assert!(topological_order(4, from_adj(adj)).is_none());
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let adj: &[&[usize]] = &[&[0], &[]];
+        assert_eq!(cycles(2, from_adj(adj)), vec![vec![0]]);
+    }
+
+    #[test]
+    fn two_disjoint_cycles_are_both_found() {
+        let adj: &[&[usize]] = &[&[1], &[0], &[3], &[2], &[]];
+        let mut found = cycles(5, from_adj(adj));
+        found.sort();
+        assert_eq!(found, vec![vec![0, 1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn sccs_include_singletons() {
+        let adj: &[&[usize]] = &[&[1], &[0], &[]];
+        let sccs = strongly_connected_components(3, from_adj(adj));
+        assert_eq!(sccs.len(), 2);
+        assert!(sccs.contains(&vec![0, 1]));
+        assert!(sccs.contains(&vec![2]));
+    }
+
+    #[test]
+    fn reachability_marks_dependency_closure() {
+        // 3 depends on 2 depends on 0; 1 is dead work.
+        let adj: &[&[usize]] = &[&[], &[0], &[0], &[2]];
+        let marked = reachable_from(4, from_adj(adj), [3]);
+        assert_eq!(marked, vec![true, false, true, true]);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        // 100k-node dependency chain: recursive Tarjan would blow the stack.
+        let n = 100_000;
+        let succ = |v: usize, out: &mut Vec<usize>| {
+            if v > 0 {
+                out.push(v - 1);
+            }
+        };
+        assert!(cycles(n, succ).is_empty());
+        assert_eq!(topological_order(n, succ).map(|o| o.len()), Some(n));
+    }
+}

@@ -2,10 +2,13 @@
 //!
 //! The repository builds in fully offline environments, so everything that
 //! would normally come from small utility crates lives here instead: a
-//! minimal JSON value model with a strict parser and writer ([`json`]), and
-//! the splitmix64 deterministic generator the test suites use to synthesize
-//! reproducible workloads ([`rng`]).
+//! minimal JSON value model with a strict parser and writer ([`json`]), the
+//! splitmix64 deterministic generator the test suites use to synthesize
+//! reproducible workloads ([`rng`]), and the directed-graph algorithms
+//! (Tarjan SCC, reachability, topological order) behind the schedule
+//! linter and static analyzer ([`graph`]).
 
+pub mod graph;
 pub mod json;
 pub mod rng;
 

@@ -24,7 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .ok_or_else(|| {
             format!(
                 "unknown model {model_name}; pick one of {:?}",
-                DnnModel::ALL.map(|m| m.name())
+                DnnModel::ALL.map(DnnModel::name)
             )
         })?;
     let model: Model = which.model();
