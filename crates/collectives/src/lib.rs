@@ -24,7 +24,9 @@
 //! `meshcoll-noc` simulators can time under real link contention.
 //!
 //! Under chiplet/link faults, the [`fault`] module lints schedules against a
-//! `FaultModel` and regenerates (repairs) them over the surviving topology.
+//! `FaultModel` and regenerates (repairs) them over the surviving topology;
+//! the [`online`] module repairs the *suffix* of a collective interrupted
+//! mid-run, salvaging the partial sums the completed prefix produced.
 //!
 //! # Example
 //!
@@ -55,6 +57,7 @@ pub mod hdrm;
 pub mod link_usage;
 pub mod lint;
 pub mod multitree;
+pub mod online;
 pub mod primitives;
 pub mod ring;
 pub mod ring2d;
@@ -66,4 +69,5 @@ pub mod verify;
 
 pub use algorithm::{Algorithm, Applicability, ScheduleOptions};
 pub use error::CollectiveError;
+pub use online::{repair_suffix, SuffixContext, SuffixRepair};
 pub use schedule::{CollectiveOp, OpId, OpKind, Schedule, ScheduleBuilder};

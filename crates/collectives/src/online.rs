@@ -1,0 +1,900 @@
+//! Online (mid-collective) suffix repair.
+//!
+//! When a link or chiplet dies *while* an AllReduce is executing, restarting
+//! the collective from scratch both wastes the transfers that already
+//! completed and discards partial sums whose ingredients may no longer be
+//! recoverable. This module repairs the *suffix*: given the ops that
+//! actually completed before the network drained (as reported by the packet
+//! engine's drain snapshot), it emits a new schedule that finishes the
+//! collective on the surviving topology, reusing every partial sum the
+//! completed prefix produced.
+//!
+//! Three tiers, tried in order:
+//!
+//! 1. **Salvage** — the remaining ops are reissued verbatim with completed
+//!    dependencies dropped. Accepted when they lint clean on the fault
+//!    overlay (the fault missed every remaining route).
+//! 2. **Restart** — nothing executed yet: a full [`fault::repair`] schedule
+//!    over the survivors, exactly as the offline degraded path.
+//! 3. **Convergecast** — the interesting case. The executed prefix is
+//!    replayed *symbolically*: per (chiplet, atom) a bitmask records whose
+//!    contributions that buffer currently holds. Per atom, a set of
+//!    pairwise-disjoint holders covering every survivor's contribution is
+//!    chosen greedily; their pieces are funneled into a root along a
+//!    fault-masked spanning tree (single-hop ops only, so no transfer can
+//!    route over a dead link), and the root broadcasts the completed sum
+//!    back down the same tree.
+//!
+//! Every tier's output is validated by splicing it after the executed
+//! prefix and running [`verify::check_reduce_indegree`] on the whole.
+//! Unrecoverable situations — survivors partitioned, or a survivor's
+//! contribution whose only copies died with the fault — come back as the
+//! typed [`CollectiveError::Infeasible`], never a panic or a hang.
+//!
+//! [`verify::check_reduce_indegree`]: crate::verify::check_reduce_indegree
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+use meshcoll_topo::{masked, FaultModel, Mesh, NodeId, RoutingAlgorithm, TopologyError, Tree};
+
+use crate::fault;
+use crate::schedule::{CollectiveOp, OpId, OpKind, Schedule};
+use crate::{verify, Algorithm, CollectiveError, ScheduleOptions};
+
+/// Orderings the per-atom disjoint-cover greedy tries before declaring a
+/// surviving contribution unrecoverable.
+const COVER_ATTEMPTS: u64 = 32;
+
+/// Everything [`repair_suffix`] needs to know about the interrupted run.
+#[derive(Debug, Clone, Copy)]
+pub struct SuffixContext<'a> {
+    /// The mesh the collective runs on.
+    pub mesh: &'a Mesh,
+    /// The fault overlay at drain time: the statically configured faults
+    /// plus every timeline event that had arrived when the network drained.
+    pub faults: &'a FaultModel,
+    /// The routing the network uses — remaining ops are linted under it.
+    pub routing: RoutingAlgorithm,
+    /// The original collective's participants (gradient contributors). Bit
+    /// provenance is tracked against these across repeated repairs.
+    pub contributors: &'a [NodeId],
+    /// Ops fully executed in *earlier* segments (before `schedule`), in
+    /// execution order. Empty on the first fault.
+    pub history: &'a [CollectiveOp],
+    /// The interrupted segment's schedule.
+    pub schedule: &'a Schedule,
+    /// Per-op completion flags for `schedule` (`completed[i]` ⇔ op `i`
+    /// delivered before the drain). Must have length `schedule.len()`.
+    pub completed: &'a [bool],
+}
+
+/// A repaired suffix: the schedule that finishes the interrupted collective.
+#[derive(Debug, Clone)]
+pub struct SuffixRepair {
+    /// The suffix schedule. Its participants are the surviving training
+    /// chiplets; it may be empty when the fault arrived after the last
+    /// transfer those survivors needed.
+    pub suffix: Schedule,
+    /// Survivors a full-restart repair sidelined as relays (tier 2 only).
+    pub sidelined: Vec<NodeId>,
+    /// Human-readable description of the tier that produced the suffix.
+    pub strategy: &'static str,
+    /// Remaining original ops reissued verbatim (salvage tier), `0` when
+    /// the suffix was rebuilt from scratch.
+    pub salvaged_ops: usize,
+}
+
+/// Repairs the suffix of an interrupted collective; see the
+/// [module docs](self) for the tier ladder.
+///
+/// # Errors
+///
+/// * [`CollectiveError::Infeasible`] when the survivors are partitioned, a
+///   surviving participant's contribution is unrecoverable (its only copies
+///   died with the fault), or no surviving participant remains,
+/// * [`CollectiveError::Construction`] when an internal invariant breaks
+///   (malformed inputs, or a rebuilt suffix that fails its own validation —
+///   a bug, reported instead of executed),
+/// * other [`CollectiveError`]s from the full-restart tier.
+pub fn repair_suffix(
+    ctx: &SuffixContext<'_>,
+    algorithm: Algorithm,
+    opts: &ScheduleOptions,
+) -> Result<SuffixRepair, CollectiveError> {
+    ctx.faults.validate(ctx.mesh)?;
+    if ctx.completed.len() != ctx.schedule.len() {
+        return Err(CollectiveError::Construction(format!(
+            "completion flags cover {} ops but the schedule has {}",
+            ctx.completed.len(),
+            ctx.schedule.len()
+        )));
+    }
+    let survivors: Vec<NodeId> = ctx
+        .schedule
+        .participants()
+        .iter()
+        .copied()
+        .filter(|&n| !ctx.faults.node_failed(n))
+        .collect();
+    if survivors.is_empty() {
+        return Err(CollectiveError::Infeasible {
+            reason: "no surviving participants",
+        });
+    }
+
+    // Tier 1: salvage the untouched remainder.
+    if let Some(repair) = salvage(ctx, &survivors) {
+        return Ok(repair);
+    }
+
+    // Tier 2: nothing executed — restart from scratch on the survivors.
+    if ctx.history.is_empty() && !ctx.completed.iter().any(|&c| c) {
+        let rep = fault::repair(
+            algorithm,
+            ctx.mesh,
+            ctx.faults,
+            ctx.schedule.data_bytes(),
+            opts,
+        )?;
+        verify_splice(ctx, &rep.schedule)?;
+        return Ok(SuffixRepair {
+            suffix: rep.schedule,
+            sidelined: rep.sidelined,
+            strategy: "nothing executed, full restart on the survivors",
+            salvaged_ops: 0,
+        });
+    }
+
+    // Tier 3: convergecast over the salvaged partial sums.
+    convergecast(ctx, &survivors)
+}
+
+/// Tier 1: reissue the not-yet-completed ops with completed dependencies
+/// dropped. `None` when a remaining op's route or endpoint is hit by the
+/// fault (or the splice fails validation) — the caller falls through.
+fn salvage(ctx: &SuffixContext<'_>, survivors: &[NodeId]) -> Option<SuffixRepair> {
+    let mut b = Schedule::builder("online-salvage", ctx.schedule.data_bytes());
+    b.set_participants(survivors.to_vec());
+    let mut remap: Vec<Option<OpId>> = vec![None; ctx.schedule.len()];
+    for id in ctx.schedule.op_ids() {
+        if ctx.completed[id.index()] {
+            continue;
+        }
+        let op = ctx.schedule.op(id);
+        let deps: Vec<OpId> = ctx
+            .schedule
+            .deps(id)
+            .iter()
+            .filter_map(|d| remap[d.index()])
+            .collect();
+        remap[id.index()] = Some(b.push(
+            op.src, op.dst, op.offset, op.bytes, op.kind, op.chunk, &deps,
+        ));
+    }
+    let suffix = b.build();
+    if !fault::lint(ctx.mesh, ctx.faults, &suffix, ctx.routing).is_empty() {
+        return None;
+    }
+    verify_splice(ctx, &suffix).ok()?;
+    let salvaged_ops = suffix.len();
+    Some(SuffixRepair {
+        suffix,
+        sidelined: Vec::new(),
+        strategy: "remaining ops untouched by the fault, reissued",
+        salvaged_ops,
+    })
+}
+
+/// One atom's repair plan: the disjoint partial-sum holders, the chiplet
+/// their pieces funnel into, and the survivors owed the finished value.
+#[derive(Clone, PartialEq, Eq)]
+struct Plan {
+    sources: Vec<NodeId>,
+    root: NodeId,
+    targets: Vec<NodeId>,
+}
+
+/// Tier 3: rebuild the rest of the collective as a per-atom convergecast
+/// over whatever disjoint partial sums the completed prefix left behind.
+fn convergecast(
+    ctx: &SuffixContext<'_>,
+    survivors: &[NodeId],
+) -> Result<SuffixRepair, CollectiveError> {
+    let mesh = ctx.mesh;
+    let nodes = mesh.nodes();
+    if nodes > 128 {
+        return Err(CollectiveError::Infeasible {
+            reason: "online convergecast repair supports at most 128 chiplets",
+        });
+    }
+    if !masked::is_connected(mesh, ctx.faults) {
+        return Err(CollectiveError::Infeasible {
+            reason: "surviving chiplets are partitioned",
+        });
+    }
+    let data_bytes = ctx.schedule.data_bytes();
+
+    // Atom partition refined by *every* executed op, past segments included.
+    let mut breaks = ctx.schedule.atom_breaks();
+    for op in ctx.history {
+        breaks.push(op.offset);
+        breaks.push(op.end());
+    }
+    breaks.sort_unstable();
+    breaks.dedup();
+    if breaks.last().copied() != Some(data_bytes) {
+        return Err(CollectiveError::Construction(
+            "an executed op extends past the gradient".into(),
+        ));
+    }
+    let atoms = breaks.len() - 1;
+
+    // Symbolic replay of the executed prefix: per (node, atom), which
+    // contributors' gradients the buffer currently sums. A buffer is
+    // *tainted* — unusable as a salvage source — once a replayed reduce
+    // provably double-counted into it (overlapping operand masks).
+    let mut mask = vec![0u128; nodes * atoms];
+    let mut taint = vec![false; nodes * atoms];
+    for &c in ctx.contributors {
+        for a in 0..atoms {
+            mask[c.index() * atoms + a] = 1u128 << c.index();
+        }
+    }
+    let locate = |off: u64| -> Result<usize, CollectiveError> {
+        breaks
+            .binary_search(&off)
+            .map_err(|_| CollectiveError::Construction("op boundary is not an atom break".into()))
+    };
+    let replay =
+        |op: &CollectiveOp, mask: &mut [u128], taint: &mut [bool]| -> Result<(), CollectiveError> {
+            let (lo, hi) = (locate(op.offset)?, locate(op.end())?);
+            for a in lo..hi {
+                let si = op.src.index() * atoms + a;
+                let di = op.dst.index() * atoms + a;
+                let (sm, st) = (mask[si], taint[si]);
+                match op.kind {
+                    OpKind::Reduce => {
+                        if mask[di] & sm != 0 {
+                            taint[di] = true;
+                        }
+                        mask[di] |= sm;
+                        taint[di] |= st;
+                    }
+                    OpKind::Gather => {
+                        mask[di] = sm;
+                        taint[di] = st;
+                    }
+                }
+            }
+            Ok(())
+        };
+    for op in ctx.history {
+        replay(op, &mut mask, &mut taint)?;
+    }
+    for id in ctx.schedule.op_ids() {
+        if ctx.completed[id.index()] {
+            replay(ctx.schedule.op(id), &mut mask, &mut taint)?;
+        }
+    }
+
+    let goal: u128 = survivors.iter().fold(0, |g, n| g | 1u128 << n.index());
+    let alive = ctx.faults.surviving_nodes(mesh);
+    let mut trees: HashMap<NodeId, Tree> = HashMap::new();
+
+    // Per atom: choose disjoint untainted holders covering every survivor's
+    // bit, a root among them, and the survivors still owed the final value.
+    let mut plans: Vec<Plan> = Vec::with_capacity(atoms);
+    for a in 0..atoms {
+        let at = |n: NodeId| n.index() * atoms + a;
+        let cand: Vec<(NodeId, u128)> = alive
+            .iter()
+            .copied()
+            .filter(|&n| !taint[at(n)] && mask[at(n)] & goal != 0)
+            .map(|n| (n, mask[at(n)]))
+            .collect();
+        let mut picks: Option<Vec<usize>> = None;
+        for attempt in 0..COVER_ATTEMPTS {
+            let mut order: Vec<usize> = (0..cand.len()).collect();
+            if attempt == 0 {
+                order.sort_by_key(|&i| {
+                    (
+                        std::cmp::Reverse((cand[i].1 & goal).count_ones()),
+                        cand[i].0.index(),
+                    )
+                });
+            } else {
+                shuffle(&mut order, attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
+            }
+            let mut covered = 0u128;
+            let mut chosen = Vec::new();
+            for &i in &order {
+                let m = cand[i].1;
+                if m & covered == 0 && m & goal & !covered != 0 {
+                    covered |= m;
+                    chosen.push(i);
+                }
+            }
+            if covered & goal == goal {
+                picks = Some(chosen);
+                break;
+            }
+        }
+        let Some(chosen) = picks else {
+            return Err(CollectiveError::Infeasible {
+                reason: "a surviving contribution is unrecoverable after the fault",
+            });
+        };
+        let mut sources: Vec<NodeId> = chosen.iter().map(|&i| cand[i].0).collect();
+        sources.sort_by_key(|n| n.index());
+        let union: u128 = chosen.iter().fold(0, |u, &i| u | cand[i].1);
+        let root = *sources
+            .iter()
+            .max_by_key(|&&n| ((mask[at(n)] & goal).count_ones(), n.index()))
+            .expect("cover is non-empty");
+
+        // The funnel chains below clobber every strict ancestor of every
+        // non-root source, so those must be re-delivered too.
+        let tree = tree_for(&mut trees, mesh, ctx.faults, root)?;
+        let mut clobbered = vec![false; nodes];
+        for &s in &sources {
+            if s == root {
+                continue;
+            }
+            let mut cur = parent_of(tree, s, root)?;
+            while cur != root {
+                clobbered[cur.index()] = true;
+                cur = parent_of(tree, cur, root)?;
+            }
+        }
+        let targets: Vec<NodeId> = survivors
+            .iter()
+            .copied()
+            .filter(|&v| {
+                v != root && (mask[at(v)] != union || taint[at(v)] || clobbered[v.index()])
+            })
+            .collect();
+        plans.push(Plan {
+            sources,
+            root,
+            targets,
+        });
+    }
+
+    // Emit, merging consecutive atoms with identical plans into one range.
+    let mut b = Schedule::builder("online-suffix", data_bytes);
+    b.set_participants(survivors.to_vec());
+    let mut a = 0;
+    while a < atoms {
+        let mut end = a + 1;
+        while end < atoms && plans[end] == plans[a] {
+            end += 1;
+        }
+        let plan = &plans[a];
+        let (lo_off, hi_off) = (breaks[a], breaks[end]);
+        a = end;
+        if plan.sources.len() == 1 && plan.targets.is_empty() {
+            continue; // the sum already sits everywhere it must
+        }
+        let bytes = hi_off - lo_off;
+        let tree = tree_for(&mut trees, mesh, ctx.faults, plan.root)?;
+
+        // Up phase: funnel each non-root piece to the root along the tree,
+        // hop by hop (gathers relay, the final hop reduces into the root).
+        // Chains run shallow-first and fully serialized, so a relay is
+        // always read before any later piece overwrites it.
+        let mut chain_sources: Vec<NodeId> = plan
+            .sources
+            .iter()
+            .copied()
+            .filter(|&s| s != plan.root)
+            .collect();
+        chain_sources.sort_by_key(|&s| (depth_of(tree, s), s.index()));
+        let mut prev_chain_end: Option<OpId> = None;
+        for &s in &chain_sources {
+            let mut carrier = s;
+            let mut last = prev_chain_end;
+            loop {
+                let up = parent_of(tree, carrier, plan.root)?;
+                let deps: Vec<OpId> = last.into_iter().collect();
+                let kind = if up == plan.root {
+                    OpKind::Reduce
+                } else {
+                    OpKind::Gather
+                };
+                last = Some(b.push(carrier, up, lo_off, bytes, kind, 0, &deps));
+                if up == plan.root {
+                    break;
+                }
+                carrier = up;
+            }
+            prev_chain_end = last;
+        }
+
+        // Down phase: broadcast the completed sum from the root along the
+        // ancestor chains of every target, top-down.
+        let mut need: Vec<NodeId> = Vec::new();
+        let mut seen = vec![false; nodes];
+        for &t in &plan.targets {
+            let mut cur = t;
+            while cur != plan.root && !seen[cur.index()] {
+                seen[cur.index()] = true;
+                need.push(cur);
+                cur = parent_of(tree, cur, plan.root)?;
+            }
+        }
+        need.sort_by_key(|&n| (depth_of(tree, n), n.index()));
+        let mut gather_at: Vec<Option<OpId>> = vec![None; nodes];
+        for &c in &need {
+            let p = parent_of(tree, c, plan.root)?;
+            let deps: Vec<OpId> = if p == plan.root {
+                prev_chain_end.into_iter().collect()
+            } else {
+                gather_at[p.index()].into_iter().collect()
+            };
+            gather_at[c.index()] = Some(b.push(p, c, lo_off, bytes, OpKind::Gather, 0, &deps));
+        }
+    }
+
+    let suffix = b.build();
+    // Safety nets: every op above is a single hop over a usable link, so a
+    // dirty lint (or a splice that flunks the in-degree audit) is a bug —
+    // reported, never executed.
+    let issues = fault::lint(mesh, ctx.faults, &suffix, ctx.routing);
+    if !issues.is_empty() {
+        return Err(CollectiveError::Construction(format!(
+            "convergecast suffix failed its own lint: {}",
+            issues[0]
+        )));
+    }
+    verify_splice(ctx, &suffix)?;
+    Ok(SuffixRepair {
+        suffix,
+        sidelined: Vec::new(),
+        strategy: "convergecast rebuilt from salvaged partial sums",
+        salvaged_ops: 0,
+    })
+}
+
+/// The fault-masked spanning tree rooted at `root`, grown once per root.
+fn tree_for<'t>(
+    trees: &'t mut HashMap<NodeId, Tree>,
+    mesh: &Mesh,
+    faults: &FaultModel,
+    root: NodeId,
+) -> Result<&'t Tree, CollectiveError> {
+    match trees.entry(root) {
+        Entry::Occupied(e) => Ok(e.into_mut()),
+        Entry::Vacant(e) => {
+            let tree = masked::masked_tree(mesh, faults, root).map_err(|err| match err {
+                TopologyError::Infeasible { reason } => CollectiveError::Infeasible { reason },
+                other => CollectiveError::Topology(other),
+            })?;
+            Ok(e.insert(tree))
+        }
+    }
+}
+
+/// `n`'s parent toward `root`, with partition detection instead of panics.
+fn parent_of(tree: &Tree, n: NodeId, root: NodeId) -> Result<NodeId, CollectiveError> {
+    debug_assert_ne!(n, root);
+    tree.parent(n).ok_or(CollectiveError::Infeasible {
+        reason: "surviving chiplets are partitioned",
+    })
+}
+
+/// `n`'s depth in `tree` (∞-like for stranded nodes, which
+/// [`parent_of`] rejects before emission).
+fn depth_of(tree: &Tree, n: NodeId) -> usize {
+    tree.depth(n).unwrap_or(usize::MAX)
+}
+
+/// Splices the executed prefix (dependencies spent) ahead of `suffix` and
+/// runs the structural reduce-in-degree audit on the whole.
+fn verify_splice(ctx: &SuffixContext<'_>, suffix: &Schedule) -> Result<(), CollectiveError> {
+    let mut b = Schedule::builder("online-splice", ctx.schedule.data_bytes());
+    b.set_participants(suffix.participants().to_vec());
+    let mut base = 0u32;
+    for op in ctx.history {
+        b.push(op.src, op.dst, op.offset, op.bytes, op.kind, op.chunk, &[]);
+        base += 1;
+    }
+    for id in ctx.schedule.op_ids() {
+        if ctx.completed[id.index()] {
+            let op = ctx.schedule.op(id);
+            b.push(op.src, op.dst, op.offset, op.bytes, op.kind, op.chunk, &[]);
+            base += 1;
+        }
+    }
+    for id in suffix.op_ids() {
+        let op = suffix.op(id);
+        let deps: Vec<OpId> = suffix.deps(id).iter().map(|d| OpId(d.0 + base)).collect();
+        b.push(
+            op.src, op.dst, op.offset, op.bytes, op.kind, op.chunk, &deps,
+        );
+    }
+    let spliced = b.build();
+    verify::check_reduce_indegree(&spliced)
+        .map_err(|e| CollectiveError::Construction(format!("online splice failed validation: {e}")))
+}
+
+/// Deterministic Fisher–Yates over index vectors (xorshift64*).
+fn shuffle(items: &mut [usize], mut state: u64) {
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state = state.wrapping_mul(0x2545_F491_4F6C_DD1D).max(1);
+        state
+    };
+    for i in (1..items.len()).rev() {
+        let j = (next() as usize) % (i + 1);
+        items.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meshcoll_topo::Coord;
+
+    fn ctx<'a>(
+        mesh: &'a Mesh,
+        faults: &'a FaultModel,
+        contributors: &'a [NodeId],
+        schedule: &'a Schedule,
+        completed: &'a [bool],
+    ) -> SuffixContext<'a> {
+        SuffixContext {
+            mesh,
+            faults,
+            routing: RoutingAlgorithm::Xy,
+            contributors,
+            history: &[],
+            schedule,
+            completed,
+        }
+    }
+
+    /// Splices completed prefix + suffix into one executable schedule with
+    /// the given participants (the *original* contributors when executing —
+    /// a dead contributor's already-merged gradient must start in its
+    /// buffer for the arithmetic to come out right).
+    fn splice(
+        schedule: &Schedule,
+        completed: &[bool],
+        suffix: &Schedule,
+        participants: &[NodeId],
+    ) -> Schedule {
+        let mut b = Schedule::builder("test-splice", schedule.data_bytes());
+        b.set_participants(participants.to_vec());
+        // The prefix really did finish before the suffix began: chain it and
+        // anchor every suffix root on its tail, so even randomized
+        // topological replays respect that causality.
+        let mut prev: Option<OpId> = None;
+        let mut base = 0u32;
+        for id in schedule.op_ids() {
+            if completed[id.index()] {
+                let op = schedule.op(id);
+                let deps: Vec<OpId> = prev.into_iter().collect();
+                prev = Some(b.push(
+                    op.src, op.dst, op.offset, op.bytes, op.kind, op.chunk, &deps,
+                ));
+                base += 1;
+            }
+        }
+        for id in suffix.op_ids() {
+            let op = suffix.op(id);
+            let mut deps: Vec<OpId> = suffix.deps(id).iter().map(|d| OpId(d.0 + base)).collect();
+            if deps.is_empty() {
+                deps.extend(prev);
+            }
+            b.push(
+                op.src, op.dst, op.offset, op.bytes, op.kind, op.chunk, &deps,
+            );
+        }
+        b.build()
+    }
+
+    /// 2x2 package, all four chiplets participate, 8-byte gradient:
+    /// two completed partial reduces (0→1 and 2→3), the cross transfer
+    /// still pending.
+    fn half_reduced() -> (Mesh, Schedule) {
+        let mesh = Mesh::square(2).unwrap();
+        let mut b = Schedule::builder("t", 8);
+        b.set_participants(vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        let r0 = b.push(NodeId(0), NodeId(1), 0, 8, OpKind::Reduce, 0, &[]);
+        let r1 = b.push(NodeId(2), NodeId(3), 0, 8, OpKind::Reduce, 0, &[]);
+        let r2 = b.push(NodeId(1), NodeId(3), 0, 8, OpKind::Reduce, 0, &[r0, r1]);
+        let g0 = b.push(NodeId(3), NodeId(1), 0, 8, OpKind::Gather, 0, &[r2]);
+        b.push(NodeId(1), NodeId(0), 0, 8, OpKind::Gather, 0, &[g0]);
+        b.push(NodeId(3), NodeId(2), 0, 8, OpKind::Gather, 0, &[g0]);
+        (mesh, b.build())
+    }
+
+    #[test]
+    fn salvage_reissues_untouched_remaining_ops() {
+        // Fault on a link no remaining op routes over: tier 1 reissues the
+        // rest verbatim, with the completed dependency dropped.
+        let mesh = Mesh::square(2).unwrap();
+        let mut b = Schedule::builder("t", 8);
+        b.set_participants(vec![NodeId(0), NodeId(1)]);
+        let r = b.push(NodeId(0), NodeId(1), 0, 8, OpKind::Reduce, 0, &[]);
+        b.push(NodeId(1), NodeId(0), 0, 8, OpKind::Gather, 0, &[r]);
+        let s = b.build();
+        let mut faults = FaultModel::new();
+        faults
+            .fail_link_between(&mesh, NodeId(2), NodeId(3))
+            .unwrap();
+        let contributors = s.participants().to_vec();
+        let completed = vec![true, false];
+        let sr = repair_suffix(
+            &ctx(&mesh, &faults, &contributors, &s, &completed),
+            Algorithm::Ring,
+            &ScheduleOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(sr.salvaged_ops, 1);
+        assert_eq!(sr.suffix.len(), 1);
+        assert!(sr.suffix.deps(OpId(0)).is_empty(), "completed dep dropped");
+        assert_eq!(sr.suffix.op(OpId(0)).kind, OpKind::Gather);
+    }
+
+    #[test]
+    fn everything_completed_yields_an_empty_suffix() {
+        let (mesh, s) = half_reduced();
+        let mut faults = FaultModel::new();
+        faults
+            .fail_link_between(&mesh, NodeId(0), NodeId(2))
+            .unwrap();
+        let contributors = s.participants().to_vec();
+        let completed = vec![true; s.len()];
+        let sr = repair_suffix(
+            &ctx(&mesh, &faults, &contributors, &s, &completed),
+            Algorithm::Ring,
+            &ScheduleOptions::default(),
+        )
+        .unwrap();
+        assert!(sr.suffix.is_empty());
+    }
+
+    #[test]
+    fn nothing_executed_restarts_from_scratch() {
+        let mesh = Mesh::square(5).unwrap();
+        let s = Algorithm::Ring.schedule(&mesh, 24_000).unwrap();
+        let mut faults = FaultModel::new();
+        // Kill the first hop of the first op so the salvage lint is dirty.
+        let op = &s.ops()[0];
+        let link =
+            meshcoll_topo::routing::route(&mesh, op.src, op.dst, RoutingAlgorithm::Xy).unwrap()[0];
+        let (x, y) = mesh.link_endpoints(link);
+        faults.fail_link_between(&mesh, x, y).unwrap();
+        let contributors = s.participants().to_vec();
+        let completed = vec![false; s.len()];
+        let sr = repair_suffix(
+            &ctx(&mesh, &faults, &contributors, &s, &completed),
+            Algorithm::Ring,
+            &ScheduleOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(sr.salvaged_ops, 0);
+        // A full restart is a complete collective in its own right.
+        verify::check_allreduce(&mesh, &sr.suffix).unwrap();
+    }
+
+    #[test]
+    fn convergecast_recovers_partial_sums_exactly() {
+        // The cross reduce 1→3 dies with its link. The two completed
+        // partial sums ({0,1} at node 1, {2,3} at node 3) must be merged
+        // over the surviving links and broadcast back — and the spliced
+        // whole must still be an exact AllReduce.
+        let (mesh, s) = half_reduced();
+        let mut faults = FaultModel::new();
+        faults
+            .fail_link_between(&mesh, NodeId(1), NodeId(3))
+            .unwrap();
+        let contributors = s.participants().to_vec();
+        let completed = vec![true, true, false, false, false, false];
+        let sr = repair_suffix(
+            &ctx(&mesh, &faults, &contributors, &s, &completed),
+            Algorithm::Ring,
+            &ScheduleOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(
+            sr.strategy,
+            "convergecast rebuilt from salvaged partial sums"
+        );
+        assert!(fault::lint(&mesh, &faults, &sr.suffix, RoutingAlgorithm::Xy).is_empty());
+        let whole = splice(&s, &completed, &sr.suffix, &contributors);
+        verify::check_allreduce(&mesh, &whole).unwrap();
+        for seed in [3, 17, 41] {
+            verify::check_allreduce_seeded(&mesh, &whole, seed).unwrap();
+        }
+    }
+
+    #[test]
+    fn convergecast_survives_a_chiplet_death() {
+        // Node 0 dies after its contribution reached node 1: the survivors
+        // must still converge, and node 0's gradient stays in the sum.
+        let (mesh, s) = half_reduced();
+        let mut faults = FaultModel::new();
+        faults.fail_node(NodeId(0));
+        let contributors = s.participants().to_vec();
+        let completed = vec![true, true, false, false, false, false];
+        let sr = repair_suffix(
+            &ctx(&mesh, &faults, &contributors, &s, &completed),
+            Algorithm::Ring,
+            &ScheduleOptions::default(),
+        )
+        .unwrap();
+        assert!(!sr.suffix.participants().contains(&NodeId(0)));
+        assert!(sr
+            .suffix
+            .ops()
+            .iter()
+            .all(|o| o.src != NodeId(0) && o.dst != NodeId(0)));
+        // Survivors 1, 2, 3 end with the full four-way sum (1+2+3+4 = 10):
+        // execute the splice and check by hand, since check_allreduce would
+        // expect the three-way sum. The splice keeps the dead node as a
+        // participant so its already-merged gradient enters the arithmetic.
+        let whole = splice(&s, &completed, &sr.suffix, &contributors);
+        let (breaks, bufs) = verify::execute(&mesh, &whole).unwrap();
+        assert!(breaks.len() >= 2);
+        for v in [1usize, 2, 3] {
+            for atom in &bufs[v] {
+                assert_eq!(*atom, 10.0, "node {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn unrecoverable_contribution_is_typed_infeasible() {
+        // Node 0's gradient is merged into node 1 and node 0's own buffer
+        // is then overwritten by a gather; when node 1 dies, that
+        // contribution survives nowhere — typed Infeasible, no panic.
+        let mesh = Mesh::square(2).unwrap();
+        let mut b = Schedule::builder("t", 8);
+        b.set_participants(vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        let r = b.push(NodeId(0), NodeId(1), 0, 8, OpKind::Reduce, 0, &[]);
+        b.push(NodeId(2), NodeId(0), 0, 8, OpKind::Gather, 0, &[]);
+        b.push(NodeId(1), NodeId(3), 0, 8, OpKind::Reduce, 0, &[r]);
+        let s = b.build();
+        let mut faults = FaultModel::new();
+        faults.fail_node(NodeId(1));
+        let contributors = s.participants().to_vec();
+        let completed = vec![true, true, false];
+        let err = repair_suffix(
+            &ctx(&mesh, &faults, &contributors, &s, &completed),
+            Algorithm::Ring,
+            &ScheduleOptions::default(),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CollectiveError::Infeasible {
+                    reason: "a surviving contribution is unrecoverable after the fault"
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn partitioned_survivors_are_typed_infeasible() {
+        let (mesh, s) = half_reduced();
+        let mut faults = FaultModel::new();
+        faults
+            .fail_link_between(&mesh, NodeId(1), NodeId(3))
+            .unwrap();
+        faults
+            .fail_link_between(&mesh, NodeId(2), NodeId(3))
+            .unwrap();
+        let contributors = s.participants().to_vec();
+        let completed = vec![true, true, false, false, false, false];
+        let err = repair_suffix(
+            &ctx(&mesh, &faults, &contributors, &s, &completed),
+            Algorithm::Ring,
+            &ScheduleOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CollectiveError::Infeasible { .. }), "{err}");
+    }
+
+    #[test]
+    fn double_counted_buffers_are_never_salvage_sources() {
+        // Participants 0, 1, 3 on a 2x2 (node 2 is a relay). The prefix
+        // merges 0 into 1, snapshots that clean partial sum onto relay 2,
+        // then (deliberately broken) reduces 0 into 1 *again*: node 1 now
+        // double-counts and must be rejected as a source. The clean copy on
+        // the relay keeps the repair feasible — and node 1 only ever
+        // receives in the suffix.
+        let mesh = Mesh::square(2).unwrap();
+        let mut b = Schedule::builder("t", 8);
+        b.set_participants(vec![NodeId(0), NodeId(1), NodeId(3)]);
+        let r = b.push(NodeId(0), NodeId(1), 0, 8, OpKind::Reduce, 0, &[]);
+        let g = b.push(NodeId(1), NodeId(2), 0, 8, OpKind::Gather, 0, &[r]);
+        let r2 = b.push(NodeId(0), NodeId(1), 0, 8, OpKind::Reduce, 0, &[g]);
+        b.push(NodeId(1), NodeId(3), 0, 8, OpKind::Reduce, 0, &[r2]);
+        let s = b.build();
+        let mut faults = FaultModel::new();
+        faults
+            .fail_link_between(&mesh, NodeId(1), NodeId(3))
+            .unwrap();
+        let contributors = s.participants().to_vec();
+        let completed = vec![true, true, true, false];
+        let sr = repair_suffix(
+            &ctx(&mesh, &faults, &contributors, &s, &completed),
+            Algorithm::Ring,
+            &ScheduleOptions::default(),
+        )
+        .unwrap();
+        assert!(sr.suffix.ops().iter().all(|o| o.src != NodeId(1)));
+        // All three participants end with 1 + 2 + 4 = 7, exactly.
+        let whole = splice(&s, &completed, &sr.suffix, &contributors);
+        verify::check_allreduce(&mesh, &whole).unwrap();
+    }
+
+    #[test]
+    fn taint_with_no_clean_copy_is_typed_infeasible() {
+        // The same double-reduce, but no clean snapshot exists anywhere:
+        // node 1's own contribution is inseparable from the double-counted
+        // value, so exact repair is impossible — typed, not a panic.
+        let mesh = Mesh::square(2).unwrap();
+        let mut b = Schedule::builder("t", 8);
+        b.set_participants(vec![NodeId(0), NodeId(1), NodeId(3)]);
+        let r = b.push(NodeId(0), NodeId(1), 0, 8, OpKind::Reduce, 0, &[]);
+        let r2 = b.push(NodeId(0), NodeId(1), 0, 8, OpKind::Reduce, 0, &[r]);
+        b.push(NodeId(1), NodeId(3), 0, 8, OpKind::Reduce, 0, &[r2]);
+        let s = b.build();
+        let mut faults = FaultModel::new();
+        faults
+            .fail_link_between(&mesh, NodeId(1), NodeId(3))
+            .unwrap();
+        let contributors = s.participants().to_vec();
+        let completed = vec![true, true, false];
+        let err = repair_suffix(
+            &ctx(&mesh, &faults, &contributors, &s, &completed),
+            Algorithm::Ring,
+            &ScheduleOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CollectiveError::Infeasible { .. }), "{err}");
+    }
+
+    #[test]
+    fn multi_atom_gradients_group_identical_plans() {
+        // Two completed reduces over different halves force distinct atoms;
+        // a fault then triggers convergecast. Plans for both halves differ
+        // (different holders), so the suffix must carry range-correct ops.
+        let mesh = Mesh::square(3).unwrap();
+        let at = |r: usize, c: usize| mesh.node_at(Coord::new(r, c));
+        let participants: Vec<NodeId> = (0..9).map(NodeId).collect();
+        let mut b = Schedule::builder("t", 90);
+        b.set_participants(participants.clone());
+        // Ring-ish prefix: everyone reduces into the center for the first
+        // half; the second half never started.
+        let center = at(1, 1);
+        let mut last: Vec<OpId> = Vec::new();
+        for n in participants.iter().copied().filter(|&n| n != center) {
+            last.push(b.push(n, center, 0, 45, OpKind::Reduce, 0, &last.clone()));
+        }
+        b.push(center, at(0, 0), 45, 45, OpKind::Reduce, 0, &[]);
+        let s = b.build();
+        let mut completed = vec![true; s.len()];
+        *completed.last_mut().unwrap() = false;
+        let mut faults = FaultModel::new();
+        faults.fail_link_between(&mesh, center, at(0, 1)).unwrap();
+        let contributors = s.participants().to_vec();
+        let sr = repair_suffix(
+            &ctx(&mesh, &faults, &contributors, &s, &completed),
+            Algorithm::Ring,
+            &ScheduleOptions::default(),
+        )
+        .unwrap();
+        assert!(fault::lint(&mesh, &faults, &sr.suffix, RoutingAlgorithm::Xy).is_empty());
+        let whole = splice(&s, &completed, &sr.suffix, &contributors);
+        verify::check_allreduce(&mesh, &whole).unwrap();
+    }
+}

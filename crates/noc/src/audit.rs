@@ -131,6 +131,37 @@ pub enum Violation {
         /// The static lower bound it undercuts, ns.
         bound_ns: f64,
     },
+    /// Online byte accounting broke for one message: a delivered message
+    /// also dropped packets, or a lost message's drops exceed its injection
+    /// (every injected byte must end up delivered or dropped, never both,
+    /// never more).
+    DropAccounting {
+        /// The message.
+        msg: MsgId,
+        /// Bytes injected.
+        injected: u64,
+        /// Bytes delivered (0 when undelivered).
+        delivered: u64,
+        /// Bytes dropped in flight.
+        dropped: u64,
+    },
+    /// A [`TraceEvent::Drain`] summary disagrees with the drops actually
+    /// recorded in its segment.
+    DrainMismatch {
+        /// Bytes the drain event claims were lost.
+        lost_bytes: u64,
+        /// Bytes the segment's drop events account for.
+        dropped_bytes: u64,
+    },
+    /// An event of a resumed segment precedes the splice point: the online
+    /// orchestration let repaired-suffix traffic start before the drain
+    /// plus charged repair latency.
+    SpliceCausality {
+        /// The offending event's time, ns.
+        at_ns: f64,
+        /// The governing resume time, ns.
+        resume_ns: f64,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -206,6 +237,26 @@ impl fmt::Display for Violation {
                 f,
                 "simulated makespan {makespan_ns} ns undercuts static lower bound {bound_ns} ns"
             ),
+            Violation::DropAccounting {
+                msg,
+                injected,
+                delivered,
+                dropped,
+            } => write!(
+                f,
+                "{msg} injected {injected} B but delivered {delivered} B and dropped {dropped} B"
+            ),
+            Violation::DrainMismatch {
+                lost_bytes,
+                dropped_bytes,
+            } => write!(
+                f,
+                "drain claims {lost_bytes} B lost but drop events account for {dropped_bytes} B"
+            ),
+            Violation::SpliceCausality { at_ns, resume_ns } => write!(
+                f,
+                "event at {at_ns} ns precedes the governing resume at {resume_ns} ns"
+            ),
         }
     }
 }
@@ -227,6 +278,16 @@ impl TraceAudit {
     }
 }
 
+/// Per-message byte accounting within one online-run segment, reset at each
+/// [`TraceEvent::Resume`] marker by
+/// [`InvariantAuditor::check_online_trace`].
+#[derive(Default)]
+struct SegMsg {
+    injected: Option<u64>,
+    delivered: Option<u64>,
+    dropped: u64,
+}
+
 #[derive(Default)]
 struct MsgLedger {
     injected_bytes: u64,
@@ -234,6 +295,8 @@ struct MsgLedger {
     injected: bool,
     delivered_bytes: Option<u64>,
     deliver_ns: f64,
+    /// Bytes dropped mid-route by an online fault arrival.
+    dropped_bytes: u64,
     /// Per hop: (packets seen, bytes seen).
     hops: Vec<(u64, u64)>,
 }
@@ -386,7 +449,17 @@ impl InvariantAuditor {
                     l.delivered_bytes = Some(bytes);
                     l.deliver_ns = at_ns;
                 }
-                TraceEvent::Reduce { .. } => {}
+                // Online-run events: the legacy single-segment audit treats
+                // markers as inert and tolerates drops (an interrupted run is
+                // audited with `check_online_trace`, which accounts for them).
+                TraceEvent::PacketDrop { msg, bytes, .. } => {
+                    let l = ledger.entry(msg.index()).or_default();
+                    l.dropped_bytes += bytes;
+                }
+                TraceEvent::Reduce { .. }
+                | TraceEvent::FaultArrival { .. }
+                | TraceEvent::Drain { .. }
+                | TraceEvent::Resume { .. } => {}
             }
         }
 
@@ -394,7 +467,9 @@ impl InvariantAuditor {
             let msg = MsgId(*mi);
             audit.checks += 1;
             match l.delivered_bytes {
-                None => audit.violations.push(Violation::MissingDelivery { msg }),
+                None if l.dropped_bytes == 0 => {
+                    audit.violations.push(Violation::MissingDelivery { msg });
+                }
                 Some(d) if l.injected && d != l.injected_bytes => {
                     audit.violations.push(Violation::Conservation {
                         msg,
@@ -402,10 +477,15 @@ impl InvariantAuditor {
                         delivered: d,
                     });
                 }
-                Some(_) => {}
+                _ => {}
             }
-            // Every hop of the route must carry the full message.
+            // Every hop of the route must carry the full message. A message
+            // partially dropped by an online fault legitimately thins out
+            // downstream, so the per-hop census only applies to clean runs.
             for (hop, &(pk, by)) in l.hops.iter().enumerate() {
+                if l.dropped_bytes > 0 {
+                    break;
+                }
                 audit.checks += 1;
                 if l.injected && (pk != l.injected_packets || by != l.injected_bytes) {
                     audit.violations.push(Violation::PacketLoss {
@@ -420,6 +500,200 @@ impl InvariantAuditor {
 
         // Link exclusivity: sort each link's busy intervals by start and
         // require them pairwise disjoint.
+        for (_, mut iv) in intervals {
+            iv.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for w in iv.windows(2) {
+                audit.checks += 1;
+                let (_, prev_end, pm, pp) = w[0];
+                let (next_start, _, nm, np) = w[1];
+                if next_start < prev_end - tol {
+                    audit.violations.push(Violation::LinkOverlap {
+                        link: link_of(events, pm, pp).unwrap_or(LinkId(0)),
+                        first: (pm, pp),
+                        second: (nm, np),
+                        overlap_ns: prev_end - next_start,
+                    });
+                }
+            }
+        }
+        audit
+    }
+
+    /// Audits the spliced trace of an online run (interrupted prefix, then
+    /// one segment per repaired suffix, separated by
+    /// [`TraceEvent::Resume`] markers). Message ids restart at 0 in every
+    /// segment, so per-message invariants reset at each splice point while
+    /// the physical invariants span the whole stream:
+    ///
+    /// * **Online conservation** (per segment) — a delivered message
+    ///   delivers exactly its injected bytes and drops nothing; an
+    ///   injected-but-undelivered message accounts for the interruption
+    ///   with at least one drop (a packet never dropped always arrives),
+    ///   and never drops more than it injected. Each segment's
+    ///   [`TraceEvent::Drain`] summary must equal the drops it recorded.
+    /// * **Drop causality** (per segment) — a packet drops at or after its
+    ///   last link win, at the hop following it, and every hop's win time
+    ///   respects arrival order as in [`InvariantAuditor::check_trace`].
+    /// * **Splice causality** (whole stream) — every event after a
+    ///   [`TraceEvent::Resume`] occurs at or after its resume time: repair
+    ///   latency is charged before any suffix traffic moves.
+    /// * **Link exclusivity** (whole stream) — busy intervals on one
+    ///   directed link stay pairwise disjoint *across* segments: resumed
+    ///   traffic may not overlap the drained prefix's tail occupancies.
+    pub fn check_online_trace(&self, events: &[TraceEvent]) -> TraceAudit {
+        let tol = self.tolerance_ns;
+        let mut audit = TraceAudit::default();
+        // Whole-stream state.
+        let mut intervals: HashMap<usize, Vec<(f64, f64, MsgId, u64)>> = HashMap::new();
+        let mut resume_ns = 0.0f64;
+        // Per-segment state, reset at each Resume marker.
+        let mut ledger: HashMap<usize, SegMsg> = HashMap::new();
+        let mut last_start: HashMap<(usize, u64), (u32, f64)> = HashMap::new();
+        let mut seg_dropped: u64 = 0;
+
+        let finalize = |audit: &mut TraceAudit, ledger: &mut HashMap<usize, SegMsg>| {
+            for (mi, m) in ledger.drain() {
+                let msg = MsgId(mi);
+                audit.checks += 1;
+                let injected = m.injected.unwrap_or(0);
+                match m.delivered {
+                    Some(d) => {
+                        if m.dropped > 0 {
+                            audit.violations.push(Violation::DropAccounting {
+                                msg,
+                                injected,
+                                delivered: d,
+                                dropped: m.dropped,
+                            });
+                        }
+                        if m.injected.is_some() && d != injected {
+                            audit.violations.push(Violation::Conservation {
+                                msg,
+                                injected,
+                                delivered: d,
+                            });
+                        }
+                    }
+                    None if m.injected.is_some() => {
+                        if m.dropped == 0 {
+                            // No drop and no delivery: an undropped packet
+                            // always arrives, so the message vanished.
+                            audit.violations.push(Violation::MissingDelivery { msg });
+                        } else if m.dropped > injected {
+                            audit.violations.push(Violation::DropAccounting {
+                                msg,
+                                injected,
+                                delivered: 0,
+                                dropped: m.dropped,
+                            });
+                        }
+                    }
+                    None => {}
+                }
+            }
+        };
+
+        for ev in events {
+            // Splice causality: nothing in a resumed segment may precede
+            // its resume time.
+            let at = event_time(ev);
+            audit.checks += 1;
+            if at < resume_ns - tol {
+                audit.violations.push(Violation::SpliceCausality {
+                    at_ns: at,
+                    resume_ns,
+                });
+            }
+            match *ev {
+                TraceEvent::Inject { msg, bytes, .. } => {
+                    ledger.entry(msg.index()).or_default().injected = Some(bytes);
+                }
+                TraceEvent::PacketHop {
+                    msg,
+                    packet,
+                    hop,
+                    link,
+                    arrive_ns,
+                    start_ns,
+                    busy_until_ns,
+                    ..
+                } => {
+                    audit.checks += 1;
+                    if start_ns < arrive_ns - tol || busy_until_ns < start_ns - tol {
+                        audit.violations.push(Violation::Causality {
+                            msg,
+                            packet,
+                            hop,
+                            arrive_ns,
+                            start_ns,
+                        });
+                    }
+                    last_start.insert((msg.index(), packet), (hop, start_ns));
+                    intervals.entry(link.index()).or_default().push((
+                        start_ns,
+                        busy_until_ns,
+                        msg,
+                        packet,
+                    ));
+                }
+                TraceEvent::PacketDrop {
+                    msg,
+                    packet,
+                    hop,
+                    bytes,
+                    at_ns,
+                    ..
+                } => {
+                    let m = ledger.entry(msg.index()).or_default();
+                    m.dropped += bytes;
+                    seg_dropped += bytes;
+                    if let Some(&(ph, ps)) = last_start.get(&(msg.index(), packet)) {
+                        audit.checks += 2;
+                        if at_ns < ps - tol {
+                            // A drop cannot precede the packet's last win.
+                            audit.violations.push(Violation::Causality {
+                                msg,
+                                packet,
+                                hop,
+                                arrive_ns: at_ns,
+                                start_ns: ps,
+                            });
+                        }
+                        if hop != ph + 1 {
+                            audit.violations.push(Violation::HopOrder {
+                                msg,
+                                packet,
+                                hop: hop.max(1),
+                                prev_start_ns: ps,
+                                arrive_ns: at_ns,
+                            });
+                        }
+                    }
+                }
+                TraceEvent::Deliver { msg, bytes, .. } => {
+                    ledger.entry(msg.index()).or_default().delivered = Some(bytes);
+                }
+                TraceEvent::Drain { lost_bytes, .. } => {
+                    audit.checks += 1;
+                    if lost_bytes != seg_dropped {
+                        audit.violations.push(Violation::DrainMismatch {
+                            lost_bytes,
+                            dropped_bytes: seg_dropped,
+                        });
+                    }
+                }
+                TraceEvent::Resume { at_ns, .. } => {
+                    finalize(&mut audit, &mut ledger);
+                    last_start.clear();
+                    seg_dropped = 0;
+                    resume_ns = resume_ns.max(at_ns);
+                }
+                _ => {}
+            }
+        }
+        finalize(&mut audit, &mut ledger);
+
+        // Link exclusivity across the whole spliced stream.
         for (_, mut iv) in intervals {
             iv.sort_by(|a, b| a.0.total_cmp(&b.0));
             for w in iv.windows(2) {
@@ -558,6 +832,23 @@ impl InvariantAuditor {
             }
         }
         audit
+    }
+}
+
+/// The primary timestamp of an event, for splice-causality ordering.
+fn event_time(ev: &TraceEvent) -> f64 {
+    match *ev {
+        TraceEvent::Inject { at_ns, .. }
+        | TraceEvent::Deliver { at_ns, .. }
+        | TraceEvent::Reduce { at_ns, .. }
+        | TraceEvent::FaultArrival { at_ns, .. }
+        | TraceEvent::PacketDrop { at_ns, .. }
+        | TraceEvent::Drain { at_ns, .. }
+        | TraceEvent::Resume { at_ns, .. } => at_ns,
+        TraceEvent::PacketHop { arrive_ns, .. } | TraceEvent::TrainHop { arrive_ns, .. } => {
+            arrive_ns
+        }
+        TraceEvent::TrainSplit { first_start_ns, .. } => first_start_ns,
     }
 }
 
@@ -730,6 +1021,135 @@ mod tests {
             bad.violations[..],
             [Violation::MakespanBelowBound { .. }]
         ));
+    }
+
+    fn drop_ev(i: usize, p: u64, h: u32, bytes: u64, at: f64) -> TraceEvent {
+        TraceEvent::PacketDrop {
+            msg: MsgId(i),
+            packet: p,
+            hop: h,
+            link: LinkId(0),
+            bytes,
+            at_ns: at,
+        }
+    }
+
+    #[test]
+    fn online_trace_clean_splice_passes() {
+        let a = InvariantAuditor::new();
+        let events = vec![
+            // Prefix: one message delivers, one drops mid-route.
+            inject(0, 100, 1, 0.0),
+            hop(0, 0, 0, 100, 0.0, 0.0, 25.0),
+            deliver(0, 100, 46.0),
+            inject(1, 50, 1, 0.0),
+            drop_ev(1, 0, 0, 50, 60.0),
+            TraceEvent::FaultArrival {
+                link: Some(LinkId(0)),
+                node: None,
+                at_ns: 60.0,
+            },
+            TraceEvent::Drain {
+                at_ns: 60.0,
+                lost_msgs: 1,
+                lost_bytes: 50,
+            },
+            TraceEvent::Resume {
+                at_ns: 100.0,
+                suffix_msgs: 1,
+            },
+            // Suffix segment: ids restart at 0.
+            inject(0, 50, 1, 100.0),
+            hop(0, 0, 0, 50, 100.0, 100.0, 125.0),
+            deliver(0, 50, 146.0),
+        ];
+        let audit = a.check_online_trace(&events);
+        assert!(audit.is_clean(), "{:?}", audit.violations);
+    }
+
+    #[test]
+    fn online_trace_flags_pre_resume_suffix_traffic() {
+        let a = InvariantAuditor::new();
+        let events = vec![
+            TraceEvent::Resume {
+                at_ns: 500.0,
+                suffix_msgs: 1,
+            },
+            inject(0, 100, 1, 400.0), // starts before the resume point
+            hop(0, 0, 0, 100, 400.0, 400.0, 425.0),
+            deliver(0, 100, 446.0),
+        ];
+        let audit = a.check_online_trace(&events);
+        assert!(audit
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::SpliceCausality { .. })));
+    }
+
+    #[test]
+    fn online_trace_flags_vanished_message() {
+        let a = InvariantAuditor::new();
+        // Injected, never delivered, never dropped: bytes vanished.
+        let audit = a.check_online_trace(&[inject(0, 100, 1, 0.0)]);
+        assert!(audit
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::MissingDelivery { .. })));
+    }
+
+    #[test]
+    fn online_trace_flags_delivered_message_with_drops() {
+        let a = InvariantAuditor::new();
+        let audit = a.check_online_trace(&[
+            inject(0, 100, 2, 0.0),
+            drop_ev(0, 1, 0, 50, 10.0),
+            deliver(0, 100, 46.0),
+        ]);
+        assert!(audit
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::DropAccounting { .. })));
+    }
+
+    #[test]
+    fn online_trace_flags_drain_summary_mismatch() {
+        let a = InvariantAuditor::new();
+        let audit = a.check_online_trace(&[
+            inject(0, 100, 1, 0.0),
+            drop_ev(0, 0, 0, 100, 10.0),
+            TraceEvent::Drain {
+                at_ns: 10.0,
+                lost_msgs: 1,
+                lost_bytes: 64, // should be 100
+            },
+        ]);
+        assert!(audit
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::DrainMismatch { .. })));
+    }
+
+    #[test]
+    fn online_trace_flags_cross_segment_link_overlap() {
+        let a = InvariantAuditor::new();
+        let events = vec![
+            inject(0, 100, 1, 0.0),
+            hop(0, 0, 0, 100, 0.0, 0.0, 500.0),
+            deliver(0, 100, 46.0),
+            TraceEvent::Resume {
+                at_ns: 100.0,
+                suffix_msgs: 1,
+            },
+            inject(0, 100, 1, 100.0),
+            // Wins the same link while the prefix's tail still holds it.
+            hop(0, 0, 0, 100, 100.0, 100.0, 525.0),
+            deliver(0, 100, 146.0),
+        ];
+        let audit = a.check_online_trace(&events);
+        assert!(audit
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::LinkOverlap { .. })));
     }
 
     #[test]

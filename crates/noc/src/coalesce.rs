@@ -889,9 +889,19 @@ pub(crate) fn run<T: TraceSink>(
     }
 
     if stalled > 0 {
+        let culprit = blocked.iter().position(|&b| b);
+        let culprit_link = culprit.and_then(|i| {
+            routes[i]
+                .iter()
+                .copied()
+                .find(|&l| !cfg.faults.link_usable(mesh, l))
+        });
         return Err(NocError::Stalled {
             pending_msgs: n - delivered,
             last_progress_ns: last_progress as u64,
+            first_blocked_msg: culprit.map(crate::MsgId),
+            first_blocked_link: culprit_link,
+            stalled_at_ns: last_progress as u64,
         });
     }
     if injected < n {

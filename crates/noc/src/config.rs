@@ -1,5 +1,5 @@
 use meshcoll_topo::routing::RoutingAlgorithm;
-use meshcoll_topo::{FaultModel, LinkId};
+use meshcoll_topo::{FaultModel, FaultTimeline, LinkId};
 
 /// Network configuration (paper Table II).
 ///
@@ -50,6 +50,20 @@ pub struct NocConfig {
     /// degraded links lose the configured bandwidth fraction, and transient
     /// flaps defer packets until the link comes back up.
     pub faults: FaultModel,
+    /// Timed fault arrivals applied mid-run (empty in the healthy and
+    /// statically-degraded configurations). Only the per-packet engine can
+    /// honor a non-empty timeline — the flit engine rejects it with
+    /// [`NocError::Unsupported`](crate::NocError::Unsupported), and
+    /// `SimMode::Auto` skips the coalescing fast path for affected
+    /// components. Timeline deaths are permanent, unlike
+    /// [`LinkFlap`](meshcoll_topo::LinkFlap) windows.
+    pub timeline: FaultTimeline,
+    /// Extra event budget granted to the packet engine's stall watchdog on
+    /// top of the structural bound `Σ packets × (hops + 1)`. Raise it for
+    /// experiments that legitimately re-examine events (it only delays
+    /// detection of a genuine deadlock); the default of 16 matches the
+    /// engine's historical slack.
+    pub stall_budget_slack: u64,
 }
 
 impl NocConfig {
@@ -67,6 +81,8 @@ impl NocConfig {
             link_overrides: Vec::new(),
             per_packet_overhead_ns: 21.0,
             faults: FaultModel::default(),
+            timeline: FaultTimeline::default(),
+            stall_budget_slack: 16,
         }
     }
 

@@ -1,7 +1,9 @@
 use std::error::Error;
 use std::fmt;
 
-use meshcoll_topo::TopologyError;
+use meshcoll_topo::{LinkId, TopologyError};
+
+use crate::message::MsgId;
 
 /// Errors produced by the network simulators.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -48,6 +50,25 @@ pub enum NocError {
         /// Simulation time (ns, rounded down) of the last delivery before
         /// the stall — 0 when nothing was ever delivered.
         last_progress_ns: u64,
+        /// The first message (in id order) found blocked, when known —
+        /// distinguishes a dead-route stall (one culprit message) from a
+        /// watchdog trip (budget exhausted with no single culprit).
+        first_blocked_msg: Option<MsgId>,
+        /// The first unusable link on that message's route, when the stall
+        /// is caused by a dead route (None for budget trips).
+        first_blocked_link: Option<LinkId>,
+        /// Simulation time (ns, rounded down) at which the stall was
+        /// detected — for a dead route this is detection at injection
+        /// analysis; for a watchdog trip, the clock when the budget ran out.
+        stalled_at_ns: u64,
+    },
+    /// The requested feature combination is not modeled by this engine —
+    /// e.g. transient link flaps or a non-empty fault timeline reaching the
+    /// cycle-accurate flit engine, which has no mid-run fault machinery.
+    /// Callers should route such runs to the per-packet engine instead.
+    Unsupported {
+        /// What the engine cannot model.
+        reason: &'static str,
     },
 }
 
@@ -71,11 +92,26 @@ impl fmt::Display for NocError {
             NocError::Stalled {
                 pending_msgs,
                 last_progress_ns,
-            } => write!(
-                f,
-                "simulation stalled: {pending_msgs} messages undeliverable \
-                 (last progress at {last_progress_ns} ns)"
-            ),
+                first_blocked_msg,
+                first_blocked_link,
+                stalled_at_ns,
+            } => {
+                write!(
+                    f,
+                    "simulation stalled: {pending_msgs} messages undeliverable \
+                     (last progress at {last_progress_ns} ns, detected at {stalled_at_ns} ns"
+                )?;
+                if let Some(m) = first_blocked_msg {
+                    write!(f, ", first blocked message {}", m.0)?;
+                }
+                if let Some(l) = first_blocked_link {
+                    write!(f, " at link {}", l.0)?;
+                }
+                write!(f, ")")
+            }
+            NocError::Unsupported { reason } => {
+                write!(f, "unsupported by this engine: {reason}")
+            }
         }
     }
 }

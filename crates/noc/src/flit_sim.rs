@@ -20,7 +20,7 @@ use meshcoll_topo::{Direction, LinkId, Mesh, NodeId};
 
 use crate::message::validate;
 use crate::trace::{NullSink, TraceEvent, TraceSink};
-use crate::{LinkStats, Message, NetworkSim, NocConfig, NocError, SimOutcome};
+use crate::{LinkStats, Message, MsgId, NetworkSim, NocConfig, NocError, SimOutcome};
 
 /// The cycle-driven flit-level simulator. See the module docs.
 #[derive(Debug, Clone)]
@@ -98,6 +98,21 @@ impl FlitSim {
         sink: &mut T,
     ) -> Result<SimOutcome, NocError> {
         validate(messages)?;
+        // The flit engine has no transient-fault machinery: a flapping link
+        // or a timed mid-run fault would be silently ignored, producing a
+        // confidently wrong timeline. Reject both as typed errors — callers
+        // wanting those semantics must use the packet engine (whose
+        // `SimMode::Auto` handles them natively).
+        if !self.cfg.faults.flaps().is_empty() {
+            return Err(NocError::Unsupported {
+                reason: "transient link flaps are modeled only by the packet engine",
+            });
+        }
+        if !self.cfg.timeline.is_empty() {
+            return Err(NocError::Unsupported {
+                reason: "timed fault arrivals are modeled only by the packet engine",
+            });
+        }
         let n = messages.len();
         let vcs = self.cfg.num_vcs;
         let depth = self.cfg.vc_buffer_depth;
@@ -109,12 +124,19 @@ impl FlitSim {
         // transient flaps are modeled by the packet engine.)
         let mut route_nodes: Vec<Vec<NodeId>> = Vec::with_capacity(n);
         let mut blocked = 0usize;
+        let mut first_blocked: Option<(MsgId, LinkId)> = None;
         for m in messages {
             mesh.check_node(m.src)?;
             mesh.check_node(m.dst)?;
             let links = meshcoll_topo::routing::route(mesh, m.src, m.dst, self.cfg.routing)?;
-            if links.iter().any(|&l| !self.cfg.faults.link_usable(mesh, l)) {
+            if let Some(&dead) = links
+                .iter()
+                .find(|&&l| !self.cfg.faults.link_usable(mesh, l))
+            {
                 blocked += 1;
+                if first_blocked.is_none() {
+                    first_blocked = Some((m.id, dead));
+                }
             }
             let mut nodes = vec![m.src];
             nodes.extend(links.iter().map(|&l| mesh.link_endpoints(l).1));
@@ -124,6 +146,9 @@ impl FlitSim {
             return Err(NocError::Stalled {
                 pending_msgs: blocked,
                 last_progress_ns: 0,
+                first_blocked_msg: first_blocked.map(|(m, _)| m),
+                first_blocked_link: first_blocked.map(|(_, l)| l),
+                stalled_at_ns: 0,
             });
         }
 
@@ -525,6 +550,37 @@ mod tests {
             ),
             "got {err}"
         );
+    }
+
+    #[test]
+    fn transient_faults_are_typed_unsupported_not_ignored() {
+        // Regression: the flit engine has no flap or timeline machinery, so
+        // silently accepting either would produce a confidently wrong
+        // timeline. Both must come back as `NocError::Unsupported`.
+        let mesh = Mesh::new(1, 2).unwrap();
+        let link = mesh.link_between(NodeId(0), NodeId(1)).unwrap();
+        let msgs = vec![Message::new(MsgId(0), NodeId(0), NodeId(1), 8192)];
+
+        let mut flapping = cfg();
+        flapping.faults.add_flap(meshcoll_topo::LinkFlap {
+            link,
+            down_ns: 100.0,
+            up_ns: 200.0,
+        });
+        let err = FlitSim::new(flapping).run(&mesh, &msgs).unwrap_err();
+        assert!(matches!(err, NocError::Unsupported { .. }), "got {err}");
+
+        let mut timed = cfg();
+        timed.timeline.link_dies_at(link, 100.0);
+        let err = FlitSim::new(timed).run(&mesh, &msgs).unwrap_err();
+        assert!(matches!(err, NocError::Unsupported { .. }), "got {err}");
+
+        // The packet engine accepts the very same timeline.
+        let mut timed = cfg();
+        timed.timeline.link_dies_at(link, 100.0);
+        PacketSim::new(timed)
+            .simulate_online(&mesh, &msgs, &mut crate::NullSink)
+            .unwrap();
     }
 
     #[test]

@@ -56,6 +56,7 @@ mod config;
 mod error;
 mod flit_sim;
 mod message;
+pub mod online;
 mod packet_sim;
 mod stats;
 pub mod trace;
@@ -65,6 +66,7 @@ pub use config::NocConfig;
 pub use error::NocError;
 pub use flit_sim::FlitSim;
 pub use message::{Message, MsgId};
+pub use online::{splice_outcomes, DrainSnapshot, OnlineReport};
 pub use packet_sim::{PacketSim, SimMode};
 pub use stats::{LatencySummary, LinkStats, SimOutcome};
 pub use trace::{JsonlSink, MemorySink, NullSink, RingSink, TraceEvent, TraceSink};

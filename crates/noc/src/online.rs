@@ -1,0 +1,869 @@
+//! Online fault injection for the per-packet engine.
+//!
+//! The static fault machinery ([`FaultModel`](meshcoll_topo::FaultModel))
+//! describes a degraded-but-stable network: dead links are known before the
+//! run starts, so the engines reject traffic routed over them up front. The
+//! *online* engine in this module instead applies a
+//! [`FaultTimeline`](meshcoll_topo::FaultTimeline) — links and chiplets that
+//! die at simulation timestamps — while the run is in flight:
+//!
+//! * Transmissions already serialized onto a link when it dies complete;
+//!   nothing new starts at or after the death time. A packet whose link-win
+//!   time would fall at or past its link's death is **dropped** there (a
+//!   [`TraceEvent::PacketDrop`]), and a message that becomes ready after a
+//!   route link has died is withheld entirely (it belongs to the
+//!   un-executed suffix).
+//! * Instead of hanging into the stall watchdog, the run **drains**: every
+//!   in-flight packet delivers or drops, and the engine returns a typed
+//!   [`DrainSnapshot`] — which messages completed, the byte-level loss, and
+//!   the fault overlay/remaining timeline a repair layer needs to regenerate
+//!   the suffix on the surviving topology.
+//! * Under [`SimMode::Auto`](crate::SimMode) the run is partitioned into
+//!   link- and dependency-disjoint components; components whose links the
+//!   timeline cannot touch keep the coalescing fast path, and an affected
+//!   component keeps it too when the speculative fast-path attempt finishes
+//!   strictly before the component's earliest death (every packet start
+//!   precedes its own delivery, so `makespan <= earliest death` proves no
+//!   start lands in the dead window). Only truly interrupted components pay
+//!   the per-packet online loop.
+//!
+//! Schedule-level repair and resume orchestration live above the NoC (in
+//! `meshcoll-collectives` and `meshcoll-sim`); this module's contract ends
+//! at the drained snapshot plus [`splice_outcomes`] for merging the
+//! per-segment results of a resumed run.
+
+use meshcoll_topo::{FaultEvent, FaultModel, FaultTimeline, LinkId, Mesh};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::coalesce::{self, Coalesce};
+use crate::packet_sim::{
+    component_problem, packet_bytes, partition, remap_msg, Event, RunSetup, Time,
+};
+use crate::trace::{MemorySink, TraceEvent, TraceSink};
+use crate::{LinkStats, Message, MsgId, NocConfig, NocError, PacketSim, SimMode, SimOutcome};
+
+/// The drained state of a run interrupted by a timed fault arrival: what
+/// completed, what was lost, and the world the repaired suffix must run in.
+#[derive(Debug, Clone)]
+pub struct DrainSnapshot {
+    /// Timestamp of the earliest timeline event absorbed by this drain, ns.
+    pub first_fault_ns: f64,
+    /// Drain completion time, ns: no completed activity (delivery, drop, or
+    /// link busy interval) extends past it, so a suffix resumed at or after
+    /// this time cannot violate causality against the executed prefix.
+    pub drain_ns: f64,
+    /// Per message: did it deliver in full before the drain?
+    pub delivered: Vec<bool>,
+    /// Per message: payload bytes that physically reached the destination
+    /// (partial for messages interrupted mid-flight).
+    pub delivered_bytes: Vec<u64>,
+    /// Payload bytes dropped in flight across the run.
+    pub lost_bytes: u64,
+    /// Messages left undelivered (dropped in flight or withheld).
+    pub lost_msgs: usize,
+    /// Timeline events folded into [`overlay`](Self::overlay) by this drain.
+    pub faults_applied: usize,
+    /// The static fault model *after* the drain: the configured faults plus
+    /// every timeline event at or before [`drain_ns`](Self::drain_ns). The
+    /// repaired suffix must be feasible on this overlay.
+    pub overlay: FaultModel,
+    /// Timeline events still in the future at the drain; the resumed run
+    /// carries them so later faults keep firing.
+    pub remaining: FaultTimeline,
+    /// The first message lost (earliest drop, else the lowest-id
+    /// undelivered message).
+    pub first_lost_msg: Option<MsgId>,
+    /// The dead link that claimed the first dropped packet, when a packet
+    /// was dropped in flight (None when every loss was a withheld message).
+    pub first_dead_link: Option<LinkId>,
+}
+
+impl DrainSnapshot {
+    /// Collapses the snapshot into the stall error a completion-only caller
+    /// (one that cannot repair) reports: the interruption's byte-level
+    /// detail is folded into the enriched [`NocError::Stalled`] fields.
+    pub fn into_stall_error(self) -> NocError {
+        NocError::Stalled {
+            pending_msgs: self.lost_msgs,
+            last_progress_ns: self.drain_ns as u64,
+            first_blocked_msg: self.first_lost_msg,
+            first_blocked_link: self.first_dead_link,
+            stalled_at_ns: self.first_fault_ns as u64,
+        }
+    }
+}
+
+/// Result of an online simulation: the (possibly partial) outcome, plus the
+/// drained interruption state when a timed fault cut the run short.
+#[derive(Debug, Clone)]
+pub struct OnlineReport {
+    /// Completion times and link stats of everything that executed.
+    /// Undelivered messages keep `NaN` completions, which the makespan
+    /// ignores.
+    pub outcome: SimOutcome,
+    /// `None` when the run completed despite the timeline (all activity
+    /// finished before the deaths, or the deaths missed every route);
+    /// otherwise the drained snapshot for the repair layer.
+    pub interruption: Option<DrainSnapshot>,
+}
+
+/// Per-run (or per-component) accumulator of the online loop.
+pub(crate) struct OnlinePart {
+    completion: Vec<f64>,
+    stats: LinkStats,
+    delivered_bytes: Vec<u64>,
+    lost_bytes: u64,
+    /// Global max over completions, drop times, withhold decisions, and
+    /// link busy-interval ends — the component's contribution to `drain_ns`.
+    end_ns: f64,
+    interrupted: bool,
+    /// Earliest in-flight drop: (time, message, dead link).
+    first_drop: Option<(f64, MsgId, LinkId)>,
+}
+
+/// Per-link death times implied by a timeline: the minimum over the link's
+/// own `LinkDiesAt` events and the `ChipletDiesAt` of either endpoint
+/// (a dead chiplet takes all its links down). `INFINITY` for links the
+/// timeline never touches.
+fn link_death_times(mesh: &Mesh, timeline: &FaultTimeline) -> Vec<f64> {
+    let mut death = vec![f64::INFINITY; mesh.link_id_space()];
+    for e in timeline.events() {
+        match *e {
+            FaultEvent::LinkDiesAt { link, t_ns } => {
+                let d = &mut death[link.index()];
+                *d = d.min(t_ns);
+            }
+            FaultEvent::ChipletDiesAt { node, t_ns } => {
+                for (a, b, l) in mesh.links() {
+                    if a == node || b == node {
+                        let d = &mut death[l.index()];
+                        *d = d.min(t_ns);
+                    }
+                }
+            }
+        }
+    }
+    death
+}
+
+/// Earliest death among the links a sub-problem's routes traverse.
+fn min_route_death(setup: &RunSetup, death: &[f64]) -> f64 {
+    setup
+        .routes
+        .iter()
+        .flat_map(|r| r.iter())
+        .map(|&l| death[l.index()])
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Conservative bound on how far a busy interval can outlive the last
+/// delivery: one full-packet serialization on the slowest route link plus
+/// the per-packet overhead. Used to extend a fast-path component's `end_ns`
+/// so `drain_ns` covers its busy tails exactly like the per-packet loop's
+/// `link_free` tracking does.
+fn busy_tail_slack(cfg: &NocConfig, setup: &RunSetup) -> f64 {
+    let max_ser = setup
+        .routes
+        .iter()
+        .flat_map(|r| r.iter())
+        .map(|&l| cfg.serialization_on(l, cfg.packet_bytes))
+        .fold(0.0, f64::max);
+    max_ser + cfg.per_packet_overhead_ns
+}
+
+/// Wraps a clean (uninterrupted) static outcome as an [`OnlinePart`].
+fn clean_part(
+    cfg: &NocConfig,
+    messages: &[Message],
+    setup: &RunSetup,
+    out: &SimOutcome,
+) -> OnlinePart {
+    OnlinePart {
+        completion: out.completions().to_vec(),
+        delivered_bytes: messages.iter().map(|m| m.bytes).collect(),
+        end_ns: out.makespan_ns() + busy_tail_slack(cfg, setup),
+        stats: out.link_stats().clone(),
+        lost_bytes: 0,
+        interrupted: false,
+        first_drop: None,
+    }
+}
+
+/// Splices the per-segment outcomes of a resumed online run (the
+/// interrupted prefix plus each repaired suffix) into one whole-run
+/// outcome: completion vectors concatenate in segment order, per-link busy
+/// time sums, and the makespan is the global maximum (all segment times are
+/// absolute, so no re-basing is needed). Undelivered prefix messages keep
+/// their `NaN` completions, which the makespan fold ignores.
+pub fn splice_outcomes(mesh: &Mesh, faults: &FaultModel, segments: &[SimOutcome]) -> SimOutcome {
+    let mut completion = Vec::new();
+    let mut stats = LinkStats::new(mesh, faults);
+    for s in segments {
+        completion.extend_from_slice(s.completions());
+        stats.absorb(s.link_stats());
+    }
+    SimOutcome::new(completion, stats)
+}
+
+impl PacketSim {
+    /// Simulates the message DAG under the configured
+    /// [`FaultTimeline`](meshcoll_topo::FaultTimeline), draining instead of
+    /// stalling when a timed fault interrupts the run. See the
+    /// [module docs](crate::online) for the semantics.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same validation errors as [`PacketSim::simulate`], plus
+    /// [`NocError::Stalled`] when the *static* fault model already blocks a
+    /// route (a mis-linted schedule, not an online fault) and
+    /// [`NocError::Topology`] when the timeline names an out-of-range
+    /// link or chiplet. A timed interruption is **not** an error — it is
+    /// reported through [`OnlineReport::interruption`].
+    pub fn simulate_online<T: TraceSink>(
+        &self,
+        mesh: &Mesh,
+        messages: &[Message],
+        sink: &mut T,
+    ) -> Result<OnlineReport, NocError> {
+        let setup = self.prepare(mesh, messages)?;
+        self.online_with_setup(mesh, messages, &setup, sink)
+    }
+
+    /// The online simulation body, shared with
+    /// [`PacketSim::simulate_traced`]'s completion-only wrapper.
+    pub(crate) fn online_with_setup<T: TraceSink>(
+        &self,
+        mesh: &Mesh,
+        messages: &[Message],
+        setup: &RunSetup,
+        sink: &mut T,
+    ) -> Result<OnlineReport, NocError> {
+        if self.cfg.timeline.is_empty() {
+            let outcome = self.simulate_static(mesh, messages, setup, sink)?;
+            return Ok(OnlineReport {
+                outcome,
+                interruption: None,
+            });
+        }
+        self.cfg.timeline.validate(mesh)?;
+        let death = link_death_times(mesh, &self.cfg.timeline);
+
+        let part = if self.mode == SimMode::PerPacket || !self.cfg.faults.flaps().is_empty() {
+            self.run_per_packet_online(mesh, messages, setup, &death, sink)?
+        } else if let Some(p) = self.online_scoped(mesh, messages, setup, &death, sink) {
+            p
+        } else {
+            // A component erred: re-run the whole DAG through the online
+            // reference engine so typed errors, their bookkeeping, and the
+            // emitted trace stay bit-identical to an unscoped run.
+            self.run_per_packet_online(mesh, messages, setup, &death, sink)?
+        };
+
+        if !part.interrupted {
+            return Ok(OnlineReport {
+                outcome: SimOutcome::new(part.completion, part.stats),
+                interruption: None,
+            });
+        }
+
+        let drain_ns = part.end_ns;
+        if T::ENABLED {
+            for e in self.cfg.timeline.events() {
+                if e.at_ns() <= drain_ns {
+                    let (link, node) = match *e {
+                        FaultEvent::LinkDiesAt { link, .. } => (Some(link), None),
+                        FaultEvent::ChipletDiesAt { node, .. } => (None, Some(node)),
+                    };
+                    sink.record(TraceEvent::FaultArrival {
+                        link,
+                        node,
+                        at_ns: e.at_ns(),
+                    });
+                }
+            }
+        }
+        let mut overlay = self.cfg.faults.clone();
+        let mut remaining = self.cfg.timeline.clone();
+        let faults_applied = remaining.apply_through(drain_ns, &mut overlay);
+        let delivered: Vec<bool> = part.completion.iter().map(|c| !c.is_nan()).collect();
+        let lost_msgs = delivered.iter().filter(|&&d| !d).count();
+        let first_fault_ns = self
+            .cfg
+            .timeline
+            .first_at_ns()
+            .unwrap_or(drain_ns)
+            .min(drain_ns);
+        if T::ENABLED {
+            sink.record(TraceEvent::Drain {
+                at_ns: drain_ns,
+                lost_msgs: lost_msgs as u64,
+                lost_bytes: part.lost_bytes,
+            });
+        }
+        let first_lost_msg = part
+            .first_drop
+            .map(|(_, m, _)| m)
+            .or_else(|| delivered.iter().position(|&d| !d).map(MsgId));
+        let snapshot = DrainSnapshot {
+            first_fault_ns,
+            drain_ns,
+            delivered,
+            delivered_bytes: part.delivered_bytes,
+            lost_bytes: part.lost_bytes,
+            lost_msgs,
+            faults_applied,
+            overlay,
+            remaining,
+            first_lost_msg,
+            first_dead_link: part.first_drop.map(|(_, _, l)| l),
+        };
+        Ok(OnlineReport {
+            outcome: SimOutcome::new(part.completion, part.stats),
+            interruption: Some(snapshot),
+        })
+    }
+
+    /// The scoped `Auto` path: per component, unaffected runs keep full
+    /// static semantics (fast path included), affected runs first try the
+    /// fast path speculatively and accept it only when it provably finishes
+    /// before the component's earliest death. Returns `None` when any
+    /// component errors (the caller re-runs the whole DAG for bit-identical
+    /// diagnostics); on `Some`, buffered traces have been flushed to `sink`
+    /// grouped by component.
+    fn online_scoped<T: TraceSink>(
+        &self,
+        mesh: &Mesh,
+        messages: &[Message],
+        setup: &RunSetup,
+        death: &[f64],
+        sink: &mut T,
+    ) -> Option<OnlinePart> {
+        let n = messages.len();
+        let comps = partition(mesh, messages, setup);
+        let mut whole = OnlinePart {
+            completion: vec![f64::NAN; n],
+            stats: LinkStats::new(mesh, &self.cfg.faults),
+            delivered_bytes: vec![0; n],
+            lost_bytes: 0,
+            end_ns: 0.0,
+            interrupted: false,
+            first_drop: None,
+        };
+        let mut new_id: Vec<u32> = vec![0; n];
+        let mut trace: Vec<TraceEvent> = Vec::new();
+        for comp in &comps {
+            let (msgs_c, setup_c) = component_problem(messages, setup, comp, &mut new_id);
+            let min_death = min_route_death(&setup_c, death);
+            let mut buf = MemorySink::new();
+            let part = if min_death == f64::INFINITY {
+                // The timeline cannot touch this component's links; static
+                // semantics apply unchanged.
+                let out = self
+                    .simulate_static(mesh, &msgs_c, &setup_c, &mut buf)
+                    .ok()?;
+                clean_part(&self.cfg, &msgs_c, &setup_c, &out)
+            } else {
+                // Speculative fast path: every packet's link-win time
+                // precedes its own delivery, so a fast-path makespan at or
+                // before the earliest death proves no start lands in the
+                // dead window and the static result is exact.
+                let speculative = match coalesce::run(
+                    &self.cfg,
+                    mesh,
+                    &msgs_c,
+                    &setup_c.routes,
+                    &setup_c.blocked,
+                    &mut buf,
+                ) {
+                    Ok(Coalesce::Done(out)) if out.makespan_ns() <= min_death => Some(out),
+                    _ => None,
+                };
+                if let Some(out) = speculative {
+                    clean_part(&self.cfg, &msgs_c, &setup_c, &out)
+                } else {
+                    buf = MemorySink::new();
+                    self.run_per_packet_online(mesh, &msgs_c, &setup_c, death, &mut buf)
+                        .ok()?
+                }
+            };
+            for (j, &i) in comp.iter().enumerate() {
+                whole.completion[i as usize] = part.completion[j];
+                whole.delivered_bytes[i as usize] = part.delivered_bytes[j];
+            }
+            whole.stats.absorb(&part.stats);
+            whole.lost_bytes += part.lost_bytes;
+            whole.end_ns = whole.end_ns.max(part.end_ns);
+            whole.interrupted |= part.interrupted;
+            if let Some((t, m, l)) = part.first_drop {
+                let global = (t, MsgId(comp[m.index()] as usize), l);
+                if whole.first_drop.is_none_or(|(ft, _, _)| t < ft) {
+                    whole.first_drop = Some(global);
+                }
+            }
+            if T::ENABLED {
+                trace.extend(buf.events().iter().map(|ev| remap_msg(*ev, comp)));
+            }
+        }
+        for ev in trace {
+            sink.record(ev);
+        }
+        Some(whole)
+    }
+
+    /// The per-packet event loop with online death handling: identical to
+    /// the static reference engine except that a packet whose link-win time
+    /// falls at or past its link's death is dropped there, and a message
+    /// that becomes ready after a route link has died is withheld (never
+    /// injected). Static-fault stalls and watchdog trips stay typed errors.
+    pub(crate) fn run_per_packet_online<T: TraceSink>(
+        &self,
+        mesh: &Mesh,
+        messages: &[Message],
+        setup: &RunSetup,
+        death: &[f64],
+        sink: &mut T,
+    ) -> Result<OnlinePart, NocError> {
+        let n = messages.len();
+        let routes = &setup.routes;
+        let blocked = &setup.blocked;
+        let faults = &self.cfg.faults;
+
+        let mut pending_deps: Vec<usize> = messages.iter().map(|m| m.deps.len()).collect();
+        let mut dependents: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for m in messages {
+            for d in &m.deps {
+                dependents[d.index()].push(m.id.index() as u32);
+            }
+        }
+        let mut earliest: Vec<f64> = messages.iter().map(|m| m.ready_at_ns).collect();
+
+        let mut link_free: Vec<f64> = vec![0.0; mesh.link_id_space()];
+        let mut stats = LinkStats::new(mesh, faults);
+        let mut completion = vec![f64::NAN; n];
+        let mut delivered_bytes: Vec<u64> = vec![0; n];
+        let mut packets_left: Vec<u64> = messages
+            .iter()
+            .map(|m| self.cfg.packets_for(m.bytes))
+            .collect();
+
+        let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+        let mut seq: u64 = 0;
+        let mut injected = 0usize;
+        let mut stalled = 0usize;
+        let mut delivered = 0usize;
+        let mut last_progress: f64 = 0.0;
+        let mut interrupted = false;
+        let mut lost_bytes: u64 = 0;
+        let mut end_ns: f64 = 0.0;
+        let mut first_drop: Option<(f64, MsgId, LinkId)> = None;
+
+        let event_budget: u64 = messages
+            .iter()
+            .zip(routes)
+            .map(|(m, r)| self.cfg.packets_for(m.bytes) * (r.len() as u64 + 1))
+            .sum::<u64>()
+            .saturating_add(self.cfg.stall_budget_slack);
+        let mut events_popped: u64 = 0;
+
+        let inject = |heap: &mut BinaryHeap<Reverse<Event>>,
+                      seq: &mut u64,
+                      sink: &mut T,
+                      id: usize,
+                      at: f64| {
+            let count = self.cfg.packets_for(messages[id].bytes);
+            if T::ENABLED {
+                sink.record(TraceEvent::Inject {
+                    msg: messages[id].id,
+                    src: messages[id].src,
+                    dst: messages[id].dst,
+                    bytes: messages[id].bytes,
+                    packets: count,
+                    at_ns: at,
+                });
+            }
+            for p in 0..count {
+                *seq += 1;
+                heap.push(Reverse(Event {
+                    at: Time(at),
+                    seq: *seq,
+                    msg: id as u32,
+                    packet: p as u32,
+                    hop: 0,
+                }));
+            }
+        };
+        // A message becoming ready at `at` after a route link has already
+        // died belongs to the un-executed suffix: it is withheld rather
+        // than injected to die downstream. The withhold decision itself is
+        // activity at `at`, so the drain clock must cover it (it is what
+        // guarantees `apply_through(drain_ns)` folds the killing event).
+        let dies = |i: usize, at: f64| routes[i].iter().any(|&l| death[l.index()] <= at);
+
+        for (i, m) in messages.iter().enumerate() {
+            if pending_deps[i] == 0 {
+                injected += 1;
+                if blocked[i] {
+                    stalled += 1;
+                } else if dies(i, m.ready_at_ns) {
+                    interrupted = true;
+                    end_ns = end_ns.max(m.ready_at_ns);
+                } else {
+                    inject(&mut heap, &mut seq, sink, i, m.ready_at_ns);
+                }
+            }
+        }
+
+        let hop_lat = self.cfg.per_flit_latency_ns;
+        while let Some(Reverse(ev)) = heap.pop() {
+            events_popped += 1;
+            if events_popped > event_budget {
+                return Err(NocError::Stalled {
+                    pending_msgs: n - delivered,
+                    last_progress_ns: last_progress as u64,
+                    first_blocked_msg: None,
+                    first_blocked_link: None,
+                    stalled_at_ns: ev.at.0 as u64,
+                });
+            }
+            let mi = ev.msg as usize;
+            let route = &routes[mi];
+            if (ev.hop as usize) < route.len() {
+                let link = route[ev.hop as usize];
+                let bytes = packet_bytes(&self.cfg, messages[mi].bytes, ev.packet as u64);
+                let start = faults.available_at(link, ev.at.0.max(link_free[link.index()]));
+                if start >= death[link.index()] {
+                    // The link died before this packet could win it; the
+                    // packet is lost where it stands.
+                    let at = ev.at.0.max(death[link.index()]);
+                    interrupted = true;
+                    lost_bytes += bytes;
+                    end_ns = end_ns.max(at);
+                    if first_drop.is_none_or(|(t, _, _)| at < t) {
+                        first_drop = Some((at, messages[mi].id, link));
+                    }
+                    if T::ENABLED {
+                        sink.record(TraceEvent::PacketDrop {
+                            msg: messages[mi].id,
+                            packet: ev.packet as u64,
+                            hop: ev.hop,
+                            link,
+                            bytes,
+                            at_ns: at,
+                        });
+                    }
+                    continue;
+                }
+                let ser = self.cfg.serialization_on(link, bytes);
+                link_free[link.index()] = start + ser + self.cfg.per_packet_overhead_ns;
+                stats.add_busy(link, ser + self.cfg.per_packet_overhead_ns);
+                end_ns = end_ns.max(link_free[link.index()]);
+                if T::ENABLED {
+                    sink.record(TraceEvent::PacketHop {
+                        msg: messages[mi].id,
+                        packet: ev.packet as u64,
+                        hop: ev.hop,
+                        link,
+                        bytes,
+                        arrive_ns: ev.at.0,
+                        start_ns: start,
+                        busy_until_ns: link_free[link.index()],
+                    });
+                }
+                seq += 1;
+                let next_at = if (ev.hop as usize) + 1 < route.len() {
+                    start + hop_lat
+                } else {
+                    start + ser + hop_lat
+                };
+                heap.push(Reverse(Event {
+                    at: Time(next_at),
+                    seq,
+                    msg: ev.msg,
+                    packet: ev.packet,
+                    hop: ev.hop + 1,
+                }));
+            } else {
+                packets_left[mi] -= 1;
+                delivered_bytes[mi] +=
+                    packet_bytes(&self.cfg, messages[mi].bytes, ev.packet as u64);
+                end_ns = end_ns.max(ev.at.0);
+                if packets_left[mi] == 0 {
+                    completion[mi] = ev.at.0;
+                    delivered += 1;
+                    last_progress = last_progress.max(ev.at.0);
+                    if T::ENABLED {
+                        sink.record(TraceEvent::Deliver {
+                            msg: messages[mi].id,
+                            bytes: messages[mi].bytes,
+                            at_ns: ev.at.0,
+                        });
+                    }
+                    for &d in &dependents[mi] {
+                        let di = d as usize;
+                        earliest[di] = earliest[di].max(ev.at.0);
+                        pending_deps[di] -= 1;
+                        if pending_deps[di] == 0 {
+                            injected += 1;
+                            if blocked[di] {
+                                stalled += 1;
+                            } else if dies(di, earliest[di]) {
+                                interrupted = true;
+                                end_ns = end_ns.max(earliest[di]);
+                            } else {
+                                inject(&mut heap, &mut seq, sink, di, earliest[di]);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        if stalled > 0 {
+            // Static dead routes are a schedule-lint failure, not an online
+            // fault: keep the typed error bit-identical to the static
+            // engine's.
+            let culprit = (0..n).find(|&i| blocked[i] && completion[i].is_nan());
+            let culprit_link = culprit.and_then(|i| {
+                routes[i]
+                    .iter()
+                    .copied()
+                    .find(|&l| !faults.link_usable(mesh, l))
+            });
+            return Err(NocError::Stalled {
+                pending_msgs: n - delivered,
+                last_progress_ns: last_progress as u64,
+                first_blocked_msg: culprit.map(MsgId),
+                first_blocked_link: culprit_link,
+                stalled_at_ns: last_progress as u64,
+            });
+        }
+        if !interrupted && injected < n {
+            return Err(NocError::DependencyCycle {
+                stuck: n - injected,
+            });
+        }
+        Ok(OnlinePart {
+            completion,
+            stats,
+            delivered_bytes,
+            lost_bytes,
+            end_ns,
+            interrupted,
+            first_drop,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::NullSink;
+    use meshcoll_topo::NodeId;
+
+    fn cfg() -> NocConfig {
+        NocConfig::paper_default()
+    }
+
+    #[test]
+    fn empty_timeline_matches_static_run() {
+        let mesh = Mesh::new(1, 3).unwrap();
+        let msgs = vec![Message::new(MsgId(0), NodeId(0), NodeId(2), 1 << 16)];
+        let sim = PacketSim::new(cfg());
+        let report = sim.simulate_online(&mesh, &msgs, &mut NullSink).unwrap();
+        assert!(report.interruption.is_none());
+        let stat = sim.simulate(&mesh, &msgs).unwrap();
+        assert_eq!(report.outcome.makespan_ns(), stat.makespan_ns());
+    }
+
+    #[test]
+    fn late_death_does_not_interrupt() {
+        let mesh = Mesh::new(1, 2).unwrap();
+        let link = mesh.link_between(NodeId(0), NodeId(1)).unwrap();
+        let mut c = cfg();
+        c.timeline.link_dies_at(link, 1e9); // far after completion
+        let msgs = vec![Message::new(MsgId(0), NodeId(0), NodeId(1), 8192)];
+        let report = PacketSim::new(c)
+            .simulate_online(&mesh, &msgs, &mut NullSink)
+            .unwrap();
+        assert!(report.interruption.is_none());
+        let expect = cfg().serialization_ns(8192) + cfg().per_flit_latency_ns;
+        assert!((report.outcome.makespan_ns() - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn immediate_death_drains_with_full_loss() {
+        let mesh = Mesh::new(1, 2).unwrap();
+        let link = mesh.link_between(NodeId(0), NodeId(1)).unwrap();
+        let mut c = cfg();
+        c.timeline.link_dies_at(link, 0.0);
+        let msgs = vec![Message::new(MsgId(0), NodeId(0), NodeId(1), 8192)];
+        let report = PacketSim::new(c)
+            .simulate_online(&mesh, &msgs, &mut NullSink)
+            .unwrap();
+        let snap = report.interruption.expect("interrupted");
+        assert_eq!(snap.lost_msgs, 1);
+        assert!(!snap.delivered[0]);
+        assert_eq!(snap.delivered_bytes[0], 0);
+        assert!(snap.overlay.link_failed(link));
+        assert!(snap.remaining.is_empty());
+        assert_eq!(snap.first_dead_link, None); // withheld, not dropped
+        assert_eq!(snap.first_lost_msg, Some(MsgId(0)));
+    }
+
+    #[test]
+    fn mid_run_death_drops_in_flight_packets() {
+        let mesh = Mesh::new(1, 2).unwrap();
+        let link = mesh.link_between(NodeId(0), NodeId(1)).unwrap();
+        let mut c = cfg();
+        // 4 packets x ~348.68 ns each; kill the link mid-stream.
+        c.timeline.link_dies_at(link, 700.0);
+        let msgs = vec![Message::new(MsgId(0), NodeId(0), NodeId(1), 8192 * 4)];
+        let mut sink = MemorySink::new();
+        let report = PacketSim::new(c)
+            .simulate_online(&mesh, &msgs, &mut sink)
+            .unwrap();
+        let snap = report.interruption.expect("interrupted");
+        assert_eq!(snap.lost_msgs, 1);
+        assert!(snap.lost_bytes > 0 && snap.lost_bytes < 8192 * 4);
+        assert_eq!(snap.first_dead_link, Some(link));
+        assert!(snap.drain_ns >= 700.0);
+        // Partial bytes reached the destination before the death.
+        assert!(snap.delivered_bytes[0] > 0);
+        assert_eq!(snap.delivered_bytes[0] + snap.lost_bytes, 8192 * 4);
+        let drops = sink
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::PacketDrop { .. }))
+            .count();
+        assert!(drops >= 1);
+        assert!(sink
+            .events()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Drain { .. })));
+        assert!(sink
+            .events()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::FaultArrival { .. })));
+    }
+
+    #[test]
+    fn unaffected_component_completes_alongside_interruption() {
+        let mesh = Mesh::new(2, 2).unwrap();
+        let dead = mesh.link_between(NodeId(0), NodeId(1)).unwrap();
+        let mut c = cfg();
+        c.timeline.link_dies_at(dead, 0.0);
+        let msgs = vec![
+            Message::new(MsgId(0), NodeId(0), NodeId(1), 1 << 16),
+            Message::new(MsgId(1), NodeId(2), NodeId(3), 1 << 16),
+        ];
+        let report = PacketSim::new(c)
+            .simulate_online(&mesh, &msgs, &mut NullSink)
+            .unwrap();
+        let snap = report.interruption.expect("interrupted");
+        assert_eq!(snap.delivered, vec![false, true]);
+        assert!(report.outcome.completion_ns(MsgId(1)).unwrap().is_finite());
+        assert_eq!(snap.lost_msgs, 1);
+    }
+
+    #[test]
+    fn chiplet_death_kills_adjacent_links() {
+        let mesh = Mesh::new(1, 3).unwrap();
+        let mut c = cfg();
+        c.timeline.chiplet_dies_at(NodeId(1), 0.0);
+        let msgs = vec![Message::new(MsgId(0), NodeId(0), NodeId(2), 8192)];
+        let report = PacketSim::new(c)
+            .simulate_online(&mesh, &msgs, &mut NullSink)
+            .unwrap();
+        let snap = report.interruption.expect("interrupted");
+        assert_eq!(snap.lost_msgs, 1);
+        assert!(snap.overlay.node_failed(NodeId(1)));
+    }
+
+    #[test]
+    fn withheld_dependent_joins_the_suffix() {
+        let mesh = Mesh::new(1, 3).unwrap();
+        let link = mesh.link_between(NodeId(1), NodeId(2)).unwrap();
+        let mut c = cfg();
+        // Dies before the dependent (which needs 1->2) becomes ready.
+        c.timeline.link_dies_at(link, 10.0);
+        let msgs = vec![
+            Message::new(MsgId(0), NodeId(0), NodeId(1), 1 << 16),
+            Message::new(MsgId(1), NodeId(1), NodeId(2), 8192).with_deps([MsgId(0)]),
+        ];
+        let report = PacketSim::new(c)
+            .simulate_online(&mesh, &msgs, &mut NullSink)
+            .unwrap();
+        let snap = report.interruption.expect("interrupted");
+        assert_eq!(snap.delivered, vec![true, false]);
+        assert_eq!(snap.delivered_bytes[1], 0);
+        assert_eq!(snap.lost_bytes, 0); // withheld, nothing dropped in flight
+        assert!(snap.drain_ns >= report.outcome.completion_ns(MsgId(0)).unwrap());
+    }
+
+    #[test]
+    fn per_packet_mode_agrees_with_auto_on_interruption() {
+        let mesh = Mesh::new(2, 2).unwrap();
+        let dead = mesh.link_between(NodeId(0), NodeId(1)).unwrap();
+        let mut c = cfg();
+        c.timeline.link_dies_at(dead, 500.0);
+        let msgs = vec![
+            Message::new(MsgId(0), NodeId(0), NodeId(1), 8192 * 8),
+            Message::new(MsgId(1), NodeId(2), NodeId(3), 8192 * 8),
+        ];
+        let auto = PacketSim::new(c.clone())
+            .simulate_online(&mesh, &msgs, &mut NullSink)
+            .unwrap();
+        let per = PacketSim::new(c)
+            .with_mode(SimMode::PerPacket)
+            .simulate_online(&mesh, &msgs, &mut NullSink)
+            .unwrap();
+        let (sa, sp) = (
+            auto.interruption.expect("auto interrupted"),
+            per.interruption.expect("per-packet interrupted"),
+        );
+        assert_eq!(sa.delivered, sp.delivered);
+        assert_eq!(sa.lost_bytes, sp.lost_bytes);
+        let (a, p) = (
+            auto.outcome.completion_ns(MsgId(1)).unwrap(),
+            per.outcome.completion_ns(MsgId(1)).unwrap(),
+        );
+        assert!((a - p).abs() < 1e-6, "auto {a} vs per-packet {p}");
+    }
+
+    #[test]
+    fn static_dead_route_is_still_a_typed_stall() {
+        let mesh = Mesh::new(1, 3).unwrap();
+        let mut c = cfg();
+        c.faults
+            .fail_link_between(&mesh, NodeId(1), NodeId(2))
+            .unwrap();
+        let far = mesh.link_between(NodeId(0), NodeId(1)).unwrap();
+        c.timeline.link_dies_at(far, 1e9);
+        let msgs = vec![Message::new(MsgId(0), NodeId(0), NodeId(2), 8192)];
+        let err = PacketSim::new(c)
+            .simulate_online(&mesh, &msgs, &mut NullSink)
+            .unwrap_err();
+        assert!(matches!(err, NocError::Stalled { .. }), "got {err}");
+    }
+
+    #[test]
+    fn splice_outcomes_merges_segments() {
+        let mesh = Mesh::new(1, 3).unwrap();
+        let sim = PacketSim::new(cfg());
+        let a = sim
+            .simulate(&mesh, &[Message::new(MsgId(0), NodeId(0), NodeId(1), 8192)])
+            .unwrap();
+        let b = sim
+            .simulate(
+                &mesh,
+                &[Message::new(MsgId(0), NodeId(1), NodeId(2), 8192).with_ready_at(5000.0)],
+            )
+            .unwrap();
+        let whole = splice_outcomes(&mesh, &FaultModel::default(), &[a.clone(), b.clone()]);
+        assert_eq!(whole.completions().len(), 2);
+        assert_eq!(whole.makespan_ns(), b.makespan_ns());
+        let l0 = mesh.link_between(NodeId(0), NodeId(1)).unwrap();
+        assert!((whole.link_stats().busy_ns(l0) - a.link_stats().busy_ns(l0)).abs() < 1e-9);
+    }
+}

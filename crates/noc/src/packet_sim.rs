@@ -48,9 +48,9 @@ pub enum SimMode {
 /// The event-driven packet-granularity simulator. See the module docs.
 #[derive(Debug, Clone)]
 pub struct PacketSim {
-    cfg: NocConfig,
-    routes: Arc<RouteCache>,
-    mode: SimMode,
+    pub(crate) cfg: NocConfig,
+    pub(crate) routes: Arc<RouteCache>,
+    pub(crate) mode: SimMode,
 }
 
 /// Per-run preparation shared by both engines: cached routes and the flags
@@ -132,6 +132,33 @@ impl PacketSim {
         sink: &mut T,
     ) -> Result<SimOutcome, NocError> {
         let setup = self.prepare(mesh, messages)?;
+        if !self.cfg.timeline.is_empty() {
+            // Timed mid-run faults need the online per-packet machinery; the
+            // coalescing fast path is only used for components the timeline
+            // cannot touch (see `simulate_online`). A run interrupted by a
+            // fault has undeliverable messages, which this completion-only
+            // entry point reports as a (first-blocked-enriched) stall; use
+            // `simulate_online` to drain and repair instead.
+            let report = self.online_with_setup(mesh, messages, &setup, sink)?;
+            return match report.interruption {
+                None => Ok(report.outcome),
+                Some(snap) => Err(snap.into_stall_error()),
+            };
+        }
+        self.simulate_static(mesh, messages, &setup, sink)
+    }
+
+    /// The timeline-free simulation body: fast path with scoped fallback
+    /// under [`SimMode::Auto`], per-packet reference otherwise. Shared by
+    /// [`PacketSim::simulate_traced`] and the online engine (which routes
+    /// timeline-unaffected components through it unchanged).
+    pub(crate) fn simulate_static<T: TraceSink>(
+        &self,
+        mesh: &Mesh,
+        messages: &[Message],
+        setup: &RunSetup,
+        sink: &mut T,
+    ) -> Result<SimOutcome, NocError> {
         if self.mode == SimMode::Auto && self.cfg.faults.flaps().is_empty() {
             // A contended fast-path attempt is scoped before giving up: the
             // DAG splits into link- and dependency-disjoint components, and
@@ -157,7 +184,7 @@ impl PacketSim {
                         return Ok(out);
                     }
                     Ok(Coalesce::Contended) => {
-                        if let Some(out) = self.run_scoped(mesh, messages, &setup, sink) {
+                        if let Some(out) = self.run_scoped(mesh, messages, setup, sink) {
                             return Ok(out);
                         }
                     }
@@ -174,7 +201,7 @@ impl PacketSim {
                 ) {
                     Ok(Coalesce::Done(out)) => return Ok(out),
                     Ok(Coalesce::Contended) => {
-                        if let Some(out) = self.run_scoped(mesh, messages, &setup, sink) {
+                        if let Some(out) = self.run_scoped(mesh, messages, setup, sink) {
                             return Ok(out);
                         }
                     }
@@ -182,7 +209,7 @@ impl PacketSim {
                 }
             }
         }
-        self.run_per_packet(mesh, messages, &setup, sink)
+        self.run_per_packet(mesh, messages, setup, sink)
     }
 
     /// The scoped fallback behind [`SimMode::Auto`]: after a contended
@@ -206,51 +233,8 @@ impl PacketSim {
         setup: &RunSetup,
         sink: &mut T,
     ) -> Option<SimOutcome> {
-        // Union-find with path halving over message indices.
-        fn find(parent: &mut [u32], mut x: u32) -> u32 {
-            while parent[x as usize] != x {
-                parent[x as usize] = parent[parent[x as usize] as usize];
-                x = parent[x as usize];
-            }
-            x
-        }
         let n = messages.len();
-        let mut parent: Vec<u32> = (0..n as u32).collect();
-        let union = |parent: &mut Vec<u32>, a: u32, b: u32| {
-            let (ra, rb) = (find(parent, a), find(parent, b));
-            if ra != rb {
-                parent[ra as usize] = rb;
-            }
-        };
-        for (i, m) in messages.iter().enumerate() {
-            for d in &m.deps {
-                union(&mut parent, i as u32, d.index() as u32);
-            }
-        }
-        let mut link_owner: Vec<u32> = vec![u32::MAX; mesh.link_id_space()];
-        for (i, r) in setup.routes.iter().enumerate() {
-            for &l in r.iter() {
-                let o = link_owner[l.index()];
-                if o == u32::MAX {
-                    link_owner[l.index()] = i as u32;
-                } else {
-                    union(&mut parent, i as u32, o);
-                }
-            }
-        }
-        // Components in first-appearance order; members stay in id order so
-        // each component run arbitrates same-time events exactly like the
-        // global run restricted to it.
-        let mut comp_index: Vec<u32> = vec![u32::MAX; n];
-        let mut comps: Vec<Vec<u32>> = Vec::new();
-        for i in 0..n as u32 {
-            let r = find(&mut parent, i) as usize;
-            if comp_index[r] == u32::MAX {
-                comp_index[r] = comps.len() as u32;
-                comps.push(Vec::new());
-            }
-            comps[comp_index[r] as usize].push(i);
-        }
+        let comps = partition(mesh, messages, setup);
         if comps.len() < 2 {
             return None;
         }
@@ -260,27 +244,7 @@ impl PacketSim {
         let mut trace: Vec<TraceEvent> = Vec::new();
         let mut new_id: Vec<u32> = vec![0; n];
         for comp in &comps {
-            for (j, &i) in comp.iter().enumerate() {
-                new_id[i as usize] = j as u32;
-            }
-            let msgs_c: Vec<Message> = comp
-                .iter()
-                .map(|&i| {
-                    let m = &messages[i as usize];
-                    Message::new(MsgId(new_id[i as usize] as usize), m.src, m.dst, m.bytes)
-                        .with_deps(m.deps.iter().map(|d| MsgId(new_id[d.index()] as usize)))
-                        .with_ready_at(m.ready_at_ns)
-                })
-                .collect();
-            let routes_c: Vec<Arc<[LinkId]>> = comp
-                .iter()
-                .map(|&i| Arc::clone(&setup.routes[i as usize]))
-                .collect();
-            let blocked_c: Vec<bool> = comp.iter().map(|&i| setup.blocked[i as usize]).collect();
-            let setup_c = RunSetup {
-                routes: routes_c,
-                blocked: blocked_c,
-            };
+            let (msgs_c, setup_c) = component_problem(messages, setup, comp, &mut new_id);
             let mut buf = MemorySink::new();
             let out_c = if T::ENABLED {
                 match coalesce::run(
@@ -422,7 +386,7 @@ impl PacketSim {
     /// flags messages that can never deliver because their route crosses a
     /// permanently dead link (or dead chiplet) — rather than waiting forever
     /// the engines report those as stalled.
-    fn prepare(&self, mesh: &Mesh, messages: &[Message]) -> Result<RunSetup, NocError> {
+    pub(crate) fn prepare(&self, mesh: &Mesh, messages: &[Message]) -> Result<RunSetup, NocError> {
         validate(messages)?;
         let mut routes: Vec<Arc<[LinkId]>> = Vec::with_capacity(messages.len());
         // Large schedules repeat the same few hundred (src, dst) pairs tens
@@ -457,7 +421,7 @@ impl PacketSim {
     }
 
     /// The exact per-packet event loop (reference engine).
-    fn run_per_packet<T: TraceSink>(
+    pub(crate) fn run_per_packet<T: TraceSink>(
         &self,
         mesh: &Mesh,
         messages: &[Message],
@@ -503,7 +467,7 @@ impl PacketSim {
             .zip(routes)
             .map(|(m, r)| self.cfg.packets_for(m.bytes) * (r.len() as u64 + 1))
             .sum::<u64>()
-            .saturating_add(16);
+            .saturating_add(self.cfg.stall_budget_slack);
         let mut events_popped: u64 = 0;
 
         let inject = |heap: &mut BinaryHeap<Reverse<Event>>,
@@ -549,9 +513,13 @@ impl PacketSim {
         while let Some(Reverse(ev)) = heap.pop() {
             events_popped += 1;
             if events_popped > event_budget {
+                // Watchdog trip: no single culprit message/link to name.
                 return Err(NocError::Stalled {
                     pending_msgs: n - delivered,
                     last_progress_ns: last_progress as u64,
+                    first_blocked_msg: None,
+                    first_blocked_link: None,
+                    stalled_at_ns: ev.at.0 as u64,
                 });
             }
             let mi = ev.msg as usize;
@@ -630,10 +598,22 @@ impl PacketSim {
 
         if stalled > 0 {
             // Some ready messages route over dead links; everything awaiting
-            // them (transitively) is pending too.
+            // them (transitively) is pending too. Name the first blocked
+            // message (in id order) and the first dead link on its route so
+            // a dead-route stall is distinguishable from a watchdog trip.
+            let culprit = (0..n).find(|&i| blocked[i] && completion[i].is_nan());
+            let culprit_link = culprit.and_then(|i| {
+                routes[i]
+                    .iter()
+                    .copied()
+                    .find(|&l| !faults.link_usable(mesh, l))
+            });
             return Err(NocError::Stalled {
                 pending_msgs: n - delivered,
                 last_progress_ns: last_progress as u64,
+                first_blocked_msg: culprit.map(MsgId),
+                first_blocked_link: culprit_link,
+                stalled_at_ns: last_progress as u64,
             });
         }
         if injected < n {
@@ -662,12 +642,12 @@ impl Ord for Time {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-struct Event {
-    at: Time,
-    seq: u64,
-    msg: u32,
-    packet: u32,
-    hop: u32,
+pub(crate) struct Event {
+    pub(crate) at: Time,
+    pub(crate) seq: u64,
+    pub(crate) msg: u32,
+    pub(crate) packet: u32,
+    pub(crate) hop: u32,
 }
 
 impl NetworkSim for PacketSim {
@@ -676,10 +656,96 @@ impl NetworkSim for PacketSim {
     }
 }
 
+/// Partitions the message DAG into connected components over dependency
+/// edges and shared route links (union-find with path halving). Components
+/// are mutually link-disjoint and dependency-closed, listed in
+/// first-appearance order with members in id order, so each component run
+/// arbitrates same-time events exactly like the global run restricted to
+/// it. Shared by the scoped contention fallback and the online engine.
+pub(crate) fn partition(mesh: &Mesh, messages: &[Message], setup: &RunSetup) -> Vec<Vec<u32>> {
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+    let n = messages.len();
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    let union = |parent: &mut Vec<u32>, a: u32, b: u32| {
+        let (ra, rb) = (find(parent, a), find(parent, b));
+        if ra != rb {
+            parent[ra as usize] = rb;
+        }
+    };
+    for (i, m) in messages.iter().enumerate() {
+        for d in &m.deps {
+            union(&mut parent, i as u32, d.index() as u32);
+        }
+    }
+    let mut link_owner: Vec<u32> = vec![u32::MAX; mesh.link_id_space()];
+    for (i, r) in setup.routes.iter().enumerate() {
+        for &l in r.iter() {
+            let o = link_owner[l.index()];
+            if o == u32::MAX {
+                link_owner[l.index()] = i as u32;
+            } else {
+                union(&mut parent, i as u32, o);
+            }
+        }
+    }
+    let mut comp_index: Vec<u32> = vec![u32::MAX; n];
+    let mut comps: Vec<Vec<u32>> = Vec::new();
+    for i in 0..n as u32 {
+        let r = find(&mut parent, i) as usize;
+        if comp_index[r] == u32::MAX {
+            comp_index[r] = comps.len() as u32;
+            comps.push(Vec::new());
+        }
+        comps[comp_index[r] as usize].push(i);
+    }
+    comps
+}
+
+/// Builds the standalone sub-problem for one component of [`partition`]:
+/// messages with dense remapped ids (recorded in `new_id`, a scratch array
+/// of global length) and the matching route/blocked slices.
+pub(crate) fn component_problem(
+    messages: &[Message],
+    setup: &RunSetup,
+    comp: &[u32],
+    new_id: &mut [u32],
+) -> (Vec<Message>, RunSetup) {
+    for (j, &i) in comp.iter().enumerate() {
+        new_id[i as usize] = j as u32;
+    }
+    let msgs_c: Vec<Message> = comp
+        .iter()
+        .map(|&i| {
+            let m = &messages[i as usize];
+            Message::new(MsgId(new_id[i as usize] as usize), m.src, m.dst, m.bytes)
+                .with_deps(m.deps.iter().map(|d| MsgId(new_id[d.index()] as usize)))
+                .with_ready_at(m.ready_at_ns)
+        })
+        .collect();
+    let routes_c: Vec<Arc<[LinkId]>> = comp
+        .iter()
+        .map(|&i| Arc::clone(&setup.routes[i as usize]))
+        .collect();
+    let blocked_c: Vec<bool> = comp.iter().map(|&i| setup.blocked[i as usize]).collect();
+    (
+        msgs_c,
+        RunSetup {
+            routes: routes_c,
+            blocked: blocked_c,
+        },
+    )
+}
+
 /// Rewrites a component-local trace event's message id back to the global
 /// DAG's id (`comp[local] == global`); used when the scoped fallback flushes
 /// buffered component traces to the caller's sink.
-fn remap_msg(ev: TraceEvent, comp: &[u32]) -> TraceEvent {
+pub(crate) fn remap_msg(ev: TraceEvent, comp: &[u32]) -> TraceEvent {
     let orig = |m: MsgId| MsgId(comp[m.index()] as usize);
     let mut ev = ev;
     match &mut ev {
@@ -687,8 +753,12 @@ fn remap_msg(ev: TraceEvent, comp: &[u32]) -> TraceEvent {
         | TraceEvent::PacketHop { msg, .. }
         | TraceEvent::TrainHop { msg, .. }
         | TraceEvent::TrainSplit { msg, .. }
+        | TraceEvent::PacketDrop { msg, .. }
         | TraceEvent::Deliver { msg, .. } => *msg = orig(*msg),
-        TraceEvent::Reduce { .. } => {}
+        TraceEvent::Reduce { .. }
+        | TraceEvent::FaultArrival { .. }
+        | TraceEvent::Drain { .. }
+        | TraceEvent::Resume { .. } => {}
     }
     ev
 }
@@ -706,7 +776,7 @@ pub(crate) fn last_packet_bytes(cfg: &NocConfig, total_bytes: u64, count: u64) -
 
 /// Size of packet `idx` within a `total_bytes` message (the last packet
 /// carries the remainder).
-fn packet_bytes(cfg: &NocConfig, total_bytes: u64, idx: u64) -> u64 {
+pub(crate) fn packet_bytes(cfg: &NocConfig, total_bytes: u64, idx: u64) -> u64 {
     let count = cfg.packets_for(total_bytes);
     if idx + 1 < count {
         cfg.packet_bytes
@@ -900,15 +970,21 @@ mod tests {
             Message::new(MsgId(0), NodeId(0), NodeId(1), 8192),
             Message::new(MsgId(1), NodeId(0), NodeId(2), 8192),
         ];
+        let dead = mesh.link_between(NodeId(1), NodeId(2)).unwrap();
         let err = PacketSim::new(c).run(&mesh, &msgs).unwrap_err();
         match err {
             NocError::Stalled {
                 pending_msgs,
                 last_progress_ns,
+                first_blocked_msg,
+                first_blocked_link,
+                ..
             } => {
                 // Message 0 delivers; message 1 is routed over the dead link.
                 assert_eq!(pending_msgs, 1);
                 assert!(last_progress_ns > 0, "message 0 should have delivered");
+                assert_eq!(first_blocked_msg, Some(MsgId(1)));
+                assert_eq!(first_blocked_link, Some(dead));
             }
             other => panic!("expected Stalled, got {other}"),
         }
@@ -931,7 +1007,9 @@ mod tests {
                 err,
                 NocError::Stalled {
                     pending_msgs: 2,
-                    last_progress_ns: 0
+                    last_progress_ns: 0,
+                    first_blocked_msg: Some(MsgId(0)),
+                    ..
                 }
             ),
             "got {err}"

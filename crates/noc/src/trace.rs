@@ -117,6 +117,55 @@ pub enum TraceEvent {
         /// Delivery time, ns.
         at_ns: f64,
     },
+    /// A timed fault from the configured
+    /// [`FaultTimeline`](meshcoll_topo::FaultTimeline) fired mid-run
+    /// (online engine only). Exactly one of `link`/`node` is set.
+    FaultArrival {
+        /// The dying directed link, for a link-death event.
+        link: Option<LinkId>,
+        /// The dying chiplet, for a chiplet-death event.
+        node: Option<NodeId>,
+        /// Death timestamp, ns.
+        at_ns: f64,
+    },
+    /// A packet was lost: the link at this hop died before the packet could
+    /// start its transmission (online engine only). The packet's bytes
+    /// leave the network here — the byte-conservation audit counts them
+    /// against the injection.
+    PacketDrop {
+        /// The message the packet belongs to.
+        msg: MsgId,
+        /// Packet index within the message.
+        packet: u64,
+        /// Hop index along the route where the packet was lost.
+        hop: u32,
+        /// The dead directed link the packet needed.
+        link: LinkId,
+        /// This packet's payload bytes.
+        bytes: u64,
+        /// When the packet was lost, ns.
+        at_ns: f64,
+    },
+    /// The online engine finished draining after a mid-run fault: every
+    /// in-flight packet has either delivered or dropped, and the remaining
+    /// messages form the un-executed suffix handed to repair.
+    Drain {
+        /// Drain completion time (last event processed), ns.
+        at_ns: f64,
+        /// Messages of the interrupted segment left undelivered.
+        lost_msgs: u64,
+        /// Payload bytes dropped in flight across the segment.
+        lost_bytes: u64,
+    },
+    /// A repaired schedule suffix resumed execution after a drain (emitted
+    /// by the orchestration layer). Every later event in the stream must
+    /// occur at or after `at_ns`.
+    Resume {
+        /// Resume time (drain time plus charged repair latency), ns.
+        at_ns: f64,
+        /// Messages in the repaired suffix.
+        suffix_msgs: u64,
+    },
     /// A reduction was applied at a chiplet (emitted by the schedule layer,
     /// which models aggregation as free — the event's time is the delivery
     /// of the operands).
@@ -354,6 +403,37 @@ impl<W: Write> JsonlSink<W> {
                 self.out,
                 r#"{{"ev":"reduce","op":{op},"node":{},"offset":{offset},"bytes":{bytes},"at_ns":{at_ns}}}"#,
                 node.index(),
+            ),
+            TraceEvent::FaultArrival { link, node, at_ns } => writeln!(
+                self.out,
+                r#"{{"ev":"fault_arrival","link":{},"node":{},"at_ns":{at_ns}}}"#,
+                link.map_or(-1i64, |l| l.index() as i64),
+                node.map_or(-1i64, |n| n.index() as i64),
+            ),
+            TraceEvent::PacketDrop {
+                msg,
+                packet,
+                hop,
+                link,
+                bytes,
+                at_ns,
+            } => writeln!(
+                self.out,
+                r#"{{"ev":"packet_drop","msg":{},"packet":{packet},"hop":{hop},"link":{},"bytes":{bytes},"at_ns":{at_ns}}}"#,
+                msg.index(),
+                link.index(),
+            ),
+            TraceEvent::Drain {
+                at_ns,
+                lost_msgs,
+                lost_bytes,
+            } => writeln!(
+                self.out,
+                r#"{{"ev":"drain","at_ns":{at_ns},"lost_msgs":{lost_msgs},"lost_bytes":{lost_bytes}}}"#,
+            ),
+            TraceEvent::Resume { at_ns, suffix_msgs } => writeln!(
+                self.out,
+                r#"{{"ev":"resume","at_ns":{at_ns},"suffix_msgs":{suffix_msgs}}}"#,
             ),
         }
     }

@@ -65,6 +65,22 @@ pub enum RunStatus {
         /// (the schedule-regeneration overhead a runtime would pay).
         repair_micros: f64,
     },
+    /// A fault timeline interrupted the run mid-collective; the schedule
+    /// suffix was repaired live and resumed on the surviving topology
+    /// (see [`SimEngine::run_online`]).
+    RepairedOnline {
+        /// Timestamp of the first fault arrival that interrupted a
+        /// segment, ns.
+        at_ns: f64,
+        /// Total wall-clock repair latency charged into the makespan, ns.
+        repair_ns: f64,
+        /// Online repairs performed (one per interrupting fault batch).
+        attempts: usize,
+        /// Payload bytes dropped in flight across all interruptions.
+        lost_bytes: u64,
+        /// Total ops across all resumed suffix schedules.
+        resumed_ops: usize,
+    },
     /// No repaired schedule exists on the fault-masked topology (e.g. the
     /// survivors are partitioned).
     Infeasible {

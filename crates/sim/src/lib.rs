@@ -13,7 +13,10 @@
 //!   exclusivity, dependency conformance, and the AllReduce contract,
 //!   while [`SimEngine::run_traced`] streams the structured event trace
 //!   (including schedule-layer reductions) into any
-//!   [`TraceSink`](meshcoll_noc::TraceSink),
+//!   [`TraceSink`](meshcoll_noc::TraceSink); under a fault *timeline*
+//!   (links/chiplets dying at run time), [`SimEngine::run_online`] drains
+//!   the interrupted network, repairs the schedule suffix live from the
+//!   salvaged partial sums, and resumes on the surviving topology,
 //! * [`SimContext`] / [`SweepRunner`] — a shared route cache for engines
 //!   that repeat runs on the same mesh, and a scoped-thread fan-out over
 //!   sweep points with deterministic result ordering (the `--jobs` flag of
@@ -50,6 +53,7 @@ mod audit;
 mod context;
 mod engine;
 mod error;
+mod online;
 mod sweep;
 
 pub mod bandwidth;
@@ -66,4 +70,5 @@ pub use error::SimError;
 /// every simulated run with its certified lower bounds.
 pub use meshcoll_analyzer as analyzer;
 pub use meshcoll_noc::SimMode;
+pub use online::{OnlineOptions, OnlineRun};
 pub use sweep::SweepRunner;

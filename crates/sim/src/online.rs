@@ -1,0 +1,558 @@
+//! Online fault arrival with live schedule repair.
+//!
+//! [`SimEngine::run_online`] is the detect → drain → repair → resume
+//! orchestrator over the whole stack: the packet engine executes the
+//! collective under the configured
+//! [`FaultTimeline`](meshcoll_topo::FaultTimeline); when a timed link or
+//! chiplet death interrupts the run, the engine drains to a typed
+//! [`DrainSnapshot`](meshcoll_noc::DrainSnapshot), the repair layer
+//! ([`meshcoll_collectives::online::repair_suffix`]) rebuilds the rest of
+//! the collective from the partial sums the completed prefix produced, and
+//! the repaired suffix resumes on the surviving topology — at the drain
+//! time *plus the measured wall-clock repair latency*, so the reported
+//! makespan charges the cost a runtime would actually pay to re-plan.
+//!
+//! The loop iterates (later timeline events interrupt the suffix too) up to
+//! [`OnlineOptions::max_repairs`] times; exhaustion, partitioned survivors,
+//! and unrecoverable partial sums all come back as the typed
+//! [`RunStatus::Infeasible`] — never a panic, never a stall.
+//!
+//! With [`OnlineOptions::audit`] set, every segment's trace is collected
+//! (with [`TraceEvent::Resume`] markers between segments) and replayed
+//! through [`InvariantAuditor::check_online_trace`], which checks
+//! conservation and drop accounting per segment plus causality across the
+//! splice boundaries.
+
+use meshcoll_collectives::online::{repair_suffix, SuffixContext};
+use meshcoll_collectives::{Algorithm, CollectiveError, CollectiveOp, ScheduleOptions};
+use meshcoll_noc::{
+    splice_outcomes, InvariantAuditor, MemorySink, NullSink, PacketSim, SimOutcome, TraceAudit,
+    TraceEvent,
+};
+use meshcoll_topo::{Mesh, NodeId};
+
+use crate::engine::schedule_messages;
+use crate::{RunResult, RunStatus, SimEngine, SimError};
+
+/// Per-run options for [`SimEngine::run_online`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OnlineOptions {
+    /// Maximum online repairs before the run is declared infeasible (each
+    /// timeline event that interrupts a segment consumes one). Bounds the
+    /// detect → repair → resume loop so adversarial timelines cannot spin
+    /// it forever.
+    pub max_repairs: usize,
+    /// Collect every segment's trace and replay it through
+    /// [`InvariantAuditor::check_online_trace`] (slower; the verdict lands
+    /// in [`OnlineRun::audit`]).
+    pub audit: bool,
+    /// Re-run the static analyzer on each repaired suffix before resuming
+    /// it, rejecting provably-infeasible suffixes with [`SimError::Static`]
+    /// instead of burning the stall watchdog.
+    pub static_check: bool,
+}
+
+impl Default for OnlineOptions {
+    fn default() -> Self {
+        OnlineOptions {
+            max_repairs: 4,
+            audit: false,
+            static_check: false,
+        }
+    }
+}
+
+impl OnlineOptions {
+    /// Options with trace auditing enabled.
+    pub fn audited() -> Self {
+        OnlineOptions {
+            audit: true,
+            ..OnlineOptions::default()
+        }
+    }
+}
+
+/// Result of [`SimEngine::run_online`]: the conclusion, the timing of
+/// everything that executed, and the optional trace audit.
+#[derive(Debug, Clone)]
+pub struct OnlineRun {
+    /// How the run concluded ([`RunStatus::RepairedOnline`] when at least
+    /// one timeline event interrupted a segment mid-flight).
+    pub status: RunStatus,
+    /// Spliced timing over every executed segment (`None` when infeasible).
+    /// The makespan includes the charged repair latencies.
+    pub result: Option<RunResult>,
+    /// The online trace audit, when [`OnlineOptions::audit`] was set and at
+    /// least one segment executed.
+    pub audit: Option<TraceAudit>,
+}
+
+/// Mutable state the detect → drain → repair → resume loop threads through
+/// its segments.
+struct OnlineLoop {
+    /// Ops fully executed in earlier segments, in execution order.
+    executed: Vec<CollectiveOp>,
+    /// Each executed segment's outcome, for the final splice.
+    segments: Vec<SimOutcome>,
+    /// Collected trace events (audit mode only).
+    events: Vec<TraceEvent>,
+    /// Earliest-start time of the next segment, ns.
+    resume_at: f64,
+    /// Online repairs performed so far.
+    attempts: usize,
+    /// Total wall-clock repair latency charged into the timeline, ns.
+    repair_ns: f64,
+    /// Payload bytes dropped in flight across all interruptions.
+    lost_bytes: u64,
+    /// Total ops across all resumed suffixes.
+    resumed_ops: usize,
+    /// Timestamp of the first fault arrival that interrupted a segment.
+    first_fault_ns: Option<f64>,
+}
+
+impl SimEngine {
+    /// Times `algorithm` under this engine's static faults *and* its
+    /// [`FaultTimeline`](meshcoll_topo::FaultTimeline), surviving mid-run
+    /// link/chiplet death by live schedule repair:
+    ///
+    /// 1. the healthy schedule is linted against the static fault model and
+    ///    repaired offline if dirty (exactly [`SimEngine::run_degraded`]);
+    /// 2. the schedule executes on the online packet engine; timeline
+    ///    events that interrupt it drain the network to a
+    ///    [`DrainSnapshot`];
+    /// 3. the repair layer rebuilds the remainder from the completed ops'
+    ///    partial sums; the suffix resumes at the drain time plus the
+    ///    measured repair latency, under the post-fault overlay and the
+    ///    not-yet-fired remainder of the timeline;
+    /// 4. steps 2–3 loop (bounded by [`OnlineOptions::max_repairs`]) until
+    ///    a segment completes; the per-segment outcomes splice into one
+    ///    result whose makespan covers both network time and repair time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Collective`] when the healthy construction is
+    /// invalid on this mesh, [`SimError::Static`] when
+    /// [`OnlineOptions::static_check`] rejects a suffix, and
+    /// [`SimError::Network`] for malformed message DAGs. Survivable
+    /// dead-ends — partitioned survivors, unrecoverable partial sums, an
+    /// exhausted repair budget — are the typed [`RunStatus::Infeasible`],
+    /// not errors.
+    pub fn run_online(
+        &self,
+        mesh: &Mesh,
+        algorithm: Algorithm,
+        data_bytes: u64,
+        opts: &ScheduleOptions,
+        online: &OnlineOptions,
+    ) -> Result<OnlineRun, SimError> {
+        // Static phase: the offline lint/repair path, not charged into the
+        // timeline (it happens before the collective is launched).
+        let faults = &self.noc().faults;
+        let healthy = algorithm.schedule_with(mesh, data_bytes, opts)?;
+        let issues = meshcoll_collectives::fault::lint(mesh, faults, &healthy, self.noc().routing);
+        let (mut schedule, static_status) = if issues.is_empty() {
+            (healthy, RunStatus::Completed)
+        } else {
+            let t0 = std::time::Instant::now();
+            match meshcoll_collectives::fault::repair(algorithm, mesh, faults, data_bytes, opts) {
+                Ok(rep) => {
+                    let status = RunStatus::Repaired {
+                        lint_issues: issues.len(),
+                        strategy: rep.strategy,
+                        sidelined: rep.sidelined.len(),
+                        repair_micros: t0.elapsed().as_secs_f64() * 1e6,
+                    };
+                    (rep.schedule, status)
+                }
+                Err(CollectiveError::Infeasible { reason }) => {
+                    return Ok(OnlineRun {
+                        status: RunStatus::Infeasible { reason },
+                        result: None,
+                        audit: None,
+                    });
+                }
+                Err(e) => return Err(e.into()),
+            }
+        };
+
+        // Online phase: execute, drain on interruption, repair, resume.
+        let contributors: Vec<NodeId> = schedule.participants().to_vec();
+        let mut overlay = self.noc().faults.clone();
+        let mut timeline = self.noc().timeline.clone();
+        let mut st = OnlineLoop {
+            executed: Vec::new(),
+            segments: Vec::new(),
+            events: Vec::new(),
+            resume_at: 0.0,
+            attempts: 0,
+            repair_ns: 0.0,
+            lost_bytes: 0,
+            resumed_ops: 0,
+            first_fault_ns: None,
+        };
+
+        loop {
+            let mut cfg = self.noc().clone();
+            cfg.faults = overlay.clone();
+            cfg.timeline = timeline.clone();
+            if online.static_check {
+                let report = meshcoll_analyzer::analyze(mesh, &schedule, &cfg);
+                if !report.is_feasible() {
+                    return Err(SimError::Static {
+                        issues: report.issues,
+                    });
+                }
+            }
+            let sim = PacketSim::new(cfg)
+                .with_route_cache(self.packet_sim().route_cache().clone())
+                .with_mode(self.packet_sim().mode());
+            let (messages, _) = schedule_messages(&[(&schedule, st.resume_at)]);
+            if !st.segments.is_empty() && online.audit {
+                st.events.push(TraceEvent::Resume {
+                    at_ns: st.resume_at,
+                    suffix_msgs: messages.len() as u64,
+                });
+            }
+            let report = if online.audit {
+                let mut sink = MemorySink::new();
+                let r = sim.simulate_online(mesh, &messages, &mut sink)?;
+                st.events.extend_from_slice(sink.events());
+                r
+            } else {
+                sim.simulate_online(mesh, &messages, &mut NullSink)?
+            };
+            st.segments.push(report.outcome);
+
+            let Some(snap) = report.interruption else {
+                break;
+            };
+            st.first_fault_ns.get_or_insert(snap.first_fault_ns);
+            st.lost_bytes += snap.lost_bytes;
+            st.attempts += 1;
+            if st.attempts > online.max_repairs {
+                return Ok(self.conclude_infeasible(online, &st, "online repair budget exhausted"));
+            }
+
+            let t0 = std::time::Instant::now();
+            let suffix = {
+                let ctx = SuffixContext {
+                    mesh,
+                    faults: &snap.overlay,
+                    routing: self.noc().routing,
+                    contributors: &contributors,
+                    history: &st.executed,
+                    schedule: &schedule,
+                    completed: &snap.delivered,
+                };
+                match repair_suffix(&ctx, algorithm, opts) {
+                    Ok(sr) => sr.suffix,
+                    Err(CollectiveError::Infeasible { reason }) => {
+                        return Ok(self.conclude_infeasible(online, &st, reason));
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            };
+            let wall_ns = t0.elapsed().as_secs_f64() * 1e9;
+            st.repair_ns += wall_ns;
+            st.resumed_ops += suffix.len();
+            for id in schedule.op_ids() {
+                if snap.delivered[id.index()] {
+                    st.executed.push(*schedule.op(id));
+                }
+            }
+            st.resume_at = snap.drain_ns + wall_ns;
+            overlay = snap.overlay;
+            timeline = snap.remaining;
+            schedule = suffix;
+        }
+
+        let status = if st.attempts == 0 {
+            static_status
+        } else {
+            RunStatus::RepairedOnline {
+                at_ns: st.first_fault_ns.unwrap_or(0.0),
+                repair_ns: st.repair_ns,
+                attempts: st.attempts,
+                lost_bytes: st.lost_bytes,
+                resumed_ops: st.resumed_ops,
+            }
+        };
+        let spliced = splice_outcomes(mesh, &overlay, &st.segments);
+        let makespan = spliced.makespan_ns().max(st.resume_at);
+        let result = RunResult {
+            total_time_ns: makespan,
+            link_utilization_percent: spliced.link_stats().utilization_percent(makespan),
+            used_link_percent: spliced.link_stats().used_link_percent(),
+        };
+        Ok(OnlineRun {
+            status,
+            result: Some(result),
+            audit: self.online_audit(online, &st),
+        })
+    }
+
+    /// Wraps a survivable dead-end as the typed infeasible conclusion,
+    /// keeping whatever audit trail the executed segments left.
+    fn conclude_infeasible(
+        &self,
+        online: &OnlineOptions,
+        st: &OnlineLoop,
+        reason: &'static str,
+    ) -> OnlineRun {
+        OnlineRun {
+            status: RunStatus::Infeasible { reason },
+            result: None,
+            audit: self.online_audit(online, st),
+        }
+    }
+
+    /// Replays the collected multi-segment trace through the online
+    /// auditor, when auditing was requested and anything executed.
+    fn online_audit(&self, online: &OnlineOptions, st: &OnlineLoop) -> Option<TraceAudit> {
+        if !online.audit || st.events.is_empty() {
+            return None;
+        }
+        Some(InvariantAuditor::new().check_online_trace(&st.events))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meshcoll_collectives::Schedule;
+    use meshcoll_noc::NocConfig;
+    use meshcoll_topo::Coord;
+
+    const ALGOS: [Algorithm; 4] = [
+        Algorithm::Ring,
+        Algorithm::RingBiOdd,
+        Algorithm::MultiTree,
+        Algorithm::Tto,
+    ];
+
+    fn opts() -> ScheduleOptions {
+        ScheduleOptions {
+            tto_chunk_bytes: 2400,
+            ..ScheduleOptions::default()
+        }
+    }
+
+    #[test]
+    fn empty_timeline_completes_like_a_plain_run() {
+        let mesh = Mesh::square(4).unwrap();
+        let e = SimEngine::paper_default();
+        let d = 1 << 18;
+        let s = Algorithm::Ring.schedule(&mesh, d).unwrap();
+        let plain = e.run(&mesh, &s).unwrap();
+        let run = e
+            .run_online(
+                &mesh,
+                Algorithm::Ring,
+                d,
+                &opts(),
+                &OnlineOptions::default(),
+            )
+            .unwrap();
+        assert_eq!(run.status, RunStatus::Completed);
+        let r = run.result.expect("completed run has timing");
+        assert!((r.total_time_ns - plain.total_time_ns).abs() < 1e-6);
+    }
+
+    /// The link with the most busy time in a healthy run of `s`: traffic
+    /// on it spans the run, so a mid-run death is guaranteed to interrupt.
+    fn busiest_link(mesh: &Mesh, s: &Schedule) -> meshcoll_topo::LinkId {
+        let (messages, _) = schedule_messages(&[(s, 0.0)]);
+        let out = PacketSim::new(NocConfig::paper_default())
+            .simulate(mesh, &messages)
+            .unwrap();
+        mesh.links()
+            .map(|(_, _, l)| l)
+            .max_by(|&a, &b| {
+                out.link_stats()
+                    .busy_ns(a)
+                    .total_cmp(&out.link_stats().busy_ns(b))
+            })
+            .expect("mesh has links")
+    }
+
+    #[test]
+    fn mid_run_link_death_is_repaired_online_with_a_clean_audit() {
+        let mesh = Mesh::square(5).unwrap();
+        let d = 1 << 18;
+        for a in ALGOS {
+            let healthy = SimEngine::paper_default()
+                .run(&mesh, &a.schedule_with(&mesh, d, &opts()).unwrap())
+                .unwrap();
+            // Kill the busiest link halfway through the healthy makespan:
+            // guaranteed to interrupt traffic.
+            let s = a.schedule_with(&mesh, d, &opts()).unwrap();
+            let link = busiest_link(&mesh, &s);
+            let mut noc = NocConfig::paper_default();
+            noc.timeline.link_dies_at(link, healthy.total_time_ns * 0.5);
+            let e = SimEngine::new(noc);
+            let run = e
+                .run_online(&mesh, a, d, &opts(), &OnlineOptions::audited())
+                .unwrap();
+            match run.status {
+                RunStatus::RepairedOnline {
+                    at_ns,
+                    repair_ns,
+                    attempts,
+                    ..
+                } => {
+                    assert!(at_ns > 0.0, "{a}: fault time {at_ns}");
+                    assert!(repair_ns > 0.0, "{a}: repair time {repair_ns}");
+                    assert_eq!(attempts, 1, "{a}");
+                }
+                other => panic!("{a}: expected RepairedOnline, got {other:?}"),
+            }
+            let r = run.result.expect("repaired run has timing");
+            assert!(
+                r.total_time_ns > healthy.total_time_ns,
+                "{a}: repaired {} vs healthy {}",
+                r.total_time_ns,
+                healthy.total_time_ns
+            );
+            let audit = run.audit.expect("audited run has a report");
+            assert!(audit.is_clean(), "{a}: {:?}", audit.violations);
+        }
+    }
+
+    #[test]
+    fn partitioning_fault_is_typed_infeasible() {
+        // Sever both links of the (0,0) corner mid-run: the survivors are
+        // fine but the corner's own un-merged contribution is stranded (or
+        // the mesh partitions) — either way a typed verdict, no panic.
+        let mesh = Mesh::square(5).unwrap();
+        let corner = mesh.node_at(Coord::new(0, 0));
+        let right = mesh.node_at(Coord::new(0, 1));
+        let down = mesh.node_at(Coord::new(1, 0));
+        let mut noc = NocConfig::paper_default();
+        let l0 = mesh.link_between(corner, right).unwrap();
+        let l1 = mesh.link_between(right, corner).unwrap();
+        let l2 = mesh.link_between(corner, down).unwrap();
+        let l3 = mesh.link_between(down, corner).unwrap();
+        for l in [l0, l1, l2, l3] {
+            noc.timeline.link_dies_at(l, 5_000.0);
+        }
+        let e = SimEngine::new(noc);
+        let run = e
+            .run_online(
+                &mesh,
+                Algorithm::Ring,
+                1 << 18,
+                &opts(),
+                &OnlineOptions::default(),
+            )
+            .unwrap();
+        assert!(
+            matches!(run.status, RunStatus::Infeasible { .. }),
+            "{:?}",
+            run.status
+        );
+        assert!(run.result.is_none());
+    }
+
+    #[test]
+    fn repair_budget_is_respected() {
+        // A timeline that keeps killing links the repairs route over: with
+        // max_repairs = 0 the very first interruption exhausts the budget.
+        let mesh = Mesh::square(4).unwrap();
+        let s = Algorithm::Ring.schedule(&mesh, 1 << 18).unwrap();
+        let healthy = SimEngine::paper_default().run(&mesh, &s).unwrap();
+        let op = &s.ops()[0];
+        let link = meshcoll_topo::routing::route(
+            &mesh,
+            op.src,
+            op.dst,
+            meshcoll_topo::RoutingAlgorithm::Xy,
+        )
+        .unwrap()[0];
+        let mut noc = NocConfig::paper_default();
+        noc.timeline.link_dies_at(link, healthy.total_time_ns * 0.5);
+        let e = SimEngine::new(noc);
+        let run = e
+            .run_online(
+                &mesh,
+                Algorithm::Ring,
+                1 << 18,
+                &opts(),
+                &OnlineOptions {
+                    max_repairs: 0,
+                    ..OnlineOptions::default()
+                },
+            )
+            .unwrap();
+        match run.status {
+            RunStatus::Infeasible { reason } => {
+                assert_eq!(reason, "online repair budget exhausted");
+            }
+            other => panic!("expected budget exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn late_death_after_completion_stays_completed() {
+        let mesh = Mesh::square(4).unwrap();
+        let link = mesh
+            .link_between(
+                mesh.node_at(Coord::new(0, 0)),
+                mesh.node_at(Coord::new(0, 1)),
+            )
+            .unwrap();
+        let mut noc = NocConfig::paper_default();
+        noc.timeline.link_dies_at(link, 1e12);
+        let e = SimEngine::new(noc);
+        let run = e
+            .run_online(
+                &mesh,
+                Algorithm::Ring,
+                1 << 18,
+                &opts(),
+                &OnlineOptions::audited(),
+            )
+            .unwrap();
+        assert_eq!(run.status, RunStatus::Completed);
+        assert!(run.result.is_some());
+    }
+
+    #[test]
+    fn chiplet_death_mid_run_is_survived_by_the_other_chiplets() {
+        let mesh = Mesh::square(5).unwrap();
+        let d = 1 << 18;
+        let healthy = SimEngine::paper_default()
+            .run(&mesh, &Algorithm::Ring.schedule(&mesh, d).unwrap())
+            .unwrap();
+        // An interior chiplet dies at 40% of the healthy makespan.
+        let victim = mesh.node_at(Coord::new(2, 2));
+        let mut noc = NocConfig::paper_default();
+        noc.timeline
+            .chiplet_dies_at(victim, healthy.total_time_ns * 0.4);
+        let e = SimEngine::new(noc);
+        let run = e
+            .run_online(
+                &mesh,
+                Algorithm::Ring,
+                d,
+                &opts(),
+                &OnlineOptions::audited(),
+            )
+            .unwrap();
+        match run.status {
+            RunStatus::RepairedOnline { attempts, .. } => assert!(attempts >= 1),
+            RunStatus::Infeasible { reason } => {
+                // Acceptable only as the typed unrecoverable-contribution
+                // verdict (the victim's gradient may not have been merged
+                // anywhere yet when it died).
+                assert!(
+                    reason.contains("unrecoverable"),
+                    "unexpected infeasibility: {reason}"
+                );
+                return;
+            }
+            other => panic!("expected RepairedOnline, got {other:?}"),
+        }
+        let audit = run.audit.expect("audited");
+        assert!(audit.is_clean(), "{:?}", audit.violations);
+    }
+}

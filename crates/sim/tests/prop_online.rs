@@ -1,0 +1,94 @@
+//! Property test for the online fault/repair orchestrator: for arbitrary
+//! meshes, algorithms, and fault arrival times, [`SimEngine::run_online`]
+//! must terminate in one of its typed verdicts — a completed run, a
+//! cleanly-audited online repair, or a typed infeasibility — and never
+//! panic, hang, or report a dirty invariant audit.
+
+use meshcoll_collectives::{Algorithm, ScheduleOptions};
+use meshcoll_noc::NocConfig;
+use meshcoll_sim::{OnlineOptions, RunStatus, SimEngine};
+use meshcoll_topo::{Mesh, NodeId};
+use proptest::prelude::*;
+
+const ALGOS: [Algorithm; 4] = [
+    Algorithm::Ring,
+    Algorithm::RingBiOdd,
+    Algorithm::MultiTree,
+    Algorithm::Tto,
+];
+
+fn opts() -> ScheduleOptions {
+    ScheduleOptions {
+        tto_chunk_bytes: 2400,
+        ..ScheduleOptions::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn run_online_always_reaches_a_typed_verdict(
+        side in 3usize..6,
+        algo in 0usize..ALGOS.len(),
+        fault_kind in 0usize..2,
+        victim in 0usize..25,
+        at_ns in 0.0f64..400_000.0,
+        data_kb in 24u64..120,
+    ) {
+        let mesh = Mesh::square(side).unwrap();
+        let a = ALGOS[algo];
+        let kill_link = fault_kind == 0;
+        let d = data_kb * 1000;
+        // Skip algorithm/mesh combinations the constructor rejects
+        // (e.g. RingBiOdd on an even mesh) — applicability is not under
+        // test here.
+        if a.schedule_with(&mesh, d, &opts()).is_err() {
+            return Ok(());
+        }
+
+        let mut noc = NocConfig::paper_default();
+        if kill_link {
+            let links: Vec<_> = mesh.links().collect();
+            let (_, _, link) = links[victim % links.len()];
+            noc.timeline.link_dies_at(link, at_ns);
+        } else {
+            noc.timeline.chiplet_dies_at(NodeId(victim % mesh.nodes()), at_ns);
+        }
+        let e = SimEngine::new(noc);
+        let run = e
+            .run_online(&mesh, a, d, &opts(), &OnlineOptions::audited())
+            .expect("run_online returns a verdict, not an error");
+
+        match run.status {
+            RunStatus::Completed => {
+                // The fault arrived after the collective finished (or
+                // missed its routes); the timing must be real.
+                let r = run.result.expect("completed run has timing");
+                prop_assert!(r.total_time_ns > 0.0);
+            }
+            RunStatus::RepairedOnline { at_ns: fault_at, attempts, .. } => {
+                prop_assert!(attempts >= 1);
+                prop_assert!(fault_at >= 0.0);
+                let r = run.result.expect("repaired run has timing");
+                prop_assert!(r.total_time_ns > 0.0);
+                let audit = run.audit.expect("audited run has a report");
+                prop_assert!(
+                    audit.is_clean(),
+                    "{a} on {side}x{side}, fault at {at_ns}: {:?}",
+                    audit.violations
+                );
+            }
+            RunStatus::Infeasible { reason } => {
+                // Survivable dead-ends must carry a reason and no timing.
+                prop_assert!(!reason.is_empty());
+                prop_assert!(run.result.is_none());
+            }
+            other => {
+                return Err(TestCaseError::fail(format!(
+                    "unexpected verdict {other:?}"
+                )));
+            }
+        }
+    }
+}

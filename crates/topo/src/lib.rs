@@ -38,6 +38,7 @@ pub mod hamiltonian;
 pub mod masked;
 mod mesh;
 pub mod routing;
+pub mod timeline;
 pub mod tree;
 
 pub use error::TopologyError;
@@ -45,4 +46,5 @@ pub use fault::{FaultModel, LinkFlap};
 pub use masked::MaskedCycle;
 pub use mesh::{Coord, Direction, LinkId, Mesh, NodeId};
 pub use routing::{RouteCache, RoutingAlgorithm};
+pub use timeline::{FaultEvent, FaultTimeline};
 pub use tree::Tree;

@@ -1,0 +1,212 @@
+//! Timed fault arrivals for online (mid-run) failure injection.
+//!
+//! A [`FaultTimeline`] layers *when* on top of the static [`FaultModel`]'s
+//! *what*: each [`FaultEvent`] names a link or chiplet and the simulation
+//! timestamp at which it dies. Engines that support online faults (the
+//! per-packet NoC engine) apply the events as the simulated clock passes
+//! them; engines that do not (the flit engine) must reject a non-empty
+//! timeline with a typed error rather than silently ignoring it.
+//!
+//! Timeline deaths are permanent — unlike [`crate::fault::LinkFlap`]
+//! windows, a link or chiplet that dies at `t_ns` never comes back. The
+//! repaired schedule suffix must route around it.
+
+use crate::{FaultModel, LinkId, Mesh, NodeId, TopologyError};
+
+/// One timed, permanent fault arrival.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultEvent {
+    /// A directed link dies at `t_ns`; transmissions already serialized onto
+    /// the link complete, nothing new may start at or after `t_ns`.
+    LinkDiesAt {
+        /// The dying directed link.
+        link: LinkId,
+        /// Death timestamp (ns, simulation clock).
+        t_ns: f64,
+    },
+    /// A chiplet dies at `t_ns`; all its links become unusable and any
+    /// packet destined for (or relayed through) it is lost.
+    ChipletDiesAt {
+        /// The dying chiplet.
+        node: NodeId,
+        /// Death timestamp (ns, simulation clock).
+        t_ns: f64,
+    },
+}
+
+impl FaultEvent {
+    /// The death timestamp of the event (ns).
+    pub fn at_ns(&self) -> f64 {
+        match *self {
+            FaultEvent::LinkDiesAt { t_ns, .. } | FaultEvent::ChipletDiesAt { t_ns, .. } => t_ns,
+        }
+    }
+
+    /// Folds the event into a static fault overlay: the state of the world
+    /// *after* the event has fired.
+    pub fn apply(&self, overlay: &mut FaultModel) {
+        match *self {
+            FaultEvent::LinkDiesAt { link, .. } => overlay.fail_link(link),
+            FaultEvent::ChipletDiesAt { node, .. } => overlay.fail_node(node),
+        }
+    }
+}
+
+/// An ordered sequence of timed fault arrivals.
+///
+/// Events are kept sorted by timestamp (stable for ties, so two faults at
+/// the same instant apply in insertion order). The timeline is carried on
+/// `NocConfig` next to the static `FaultModel`; an empty timeline costs the
+/// engines nothing.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultTimeline {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultTimeline {
+    /// An empty timeline (no mid-run faults).
+    pub fn new() -> Self {
+        FaultTimeline::default()
+    }
+
+    /// True when no timed fault is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of timed fault events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Adds an event, keeping the timeline sorted by timestamp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event timestamp is NaN or negative — a fault cannot
+    /// arrive before the run starts.
+    pub fn push(&mut self, event: FaultEvent) {
+        assert!(
+            event.at_ns() >= 0.0,
+            "fault event timestamp must be finite and >= 0, got {}",
+            event.at_ns()
+        );
+        let pos = self.events.partition_point(|e| e.at_ns() <= event.at_ns());
+        self.events.insert(pos, event);
+    }
+
+    /// Convenience: a single link death at `t_ns`.
+    pub fn link_dies_at(&mut self, link: LinkId, t_ns: f64) {
+        self.push(FaultEvent::LinkDiesAt { link, t_ns });
+    }
+
+    /// Convenience: a single chiplet death at `t_ns`.
+    pub fn chiplet_dies_at(&mut self, node: NodeId, t_ns: f64) {
+        self.push(FaultEvent::ChipletDiesAt { node, t_ns });
+    }
+
+    /// The events, sorted by timestamp (ties in insertion order).
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Timestamp of the earliest event, if any.
+    pub fn first_at_ns(&self) -> Option<f64> {
+        self.events.first().map(FaultEvent::at_ns)
+    }
+
+    /// Drops every event strictly before `t_ns` — used when resuming a
+    /// repaired schedule suffix: faults already applied must not re-fire.
+    pub fn discard_before(&mut self, t_ns: f64) {
+        self.events.retain(|e| e.at_ns() >= t_ns);
+    }
+
+    /// Folds every event at or before `t_ns` into `overlay` and removes it
+    /// from the timeline. Returns the number of events applied.
+    pub fn apply_through(&mut self, t_ns: f64, overlay: &mut FaultModel) -> usize {
+        let cut = self.events.partition_point(|e| e.at_ns() <= t_ns);
+        for e in self.events.drain(..cut) {
+            e.apply(overlay);
+        }
+        cut
+    }
+
+    /// Checks that every event references a real link/chiplet of `mesh`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when an event names a node or link id out of range for `mesh`.
+    pub fn validate(&self, mesh: &Mesh) -> Result<(), TopologyError> {
+        for e in &self.events {
+            match *e {
+                FaultEvent::LinkDiesAt { link, .. } => {
+                    if link.index() >= mesh.link_id_space() {
+                        return Err(TopologyError::NodeOutOfRange {
+                            node: link.index(),
+                            nodes: mesh.link_id_space(),
+                        });
+                    }
+                }
+                FaultEvent::ChipletDiesAt { node, .. } => mesh.check_node(node)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_keeps_events_sorted_with_stable_ties() {
+        let mut tl = FaultTimeline::new();
+        tl.link_dies_at(LinkId(3), 200.0);
+        tl.link_dies_at(LinkId(1), 100.0);
+        tl.link_dies_at(LinkId(2), 100.0);
+        let at: Vec<f64> = tl.events().iter().map(FaultEvent::at_ns).collect();
+        assert_eq!(at, [100.0, 100.0, 200.0]);
+        // Stable ties: LinkId(1) inserted before LinkId(2) at the same time.
+        assert!(matches!(
+            tl.events()[0],
+            FaultEvent::LinkDiesAt {
+                link: LinkId(1),
+                ..
+            }
+        ));
+        assert_eq!(tl.first_at_ns(), Some(100.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "timestamp must be finite")]
+    fn nan_timestamp_is_rejected() {
+        let mut tl = FaultTimeline::new();
+        tl.link_dies_at(LinkId(0), f64::NAN);
+    }
+
+    #[test]
+    fn apply_through_folds_into_overlay() {
+        let mut tl = FaultTimeline::new();
+        tl.link_dies_at(LinkId(5), 50.0);
+        tl.chiplet_dies_at(NodeId(2), 150.0);
+        let mut overlay = FaultModel::new();
+        assert_eq!(tl.apply_through(100.0, &mut overlay), 1);
+        assert!(overlay.link_failed(LinkId(5)));
+        assert!(!overlay.node_failed(NodeId(2)));
+        assert_eq!(tl.len(), 1);
+        assert_eq!(tl.apply_through(200.0, &mut overlay), 1);
+        assert!(overlay.node_failed(NodeId(2)));
+        assert!(tl.is_empty());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_events() {
+        let mesh = Mesh::square(3).unwrap();
+        let mut tl = FaultTimeline::new();
+        tl.chiplet_dies_at(NodeId(99), 10.0);
+        assert!(tl.validate(&mesh).is_err());
+        let mut tl2 = FaultTimeline::new();
+        tl2.link_dies_at(LinkId(10_000), 10.0);
+        assert!(tl2.validate(&mesh).is_err());
+    }
+}
