@@ -1,16 +1,21 @@
 //! Figure 9 — scalability from 9 to 256 chiplets with `375 KB x N` of
 //! AllReduce data, normalized to Ring AllReduce on the smallest mesh of the
 //! same parity (4x4 for even-sized, 3x3 for odd-sized).
+//!
+//! The sweep ends with a 16x16 memory smoke test: the engine's retained
+//! scratch (the reusable pools that persist across runs) must grow no
+//! faster than the message count between an 8x8 and a 16x16 TTO schedule,
+//! pinning per-run memory to `O(messages)` after the SoA/arena refactor.
 
 use meshcoll_bench::{applicable_benchmarks, Cli, Mesh, Record, SimContext, SweepSize};
 use meshcoll_collectives::Algorithm;
-use meshcoll_sim::bandwidth;
+use meshcoll_sim::{bandwidth, SimEngine};
 
 fn main() {
     let cli = Cli::parse();
     let (even_sizes, odd_sizes): (Vec<usize>, Vec<usize>) = match cli.sweep {
         SweepSize::Quick => (vec![4, 6], vec![3, 5]),
-        SweepSize::Default => (vec![4, 6, 8, 10], vec![3, 5, 7, 9]),
+        SweepSize::Default => (vec![4, 6, 8, 10, 16], vec![3, 5, 7, 9]),
         SweepSize::Full => (vec![4, 6, 8, 10, 12, 14, 16], vec![3, 5, 7, 9, 11, 13, 15]),
     };
     let engine = SimContext::new().paper_engine();
@@ -68,6 +73,45 @@ fn main() {
             println!();
         }
     }
+
+    // Memory smoke: retained scratch must scale no worse than the message
+    // count. A fresh engine (so earlier sweep points cannot pre-warm the
+    // pools) runs TTO on 8x8 and then on 16x16; the pools' high-water
+    // growth between the two is compared against the message-count growth
+    // with 4x headroom for rounding in bucket counts and curve arenas.
+    let engine = cli.engine(SimEngine::paper_default());
+    let probe = |n: usize| {
+        let mesh = Mesh::square(n).unwrap_or_else(|e| panic!("{n}x{n} mesh: {e}"));
+        let data = bandwidth::scalability_data_bytes(&mesh);
+        let schedule = Algorithm::Tto
+            .schedule(&mesh, data)
+            .unwrap_or_else(|e| panic!("TTO {n}x{n} schedule: {e}"));
+        let ops = schedule.op_ids().count();
+        engine.run(&mesh, &schedule).expect("TTO run");
+        (ops, engine.retained_scratch_bytes())
+    };
+    let (ops_8, bytes_8) = probe(8);
+    let (ops_16, bytes_16) = probe(16);
+    let growth = bytes_16 as f64 / bytes_8 as f64;
+    let bound = 4.0 * ops_16 as f64 / ops_8 as f64;
+    println!(
+        "\nMemory smoke (TTO): 8x8 {ops_8} msgs / {bytes_8} B retained, \
+         16x16 {ops_16} msgs / {bytes_16} B retained ({growth:.2}x growth, bound {bound:.2}x)"
+    );
+    assert!(
+        growth <= bound,
+        "retained scratch grew {growth:.2}x between 8x8 and 16x16 but the message \
+         count only grew {:.2}x — per-run memory is no longer O(messages)",
+        ops_16 as f64 / ops_8 as f64
+    );
+    records.push(
+        Record::new("fig9_memory", "16x16", "TTO", "smoke")
+            .with("messages_8x8", ops_8 as f64)
+            .with("retained_bytes_8x8", bytes_8 as f64)
+            .with("messages_16x16", ops_16 as f64)
+            .with("retained_bytes_16x16", bytes_16 as f64)
+            .with("growth", growth),
+    );
 
     println!(
         "\n(paper Fig 9 shape: all algorithms scale linearly with node count; TTO has the \

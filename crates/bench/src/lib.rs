@@ -6,6 +6,7 @@
 //! reduced sweep that finishes in seconds; pass `--full` for the paper's
 //! complete parameter ranges.
 
+use std::fmt;
 use std::path::PathBuf;
 
 pub use meshcoll_collectives::{Algorithm, ScheduleOptions};
@@ -26,15 +27,82 @@ pub enum SweepSize {
     Full,
 }
 
+/// A malformed figure-binary invocation: the offending knob and value are
+/// carried so callers (and the unit tests) can match on exactly what was
+/// rejected, instead of parse failures silently collapsing to a default.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// A thread-count knob (`--jobs`/`MESHCOLL_JOBS`,
+    /// `--run-threads`/`MESHCOLL_RUN_THREADS`) received `0`, a
+    /// non-integer, or an out-of-range value. Thread counts must be
+    /// `>= 1`; omit the knob entirely for its default.
+    InvalidThreadCount {
+        /// The flag or environment variable that was set.
+        knob: &'static str,
+        /// The rejected value, verbatim.
+        value: String,
+    },
+    /// A flag that requires a value was the last argument.
+    MissingValue {
+        /// The flag missing its operand.
+        flag: &'static str,
+    },
+    /// An argument no figure binary accepts.
+    UnknownArgument {
+        /// The argument, verbatim.
+        arg: String,
+    },
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::InvalidThreadCount { knob, value } => write!(
+                f,
+                "{knob} must be an integer >= 1, got {value:?} \
+                 (omit the knob for its default)"
+            ),
+            CliError::MissingValue { flag } => write!(f, "{flag} needs a value"),
+            CliError::UnknownArgument { arg } => write!(
+                f,
+                "unknown argument {arg}; accepted: --quick --full --out <dir> \
+                 --jobs <n> --run-threads <n> --gate <file>"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Parses a thread-count knob: an integer `>= 1`. `0` is rejected rather
+/// than treated as "auto" — auto is expressed by omitting the knob, so a
+/// literal `0` (or garbage) in a CI file is surfaced instead of silently
+/// becoming machine parallelism.
+fn thread_count(knob: &'static str, value: &str) -> Result<usize, CliError> {
+    match value.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(CliError::InvalidThreadCount {
+            knob,
+            value: value.to_string(),
+        }),
+    }
+}
+
 /// Command-line context shared by all figure binaries.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Cli {
     /// Selected sweep size.
     pub sweep: SweepSize,
     /// Output directory for JSON records (default `results/`).
     pub out_dir: PathBuf,
-    /// Worker threads for sweep execution (`0` = machine parallelism).
+    /// Worker threads for sweep execution (`0` = machine parallelism,
+    /// the default when the knob is omitted; an explicit `0` is rejected
+    /// at parse time).
     pub jobs: usize,
+    /// Intra-run worker threads for each individual simulation (default
+    /// `1`: sweeps already parallelize across runs, so per-run threading
+    /// is opt-in). See [`SimEngine::with_run_threads`].
+    pub run_threads: usize,
     /// Committed baseline to gate against (`--gate <file>`); used by
     /// `perf_baseline` to fail CI on wall-clock regressions.
     pub gate: Option<PathBuf>,
@@ -42,63 +110,118 @@ pub struct Cli {
 
 impl Cli {
     /// Parses `--quick` / `--full` / `--out <dir>` / `--jobs <n>` /
-    /// `--gate <file>` from `std::env::args`, plus the `MESHCOLL_QUICK`
-    /// and `MESHCOLL_JOBS` environment variables.
+    /// `--run-threads <n>` / `--gate <file>` from `std::env::args`, plus
+    /// the `MESHCOLL_QUICK`, `MESHCOLL_JOBS`, and `MESHCOLL_RUN_THREADS`
+    /// environment variables. Exits with status 2 on a malformed
+    /// invocation (see [`Cli::try_parse_from`] for the typed form).
     pub fn parse() -> Self {
-        let mut sweep = if std::env::var_os("MESHCOLL_QUICK").is_some() {
+        let env = |k: &str| std::env::var(k).ok();
+        Cli::try_parse_from(
+            std::env::args().skip(1),
+            env("MESHCOLL_QUICK").is_some(),
+            env("MESHCOLL_JOBS"),
+            env("MESHCOLL_RUN_THREADS"),
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        })
+    }
+
+    /// The testable core of [`Cli::parse`]: arguments and environment are
+    /// passed explicitly, malformed input comes back as a typed
+    /// [`CliError`] instead of a process exit.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::InvalidThreadCount`] when `--jobs`/`MESHCOLL_JOBS` or
+    /// `--run-threads`/`MESHCOLL_RUN_THREADS` is `0` or not an integer,
+    /// [`CliError::MissingValue`] when a value-taking flag ends the
+    /// argument list, and [`CliError::UnknownArgument`] otherwise.
+    pub fn try_parse_from<I>(
+        args: I,
+        env_quick: bool,
+        env_jobs: Option<String>,
+        env_run_threads: Option<String>,
+    ) -> Result<Self, CliError>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let mut sweep = if env_quick {
             SweepSize::Quick
         } else {
             SweepSize::Default
         };
         let mut out_dir = PathBuf::from("results");
-        let mut jobs: usize = std::env::var("MESHCOLL_JOBS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(0);
+        let mut jobs = match env_jobs {
+            Some(v) => thread_count("MESHCOLL_JOBS", &v)?,
+            None => 0,
+        };
+        let mut run_threads = match env_run_threads {
+            Some(v) => thread_count("MESHCOLL_RUN_THREADS", &v)?,
+            None => 1,
+        };
         let mut gate = None;
-        let mut args = std::env::args().skip(1);
+        let mut args = args.into_iter();
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--quick" => sweep = SweepSize::Quick,
                 "--full" => sweep = SweepSize::Full,
                 "--gate" => {
-                    gate = Some(PathBuf::from(args.next().unwrap_or_else(|| {
-                        eprintln!("--gate needs a baseline JSON file");
-                        std::process::exit(2);
-                    })));
+                    gate = Some(PathBuf::from(
+                        args.next()
+                            .ok_or(CliError::MissingValue { flag: "--gate" })?,
+                    ));
                 }
                 "--out" => {
-                    out_dir = PathBuf::from(args.next().unwrap_or_else(|| {
-                        eprintln!("--out needs a directory");
-                        std::process::exit(2);
-                    }));
+                    out_dir = PathBuf::from(
+                        args.next()
+                            .ok_or(CliError::MissingValue { flag: "--out" })?,
+                    );
                 }
                 "--jobs" => {
-                    jobs = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
-                        eprintln!("--jobs needs a thread count");
-                        std::process::exit(2);
-                    });
+                    let v = args
+                        .next()
+                        .ok_or(CliError::MissingValue { flag: "--jobs" })?;
+                    jobs = thread_count("--jobs", &v)?;
                 }
-                other => {
-                    eprintln!(
-                        "unknown argument {other}; accepted: --quick --full --out <dir> \
-                         --jobs <n> --gate <file>"
-                    );
-                    std::process::exit(2);
+                "--run-threads" => {
+                    let v = args.next().ok_or(CliError::MissingValue {
+                        flag: "--run-threads",
+                    })?;
+                    run_threads = thread_count("--run-threads", &v)?;
                 }
+                _ => return Err(CliError::UnknownArgument { arg: a }),
             }
         }
-        Cli {
+        Ok(Cli {
             sweep,
             out_dir,
             jobs,
+            run_threads,
             gate,
+        })
+    }
+
+    /// A [`SweepRunner`] honoring this invocation's `--jobs` selection,
+    /// composed with `--run-threads` so the two never oversubscribe: with
+    /// `--jobs` at its machine-parallelism default and per-run threading
+    /// enabled, the sweep's worker count is scaled down to keep
+    /// `sweep workers x run threads` within the core budget. An explicit
+    /// `--jobs <n>` is honored as given.
+    pub fn runner(&self) -> SweepRunner {
+        if self.jobs == 0 && self.run_threads > 1 {
+            let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+            SweepRunner::new((cores / self.run_threads).max(1))
+        } else {
+            SweepRunner::new(self.jobs)
         }
     }
 
-    /// A [`SweepRunner`] honoring this invocation's `--jobs` selection.
-    pub fn runner(&self) -> SweepRunner {
-        SweepRunner::new(self.jobs)
+    /// Applies this invocation's `--run-threads` selection to an engine.
+    #[must_use]
+    pub fn engine(&self, engine: SimEngine) -> SimEngine {
+        engine.with_run_threads(self.run_threads)
     }
 
     /// Writes this figure's records to `<out_dir>/<name>.json`.
@@ -119,6 +242,7 @@ impl Default for Cli {
             sweep: SweepSize::Default,
             out_dir: PathBuf::from("results"),
             jobs: 0,
+            run_threads: 1,
             gate: None,
         }
     }
@@ -189,6 +313,94 @@ mod tests {
         assert_eq!(cli.sweep, SweepSize::Default);
         assert_eq!(cli.out_dir, std::path::PathBuf::from("results"));
         assert_eq!(cli.jobs, 0, "default = machine parallelism");
+        assert_eq!(cli.run_threads, 1, "default = sequential runs");
         assert!(cli.runner().jobs() >= 1);
+    }
+
+    fn parse(args: &[&str]) -> Result<Cli, CliError> {
+        Cli::try_parse_from(args.iter().map(|s| (*s).to_string()), false, None, None)
+    }
+
+    #[test]
+    fn thread_knobs_parse_valid_values() {
+        let cli = parse(&["--jobs", "4", "--run-threads", "2"]).expect("valid");
+        assert_eq!(cli.jobs, 4);
+        assert_eq!(cli.run_threads, 2);
+        let cli = Cli::try_parse_from(std::iter::empty(), true, Some("3".into()), Some("8".into()))
+            .expect("valid env");
+        assert_eq!(cli.sweep, SweepSize::Quick);
+        assert_eq!(cli.jobs, 3);
+        assert_eq!(cli.run_threads, 8);
+    }
+
+    #[test]
+    fn thread_knobs_reject_zero_and_garbage() {
+        for bad in ["0", "-1", "two", "", "1.5"] {
+            assert_eq!(
+                parse(&["--jobs", bad]),
+                Err(CliError::InvalidThreadCount {
+                    knob: "--jobs",
+                    value: bad.to_string(),
+                }),
+                "--jobs {bad:?} must be rejected"
+            );
+            assert_eq!(
+                parse(&["--run-threads", bad]),
+                Err(CliError::InvalidThreadCount {
+                    knob: "--run-threads",
+                    value: bad.to_string(),
+                }),
+                "--run-threads {bad:?} must be rejected"
+            );
+            assert!(matches!(
+                Cli::try_parse_from(std::iter::empty(), false, Some(bad.to_string()), None),
+                Err(CliError::InvalidThreadCount {
+                    knob: "MESHCOLL_JOBS",
+                    ..
+                })
+            ));
+            assert!(matches!(
+                Cli::try_parse_from(std::iter::empty(), false, None, Some(bad.to_string())),
+                Err(CliError::InvalidThreadCount {
+                    knob: "MESHCOLL_RUN_THREADS",
+                    ..
+                })
+            ));
+        }
+    }
+
+    #[test]
+    fn cli_rejects_trailing_flags_and_unknown_args() {
+        assert_eq!(
+            parse(&["--jobs"]),
+            Err(CliError::MissingValue { flag: "--jobs" })
+        );
+        assert_eq!(
+            parse(&["--run-threads"]),
+            Err(CliError::MissingValue {
+                flag: "--run-threads"
+            })
+        );
+        assert_eq!(
+            parse(&["--frobnicate"]),
+            Err(CliError::UnknownArgument {
+                arg: "--frobnicate".to_string(),
+            })
+        );
+        let msg = parse(&["--jobs", "0"]).expect_err("rejected").to_string();
+        assert!(msg.contains("--jobs"), "error names the knob: {msg}");
+    }
+
+    #[test]
+    fn runner_composes_with_run_threads() {
+        // Explicit --jobs is honored verbatim.
+        let cli = parse(&["--jobs", "5", "--run-threads", "4"]).expect("valid");
+        assert_eq!(cli.runner().jobs(), 5);
+        // Auto jobs divides the core budget by the per-run thread count
+        // (never below one sweep worker).
+        let cli = parse(&["--run-threads", "1024"]).expect("valid");
+        assert_eq!(cli.runner().jobs(), 1);
+        // An engine built through the Cli carries the run-thread budget.
+        assert_eq!(cli.engine(SimEngine::paper_default()).run_threads(), 1024);
     }
 }

@@ -88,25 +88,34 @@ impl Message {
 /// distinct endpoints. Shared by both simulator engines.
 pub(crate) fn validate(messages: &[Message]) -> Result<(), crate::NocError> {
     for (i, m) in messages.iter().enumerate() {
-        if m.id.index() != i {
-            return Err(crate::NocError::NonDenseIds {
-                msg: m.id.index(),
-                expected: i,
+        validate_one(i, m, messages.len())?;
+    }
+    Ok(())
+}
+
+/// The per-message half of [`validate`], so single-pass preparers can fold
+/// validation into their main loop instead of paying a separate full sweep
+/// over a ~10^5-message DAG.
+#[inline]
+pub(crate) fn validate_one(i: usize, m: &Message, n: usize) -> Result<(), crate::NocError> {
+    if m.id.index() != i {
+        return Err(crate::NocError::NonDenseIds {
+            msg: m.id.index(),
+            expected: i,
+        });
+    }
+    if m.bytes == 0 {
+        return Err(crate::NocError::EmptyMessage { msg: i });
+    }
+    if m.src == m.dst {
+        return Err(crate::NocError::SelfMessage { msg: i });
+    }
+    for d in &m.deps {
+        if d.index() >= n {
+            return Err(crate::NocError::UnknownDependency {
+                msg: i,
+                dep: d.index(),
             });
-        }
-        if m.bytes == 0 {
-            return Err(crate::NocError::EmptyMessage { msg: i });
-        }
-        if m.src == m.dst {
-            return Err(crate::NocError::SelfMessage { msg: i });
-        }
-        for d in &m.deps {
-            if d.index() >= messages.len() {
-                return Err(crate::NocError::UnknownDependency {
-                    msg: i,
-                    dep: d.index(),
-                });
-            }
         }
     }
     Ok(())

@@ -150,7 +150,7 @@ fn link_death_times(mesh: &Mesh, timeline: &FaultTimeline) -> Vec<f64> {
 /// Earliest death among the links a sub-problem's routes traverse.
 fn min_route_death(setup: &RunSetup, death: &[f64]) -> f64 {
     setup
-        .routes
+        .unique
         .iter()
         .flat_map(|r| r.iter())
         .map(|&l| death[l.index()])
@@ -164,7 +164,7 @@ fn min_route_death(setup: &RunSetup, death: &[f64]) -> f64 {
 /// `link_free` tracking does.
 fn busy_tail_slack(cfg: &NocConfig, setup: &RunSetup) -> f64 {
     let max_ser = setup
-        .routes
+        .unique
         .iter()
         .flat_map(|r| r.iter())
         .map(|&l| cfg.serialization_on(l, cfg.packet_bytes))
@@ -368,14 +368,8 @@ impl PacketSim {
                 // precedes its own delivery, so a fast-path makespan at or
                 // before the earliest death proves no start lands in the
                 // dead window and the static result is exact.
-                let speculative = match coalesce::run(
-                    &self.cfg,
-                    mesh,
-                    &msgs_c,
-                    &setup_c.routes,
-                    &setup_c.blocked,
-                    &mut buf,
-                ) {
+                let speculative = match coalesce::run(&self.cfg, mesh, &msgs_c, &setup_c, &mut buf)
+                {
                     Ok(Coalesce::Done(out)) if out.makespan_ns() <= min_death => Some(out),
                     _ => None,
                 };
@@ -425,7 +419,6 @@ impl PacketSim {
         sink: &mut T,
     ) -> Result<OnlinePart, NocError> {
         let n = messages.len();
-        let routes = &setup.routes;
         let blocked = &setup.blocked;
         let faults = &self.cfg.faults;
 
@@ -460,8 +453,8 @@ impl PacketSim {
 
         let event_budget: u64 = messages
             .iter()
-            .zip(routes)
-            .map(|(m, r)| self.cfg.packets_for(m.bytes) * (r.len() as u64 + 1))
+            .enumerate()
+            .map(|(i, m)| self.cfg.packets_for(m.bytes) * (setup.route(i).len() as u64 + 1))
             .sum::<u64>()
             .saturating_add(self.cfg.stall_budget_slack);
         let mut events_popped: u64 = 0;
@@ -498,7 +491,7 @@ impl PacketSim {
         // than injected to die downstream. The withhold decision itself is
         // activity at `at`, so the drain clock must cover it (it is what
         // guarantees `apply_through(drain_ns)` folds the killing event).
-        let dies = |i: usize, at: f64| routes[i].iter().any(|&l| death[l.index()] <= at);
+        let dies = |i: usize, at: f64| setup.route(i).iter().any(|&l| death[l.index()] <= at);
 
         for (i, m) in messages.iter().enumerate() {
             if pending_deps[i] == 0 {
@@ -527,7 +520,7 @@ impl PacketSim {
                 });
             }
             let mi = ev.msg as usize;
-            let route = &routes[mi];
+            let route = setup.route(mi);
             if (ev.hop as usize) < route.len() {
                 let link = route[ev.hop as usize];
                 let bytes = packet_bytes(&self.cfg, messages[mi].bytes, ev.packet as u64);
@@ -625,7 +618,8 @@ impl PacketSim {
             // engine's.
             let culprit = (0..n).find(|&i| blocked[i] && completion[i].is_nan());
             let culprit_link = culprit.and_then(|i| {
-                routes[i]
+                setup
+                    .route(i)
                     .iter()
                     .copied()
                     .find(|&l| !faults.link_usable(mesh, l))

@@ -20,17 +20,45 @@
 //! (see [`crate::coalesce`]) advances whole trains in O(messages × hops) and
 //! is used by default whenever no two trains interleave on a link. The
 //! [`SimMode`] policy selects between them.
+//!
+//! # Steady-state execution model
+//!
+//! Under [`SimMode::Auto`] (no transient flaps), every run is partitioned
+//! first: union-find over dependency edges and shared route links splits the
+//! DAG into mutually link-disjoint, dependency-closed components, and each
+//! component runs through the coalescing fast path independently — on the
+//! calling thread, or fanned out over scoped worker threads when
+//! [`PacketSim::with_run_threads`] allows more than one. Only the components
+//! whose own links are contended drop to the per-packet reference engine;
+//! a component *error* re-runs the whole DAG through the reference engine so
+//! typed errors stay bit-identical to an unpartitioned run. Completion,
+//! busy-time, and trace merging are deterministic (components are processed
+//! and flushed in first-appearance order), so results are bit-identical
+//! across run-thread counts.
+//!
+//! All per-run working memory — route tables, partition state, coalescer
+//! curves/events, outcome buffers — lives in pools on the `PacketSim` and is
+//! reused across runs; after a warmup run, the steady-state path allocates
+//! nothing (asserted by the counting-allocator test in
+//! `crates/sim/tests/zero_alloc.rs`). Callers that run in a tight loop can
+//! hand finished outcomes back via [`PacketSim::recycle`].
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use meshcoll_topo::{LinkId, Mesh, RouteCache};
 
-use crate::coalesce::{self, Coalesce};
-use crate::message::validate;
+use crate::coalesce::{self, Attempt, Coalesce, WorkScratch};
+use crate::message::validate_one;
 use crate::trace::{MemorySink, NullSink, TraceEvent, TraceSink};
 use crate::{LinkStats, Message, MsgId, NetworkSim, NocConfig, NocError, SimOutcome};
+
+/// Smallest DAG worth parallelizing across intra-run worker threads:
+/// below this, a run completes in well under a millisecond and scoped
+/// workers cost more than they save.
+const PAR_MIN_MESSAGES: usize = 8192;
 
 /// Engine-selection policy for [`PacketSim`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -51,13 +79,185 @@ pub struct PacketSim {
     pub(crate) cfg: NocConfig,
     pub(crate) routes: Arc<RouteCache>,
     pub(crate) mode: SimMode,
+    /// Worker threads per run (`0` = auto-detect); see `with_run_threads`.
+    run_threads: usize,
+    /// Reusable per-run buffers, shared by clones of this simulator.
+    pools: Arc<ScratchPools>,
 }
 
-/// Per-run preparation shared by both engines: cached routes and the flags
-/// for messages whose route crosses a permanently dead link.
+/// Per-run preparation shared by both engines: deduplicated cached routes
+/// and the flags for messages whose route crosses a permanently dead link.
+///
+/// Routes are stored once per distinct `(src, dst)` pair in `unique`, with
+/// `route_of[i]` mapping message `i` to its entry — large schedules repeat
+/// the same few hundred pairs tens of thousands of times, so this keeps
+/// per-run route storage O(pairs), not O(messages).
+#[derive(Debug, Default)]
 pub(crate) struct RunSetup {
-    pub(crate) routes: Vec<Arc<[LinkId]>>,
+    pub(crate) unique: Vec<Arc<[LinkId]>>,
+    pub(crate) route_of: Vec<u32>,
     pub(crate) blocked: Vec<bool>,
+}
+
+impl RunSetup {
+    /// Message `i`'s route.
+    #[inline]
+    pub(crate) fn route(&self, i: usize) -> &[LinkId] {
+        &self.unique[self.route_of[i] as usize]
+    }
+
+    /// Message `i`'s route as a shared handle (for sub-problem setups).
+    pub(crate) fn route_arc(&self, i: usize) -> Arc<[LinkId]> {
+        Arc::clone(&self.unique[self.route_of[i] as usize])
+    }
+}
+
+/// Union-find partition of one run's DAG in CSR form: `comp_members`
+/// concatenates the components' member lists (global message ids, ascending
+/// within a component), `comp_off` delimits them, and `g2l[i]` is message
+/// `i`'s dense local index inside its component. Components are numbered in
+/// first-appearance (= lowest-member) order, which fixes the deterministic
+/// merge order regardless of which worker thread simulates which component.
+#[derive(Debug, Default)]
+struct PartitionScratch {
+    parent: Vec<u32>,
+    link_owner: Vec<u32>,
+    route_owner: Vec<u32>,
+    root_comp: Vec<u32>,
+    cid: Vec<u32>,
+    comp_off: Vec<u32>,
+    cursor: Vec<u32>,
+    comp_members: Vec<u32>,
+    g2l: Vec<u32>,
+}
+
+impl PartitionScratch {
+    fn ncomps(&self) -> usize {
+        self.comp_off.len().saturating_sub(1)
+    }
+
+    fn members(&self, c: usize) -> &[u32] {
+        &self.comp_members[self.comp_off[c] as usize..self.comp_off[c + 1] as usize]
+    }
+
+    fn retained_bytes(&self) -> usize {
+        use std::mem::size_of;
+        (self.parent.capacity()
+            + self.link_owner.capacity()
+            + self.route_owner.capacity()
+            + self.root_comp.capacity()
+            + self.cid.capacity()
+            + self.comp_off.capacity()
+            + self.cursor.capacity()
+            + self.comp_members.capacity()
+            + self.g2l.capacity())
+            * size_of::<u32>()
+    }
+}
+
+/// Whole-run scratch: the prepared setup, the dense route memo behind it,
+/// per-link bandwidths, and the partition state.
+#[derive(Debug, Default)]
+struct RunScratch {
+    setup: RunSetup,
+    /// Dense `(src, dst) → unique route` memo (`u32::MAX` = unset), rebuilt
+    /// each run (the mesh may differ between runs of one simulator).
+    memo: Vec<u32>,
+    /// Blocked flag per unique route, computed once and fanned out.
+    unique_blocked: Vec<bool>,
+    /// Per-link bandwidth cache for the coalescer.
+    bw: Vec<f64>,
+    /// Identity index map (`0..n`) for the whole-DAG fast-path attempt,
+    /// which runs before any partitioning and so serves as both the member
+    /// list and the global→local map.
+    ident: Vec<u32>,
+    parts: PartitionScratch,
+}
+
+impl RunScratch {
+    fn retained_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.setup.unique.capacity() * size_of::<Arc<[LinkId]>>()
+            + self.setup.route_of.capacity() * size_of::<u32>()
+            + self.setup.blocked.capacity()
+            + self.memo.capacity() * size_of::<u32>()
+            + self.unique_blocked.capacity()
+            + self.bw.capacity() * size_of::<f64>()
+            + self.ident.capacity() * size_of::<u32>()
+            + self.parts.retained_bytes()
+    }
+}
+
+/// Per-worker scratch: the coalescer's working memory plus the buffers a
+/// worker thread needs to simulate components independently of its peers.
+#[derive(Debug, Default)]
+struct WorkerScratch {
+    co: WorkScratch,
+    /// Global-length id-remap scratch for the per-component fallback.
+    new_id: Vec<u32>,
+    /// Worker-private global-sized outcome buffers (parallel path only; the
+    /// serial path writes the shared outcome buffers directly).
+    completion: Vec<f64>,
+    busy: Vec<f64>,
+    /// Component indices this worker simulated, for the deterministic merge.
+    mine: Vec<u32>,
+}
+
+impl WorkerScratch {
+    fn retained_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.co.retained_bytes()
+            + (self.new_id.capacity() + self.mine.capacity()) * size_of::<u32>()
+            + (self.completion.capacity() + self.busy.capacity()) * size_of::<f64>()
+    }
+}
+
+/// Buffered per-component trace events, tagged with the component index so
+/// the parallel merge can flush them in deterministic component order.
+type Traces = Vec<(usize, Vec<TraceEvent>)>;
+
+/// Buffer pools persisting across runs (and shared by clones) so the
+/// steady-state simulate path allocates nothing after warmup.
+#[derive(Debug, Default)]
+struct ScratchPools {
+    run: Mutex<Vec<RunScratch>>,
+    work: Mutex<Vec<WorkerScratch>>,
+    /// Recycled `(completion, busy)` outcome buffers (see `recycle`).
+    outcome: Mutex<Vec<(Vec<f64>, Vec<f64>)>>,
+}
+
+impl ScratchPools {
+    fn take_run(&self) -> RunScratch {
+        self.run.lock().expect("run pool").pop().unwrap_or_default()
+    }
+
+    fn put_run(&self, rs: RunScratch) {
+        self.run.lock().expect("run pool").push(rs);
+    }
+
+    fn take_work(&self) -> WorkerScratch {
+        self.work
+            .lock()
+            .expect("work pool")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    fn put_work(&self, ws: WorkerScratch) {
+        self.work.lock().expect("work pool").push(ws);
+    }
+
+    fn take_outcome(&self) -> (Vec<f64>, Vec<f64>) {
+        self.outcome
+            .lock()
+            .expect("outcome pool")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    fn put_outcome(&self, bufs: (Vec<f64>, Vec<f64>)) {
+        self.outcome.lock().expect("outcome pool").push(bufs);
+    }
 }
 
 impl PacketSim {
@@ -68,6 +268,8 @@ impl PacketSim {
             cfg,
             routes: Arc::new(RouteCache::new()),
             mode: SimMode::Auto,
+            run_threads: 1,
+            pools: Arc::new(ScratchPools::default()),
         }
     }
 
@@ -85,6 +287,32 @@ impl PacketSim {
         self
     }
 
+    /// Sets how many scoped worker threads one `simulate` call may use to
+    /// run independent DAG components concurrently. `0` auto-detects the
+    /// available parallelism; the default is `1` (fully on the calling
+    /// thread, no spawns). Results are bit-identical for every setting —
+    /// components are merged in a deterministic order — so this is purely a
+    /// wall-clock knob. It composes with sweep-level fan-out: keep
+    /// `sweep_jobs × run_threads` within the machine's core budget.
+    #[must_use]
+    pub fn with_run_threads(mut self, threads: usize) -> Self {
+        self.run_threads = threads;
+        self
+    }
+
+    /// The configured per-run thread count (`0` = auto-detect).
+    pub fn run_threads(&self) -> usize {
+        self.run_threads
+    }
+
+    fn resolved_run_threads(&self) -> usize {
+        if self.run_threads == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            self.run_threads
+        }
+    }
+
     /// The configuration in use.
     pub fn config(&self) -> &NocConfig {
         &self.cfg
@@ -100,11 +328,52 @@ impl PacketSim {
         self.mode
     }
 
+    /// Returns a finished outcome's buffers to the simulator's pool, so the
+    /// next `simulate` call can reuse them instead of allocating. Optional —
+    /// dropping an outcome is always correct — but a tight
+    /// simulate/inspect/recycle loop stays allocation-free after warmup.
+    pub fn recycle(&self, outcome: SimOutcome) {
+        let (completion, stats) = outcome.into_parts();
+        self.pools.put_outcome((completion, stats.into_busy()));
+    }
+
+    /// Total bytes currently retained by the reusable run/worker/outcome
+    /// pools (capacity high-water marks). Used by the scalability smoke test
+    /// to check that per-run memory stays O(messages).
+    pub fn retained_scratch_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let run: usize = self
+            .pools
+            .run
+            .lock()
+            .expect("run pool")
+            .iter()
+            .map(RunScratch::retained_bytes)
+            .sum();
+        let work: usize = self
+            .pools
+            .work
+            .lock()
+            .expect("work pool")
+            .iter()
+            .map(WorkerScratch::retained_bytes)
+            .sum();
+        let outcome: usize = self
+            .pools
+            .outcome
+            .lock()
+            .expect("outcome pool")
+            .iter()
+            .map(|(c, b)| (c.capacity() + b.capacity()) * size_of::<f64>())
+            .sum();
+        run + work + outcome
+    }
+
     /// Simulates the message DAG to completion.
     ///
     /// Unlike [`NetworkSim::run`] this takes `&self`, so one simulator can
     /// serve many runs — including concurrently from several threads (the
-    /// route cache is internally synchronized).
+    /// route cache and scratch pools are internally synchronized).
     ///
     /// # Errors
     ///
@@ -119,8 +388,8 @@ impl PacketSim {
     /// stream into `sink`. With the default [`NullSink`] this monomorphizes
     /// to the untraced hot path. Because the fast path may decline mid-run,
     /// an enabled sink only receives events of the engine that actually
-    /// completed the run: a declined fast-path attempt's partial trace is
-    /// discarded, never replayed into `sink`.
+    /// completed each component: a declined fast-path attempt's partial
+    /// trace is discarded, never replayed into `sink`.
     ///
     /// # Errors
     ///
@@ -131,7 +400,6 @@ impl PacketSim {
         messages: &[Message],
         sink: &mut T,
     ) -> Result<SimOutcome, NocError> {
-        let setup = self.prepare(mesh, messages)?;
         if !self.cfg.timeline.is_empty() {
             // Timed mid-run faults need the online per-packet machinery; the
             // coalescing fast path is only used for components the timeline
@@ -139,19 +407,27 @@ impl PacketSim {
             // fault has undeliverable messages, which this completion-only
             // entry point reports as a (first-blocked-enriched) stall; use
             // `simulate_online` to drain and repair instead.
+            let setup = self.prepare(mesh, messages)?;
             let report = self.online_with_setup(mesh, messages, &setup, sink)?;
             return match report.interruption {
                 None => Ok(report.outcome),
                 Some(snap) => Err(snap.into_stall_error()),
             };
         }
-        self.simulate_static(mesh, messages, &setup, sink)
+        let mut rs = self.pools.take_run();
+        let result = match self.prepare_into(mesh, messages, &mut rs) {
+            Ok(()) => self.simulate_static(mesh, messages, &rs.setup, sink),
+            Err(e) => Err(e),
+        };
+        self.pools.put_run(rs);
+        result
     }
 
-    /// The timeline-free simulation body: fast path with scoped fallback
-    /// under [`SimMode::Auto`], per-packet reference otherwise. Shared by
-    /// [`PacketSim::simulate_traced`] and the online engine (which routes
-    /// timeline-unaffected components through it unchanged).
+    /// The timeline-free simulation body: partitioned fast path with
+    /// per-component fallback under [`SimMode::Auto`], per-packet reference
+    /// otherwise. Shared by [`PacketSim::simulate_traced`] and the online
+    /// engine (which routes timeline-unaffected components through it
+    /// unchanged).
     pub(crate) fn simulate_static<T: TraceSink>(
         &self,
         mesh: &Mesh,
@@ -160,138 +436,402 @@ impl PacketSim {
         sink: &mut T,
     ) -> Result<SimOutcome, NocError> {
         if self.mode == SimMode::Auto && self.cfg.faults.flaps().is_empty() {
-            // A contended fast-path attempt is scoped before giving up: the
-            // DAG splits into link- and dependency-disjoint components, and
-            // only the contended components re-run through the per-packet
-            // engine; everything else keeps the fast path. An erroring
-            // attempt is re-run whole by the reference engine, which
-            // arbitrates FIFO order exactly and keeps error bookkeeping
-            // bit-identical.
-            if T::ENABLED {
-                let mut buf = MemorySink::new();
-                match coalesce::run(
-                    &self.cfg,
-                    mesh,
-                    messages,
-                    &setup.routes,
-                    &setup.blocked,
-                    &mut buf,
-                ) {
-                    Ok(Coalesce::Done(out)) => {
-                        for ev in buf.events() {
-                            sink.record(*ev);
-                        }
-                        return Ok(out);
-                    }
-                    Ok(Coalesce::Contended) => {
-                        if let Some(out) = self.run_scoped(mesh, messages, setup, sink) {
-                            return Ok(out);
-                        }
-                    }
-                    Err(_) => {}
-                }
-            } else {
-                match coalesce::run(
-                    &self.cfg,
-                    mesh,
-                    messages,
-                    &setup.routes,
-                    &setup.blocked,
-                    sink,
-                ) {
-                    Ok(Coalesce::Done(out)) => return Ok(out),
-                    Ok(Coalesce::Contended) => {
-                        if let Some(out) = self.run_scoped(mesh, messages, setup, sink) {
-                            return Ok(out);
-                        }
-                    }
-                    Err(_) => {}
-                }
+            let mut rs = self.pools.take_run();
+            let out = self.run_components(mesh, messages, setup, &mut rs, sink);
+            self.pools.put_run(rs);
+            if let Some(out) = out {
+                return Ok(out);
             }
         }
+        // An erroring component aborts the partitioned attempt and the whole
+        // DAG re-runs through the reference engine, which arbitrates FIFO
+        // order exactly and keeps error bookkeeping bit-identical.
         self.run_per_packet(mesh, messages, setup, sink)
     }
 
-    /// The scoped fallback behind [`SimMode::Auto`]: after a contended
-    /// global fast-path attempt, partitions the DAG into connected
-    /// components over dependency edges and shared route links. Components
-    /// are mutually link-disjoint and dependency-closed, so each one's
-    /// timeline is independent of the others and can be simulated alone:
-    /// the fast path re-runs per component, and only the components whose
-    /// own links are contended drop to the per-packet engine.
+    /// Partition-first execution: splits the DAG into link- and
+    /// dependency-disjoint components and simulates each through the fast
+    /// path (contended components drop to the per-packet engine alone).
+    /// Components run serially on the calling thread, or across scoped
+    /// worker threads under `with_run_threads`; either way completions,
+    /// busy time, and traces are merged in component order, so the result
+    /// is bit-identical for every thread count.
     ///
-    /// Returns `None` when scoping cannot help (the DAG is one component)
-    /// or when any component errors — the caller then re-runs the whole
-    /// DAG through the reference engine so that typed errors, their
-    /// bookkeeping, and the emitted trace stay bit-identical to an
-    /// unscoped run. On `Some`, buffered (remapped) component traces have
-    /// been flushed to `sink` grouped by component.
-    fn run_scoped<T: TraceSink>(
+    /// Returns `None` when any component *errors* — the caller then re-runs
+    /// the whole DAG through the reference engine so typed errors and their
+    /// bookkeeping stay bit-identical to an unpartitioned run.
+    fn run_components<T: TraceSink>(
         &self,
         mesh: &Mesh,
         messages: &[Message],
         setup: &RunSetup,
+        rs: &mut RunScratch,
         sink: &mut T,
     ) -> Option<SimOutcome> {
         let n = messages.len();
-        let comps = partition(mesh, messages, setup);
-        if comps.len() < 2 {
-            return None;
-        }
-
-        let mut completion = vec![f64::NAN; n];
-        let mut stats = LinkStats::new(mesh, &self.cfg.faults);
-        let mut trace: Vec<TraceEvent> = Vec::new();
-        let mut new_id: Vec<u32> = vec![0; n];
-        for comp in &comps {
-            let (msgs_c, setup_c) = component_problem(messages, setup, comp, &mut new_id);
-            let mut buf = MemorySink::new();
-            let out_c = if T::ENABLED {
-                match coalesce::run(
-                    &self.cfg,
-                    mesh,
-                    &msgs_c,
-                    &setup_c.routes,
-                    &setup_c.blocked,
-                    &mut buf,
-                ) {
-                    Ok(Coalesce::Done(o)) => o,
-                    Ok(Coalesce::Contended) => {
-                        // Discard the declined attempt's partial trace.
-                        buf = MemorySink::new();
-                        self.run_per_packet(mesh, &msgs_c, &setup_c, &mut buf)
-                            .ok()?
+        let link_space = mesh.link_id_space();
+        // Reciprocal bandwidth per link: the coalescing engine multiplies
+        // instead of dividing on its per-event path (tens of cycles saved
+        // per event; any sub-EPS reordering this could cause falls into the
+        // fallback tiers, so equivalence is unaffected).
+        rs.bw.clear();
+        rs.bw
+            .extend((0..link_space).map(|i| 1.0 / self.cfg.bandwidth_of(LinkId(i))));
+        // Below ~8k messages a run completes in well under a millisecond;
+        // spawning scoped workers (and zeroing their global-sized private
+        // outcome buffers) costs more than it saves, so small DAGs always
+        // take the sequential path. The merge is identical either way, so
+        // this is invisible in the results — only in the wall-clock.
+        let want_threads = if n < PAR_MIN_MESSAGES {
+            1
+        } else {
+            self.resolved_run_threads()
+        };
+        let (mut completion, busy) = self.pools.take_outcome();
+        completion.clear();
+        completion.resize(n, f64::NAN);
+        let mut stats = LinkStats::recycled(mesh, &self.cfg.faults, busy);
+        // Whole-DAG-first: with one run thread and no trace sink, try the
+        // fast path on the entire DAG before paying for the union-find
+        // partition — the congested schedules collapse to a single component
+        // anyway, so the partition would buy nothing. A `Done` here is
+        // bit-identical to the partitioned run: components share no links,
+        // and the only cross-component interaction, EPS-window taint, can
+        // force a `Contended` decline but never changes `Done` arithmetic
+        // (a taint-denied exact tie declines before committing). On decline
+        // the partial busy time is zeroed and the partitioned path below
+        // re-runs from scratch, isolating the contention to its component.
+        if want_threads <= 1 && !T::ENABLED {
+            // The identity map only ever grows — top it up, don't rebuild.
+            let have = rs.ident.len();
+            if have < n {
+                rs.ident.extend(have as u32..n as u32);
+            }
+            let mut w = self.pools.take_work();
+            let attempt = coalesce::run_subset(
+                &self.cfg,
+                mesh,
+                messages,
+                setup,
+                &rs.ident[..n],
+                &rs.ident,
+                &rs.bw,
+                &mut w.co,
+                &mut completion,
+                stats.busy_mut(),
+                sink,
+            );
+            self.pools.put_work(w);
+            match attempt {
+                Ok(Attempt::Done) => return Some(SimOutcome::new(completion, stats)),
+                Ok(Attempt::Contended) => {
+                    for b in stats.busy_mut() {
+                        *b = 0.0;
                     }
-                    Err(_) => return None,
                 }
-            } else {
-                match coalesce::run(
-                    &self.cfg,
+                Err(_) => {
+                    self.pools.put_outcome((completion, stats.into_busy()));
+                    return None;
+                }
+            }
+        }
+        partition_into(mesh, messages, setup, &mut rs.parts);
+        let threads = want_threads.min(rs.parts.ncomps()).max(1);
+        let ok = if threads <= 1 {
+            self.run_comps_serial(
+                mesh,
+                messages,
+                setup,
+                &rs.parts,
+                &rs.bw,
+                &mut completion,
+                &mut stats,
+                sink,
+            )
+        } else {
+            self.run_comps_parallel(
+                mesh,
+                messages,
+                setup,
+                &rs.parts,
+                &rs.bw,
+                threads,
+                &mut completion,
+                &mut stats,
+                sink,
+            )
+        };
+        if ok {
+            Some(SimOutcome::new(completion, stats))
+        } else {
+            self.pools.put_outcome((completion, stats.into_busy()));
+            None
+        }
+    }
+
+    /// Runs every component on the calling thread, in component order,
+    /// writing the shared outcome buffers directly (the zero-alloc
+    /// steady-state path).
+    #[allow(clippy::too_many_arguments)]
+    fn run_comps_serial<T: TraceSink>(
+        &self,
+        mesh: &Mesh,
+        messages: &[Message],
+        setup: &RunSetup,
+        parts: &PartitionScratch,
+        bw: &[f64],
+        completion: &mut [f64],
+        stats: &mut LinkStats,
+        sink: &mut T,
+    ) -> bool {
+        let mut w = self.pools.take_work();
+        let mut ok = true;
+        {
+            let WorkerScratch { co, new_id, .. } = &mut w;
+            for c in 0..parts.ncomps() {
+                if !self.run_one_comp(
                     mesh,
-                    &msgs_c,
-                    &setup_c.routes,
-                    &setup_c.blocked,
-                    &mut NullSink,
+                    messages,
+                    setup,
+                    parts.members(c),
+                    &parts.g2l,
+                    bw,
+                    co,
+                    new_id,
+                    completion,
+                    stats.busy_mut(),
+                    sink,
                 ) {
-                    Ok(Coalesce::Done(o)) => o,
-                    Ok(Coalesce::Contended) => self
-                        .run_per_packet(mesh, &msgs_c, &setup_c, &mut NullSink)
-                        .ok()?,
-                    Err(_) => return None,
+                    ok = false;
+                    break;
                 }
-            };
-            for (j, &i) in comp.iter().enumerate() {
-                completion[i as usize] = out_c.completions()[j];
             }
-            stats.absorb(out_c.link_stats());
+        }
+        self.pools.put_work(w);
+        ok
+    }
+
+    /// Fans the components out over `threads` scoped workers. Workers claim
+    /// components from a shared counter and record results into private
+    /// buffers; the merge afterwards is order-independent for completions
+    /// and busy time (components are disjoint, so each slot is written by
+    /// exactly one worker and every other contribution is an exact `+0.0`),
+    /// and traces are sorted by component index before flushing — making
+    /// the outcome bit-identical to the serial path.
+    #[allow(clippy::too_many_arguments)]
+    fn run_comps_parallel<T: TraceSink>(
+        &self,
+        mesh: &Mesh,
+        messages: &[Message],
+        setup: &RunSetup,
+        parts: &PartitionScratch,
+        bw: &[f64],
+        threads: usize,
+        completion: &mut [f64],
+        stats: &mut LinkStats,
+        sink: &mut T,
+    ) -> bool {
+        let ncomps = parts.ncomps();
+        let n = messages.len();
+        let link_space = mesh.link_id_space();
+        let next = AtomicUsize::new(0);
+        let failed = AtomicBool::new(false);
+        let finished: Mutex<Vec<(WorkerScratch, Traces)>> = Mutex::new(Vec::with_capacity(threads));
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let mut w = self.pools.take_work();
+                    w.completion.clear();
+                    w.completion.resize(n, f64::NAN);
+                    w.busy.clear();
+                    w.busy.resize(link_space, 0.0);
+                    w.mine.clear();
+                    let mut traces: Traces = Vec::new();
+                    while !failed.load(Ordering::Relaxed) {
+                        let c = next.fetch_add(1, Ordering::Relaxed);
+                        if c >= ncomps {
+                            break;
+                        }
+                        w.mine.push(c as u32);
+                        let WorkerScratch {
+                            co,
+                            new_id,
+                            completion,
+                            busy,
+                            ..
+                        } = &mut w;
+                        let ok = if T::ENABLED {
+                            let mut buf = MemorySink::new();
+                            let ok = self.run_one_comp(
+                                mesh,
+                                messages,
+                                setup,
+                                parts.members(c),
+                                &parts.g2l,
+                                bw,
+                                co,
+                                new_id,
+                                completion,
+                                busy,
+                                &mut buf,
+                            );
+                            if ok {
+                                traces.push((c, buf.events().to_vec()));
+                            }
+                            ok
+                        } else {
+                            self.run_one_comp(
+                                mesh,
+                                messages,
+                                setup,
+                                parts.members(c),
+                                &parts.g2l,
+                                bw,
+                                co,
+                                new_id,
+                                completion,
+                                busy,
+                                &mut NullSink,
+                            )
+                        };
+                        if !ok {
+                            failed.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                    finished.lock().expect("worker results").push((w, traces));
+                });
+            }
+        });
+        let mut finished = finished.into_inner().expect("worker results");
+        let ok = !failed.load(Ordering::Relaxed);
+        if ok {
+            let busy = stats.busy_mut();
+            for (w, _) in &finished {
+                for &c in &w.mine {
+                    for &g in parts.members(c as usize) {
+                        completion[g as usize] = w.completion[g as usize];
+                    }
+                }
+                for (a, b) in busy.iter_mut().zip(&w.busy) {
+                    *a += b;
+                }
+            }
             if T::ENABLED {
-                trace.extend(buf.events().iter().map(|ev| remap_msg(*ev, comp)));
+                let mut all: Traces = Vec::new();
+                for (_, t) in &mut finished {
+                    all.append(t);
+                }
+                all.sort_by_key(|e| e.0);
+                for (_, evs) in all {
+                    for ev in evs {
+                        sink.record(ev);
+                    }
+                }
             }
         }
-        for ev in trace {
-            sink.record(ev);
+        for (w, _) in finished {
+            self.pools.put_work(w);
         }
-        Some(SimOutcome::new(completion, stats))
+        ok
+    }
+
+    /// Simulates one component: fast path first, per-packet fallback when
+    /// the component's own links are contended. Returns `false` on any
+    /// error, which aborts the partitioned attempt (the caller re-runs the
+    /// whole DAG through the reference engine). Trace events reach `sink`
+    /// only from the engine that completed the component, with global ids.
+    #[allow(clippy::too_many_arguments)]
+    fn run_one_comp<T: TraceSink>(
+        &self,
+        mesh: &Mesh,
+        messages: &[Message],
+        setup: &RunSetup,
+        members: &[u32],
+        g2l: &[u32],
+        bw: &[f64],
+        co: &mut WorkScratch,
+        new_id: &mut Vec<u32>,
+        completion: &mut [f64],
+        busy: &mut [f64],
+        sink: &mut T,
+    ) -> bool {
+        let attempt = if T::ENABLED {
+            // Buffer the attempt so a mid-run decline leaves no partial
+            // trace in the caller's sink.
+            let mut buf = MemorySink::new();
+            let r = coalesce::run_subset(
+                &self.cfg, mesh, messages, setup, members, g2l, bw, co, completion, busy, &mut buf,
+            );
+            if matches!(r, Ok(Attempt::Done)) {
+                for ev in buf.events() {
+                    sink.record(*ev);
+                }
+            }
+            r
+        } else {
+            coalesce::run_subset(
+                &self.cfg, mesh, messages, setup, members, g2l, bw, co, completion, busy, sink,
+            )
+        };
+        match attempt {
+            Ok(Attempt::Done) => true,
+            Ok(Attempt::Contended) => self.run_comp_fallback(
+                mesh, messages, setup, members, new_id, completion, busy, sink,
+            ),
+            Err(_) => false,
+        }
+    }
+
+    /// Per-packet fallback for one contended component. The declined
+    /// fast-path attempt may have charged partial busy time, so the
+    /// component's links (its exclusive property — components are
+    /// link-disjoint) are zeroed before the reference run's busy time is
+    /// merged back in.
+    #[allow(clippy::too_many_arguments)]
+    fn run_comp_fallback<T: TraceSink>(
+        &self,
+        mesh: &Mesh,
+        messages: &[Message],
+        setup: &RunSetup,
+        members: &[u32],
+        new_id: &mut Vec<u32>,
+        completion: &mut [f64],
+        busy: &mut [f64],
+        sink: &mut T,
+    ) -> bool {
+        for &g in members {
+            for &l in setup.route(g as usize) {
+                busy[l.index()] = 0.0;
+            }
+        }
+        new_id.clear();
+        new_id.resize(messages.len(), 0);
+        let (msgs_c, setup_c) = component_problem(messages, setup, members, new_id);
+        let out_c = if T::ENABLED {
+            let mut buf = MemorySink::new();
+            match self.run_per_packet(mesh, &msgs_c, &setup_c, &mut buf) {
+                Ok(o) => {
+                    for ev in buf.events() {
+                        sink.record(remap_msg(*ev, members));
+                    }
+                    o
+                }
+                Err(_) => return false,
+            }
+        } else {
+            match self.run_per_packet(mesh, &msgs_c, &setup_c, sink) {
+                Ok(o) => o,
+                Err(_) => return false,
+            }
+        };
+        for (j, &g) in members.iter().enumerate() {
+            completion[g as usize] = out_c.completions()[j];
+        }
+        for (a, b) in busy.iter_mut().zip(out_c.link_stats().busy_slice()) {
+            *a += b;
+        }
+        true
     }
 
     /// Runs the exact per-packet reference engine unconditionally.
@@ -318,7 +858,8 @@ impl PacketSim {
         self.run_per_packet(mesh, messages, &setup, sink)
     }
 
-    /// Attempts only the coalescing fast path, returning `Ok(None)` when it
+    /// Attempts only the coalescing fast path on the *whole* DAG (global
+    /// taint semantics, no partitioning), returning `Ok(None)` when it
     /// declines (interleaved contention, or transient flaps configured).
     /// Used by the equivalence tests to assert which engine actually ran.
     ///
@@ -351,14 +892,7 @@ impl PacketSim {
         }
         if T::ENABLED {
             let mut buf = MemorySink::new();
-            match coalesce::run(
-                &self.cfg,
-                mesh,
-                messages,
-                &setup.routes,
-                &setup.blocked,
-                &mut buf,
-            )? {
+            match coalesce::run(&self.cfg, mesh, messages, &setup, &mut buf)? {
                 Coalesce::Done(out) => {
                     for ev in buf.events() {
                         sink.record(*ev);
@@ -368,14 +902,7 @@ impl PacketSim {
                 Coalesce::Contended => Ok(None),
             }
         } else {
-            match coalesce::run(
-                &self.cfg,
-                mesh,
-                messages,
-                &setup.routes,
-                &setup.blocked,
-                sink,
-            )? {
+            match coalesce::run(&self.cfg, mesh, messages, &setup, sink)? {
                 Coalesce::Done(out) => Ok(Some(out)),
                 Coalesce::Contended => Ok(None),
             }
@@ -385,39 +912,75 @@ impl PacketSim {
     /// Validates the DAG, resolves routes through the shared cache, and
     /// flags messages that can never deliver because their route crosses a
     /// permanently dead link (or dead chiplet) — rather than waiting forever
-    /// the engines report those as stalled.
+    /// the engines report those as stalled. Allocating variant for the
+    /// online engine and one-shot probes; the steady-state path uses
+    /// `prepare_into` with pooled scratch.
     pub(crate) fn prepare(&self, mesh: &Mesh, messages: &[Message]) -> Result<RunSetup, NocError> {
-        validate(messages)?;
-        let mut routes: Vec<Arc<[LinkId]>> = Vec::with_capacity(messages.len());
-        // Large schedules repeat the same few hundred (src, dst) pairs tens
-        // of thousands of times; a dense per-pair memo keeps the shared
-        // cache's lock+hash cost off the per-message path.
+        let mut rs = RunScratch::default();
+        self.prepare_into(mesh, messages, &mut rs)?;
+        Ok(rs.setup)
+    }
+
+    /// `prepare` into reusable scratch. The dense per-pair memo keeps the
+    /// shared cache's lock+hash cost off the per-message path, the blocked
+    /// flag is computed once per unique route, and DAG validation is folded
+    /// into the same pass (per message: dense-id/payload/endpoint/dep
+    /// checks first, then node-range checks — one sweep instead of two).
+    fn prepare_into(
+        &self,
+        mesh: &Mesh,
+        messages: &[Message],
+        rs: &mut RunScratch,
+    ) -> Result<(), NocError> {
+        let RunScratch {
+            setup,
+            memo,
+            unique_blocked,
+            ..
+        } = rs;
+        setup.unique.clear();
+        setup.route_of.clear();
+        setup.route_of.reserve(messages.len());
+        setup.blocked.clear();
+        setup.blocked.reserve(messages.len());
+        unique_blocked.clear();
         let nn = mesh.rows() * mesh.cols();
-        let mut memo: Vec<Option<Arc<[LinkId]>>> = if nn <= 256 {
-            vec![None; nn * nn]
-        } else {
-            Vec::new()
-        };
-        for m in messages {
-            mesh.check_node(m.src)?;
-            mesh.check_node(m.dst)?;
-            let slot = m.src.index() * nn + m.dst.index();
-            if let Some(Some(r)) = memo.get(slot) {
-                routes.push(Arc::clone(r));
-                continue;
-            }
-            let r = self.routes.route(mesh, m.src, m.dst, self.cfg.routing)?;
-            if let Some(entry) = memo.get_mut(slot) {
-                *entry = Some(Arc::clone(&r));
-            }
-            routes.push(r);
-        }
         let faults = &self.cfg.faults;
-        let blocked: Vec<bool> = routes
-            .iter()
-            .map(|r| r.iter().any(|&l| !faults.link_usable(mesh, l)))
-            .collect();
-        Ok(RunSetup { routes, blocked })
+        if nn <= 256 {
+            memo.clear();
+            memo.resize(nn * nn, u32::MAX);
+            for (i, m) in messages.iter().enumerate() {
+                validate_one(i, m, messages.len())?;
+                mesh.check_node(m.src)?;
+                mesh.check_node(m.dst)?;
+                let slot = m.src.index() * nn + m.dst.index();
+                let mut u = memo[slot];
+                if u == u32::MAX {
+                    let r = self.routes.route(mesh, m.src, m.dst, self.cfg.routing)?;
+                    u = setup.unique.len() as u32;
+                    unique_blocked.push(r.iter().any(|&l| !faults.link_usable(mesh, l)));
+                    setup.unique.push(r);
+                    memo[slot] = u;
+                }
+                setup.route_of.push(u);
+                setup.blocked.push(unique_blocked[u as usize]);
+            }
+        } else {
+            // Past 256 nodes the dense memo would outweigh its benefit;
+            // routes are stored per message (route_of is the identity).
+            for (i, m) in messages.iter().enumerate() {
+                validate_one(i, m, messages.len())?;
+                mesh.check_node(m.src)?;
+                mesh.check_node(m.dst)?;
+                let r = self.routes.route(mesh, m.src, m.dst, self.cfg.routing)?;
+                let blocked = r.iter().any(|&l| !faults.link_usable(mesh, l));
+                setup.route_of.push(setup.unique.len() as u32);
+                setup.unique.push(r);
+                setup.blocked.push(blocked);
+                unique_blocked.push(blocked);
+            }
+        }
+        Ok(())
     }
 
     /// The exact per-packet event loop (reference engine).
@@ -429,7 +992,6 @@ impl PacketSim {
         sink: &mut T,
     ) -> Result<SimOutcome, NocError> {
         let n = messages.len();
-        let routes = &setup.routes;
         let blocked = &setup.blocked;
         let faults = &self.cfg.faults;
 
@@ -464,8 +1026,8 @@ impl PacketSim {
         // forward progress (defensive; cannot trip on well-formed input).
         let event_budget: u64 = messages
             .iter()
-            .zip(routes)
-            .map(|(m, r)| self.cfg.packets_for(m.bytes) * (r.len() as u64 + 1))
+            .enumerate()
+            .map(|(i, m)| self.cfg.packets_for(m.bytes) * (setup.route(i).len() as u64 + 1))
             .sum::<u64>()
             .saturating_add(self.cfg.stall_budget_slack);
         let mut events_popped: u64 = 0;
@@ -523,7 +1085,7 @@ impl PacketSim {
                 });
             }
             let mi = ev.msg as usize;
-            let route = &routes[mi];
+            let route = setup.route(mi);
             if (ev.hop as usize) < route.len() {
                 // Packet contends for the link at this hop; a transient flap
                 // defers it until the link's next up window.
@@ -603,7 +1165,8 @@ impl PacketSim {
             // a dead-route stall is distinguishable from a watchdog trip.
             let culprit = (0..n).find(|&i| blocked[i] && completion[i].is_nan());
             let culprit_link = culprit.and_then(|i| {
-                routes[i]
+                setup
+                    .route(i)
                     .iter()
                     .copied()
                     .find(|&l| !faults.link_usable(mesh, l))
@@ -656,13 +1219,13 @@ impl NetworkSim for PacketSim {
     }
 }
 
-/// Partitions the message DAG into connected components over dependency
-/// edges and shared route links (union-find with path halving). Components
-/// are mutually link-disjoint and dependency-closed, listed in
-/// first-appearance order with members in id order, so each component run
-/// arbitrates same-time events exactly like the global run restricted to
-/// it. Shared by the scoped contention fallback and the online engine.
-pub(crate) fn partition(mesh: &Mesh, messages: &[Message], setup: &RunSetup) -> Vec<Vec<u32>> {
+/// Builds the union-find partition into reusable scratch (see
+/// [`PartitionScratch`]): connected components over dependency edges and
+/// shared route links, path-halving find. Components are mutually
+/// link-disjoint and dependency-closed, listed in first-appearance order
+/// with members in id order, so each component run arbitrates same-time
+/// events exactly like the global run restricted to it.
+fn partition_into(mesh: &Mesh, messages: &[Message], setup: &RunSetup, ps: &mut PartitionScratch) {
     fn find(parent: &mut [u32], mut x: u32) -> u32 {
         while parent[x as usize] != x {
             parent[x as usize] = parent[parent[x as usize] as usize];
@@ -670,46 +1233,124 @@ pub(crate) fn partition(mesh: &Mesh, messages: &[Message], setup: &RunSetup) -> 
         }
         x
     }
-    let n = messages.len();
-    let mut parent: Vec<u32> = (0..n as u32).collect();
-    let union = |parent: &mut Vec<u32>, a: u32, b: u32| {
+    /// Unions `a` and `b`, returning whether two distinct sets merged.
+    fn union(parent: &mut [u32], a: u32, b: u32) -> bool {
         let (ra, rb) = (find(parent, a), find(parent, b));
         if ra != rb {
             parent[ra as usize] = rb;
+            return true;
         }
-    };
-    for (i, m) in messages.iter().enumerate() {
-        for d in &m.deps {
-            union(&mut parent, i as u32, d.index() as u32);
-        }
+        false
     }
-    let mut link_owner: Vec<u32> = vec![u32::MAX; mesh.link_id_space()];
-    for (i, r) in setup.routes.iter().enumerate() {
-        for &l in r.iter() {
-            let o = link_owner[l.index()];
-            if o == u32::MAX {
-                link_owner[l.index()] = i as u32;
-            } else {
-                union(&mut parent, i as u32, o);
+    let n = messages.len();
+    let PartitionScratch {
+        parent,
+        link_owner,
+        route_owner,
+        root_comp,
+        cid,
+        comp_off,
+        cursor,
+        comp_members,
+        g2l,
+    } = ps;
+    parent.clear();
+    parent.extend(0..n as u32);
+    link_owner.clear();
+    link_owner.resize(mesh.link_id_space(), u32::MAX);
+    route_owner.clear();
+    route_owner.resize(setup.unique.len(), u32::MAX);
+    // One fused sweep: dependency edges union directly; link sharing unions
+    // through each *unique route's* first owner — messages repeating a
+    // (src, dst) pair collapse to a single union, and a route's links are
+    // walked exactly once across the whole run (the congested schedules
+    // have ~10^5 messages over a few hundred distinct pairs). A live set
+    // count lets the sweep stop the moment everything has merged: the
+    // congested schedules collapse to a single component, whose labeling is
+    // then written directly without the find/label pass.
+    let mut nsets = n as u32;
+    'sweep: for (i, m) in messages.iter().enumerate() {
+        for d in &m.deps {
+            if union(parent, i as u32, d.index() as u32) {
+                nsets -= 1;
             }
         }
-    }
-    let mut comp_index: Vec<u32> = vec![u32::MAX; n];
-    let mut comps: Vec<Vec<u32>> = Vec::new();
-    for i in 0..n as u32 {
-        let r = find(&mut parent, i) as usize;
-        if comp_index[r] == u32::MAX {
-            comp_index[r] = comps.len() as u32;
-            comps.push(Vec::new());
+        let u = setup.route_of[i] as usize;
+        let o = route_owner[u];
+        if o == u32::MAX {
+            route_owner[u] = i as u32;
+            for &l in setup.route(i) {
+                let lo = link_owner[l.index()];
+                if lo == u32::MAX {
+                    link_owner[l.index()] = i as u32;
+                } else if union(parent, i as u32, lo) {
+                    nsets -= 1;
+                }
+            }
+        } else if union(parent, i as u32, o) {
+            nsets -= 1;
         }
-        comps[comp_index[r] as usize].push(i);
+        if nsets == 1 {
+            break 'sweep;
+        }
     }
-    comps
+    if nsets == 1 {
+        comp_off.clear();
+        comp_off.extend([0, n as u32]);
+        comp_members.clear();
+        comp_members.extend(0..n as u32);
+        g2l.clear();
+        g2l.extend(0..n as u32);
+        return;
+    }
+    root_comp.clear();
+    root_comp.resize(n, u32::MAX);
+    cid.clear();
+    cid.resize(n, 0);
+    let mut ncomps: u32 = 0;
+    for i in 0..n as u32 {
+        let r = find(parent, i) as usize;
+        if root_comp[r] == u32::MAX {
+            root_comp[r] = ncomps;
+            ncomps += 1;
+        }
+        cid[i as usize] = root_comp[r];
+    }
+    comp_off.clear();
+    comp_off.resize(ncomps as usize + 1, 0);
+    for &c in cid.iter() {
+        comp_off[c as usize + 1] += 1;
+    }
+    for c in 0..ncomps as usize {
+        comp_off[c + 1] += comp_off[c];
+    }
+    cursor.clear();
+    cursor.extend_from_slice(&comp_off[..ncomps as usize]);
+    comp_members.clear();
+    comp_members.resize(n, 0);
+    g2l.clear();
+    g2l.resize(n, 0);
+    for i in 0..n {
+        let c = cid[i] as usize;
+        let slot = cursor[c];
+        comp_members[slot as usize] = i as u32;
+        g2l[i] = slot - comp_off[c];
+        cursor[c] += 1;
+    }
+}
+
+/// Allocating wrapper over [`partition_into`] for the online engine:
+/// partitions the message DAG and returns the components as owned member
+/// lists (global ids, first-appearance order, members in id order).
+pub(crate) fn partition(mesh: &Mesh, messages: &[Message], setup: &RunSetup) -> Vec<Vec<u32>> {
+    let mut ps = PartitionScratch::default();
+    partition_into(mesh, messages, setup, &mut ps);
+    (0..ps.ncomps()).map(|c| ps.members(c).to_vec()).collect()
 }
 
 /// Builds the standalone sub-problem for one component of [`partition`]:
 /// messages with dense remapped ids (recorded in `new_id`, a scratch array
-/// of global length) and the matching route/blocked slices.
+/// of global length) and the matching route/blocked setup.
 pub(crate) fn component_problem(
     messages: &[Message],
     setup: &RunSetup,
@@ -728,16 +1369,15 @@ pub(crate) fn component_problem(
                 .with_ready_at(m.ready_at_ns)
         })
         .collect();
-    let routes_c: Vec<Arc<[LinkId]>> = comp
-        .iter()
-        .map(|&i| Arc::clone(&setup.routes[i as usize]))
-        .collect();
-    let blocked_c: Vec<bool> = comp.iter().map(|&i| setup.blocked[i as usize]).collect();
+    let unique: Vec<Arc<[LinkId]>> = comp.iter().map(|&i| setup.route_arc(i as usize)).collect();
+    let route_of: Vec<u32> = (0..comp.len() as u32).collect();
+    let blocked: Vec<bool> = comp.iter().map(|&i| setup.blocked[i as usize]).collect();
     (
         msgs_c,
         RunSetup {
-            routes: routes_c,
-            blocked: blocked_c,
+            unique,
+            route_of,
+            blocked,
         },
     )
 }
@@ -1142,5 +1782,79 @@ mod tests {
             std::sync::Arc::as_ptr(sim.route_cache()),
             std::sync::Arc::as_ptr(&cache)
         );
+    }
+
+    #[test]
+    fn run_threads_knob_defaults_to_one_and_builds() {
+        let sim = PacketSim::new(cfg());
+        assert_eq!(sim.run_threads(), 1);
+        let sim = sim.with_run_threads(8);
+        assert_eq!(sim.run_threads(), 8);
+        // 0 = auto-detect resolves to at least one thread.
+        assert!(
+            PacketSim::new(cfg())
+                .with_run_threads(0)
+                .resolved_run_threads()
+                >= 1
+        );
+    }
+
+    #[test]
+    fn results_are_bit_identical_across_run_thread_counts() {
+        // Four link-disjoint contention funnels (two messages racing for a
+        // shared link each) exercise both the fast path and the per-packet
+        // component fallback under every thread count.
+        let mesh = Mesh::new(4, 3).unwrap();
+        let mut msgs = Vec::new();
+        for row in 0..4u16 {
+            let base = row as usize * 3;
+            let id = msgs.len();
+            msgs.push(Message::new(
+                MsgId(id),
+                NodeId(base),
+                NodeId(base + 2),
+                8192 * 5,
+            ));
+            msgs.push(
+                Message::new(MsgId(id + 1), NodeId(base + 1), NodeId(base + 2), 8192 * 5)
+                    .with_ready_at(if row % 2 == 0 { 0.0 } else { 5e-7 }),
+            );
+        }
+        let base = PacketSim::new(cfg());
+        let reference = base.simulate(&mesh, &msgs).unwrap();
+        for threads in [2usize, 8] {
+            let sim = PacketSim::new(cfg()).with_run_threads(threads);
+            let out = sim.simulate(&mesh, &msgs).unwrap();
+            assert_eq!(
+                out.completions(),
+                reference.completions(),
+                "{threads} threads"
+            );
+            assert_eq!(out.makespan_ns(), reference.makespan_ns());
+            for l in 0..mesh.link_id_space() {
+                let link = LinkId(l);
+                assert_eq!(
+                    out.link_stats().busy_ns(link),
+                    reference.link_stats().busy_ns(link),
+                    "link {l} at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn recycle_keeps_steady_state_buffers_warm() {
+        let mesh = Mesh::new(1, 3).unwrap();
+        let msgs = vec![
+            Message::new(MsgId(0), NodeId(0), NodeId(1), 8192 * 3),
+            Message::new(MsgId(1), NodeId(1), NodeId(2), 8192 * 3).with_deps([MsgId(0)]),
+        ];
+        let sim = PacketSim::new(cfg());
+        let first = sim.simulate(&mesh, &msgs).unwrap();
+        let makespan = first.makespan_ns();
+        sim.recycle(first);
+        assert!(sim.retained_scratch_bytes() > 0);
+        let second = sim.simulate(&mesh, &msgs).unwrap();
+        assert_eq!(second.makespan_ns(), makespan);
     }
 }

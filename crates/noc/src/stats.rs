@@ -24,6 +24,38 @@ impl LinkStats {
         }
     }
 
+    /// Like [`LinkStats::new`], but reusing a recycled busy-time buffer so
+    /// steady-state runs do not allocate (see `PacketSim::recycle`).
+    pub(crate) fn recycled(mesh: &Mesh, faults: &FaultModel, mut busy_ns: Vec<f64>) -> Self {
+        let usable = mesh
+            .links()
+            .filter(|&(_, _, link)| faults.link_usable(mesh, link))
+            .count();
+        busy_ns.clear();
+        busy_ns.resize(mesh.link_id_space(), 0.0);
+        LinkStats {
+            busy_ns,
+            physical_links: usable.max(1),
+        }
+    }
+
+    /// Releases the busy-time buffer for pooling.
+    pub(crate) fn into_busy(self) -> Vec<f64> {
+        self.busy_ns
+    }
+
+    /// Mutable access to the raw per-link busy accumulator, so the coalesce
+    /// engine can charge busy time without owning a `LinkStats`.
+    pub(crate) fn busy_mut(&mut self) -> &mut [f64] {
+        &mut self.busy_ns
+    }
+
+    /// Read access to the raw per-link busy accumulator; used when merging a
+    /// component fallback outcome into a pooled global buffer.
+    pub(crate) fn busy_slice(&self) -> &[f64] {
+        &self.busy_ns
+    }
+
     pub(crate) fn add_busy(&mut self, link: LinkId, ns: f64) {
         self.busy_ns[link.index()] += ns;
     }
@@ -85,6 +117,12 @@ impl SimOutcome {
             makespan_ns,
             link_stats,
         }
+    }
+
+    /// Decomposes the outcome into its owned buffers for pooling (see
+    /// `PacketSim::recycle`).
+    pub(crate) fn into_parts(self) -> (Vec<f64>, LinkStats) {
+        (self.completion_ns, self.link_stats)
     }
 
     /// Completion time of a message (delivery of its last packet), in ns,

@@ -1,5 +1,7 @@
 //! Schedule → network-simulation bridge.
 
+use std::sync::{Arc, Mutex};
+
 use meshcoll_collectives::{fault, Algorithm, CollectiveError, Schedule, ScheduleOptions};
 use meshcoll_noc::{Message, MsgId, NocConfig, PacketSim, SimMode};
 use meshcoll_topo::Mesh;
@@ -15,10 +17,15 @@ use crate::{SimContext, SimError};
 /// The engine owns one [`PacketSim`] constructed up front (no per-run
 /// configuration cloning) and is usable from several threads at once —
 /// [`SweepRunner`](crate::SweepRunner) fans sweep points across a shared
-/// engine.
+/// engine. Lowered message buffers and simulation outcomes are pooled
+/// across runs (clones share the pool), so steady-state sweeps reuse their
+/// allocations instead of rebuilding ~10^5-entry DAG buffers per point.
 #[derive(Debug, Clone)]
 pub struct SimEngine {
     sim: PacketSim,
+    /// Recycled schedule-lowering buffers; one per concurrently running
+    /// thread at the high-water mark.
+    lowered: Arc<Mutex<Vec<Vec<Message>>>>,
 }
 
 /// The timing result of one schedule execution.
@@ -106,6 +113,7 @@ impl SimEngine {
     pub fn new(noc: NocConfig) -> Self {
         SimEngine {
             sim: PacketSim::new(noc),
+            lowered: Arc::new(Mutex::new(Vec::new())),
         }
     }
 
@@ -115,6 +123,7 @@ impl SimEngine {
     pub fn with_context(noc: NocConfig, ctx: &SimContext) -> Self {
         SimEngine {
             sim: PacketSim::new(noc).with_route_cache(ctx.route_cache().clone()),
+            lowered: Arc::new(Mutex::new(Vec::new())),
         }
     }
 
@@ -134,9 +143,33 @@ impl SimEngine {
         self
     }
 
+    /// Sets the intra-run worker-thread budget of the underlying
+    /// [`PacketSim`] (see [`PacketSim::with_run_threads`]): `1` (the
+    /// default) simulates inline, `0` resolves to the machine's available
+    /// parallelism, `n > 1` simulates independent DAG components on up to
+    /// `n` scoped threads. Results are bit-identical at every setting.
+    #[must_use]
+    pub fn with_run_threads(mut self, n: usize) -> Self {
+        self.sim = self.sim.with_run_threads(n);
+        self
+    }
+
+    /// The configured intra-run worker-thread budget.
+    pub fn run_threads(&self) -> usize {
+        self.sim.run_threads()
+    }
+
     /// The network configuration.
     pub fn noc(&self) -> &NocConfig {
         self.sim.config()
+    }
+
+    /// Bytes currently retained by the underlying packet engine's
+    /// reusable scratch pools (high-water capacities that persist across
+    /// runs). Stays `O(messages)` of the largest schedule simulated so
+    /// far; the scalability smoke test pins that down.
+    pub fn retained_scratch_bytes(&self) -> usize {
+        self.sim.retained_scratch_bytes()
     }
 
     /// Times one schedule.
@@ -220,26 +253,37 @@ impl SimEngine {
         mesh: &Mesh,
         schedules: &[(&Schedule, f64)],
     ) -> Result<(RunResult, Vec<f64>), SimError> {
-        let (messages, spans) = schedule_messages(schedules);
-        let outcome = self.sim.simulate(mesh, &messages)?;
-        let makespan = outcome.makespan_ns();
-        let per_schedule = spans
-            .iter()
-            .map(|&(a, b)| {
-                outcome.completions()[a..b]
-                    .iter()
-                    .copied()
-                    .fold(0.0, f64::max)
-            })
-            .collect();
-        Ok((
-            RunResult {
+        let mut messages = self
+            .lowered
+            .lock()
+            .expect("message pool poisoned")
+            .pop()
+            .unwrap_or_default();
+        let spans = schedule_messages_into(schedules, &mut messages);
+        let result = self.sim.simulate(mesh, &messages).map(|outcome| {
+            let makespan = outcome.makespan_ns();
+            let per_schedule = spans
+                .iter()
+                .map(|&(a, b)| {
+                    outcome.completions()[a..b]
+                        .iter()
+                        .copied()
+                        .fold(0.0, f64::max)
+                })
+                .collect();
+            let run = RunResult {
                 total_time_ns: makespan,
                 link_utilization_percent: outcome.link_stats().utilization_percent(makespan),
                 used_link_percent: outcome.link_stats().used_link_percent(),
-            },
-            per_schedule,
-        ))
+            };
+            self.sim.recycle(outcome);
+            (run, per_schedule)
+        });
+        self.lowered
+            .lock()
+            .expect("message pool poisoned")
+            .push(messages);
+        result.map_err(Into::into)
     }
 
     /// The underlying packet engine, for the audit layer.
@@ -257,27 +301,53 @@ impl SimEngine {
 pub(crate) fn schedule_messages(
     schedules: &[(&Schedule, f64)],
 ) -> (Vec<Message>, Vec<(usize, usize)>) {
+    let mut messages = Vec::new();
+    let spans = schedule_messages_into(schedules, &mut messages);
+    (messages, spans)
+}
+
+/// In-place variant of [`schedule_messages`]: rewrites `messages` entry by
+/// entry so a recycled buffer keeps both its spine and its per-message
+/// dependency-list allocations — the congested schedules lower ~10^5 ops,
+/// and rebuilding that buffer from scratch costs more than a third of the
+/// fast path's whole simulation time.
+pub(crate) fn schedule_messages_into(
+    schedules: &[(&Schedule, f64)],
+    messages: &mut Vec<Message>,
+) -> Vec<(usize, usize)> {
     let total_ops: usize = schedules.iter().map(|(s, _)| s.len()).sum();
-    let mut messages: Vec<Message> = Vec::with_capacity(total_ops);
+    messages.truncate(total_ops);
     let mut base = 0u32;
+    let mut idx = 0usize;
     let mut spans: Vec<(usize, usize)> = Vec::with_capacity(schedules.len());
     for (schedule, ready_at) in schedules {
-        let start = messages.len();
+        let start = idx;
         for id in schedule.op_ids() {
             let op = schedule.op(id);
             let deps = schedule
                 .deps(id)
                 .iter()
                 .map(|d| MsgId((base + d.0) as usize));
-            let mut m = Message::new(MsgId((base + id.0) as usize), op.src, op.dst, op.bytes)
-                .with_deps(deps);
-            m.ready_at_ns = *ready_at;
-            messages.push(m);
+            if let Some(m) = messages.get_mut(idx) {
+                m.id = MsgId((base + id.0) as usize);
+                m.src = op.src;
+                m.dst = op.dst;
+                m.bytes = op.bytes;
+                m.ready_at_ns = *ready_at;
+                m.deps.clear();
+                m.deps.extend(deps);
+            } else {
+                let mut m = Message::new(MsgId((base + id.0) as usize), op.src, op.dst, op.bytes)
+                    .with_deps(deps);
+                m.ready_at_ns = *ready_at;
+                messages.push(m);
+            }
+            idx += 1;
         }
         base += schedule.len() as u32;
-        spans.push((start, messages.len()));
+        spans.push((start, idx));
     }
-    (messages, spans)
+    spans
 }
 
 #[cfg(test)]

@@ -1,0 +1,113 @@
+//! Bit-identical simulation outcomes across intra-run worker-thread counts.
+//!
+//! The packet engine may split a run's message DAG into independent
+//! components and simulate them on scoped worker threads
+//! (`PacketSim::with_run_threads`). The contract is strict determinism:
+//! completions, makespan, per-link busy time, and the structured event
+//! trace must be **bit-identical** at every thread count — the merge is
+//! ordered by component index, never by thread arrival. This suite pins
+//! that down for congested TTO / Ring / MultiTree schedules at thread
+//! counts {1, 2, 8}, including the count-1 fast path that skips
+//! partitioning and simulates the whole DAG inline.
+
+use meshcoll_collectives::Algorithm;
+use meshcoll_noc::{MemorySink, Message, MsgId, NocConfig, PacketSim};
+use meshcoll_topo::{LinkId, Mesh};
+
+/// Lowers a schedule to the simulator's message DAG the same way the
+/// production engine does: one message per op, dependencies preserved.
+fn lower(schedule: &meshcoll_collectives::Schedule) -> Vec<Message> {
+    schedule
+        .op_ids()
+        .map(|id| {
+            let op = schedule.op(id);
+            let deps = schedule.deps(id).iter().map(|d| MsgId(d.0 as usize));
+            Message::new(MsgId(id.0 as usize), op.src, op.dst, op.bytes).with_deps(deps)
+        })
+        .collect()
+}
+
+#[test]
+fn outcomes_and_traces_are_bit_identical_across_run_thread_counts() {
+    let mesh = Mesh::square(5).expect("5x5 mesh");
+    let data = 16 << 20; // congested: every link carries interleaved trains
+    for algo in [Algorithm::Tto, Algorithm::Ring, Algorithm::MultiTree] {
+        let schedule = algo
+            .schedule(&mesh, data)
+            .unwrap_or_else(|e| panic!("{algo} schedule: {e}"));
+        let messages = lower(&schedule);
+
+        // Reference: the sequential engine.
+        let ref_sim = PacketSim::new(NocConfig::paper_default());
+        let ref_out = ref_sim
+            .simulate(&mesh, &messages)
+            .unwrap_or_else(|e| panic!("{algo} run-threads 1: {e}"));
+        let mut ref_trace = MemorySink::new();
+        let ref_traced = ref_sim
+            .simulate_traced(&mesh, &messages, &mut ref_trace)
+            .unwrap_or_else(|e| panic!("{algo} traced run-threads 1: {e}"));
+        assert_eq!(
+            ref_out.makespan_ns().to_bits(),
+            ref_traced.makespan_ns().to_bits(),
+            "{algo}: tracing itself changed the makespan"
+        );
+
+        for threads in [2usize, 8] {
+            let sim = PacketSim::new(NocConfig::paper_default()).with_run_threads(threads);
+            let out = sim
+                .simulate(&mesh, &messages)
+                .unwrap_or_else(|e| panic!("{algo} run-threads {threads}: {e}"));
+            assert_eq!(
+                out.makespan_ns().to_bits(),
+                ref_out.makespan_ns().to_bits(),
+                "{algo} run-threads {threads}: makespan differs from sequential"
+            );
+            assert_eq!(
+                out.completions().len(),
+                ref_out.completions().len(),
+                "{algo} run-threads {threads}: completion count differs"
+            );
+            for (i, (a, b)) in out
+                .completions()
+                .iter()
+                .zip(ref_out.completions())
+                .enumerate()
+            {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{algo} run-threads {threads}: completion of message {i} \
+                     differs ({a} vs {b} ns)"
+                );
+            }
+            for li in 0..mesh.link_id_space() {
+                let link = LinkId(li);
+                assert_eq!(
+                    out.link_stats().busy_ns(link).to_bits(),
+                    ref_out.link_stats().busy_ns(link).to_bits(),
+                    "{algo} run-threads {threads}: busy time of link {li} differs"
+                );
+            }
+
+            let mut trace = MemorySink::new();
+            let traced = sim
+                .simulate_traced(&mesh, &messages, &mut trace)
+                .unwrap_or_else(|e| panic!("{algo} traced run-threads {threads}: {e}"));
+            assert_eq!(
+                traced.makespan_ns().to_bits(),
+                ref_traced.makespan_ns().to_bits(),
+                "{algo} traced run-threads {threads}: makespan differs"
+            );
+            assert_eq!(
+                trace.events().len(),
+                ref_trace.events().len(),
+                "{algo} run-threads {threads}: trace length differs"
+            );
+            assert_eq!(
+                trace.events(),
+                ref_trace.events(),
+                "{algo} run-threads {threads}: trace events differ"
+            );
+        }
+    }
+}

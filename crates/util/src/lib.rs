@@ -6,8 +6,10 @@
 //! splitmix64 deterministic generator the test suites use to synthesize
 //! reproducible workloads ([`rng`]), and the directed-graph algorithms
 //! (Tarjan SCC, reachability, topological order) behind the schedule
-//! linter and static analyzer ([`graph`]).
+//! linter and static analyzer ([`graph`]), plus the counting global
+//! allocator the zero-allocation tests install ([`alloc`]).
 
+pub mod alloc;
 pub mod graph;
 pub mod json;
 pub mod rng;
