@@ -54,7 +54,7 @@
 
 mod report;
 
-pub use report::{AnalysisIssue, CutAxis, CutBound, LinkBound, PathBound, Report};
+pub use report::{AnalysisIssue, CutAxis, CutBound, LinkBound, PathBound, Report, SkippedBound};
 
 use meshcoll_collectives::{OpId, Schedule};
 use meshcoll_noc::{Message, NocConfig};
@@ -275,13 +275,40 @@ fn analyze_core(
         }
     }
 
-    let bisection_bound = bisection(mesh, noc, &transfer, &valid, hop_lat, ovh);
+    let mut skipped = Vec::new();
+    if link_bound.is_none() {
+        skipped.push(SkippedBound {
+            bound: "link",
+            reason: "no transfer demands any link",
+        });
+    }
+    if path_bound.is_none() {
+        skipped.push(SkippedBound {
+            bound: "path",
+            reason: if cyclic {
+                "dependency relation is cyclic"
+            } else {
+                "no transfer has a positive completion time"
+            },
+        });
+    }
+    let bisection_bound = match bisection(mesh, noc, &transfer, &valid, hop_lat, ovh) {
+        Ok(cut) => Some(cut),
+        Err(reason) => {
+            skipped.push(SkippedBound {
+                bound: "bisection",
+                reason,
+            });
+            None
+        }
+    };
 
     Report {
         issues,
         link_bound,
         path_bound,
         bisection_bound,
+        skipped,
     }
 }
 
@@ -290,8 +317,14 @@ fn analyze_core(
 /// surviving aggregate bandwidth no matter how they are routed. Weaker than
 /// the route-aware link bound on XY-routed schedules, but it holds for any
 /// routing — which is exactly what a synthesis search needs before routes
-/// exist. A torus is never separated by a single cut (wraparound links
-/// bypass it), so the bound is not computed there.
+/// exist.
+///
+/// The crossing tally is a *partition* argument (src on one side, dst on
+/// the other), so it is valid on a torus as well — there the directed cut
+/// of the partition additionally contains the wraparound links between the
+/// first and last line, doubling the cut capacity. Returns the reason as an
+/// error when no finite bound exists, so callers can report the skip
+/// explicitly instead of leaving it indistinguishable from zero.
 fn bisection(
     mesh: &Mesh,
     noc: &NocConfig,
@@ -299,9 +332,9 @@ fn bisection(
     valid: &[bool],
     hop_lat: f64,
     ovh: f64,
-) -> Option<CutBound> {
-    if mesh.is_torus() {
-        return None;
+) -> Result<CutBound, &'static str> {
+    if mesh.cols() < 2 && mesh.rows() < 2 {
+        return Err("a 1x1 mesh has no cut boundaries");
     }
     // crossing[b][dir]: bytes that must cross boundary b (forward = 0),
     // accumulated as a difference array over boundaries in one pass.
@@ -335,6 +368,7 @@ fn bisection(
     }
 
     let mut best: Option<CutBound> = None;
+    let mut crossing_seen = false;
     let mut consider = |axis: CutAxis, boundaries: usize, diff: &[[i64; 2]]| {
         let mut running = [0i64; 2];
         for (boundary, d) in diff.iter().enumerate().take(boundaries).skip(1) {
@@ -344,6 +378,7 @@ fn bisection(
                 if crossing <= 0 {
                     continue;
                 }
+                crossing_seen = true;
                 let forward = dir == 0;
                 let mut capacity = 0.0f64;
                 let mut hold = 0.0f64;
@@ -353,12 +388,22 @@ fn bisection(
                         hold = hold.max(noc.serialization_on(l, noc.packet_bytes) + ovh);
                     }
                 };
+                // On a torus the partition's directed cut also contains the
+                // wraparound links between the first and last line.
                 match axis {
                     CutAxis::Columns => {
                         mesh.column_cut_links(boundary, forward)
                             .for_each(&mut tally);
+                        if mesh.is_torus() {
+                            mesh.column_wrap_links(forward).for_each(&mut tally);
+                        }
                     }
-                    CutAxis::Rows => mesh.row_cut_links(boundary, forward).for_each(&mut tally),
+                    CutAxis::Rows => {
+                        mesh.row_cut_links(boundary, forward).for_each(&mut tally);
+                        if mesh.is_torus() {
+                            mesh.row_wrap_links(forward).for_each(&mut tally);
+                        }
+                    }
                 }
                 if capacity <= 0.0 {
                     // A severed cut with pending traffic: infeasibility is
@@ -381,7 +426,11 @@ fn bisection(
     };
     consider(CutAxis::Columns, mesh.cols(), &col_diff);
     consider(CutAxis::Rows, mesh.rows(), &row_diff);
-    best
+    match best {
+        Some(cut) => Ok(cut),
+        None if !crossing_seen => Err("no transfer straddles any row/column cut"),
+        None => Err("every straddled cut is fully severed by the fault mask"),
+    }
 }
 
 #[cfg(test)]
@@ -524,22 +573,49 @@ mod tests {
     }
 
     #[test]
-    fn bisection_bound_present_on_mesh_absent_on_torus() {
-        let mesh = Mesh::square(4).unwrap();
+    fn bisection_bound_present_on_mesh_and_torus() {
         let noc = cfg();
+        let mesh = Mesh::square(4).unwrap();
         let s = Algorithm::Ring.schedule(&mesh, 1 << 16).unwrap();
         let report = analyze(&mesh, &s, &noc);
         let cut = report.bisection_bound.as_ref().expect("mesh has cuts");
         assert!(cut.bound_ns > 0.0);
         assert!(cut.bytes > 0);
 
+        // Previously silently skipped on tori: the wrap-aware cut must now
+        // produce a bound there too, and report nothing as skipped.
         let torus = Mesh::torus(4, 4).unwrap();
         let st = Algorithm::Ring.schedule(&torus, 1 << 16).unwrap();
         let rt = analyze(&torus, &st, &noc);
-        assert!(
-            rt.bisection_bound.is_none(),
-            "no single cut separates a torus"
+        let tcut = rt.bisection_bound.as_ref().expect("torus cut bound");
+        assert!(tcut.bound_ns > 0.0);
+        assert!(rt.skipped.is_empty(), "{:?}", rt.skipped);
+    }
+
+    #[test]
+    fn torus_cut_capacity_doubles_across_the_wrap_links() {
+        // The same single transfer straddling a column cut on a 4x4 mesh
+        // and the matching torus: identical crossing bytes, but the torus
+        // partition cut also contains the four wraparound links, so its
+        // capacity doubles and its bound shrinks.
+        let noc = cfg();
+        let mesh = Mesh::square(4).unwrap();
+        let torus = Mesh::torus(4, 4).unwrap();
+        let msgs = [Message::new(MsgId(0), NodeId(0), NodeId(2), 1 << 22)];
+        let rm = analyze_messages(&mesh, &msgs, &noc);
+        let rt = analyze_messages(&torus, &msgs, &noc);
+        let (cm, ct) = (
+            rm.bisection_bound.as_ref().expect("mesh cut"),
+            rt.bisection_bound.as_ref().expect("torus cut"),
         );
+        assert_eq!(cm.bytes, ct.bytes, "partition crossing bytes agree");
+        assert!(
+            (ct.capacity_bpns - 2.0 * cm.capacity_bpns).abs() < 1e-12,
+            "torus cut capacity must double: mesh {} vs torus {}",
+            cm.capacity_bpns,
+            ct.capacity_bpns
+        );
+        assert!(ct.bound_ns > 0.0 && ct.bound_ns < cm.bound_ns);
     }
 
     #[test]
@@ -550,6 +626,30 @@ mod tests {
         assert_eq!(report.lower_bound_ns(), 0.0);
         assert!(report.link_bound.is_none());
         assert!(report.path_bound.is_none());
+        // Absent bounds are named as skipped, not silently missing.
+        let skipped: Vec<&str> = report.skipped.iter().map(|s| s.bound).collect();
+        assert_eq!(skipped, vec!["link", "path", "bisection"]);
+    }
+
+    #[test]
+    fn severed_cut_is_reported_as_skipped_not_zero() {
+        // All four links of the only column cut on a 1x2 "mesh line" die:
+        // the crossing traffic has no surviving capacity, so the bisection
+        // bound is skipped with the severed-cut reason (the per-op dead
+        // route issue carries the infeasibility).
+        let mesh = Mesh::new(1, 2).unwrap();
+        let mut noc = cfg();
+        noc.faults
+            .fail_link_between(&mesh, NodeId(0), NodeId(1))
+            .unwrap();
+        let msgs = [Message::new(MsgId(0), NodeId(0), NodeId(1), 4096)];
+        let report = analyze_messages(&mesh, &msgs, &noc);
+        assert!(!report.is_feasible());
+        assert!(report.bisection_bound.is_none());
+        assert!(report
+            .skipped
+            .iter()
+            .any(|s| s.bound == "bisection" && s.reason.contains("severed")));
     }
 
     #[test]

@@ -106,8 +106,10 @@ pub enum CutAxis {
 
 /// Topology bisection bound: all bytes whose endpoints straddle a cut must
 /// cross it through the cut's surviving aggregate bandwidth, regardless of
-/// routing. Only computed for non-torus meshes (wraparound links bypass any
-/// single cut).
+/// routing. On a torus the directed cut of a row/column partition includes
+/// the wraparound links (the cut capacity doubles), and the bound holds
+/// there too — the crossing-byte tally is a partition argument, not a path
+/// argument.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CutBound {
     /// The certified lower bound on makespan, in ns.
@@ -124,6 +126,23 @@ pub struct CutBound {
     pub capacity_bpns: f64,
 }
 
+/// A lower bound the analyzer did not compute, with the reason why — so a
+/// consumer (e.g. a synthesis search pruning on [`Report::lower_bound_ns`])
+/// can tell an *absent* bound from a genuinely zero one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkippedBound {
+    /// Which bound was skipped: `"link"`, `"path"`, or `"bisection"`.
+    pub bound: &'static str,
+    /// Why it could not be computed.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for SkippedBound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} bound skipped: {}", self.bound, self.reason)
+    }
+}
+
 /// The full result of a static analysis pass: feasibility issues plus up to
 /// three certified makespan lower bounds, each with its witness.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -135,9 +154,13 @@ pub struct Report {
     pub link_bound: Option<LinkBound>,
     /// Dependency critical-path bound, absent for empty or cyclic schedules.
     pub path_bound: Option<PathBound>,
-    /// Bisection bound, absent on torus meshes, single-line dimensions, and
-    /// schedules with no cut-crossing traffic.
+    /// Bisection bound (wrap-aware on tori), absent on single-line
+    /// dimensions and schedules with no cut-crossing traffic.
     pub bisection_bound: Option<CutBound>,
+    /// Every bound that is absent above is named here with the reason it
+    /// could not be computed; an empty list certifies all three bounds are
+    /// present.
+    pub skipped: Vec<SkippedBound>,
 }
 
 impl Report {

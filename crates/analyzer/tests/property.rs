@@ -43,10 +43,12 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// Both engines' makespans dominate every static lower bound, healthy
-    /// and fault-degraded alike.
+    /// and fault-degraded alike — on the mesh and on the torus, where the
+    /// wrap-aware bisection bound must stay sound against actual (possibly
+    /// wrap-routed) traffic.
     #[test]
     fn simulated_makespan_dominates_every_static_bound(msgs in messages_strategy()) {
-        let mesh = Mesh::square(4).unwrap();
+        for mesh in [Mesh::square(4).unwrap(), Mesh::torus(4, 4).unwrap()] {
         for cfg in configs(&mesh) {
             let report = analyze_messages(&mesh, &msgs, &cfg);
             prop_assert!(report.is_feasible(), "{:?}", report.issues);
@@ -69,6 +71,7 @@ proptest! {
                     );
                 }
             }
+        }
         }
     }
 

@@ -42,6 +42,17 @@ pub enum CliError {
         /// The rejected value, verbatim.
         value: String,
     },
+    /// A synthesis knob (`--seed`, `--beam-width`, `--anneal-iters`)
+    /// received `0`, a non-integer, or an out-of-range value. Like the
+    /// thread counts, a literal `0` is rejected rather than reinterpreted:
+    /// a zero-width beam or zero-iteration search is a misconfiguration,
+    /// and the seed's default is expressed by omitting the knob.
+    InvalidSearchKnob {
+        /// The flag that was set.
+        knob: &'static str,
+        /// The rejected value, verbatim.
+        value: String,
+    },
     /// A flag that requires a value was the last argument.
     MissingValue {
         /// The flag missing its operand.
@@ -57,7 +68,8 @@ pub enum CliError {
 impl fmt::Display for CliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CliError::InvalidThreadCount { knob, value } => write!(
+            CliError::InvalidThreadCount { knob, value }
+            | CliError::InvalidSearchKnob { knob, value } => write!(
                 f,
                 "{knob} must be an integer >= 1, got {value:?} \
                  (omit the knob for its default)"
@@ -66,7 +78,8 @@ impl fmt::Display for CliError {
             CliError::UnknownArgument { arg } => write!(
                 f,
                 "unknown argument {arg}; accepted: --quick --full --out <dir> \
-                 --jobs <n> --run-threads <n> --gate <file>"
+                 --jobs <n> --run-threads <n> --gate <file> --seed <n> \
+                 --beam-width <n> --anneal-iters <n>"
             ),
         }
     }
@@ -82,6 +95,19 @@ fn thread_count(knob: &'static str, value: &str) -> Result<usize, CliError> {
     match value.trim().parse::<usize>() {
         Ok(n) if n >= 1 => Ok(n),
         _ => Err(CliError::InvalidThreadCount {
+            knob,
+            value: value.to_string(),
+        }),
+    }
+}
+
+/// Parses a synthesis knob: an integer `>= 1`, same contract as
+/// [`thread_count`]. The `--seed` default is a fixed constant, not entropy,
+/// so searches are reproducible unless a seed is given explicitly.
+fn search_knob(knob: &'static str, value: &str) -> Result<u64, CliError> {
+    match value.trim().parse::<u64>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(CliError::InvalidSearchKnob {
             knob,
             value: value.to_string(),
         }),
@@ -106,6 +132,14 @@ pub struct Cli {
     /// Committed baseline to gate against (`--gate <file>`); used by
     /// `perf_baseline` to fail CI on wall-clock regressions.
     pub gate: Option<PathBuf>,
+    /// Master RNG seed for the schedule-synthesis search (`--seed <n>`,
+    /// `>= 1`; the default is a fixed constant so runs reproduce).
+    pub seed: u64,
+    /// Beam width for the schedule-synthesis search (`--beam-width <n>`).
+    pub beam_width: usize,
+    /// Annealing iterations for the schedule-synthesis search
+    /// (`--anneal-iters <n>`).
+    pub anneal_iters: usize,
 }
 
 impl Cli {
@@ -162,6 +196,9 @@ impl Cli {
             None => 1,
         };
         let mut gate = None;
+        let mut seed = DEFAULT_SEED;
+        let mut beam_width = DEFAULT_BEAM_WIDTH;
+        let mut anneal_iters = DEFAULT_ANNEAL_ITERS;
         let mut args = args.into_iter();
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -191,6 +228,24 @@ impl Cli {
                     })?;
                     run_threads = thread_count("--run-threads", &v)?;
                 }
+                "--seed" => {
+                    let v = args
+                        .next()
+                        .ok_or(CliError::MissingValue { flag: "--seed" })?;
+                    seed = search_knob("--seed", &v)?;
+                }
+                "--beam-width" => {
+                    let v = args.next().ok_or(CliError::MissingValue {
+                        flag: "--beam-width",
+                    })?;
+                    beam_width = search_knob("--beam-width", &v)? as usize;
+                }
+                "--anneal-iters" => {
+                    let v = args.next().ok_or(CliError::MissingValue {
+                        flag: "--anneal-iters",
+                    })?;
+                    anneal_iters = search_knob("--anneal-iters", &v)? as usize;
+                }
                 _ => return Err(CliError::UnknownArgument { arg: a }),
             }
         }
@@ -200,6 +255,9 @@ impl Cli {
             jobs,
             run_threads,
             gate,
+            seed,
+            beam_width,
+            anneal_iters,
         })
     }
 
@@ -244,9 +302,20 @@ impl Default for Cli {
             jobs: 0,
             run_threads: 1,
             gate: None,
+            seed: DEFAULT_SEED,
+            beam_width: DEFAULT_BEAM_WIDTH,
+            anneal_iters: DEFAULT_ANNEAL_ITERS,
         }
     }
 }
+
+/// Default `--seed`: a fixed constant, matching
+/// [`meshcoll_sim::synth::SynthConfig::quick`], so searches reproduce.
+pub const DEFAULT_SEED: u64 = 0xC0_FFEE;
+/// Default `--beam-width`.
+pub const DEFAULT_BEAM_WIDTH: usize = 8;
+/// Default `--anneal-iters`.
+pub const DEFAULT_ANNEAL_ITERS: usize = 12;
 
 /// Mebibytes to bytes.
 pub const fn mib(x: u64) -> u64 {
@@ -389,6 +458,42 @@ mod tests {
         );
         let msg = parse(&["--jobs", "0"]).expect_err("rejected").to_string();
         assert!(msg.contains("--jobs"), "error names the knob: {msg}");
+    }
+
+    #[test]
+    fn search_knobs_parse_valid_values() {
+        let cli =
+            parse(&["--seed", "7", "--beam-width", "12", "--anneal-iters", "30"]).expect("valid");
+        assert_eq!(cli.seed, 7);
+        assert_eq!(cli.beam_width, 12);
+        assert_eq!(cli.anneal_iters, 30);
+        // Omitted knobs keep their reproducible defaults.
+        let cli = parse(&[]).expect("valid");
+        assert_eq!(cli.seed, DEFAULT_SEED);
+        assert_eq!(cli.beam_width, DEFAULT_BEAM_WIDTH);
+        assert_eq!(cli.anneal_iters, DEFAULT_ANNEAL_ITERS);
+    }
+
+    #[test]
+    fn search_knobs_reject_zero_and_garbage() {
+        for knob in ["--seed", "--beam-width", "--anneal-iters"] {
+            for bad in ["0", "-1", "wide", "", "2.5"] {
+                assert_eq!(
+                    parse(&[knob, bad]),
+                    Err(CliError::InvalidSearchKnob {
+                        knob,
+                        value: bad.to_string(),
+                    }),
+                    "{knob} {bad:?} must be rejected"
+                );
+            }
+            assert!(
+                matches!(parse(&[knob]), Err(CliError::MissingValue { flag }) if flag == knob),
+                "trailing {knob} must be rejected"
+            );
+            let msg = parse(&[knob, "0"]).expect_err("rejected").to_string();
+            assert!(msg.contains(knob), "error names the knob: {msg}");
+        }
     }
 
     #[test]

@@ -1,0 +1,249 @@
+//! A small fixed-capacity bitset for contribution tracking.
+//!
+//! The online repair and verification passes track, per (chiplet, atom),
+//! *whose* gradient contributions a buffer currently sums. Those sets were
+//! previously raw `u128` masks, which hard-capped the stack at 128 chiplets
+//! and forced a typed `Infeasible` escape hatch on anything bigger (a 12×12
+//! mesh already has 144). [`NodeSet`] removes the cap: capacities up to 128
+//! bits stay inline (two machine words, no allocation — the common case),
+//! larger capacities spill to a heap-allocated word vector.
+//!
+//! All sets in one computation share a capacity, fixed at construction; the
+//! operations below assume (and debug-assert) matching word counts.
+
+use std::fmt;
+
+/// Bits stored inline before spilling to the heap.
+const INLINE_BITS: usize = 128;
+/// Words backing the inline representation.
+const INLINE_WORDS: usize = INLINE_BITS / 64;
+
+#[derive(Clone, PartialEq, Eq)]
+enum Repr {
+    /// Capacity ≤ 128: two inline words, no allocation.
+    Inline([u64; INLINE_WORDS]),
+    /// Capacity > 128: heap-allocated words.
+    Heap(Box<[u64]>),
+}
+
+/// A set of node indices with capacity fixed at construction.
+///
+/// Inline (allocation-free) up to 128 bits, heap-backed above.
+#[derive(Clone, PartialEq, Eq)]
+pub struct NodeSet {
+    repr: Repr,
+}
+
+impl NodeSet {
+    /// The empty set over a universe of `bits` node indices.
+    #[must_use]
+    pub fn empty(bits: usize) -> Self {
+        let repr = if bits <= INLINE_BITS {
+            Repr::Inline([0; INLINE_WORDS])
+        } else {
+            Repr::Heap(vec![0u64; bits.div_ceil(64)].into_boxed_slice())
+        };
+        NodeSet { repr }
+    }
+
+    /// The singleton `{bit}` over a universe of `bits` node indices.
+    #[must_use]
+    pub fn singleton(bits: usize, bit: usize) -> Self {
+        let mut s = NodeSet::empty(bits);
+        s.insert(bit);
+        s
+    }
+
+    fn words(&self) -> &[u64] {
+        match &self.repr {
+            Repr::Inline(w) => w,
+            Repr::Heap(w) => w,
+        }
+    }
+
+    fn words_mut(&mut self) -> &mut [u64] {
+        match &mut self.repr {
+            Repr::Inline(w) => w,
+            Repr::Heap(w) => w,
+        }
+    }
+
+    /// Inserts `bit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` exceeds the capacity chosen at construction.
+    pub fn insert(&mut self, bit: usize) {
+        self.words_mut()[bit / 64] |= 1u64 << (bit % 64);
+    }
+
+    /// `true` when `bit` is in the set (out-of-capacity bits are absent).
+    #[must_use]
+    pub fn contains(&self, bit: usize) -> bool {
+        self.words()
+            .get(bit / 64)
+            .is_some_and(|w| w & (1u64 << (bit % 64)) != 0)
+    }
+
+    /// `true` when no bit is set.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words().iter().all(|&w| w == 0)
+    }
+
+    /// Number of set bits.
+    #[must_use]
+    pub fn len(&self) -> u32 {
+        self.words().iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// `self ∪= other`.
+    pub fn union_with(&mut self, other: &NodeSet) {
+        debug_assert_eq!(self.words().len(), other.words().len());
+        for (a, b) in self.words_mut().iter_mut().zip(other.words()) {
+            *a |= b;
+        }
+    }
+
+    /// `self := other` without reallocating when word counts match.
+    pub fn copy_from(&mut self, other: &NodeSet) {
+        debug_assert_eq!(self.words().len(), other.words().len());
+        self.words_mut().copy_from_slice(other.words());
+    }
+
+    /// `self ∩ other ≠ ∅`.
+    #[must_use]
+    pub fn intersects(&self, other: &NodeSet) -> bool {
+        self.words()
+            .iter()
+            .zip(other.words())
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// `self ∩ other = ∅`.
+    #[must_use]
+    pub fn is_disjoint(&self, other: &NodeSet) -> bool {
+        !self.intersects(other)
+    }
+
+    /// `other ⊆ self`.
+    #[must_use]
+    pub fn is_superset(&self, other: &NodeSet) -> bool {
+        self.words()
+            .iter()
+            .zip(other.words())
+            .all(|(a, b)| b & !a == 0)
+    }
+
+    /// `|self ∩ other|`.
+    #[must_use]
+    pub fn intersection_len(&self, other: &NodeSet) -> u32 {
+        self.words()
+            .iter()
+            .zip(other.words())
+            .map(|(a, b)| (a & b).count_ones())
+            .sum()
+    }
+
+    /// `self ∩ goal ∖ covered ≠ ∅`: does this set contribute a goal bit not
+    /// already covered? The greedy disjoint-cover inner loop.
+    #[must_use]
+    pub fn gains_toward(&self, goal: &NodeSet, covered: &NodeSet) -> bool {
+        self.words()
+            .iter()
+            .zip(goal.words())
+            .zip(covered.words())
+            .any(|((m, g), c)| m & g & !c != 0)
+    }
+
+    /// Iterates the set bits in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words().iter().enumerate().flat_map(|(wi, &w)| {
+            let mut rest = w;
+            std::iter::from_fn(move || {
+                if rest == 0 {
+                    return None;
+                }
+                let bit = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                Some(wi * 64 + bit)
+            })
+        })
+    }
+}
+
+impl fmt::Debug for NodeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_and_heap_reprs_agree() {
+        for bits in [1usize, 64, 128, 129, 144, 1000] {
+            let mut a = NodeSet::empty(bits);
+            let mut b = NodeSet::empty(bits);
+            for i in (0..bits).step_by(7) {
+                a.insert(i);
+            }
+            for i in (0..bits).step_by(5) {
+                b.insert(i);
+            }
+            let expect_inter = (0..bits).filter(|i| i % 7 == 0 && i % 5 == 0).count() as u32;
+            assert_eq!(a.intersection_len(&b), expect_inter, "bits={bits}");
+            assert_eq!(a.intersects(&b), expect_inter > 0);
+            let mut u = a.clone();
+            u.union_with(&b);
+            assert!(u.is_superset(&a) && u.is_superset(&b));
+            assert_eq!(
+                u.len() as usize,
+                (0..bits).filter(|i| i % 7 == 0 || i % 5 == 0).count()
+            );
+            assert_eq!(u.iter().count() as u32, u.len());
+        }
+    }
+
+    #[test]
+    fn beyond_128_bits_work() {
+        let mut s = NodeSet::empty(144);
+        s.insert(0);
+        s.insert(127);
+        s.insert(128);
+        s.insert(143);
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(128) && s.contains(143));
+        assert!(!s.contains(64));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 127, 128, 143]);
+        let single = NodeSet::singleton(144, 143);
+        assert!(s.is_superset(&single));
+        assert!(!single.is_superset(&s));
+    }
+
+    #[test]
+    fn gains_toward_masks_correctly() {
+        let n = 200;
+        let mut goal = NodeSet::empty(n);
+        goal.insert(150);
+        goal.insert(199);
+        let mut covered = NodeSet::empty(n);
+        covered.insert(150);
+        let m = NodeSet::singleton(n, 150);
+        assert!(!m.gains_toward(&goal, &covered), "150 already covered");
+        let m2 = NodeSet::singleton(n, 199);
+        assert!(m2.gains_toward(&goal, &covered));
+        let m3 = NodeSet::singleton(n, 10);
+        assert!(!m3.gains_toward(&goal, &covered), "10 is not a goal bit");
+    }
+
+    #[test]
+    fn copy_from_overwrites() {
+        let mut a = NodeSet::singleton(144, 3);
+        let b = NodeSet::singleton(144, 140);
+        a.copy_from(&b);
+        assert_eq!(a, b);
+    }
+}

@@ -50,6 +50,7 @@ mod tree_common;
 
 pub mod analysis;
 pub mod atoms;
+pub mod bitset;
 pub mod dbtree;
 pub mod export;
 pub mod fault;

@@ -38,6 +38,7 @@ use std::collections::HashMap;
 
 use meshcoll_topo::{masked, FaultModel, Mesh, NodeId, RoutingAlgorithm, TopologyError, Tree};
 
+use crate::bitset::NodeSet;
 use crate::fault;
 use crate::schedule::{CollectiveOp, OpId, OpKind, Schedule};
 use crate::{verify, Algorithm, CollectiveError, ScheduleOptions};
@@ -203,11 +204,6 @@ fn convergecast(
 ) -> Result<SuffixRepair, CollectiveError> {
     let mesh = ctx.mesh;
     let nodes = mesh.nodes();
-    if nodes > 128 {
-        return Err(CollectiveError::Infeasible {
-            reason: "online convergecast repair supports at most 128 chiplets",
-        });
-    }
     if !masked::is_connected(mesh, ctx.faults) {
         return Err(CollectiveError::Infeasible {
             reason: "surviving chiplets are partitioned",
@@ -233,12 +229,12 @@ fn convergecast(
     // Symbolic replay of the executed prefix: per (node, atom), which
     // contributors' gradients the buffer currently sums. A buffer is
     // *tainted* — unusable as a salvage source — once a replayed reduce
-    // provably double-counted into it (overlapping operand masks).
-    let mut mask = vec![0u128; nodes * atoms];
+    // provably double-counted into it (overlapping operand sets).
+    let mut mask = vec![NodeSet::empty(nodes); nodes * atoms];
     let mut taint = vec![false; nodes * atoms];
     for &c in ctx.contributors {
         for a in 0..atoms {
-            mask[c.index() * atoms + a] = 1u128 << c.index();
+            mask[c.index() * atoms + a].insert(c.index());
         }
     }
     let locate = |off: u64| -> Result<usize, CollectiveError> {
@@ -246,29 +242,32 @@ fn convergecast(
             .binary_search(&off)
             .map_err(|_| CollectiveError::Construction("op boundary is not an atom break".into()))
     };
-    let replay =
-        |op: &CollectiveOp, mask: &mut [u128], taint: &mut [bool]| -> Result<(), CollectiveError> {
-            let (lo, hi) = (locate(op.offset)?, locate(op.end())?);
-            for a in lo..hi {
-                let si = op.src.index() * atoms + a;
-                let di = op.dst.index() * atoms + a;
-                let (sm, st) = (mask[si], taint[si]);
-                match op.kind {
-                    OpKind::Reduce => {
-                        if mask[di] & sm != 0 {
-                            taint[di] = true;
-                        }
-                        mask[di] |= sm;
-                        taint[di] |= st;
+    let replay = |op: &CollectiveOp,
+                  mask: &mut [NodeSet],
+                  taint: &mut [bool]|
+     -> Result<(), CollectiveError> {
+        let (lo, hi) = (locate(op.offset)?, locate(op.end())?);
+        for a in lo..hi {
+            let si = op.src.index() * atoms + a;
+            let di = op.dst.index() * atoms + a;
+            let sm = mask[si].clone();
+            let st = taint[si];
+            match op.kind {
+                OpKind::Reduce => {
+                    if mask[di].intersects(&sm) {
+                        taint[di] = true;
                     }
-                    OpKind::Gather => {
-                        mask[di] = sm;
-                        taint[di] = st;
-                    }
+                    mask[di].union_with(&sm);
+                    taint[di] |= st;
+                }
+                OpKind::Gather => {
+                    mask[di].copy_from(&sm);
+                    taint[di] = st;
                 }
             }
-            Ok(())
-        };
+        }
+        Ok(())
+    };
     for op in ctx.history {
         replay(op, &mut mask, &mut taint)?;
     }
@@ -278,7 +277,10 @@ fn convergecast(
         }
     }
 
-    let goal: u128 = survivors.iter().fold(0, |g, n| g | 1u128 << n.index());
+    let mut goal = NodeSet::empty(nodes);
+    for n in survivors {
+        goal.insert(n.index());
+    }
     let alive = ctx.faults.surviving_nodes(mesh);
     let mut trees: HashMap<NodeId, Tree> = HashMap::new();
 
@@ -287,11 +289,11 @@ fn convergecast(
     let mut plans: Vec<Plan> = Vec::with_capacity(atoms);
     for a in 0..atoms {
         let at = |n: NodeId| n.index() * atoms + a;
-        let cand: Vec<(NodeId, u128)> = alive
+        let cand: Vec<(NodeId, &NodeSet)> = alive
             .iter()
             .copied()
-            .filter(|&n| !taint[at(n)] && mask[at(n)] & goal != 0)
-            .map(|n| (n, mask[at(n)]))
+            .filter(|&n| !taint[at(n)] && mask[at(n)].intersects(&goal))
+            .map(|n| (n, &mask[at(n)]))
             .collect();
         let mut picks: Option<Vec<usize>> = None;
         for attempt in 0..COVER_ATTEMPTS {
@@ -299,23 +301,23 @@ fn convergecast(
             if attempt == 0 {
                 order.sort_by_key(|&i| {
                     (
-                        std::cmp::Reverse((cand[i].1 & goal).count_ones()),
+                        std::cmp::Reverse(cand[i].1.intersection_len(&goal)),
                         cand[i].0.index(),
                     )
                 });
             } else {
                 shuffle(&mut order, attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
             }
-            let mut covered = 0u128;
+            let mut covered = NodeSet::empty(nodes);
             let mut chosen = Vec::new();
             for &i in &order {
                 let m = cand[i].1;
-                if m & covered == 0 && m & goal & !covered != 0 {
-                    covered |= m;
+                if m.is_disjoint(&covered) && m.gains_toward(&goal, &covered) {
+                    covered.union_with(m);
                     chosen.push(i);
                 }
             }
-            if covered & goal == goal {
+            if covered.is_superset(&goal) {
                 picks = Some(chosen);
                 break;
             }
@@ -327,10 +329,13 @@ fn convergecast(
         };
         let mut sources: Vec<NodeId> = chosen.iter().map(|&i| cand[i].0).collect();
         sources.sort_by_key(|n| n.index());
-        let union: u128 = chosen.iter().fold(0, |u, &i| u | cand[i].1);
+        let mut union = NodeSet::empty(nodes);
+        for &i in &chosen {
+            union.union_with(cand[i].1);
+        }
         let root = *sources
             .iter()
-            .max_by_key(|&&n| ((mask[at(n)] & goal).count_ones(), n.index()))
+            .max_by_key(|&&n| (mask[at(n)].intersection_len(&goal), n.index()))
             .expect("cover is non-empty");
 
         // The funnel chains below clobber every strict ancestor of every
@@ -895,6 +900,46 @@ mod tests {
         .unwrap();
         assert!(fault::lint(&mesh, &faults, &sr.suffix, RoutingAlgorithm::Xy).is_empty());
         let whole = splice(&s, &completed, &sr.suffix, &contributors);
+        verify::check_allreduce(&mesh, &whole).unwrap();
+    }
+
+    #[test]
+    fn convergecast_repairs_meshes_past_128_chiplets() {
+        // Regression: 12x12 = 144 chiplets. The old u128 contribution masks
+        // hard-capped convergecast at 128 and returned a typed Infeasible
+        // here; the heap-backed NodeSet must repair it like any other mesh.
+        let mesh = Mesh::square(12).unwrap();
+        let participants: Vec<NodeId> = (0..mesh.nodes()).map(NodeId).collect();
+        let center = mesh.node_at(Coord::new(6, 6));
+        let mut b = Schedule::builder("t", 8);
+        b.set_participants(participants.clone());
+        let mut last: Vec<OpId> = Vec::new();
+        for n in participants.iter().copied().filter(|&n| n != center) {
+            last = vec![b.push(n, center, 0, 8, OpKind::Reduce, 0, &last)];
+        }
+        let s = b.build();
+        // The last reduce (from `straggler`) never completed, and the fault
+        // severs its route so tier-1 salvage cannot reissue it.
+        let straggler = s.ops().last().unwrap().src;
+        let mut completed = vec![true; s.len()];
+        *completed.last_mut().unwrap() = false;
+        let mut faults = FaultModel::new();
+        let link = meshcoll_topo::routing::route(&mesh, straggler, center, RoutingAlgorithm::Xy)
+            .unwrap()[0];
+        let (x, y) = mesh.link_endpoints(link);
+        faults.fail_link_between(&mesh, x, y).unwrap();
+        let sr = repair_suffix(
+            &ctx(&mesh, &faults, &participants, &s, &completed),
+            Algorithm::Ring,
+            &ScheduleOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(
+            sr.strategy,
+            "convergecast rebuilt from salvaged partial sums"
+        );
+        assert!(fault::lint(&mesh, &faults, &sr.suffix, RoutingAlgorithm::Xy).is_empty());
+        let whole = splice(&s, &completed, &sr.suffix, &participants);
         verify::check_allreduce(&mesh, &whole).unwrap();
     }
 }

@@ -21,6 +21,7 @@ use std::fmt;
 
 use meshcoll_topo::{Mesh, NodeId};
 
+use crate::bitset::NodeSet;
 use crate::{OpKind, Schedule};
 
 /// A verification failure.
@@ -60,6 +61,26 @@ pub enum VerifyError {
         /// Minimum required (`participants - 1`).
         need: usize,
     },
+    /// A Reduce op provably double-counts: the contribution sets of its
+    /// source and destination buffers overlap, so some participant's
+    /// gradient would enter the destination's sum twice.
+    DoubleCounted {
+        /// The op that double-counts.
+        op: usize,
+        /// The destination buffer it corrupts.
+        node: NodeId,
+        /// Start of the affected byte range.
+        offset: u64,
+    },
+    /// A participant ends without some contribution in its final sum.
+    MissingContribution {
+        /// The participant with the incomplete sum.
+        node: NodeId,
+        /// Start of the affected atom.
+        offset: u64,
+        /// A participant whose gradient never reached `node` there.
+        missing: NodeId,
+    },
 }
 
 impl fmt::Display for VerifyError {
@@ -81,6 +102,18 @@ impl fmt::Display for VerifyError {
             VerifyError::TooFewReduces { offset, got, need } => write!(
                 f,
                 "atom at byte offset {offset} covered by {got} reduce ops, needs at least {need}"
+            ),
+            VerifyError::DoubleCounted { op, node, offset } => write!(
+                f,
+                "op {op} double-counts a contribution into node {node} at byte offset {offset}"
+            ),
+            VerifyError::MissingContribution {
+                node,
+                offset,
+                missing,
+            } => write!(
+                f,
+                "node {node} never receives node {missing}'s contribution at byte offset {offset}"
             ),
         }
     }
@@ -155,6 +188,103 @@ pub fn check_reduce_indegree(schedule: &Schedule) -> Result<(), VerifyError> {
     }
     if let Some((offset, got)) = coverage.first_under_reduced(need) {
         return Err(VerifyError::TooFewReduces { offset, got, need });
+    }
+    Ok(())
+}
+
+/// Checks contribution *flow* symbolically: replays the schedule in
+/// insertion order tracking, per (node, atom), the set of participants
+/// whose gradients that buffer currently sums (a [`NodeSet`] — inline up
+/// to 128 chiplets, heap-backed above, so meshes past 12×12 verify like any
+/// other). Reduce ops union the source set into the destination and Gather
+/// ops overwrite it; a Reduce whose operand sets overlap is a certified
+/// double-count regardless of data values.
+///
+/// Strictly stronger than [`check_reduce_indegree`] on complete AllReduce
+/// schedules: it proves each participant ends with *exactly* the full
+/// participant set, not merely that enough Reduce ops exist. Unlike the
+/// indegree check it is specific to whole collectives — spliced repair
+/// suffixes legitimately carry dead contributors' gradients and must keep
+/// using [`check_reduce_indegree`].
+///
+/// [`NodeSet`]: crate::bitset::NodeSet
+///
+/// # Errors
+///
+/// * [`VerifyError::DoubleCounted`] for the first provably double-counting
+///   Reduce op,
+/// * [`VerifyError::MissingContribution`] when a participant's final sum
+///   lacks some participant's gradient (or contains a non-participant's),
+/// * [`VerifyError::RangeOutOfBounds`] / [`VerifyError::NodeOutOfRange`]
+///   for malformed ops.
+pub fn check_contribution_flow(mesh: &Mesh, schedule: &Schedule) -> Result<(), VerifyError> {
+    let nodes = mesh.nodes();
+    for op in schedule.ops() {
+        if op.end() > schedule.data_bytes() {
+            return Err(VerifyError::RangeOutOfBounds {
+                end: op.end(),
+                data_bytes: schedule.data_bytes(),
+            });
+        }
+        if op.src.index() >= nodes || op.dst.index() >= nodes {
+            return Err(VerifyError::NodeOutOfRange {
+                node: op.src.index().max(op.dst.index()),
+            });
+        }
+    }
+    let breaks = schedule.atom_breaks();
+    let atoms = breaks.len() - 1;
+    let mut mask = vec![NodeSet::empty(nodes); nodes * atoms];
+    let mut full = NodeSet::empty(nodes);
+    for &p in schedule.participants() {
+        if p.index() >= nodes {
+            return Err(VerifyError::NodeOutOfRange { node: p.index() });
+        }
+        full.insert(p.index());
+        for a in 0..atoms {
+            mask[p.index() * atoms + a].insert(p.index());
+        }
+    }
+
+    for (i, op) in schedule.ops().iter().enumerate() {
+        let lo = breaks.binary_search(&op.offset).expect("offset is a break");
+        let hi = breaks.binary_search(&op.end()).expect("end is a break");
+        for (a, &brk) in breaks.iter().enumerate().take(hi).skip(lo) {
+            let si = op.src.index() * atoms + a;
+            let di = op.dst.index() * atoms + a;
+            let sm = mask[si].clone();
+            match op.kind {
+                OpKind::Reduce => {
+                    if mask[di].intersects(&sm) {
+                        return Err(VerifyError::DoubleCounted {
+                            op: i,
+                            node: op.dst,
+                            offset: brk,
+                        });
+                    }
+                    mask[di].union_with(&sm);
+                }
+                OpKind::Gather => mask[di].copy_from(&sm),
+            }
+        }
+    }
+
+    for &p in schedule.participants() {
+        for a in 0..atoms {
+            let m = &mask[p.index() * atoms + a];
+            if m != &full {
+                let missing = full
+                    .iter()
+                    .find(|&b| !m.contains(b))
+                    .or_else(|| m.iter().find(|&b| !full.contains(b)))
+                    .unwrap_or(0);
+                return Err(VerifyError::MissingContribution {
+                    node: p,
+                    offset: breaks[a],
+                    missing: NodeId(missing),
+                });
+            }
+        }
     }
     Ok(())
 }
@@ -542,6 +672,65 @@ mod tests {
         assert!(matches!(
             check_reduce_indegree(&s),
             Err(VerifyError::RangeOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn contribution_flow_accepts_real_algorithms() {
+        for mesh in [Mesh::square(4).unwrap(), Mesh::square(5).unwrap()] {
+            for algo in crate::Algorithm::BENCHMARKS {
+                let Ok(s) = algo.schedule(&mesh, 1 << 14) else {
+                    continue;
+                };
+                check_contribution_flow(&mesh, &s).unwrap_or_else(|e| panic!("{algo}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn contribution_flow_verifies_meshes_past_128_chiplets() {
+        // 12x12 = 144 chiplets: the old u128 masks could not represent this
+        // mesh at all. The heap-backed NodeSet must verify it like any other.
+        let mesh = Mesh::square(12).unwrap();
+        let s = crate::Algorithm::Ring.schedule(&mesh, 4096).unwrap();
+        check_contribution_flow(&mesh, &s).unwrap();
+        check_reduce_indegree(&s).unwrap();
+    }
+
+    #[test]
+    fn contribution_flow_catches_double_count() {
+        let mesh = Mesh::new(1, 2).unwrap();
+        let mut b = Schedule::builder("dup", 8);
+        b.set_participants(vec![NodeId(0), NodeId(1)]);
+        let r1 = b.push(NodeId(0), NodeId(1), 0, 8, OpKind::Reduce, 0, &[]);
+        let r2 = b.push(NodeId(0), NodeId(1), 0, 8, OpKind::Reduce, 0, &[r1]);
+        b.push(NodeId(1), NodeId(0), 0, 8, OpKind::Gather, 0, &[r2]);
+        let s = b.build();
+        assert!(matches!(
+            check_contribution_flow(&mesh, &s),
+            Err(VerifyError::DoubleCounted {
+                op: 1,
+                node: NodeId(1),
+                offset: 0
+            })
+        ));
+    }
+
+    #[test]
+    fn contribution_flow_catches_missing_contribution() {
+        // Node 2's gradient never reaches anyone.
+        let mesh = Mesh::new(1, 3).unwrap();
+        let mut b = Schedule::builder("short", 8);
+        b.set_participants(vec![NodeId(0), NodeId(1), NodeId(2)]);
+        let r = b.push(NodeId(0), NodeId(1), 0, 8, OpKind::Reduce, 0, &[]);
+        b.push(NodeId(1), NodeId(0), 0, 8, OpKind::Gather, 0, &[r]);
+        let s = b.build();
+        assert!(matches!(
+            check_contribution_flow(&mesh, &s),
+            Err(VerifyError::MissingContribution {
+                missing: NodeId(2),
+                ..
+            })
         ));
     }
 

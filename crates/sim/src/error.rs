@@ -4,6 +4,7 @@ use std::fmt;
 use meshcoll_analyzer::AnalysisIssue;
 use meshcoll_collectives::CollectiveError;
 use meshcoll_noc::NocError;
+use meshcoll_synth::SynthError;
 
 /// Errors produced while running experiments.
 #[derive(Debug)]
@@ -23,6 +24,8 @@ pub enum SimError {
     },
     /// Result serialization failed.
     Io(std::io::Error),
+    /// Schedule synthesis failed.
+    Synth(SynthError),
 }
 
 impl fmt::Display for SimError {
@@ -41,6 +44,7 @@ impl fmt::Display for SimError {
                 Ok(())
             }
             SimError::Io(e) => write!(f, "io error: {e}"),
+            SimError::Synth(e) => write!(f, "synthesis error: {e}"),
         }
     }
 }
@@ -52,6 +56,7 @@ impl Error for SimError {
             SimError::Network(e) => Some(e),
             SimError::Static { .. } => None,
             SimError::Io(e) => Some(e),
+            SimError::Synth(e) => Some(e),
         }
     }
 }
@@ -71,5 +76,11 @@ impl From<NocError> for SimError {
 impl From<std::io::Error> for SimError {
     fn from(e: std::io::Error) -> Self {
         SimError::Io(e)
+    }
+}
+
+impl From<SynthError> for SimError {
+    fn from(e: SynthError) -> Self {
+        SimError::Synth(e)
     }
 }

@@ -21,6 +21,10 @@
 //!   that repeat runs on the same mesh, and a scoped-thread fan-out over
 //!   sweep points with deterministic result ordering (the `--jobs` flag of
 //!   the figure binaries),
+//! * [`synthesize_audited`] — the audited entry into the schedule-synthesis
+//!   search ([`synth`], re-exported): beam search + annealing over chunk
+//!   routing scored by the fast engine, with every pareto-front winner
+//!   replayed through the full audit,
 //! * [`epoch`] — the end-to-end one-epoch training-time model, including
 //!   TTO's `N-1`-chiplet iteration-count adjustment and the §VIII-B overhead
 //!   equations (Figures 10, 13),
@@ -55,6 +59,7 @@ mod engine;
 mod error;
 mod online;
 mod sweep;
+mod synthesis;
 
 pub mod bandwidth;
 pub mod epoch;
@@ -70,5 +75,9 @@ pub use error::SimError;
 /// every simulated run with its certified lower bounds.
 pub use meshcoll_analyzer as analyzer;
 pub use meshcoll_noc::SimMode;
+/// The schedule-synthesis engine, re-exported so experiment code can search
+/// for schedules and audit the winners without a separate dependency.
+pub use meshcoll_synth as synth;
 pub use online::{OnlineOptions, OnlineRun};
 pub use sweep::SweepRunner;
+pub use synthesis::synthesize_audited;

@@ -1,0 +1,360 @@
+//! The search's mutable schedule representation and its mutation operators.
+//!
+//! A [`Candidate`] mirrors a [`Schedule`] as a plain op vector kept in
+//! topological (insertion) order, with dependencies as backward indices —
+//! cheap to clone, splice, and re-emit through [`ScheduleBuilder`]. The
+//! mutation operators *propose* edits over chunk routing and op ordering;
+//! none is guaranteed sound in isolation. The search validates every
+//! proposal structurally (lint, reduce in-degree, contribution flow) and
+//! functionally (executed AllReduce post-condition under several
+//! topological orders) before a candidate is ever simulated, so an unsound
+//! proposal costs one rejected candidate, never a wrong result.
+//!
+//! [`ScheduleBuilder`]: meshcoll_collectives::ScheduleBuilder
+
+use meshcoll_collectives::{OpId, OpKind, Schedule};
+use meshcoll_topo::{Coord, Mesh, NodeId};
+use meshcoll_util::rng::Rng;
+
+/// One transfer in the mutable representation; dependencies are indices
+/// into the owning candidate's op vector and always point backward.
+#[derive(Debug, Clone)]
+pub(crate) struct SynthOp {
+    pub src: NodeId,
+    pub dst: NodeId,
+    pub offset: u64,
+    pub bytes: u64,
+    pub kind: OpKind,
+    pub chunk: u32,
+    pub deps: Vec<u32>,
+}
+
+impl SynthOp {
+    fn end(&self) -> u64 {
+        self.offset + self.bytes
+    }
+
+    fn overlaps(&self, offset: u64, end: u64) -> bool {
+        self.offset < end && offset < self.end()
+    }
+}
+
+/// A schedule candidate under mutation.
+#[derive(Debug, Clone)]
+pub(crate) struct Candidate {
+    /// Name of the seed decomposition this candidate descends from.
+    pub seed: &'static str,
+    /// How many accepted mutations separate it from the seed.
+    pub mutations: usize,
+    pub ops: Vec<SynthOp>,
+    pub participants: Vec<NodeId>,
+    pub data_bytes: u64,
+}
+
+impl Candidate {
+    /// Captures an existing schedule as a mutable candidate.
+    pub fn from_schedule(seed: &'static str, schedule: &Schedule) -> Self {
+        let ops = schedule
+            .op_ids()
+            .map(|id| {
+                let op = schedule.op(id);
+                SynthOp {
+                    src: op.src,
+                    dst: op.dst,
+                    offset: op.offset,
+                    bytes: op.bytes,
+                    kind: op.kind,
+                    chunk: op.chunk,
+                    deps: schedule.deps(id).iter().map(|d| d.0).collect(),
+                }
+            })
+            .collect();
+        Candidate {
+            seed,
+            mutations: 0,
+            ops,
+            participants: schedule.participants().to_vec(),
+            data_bytes: schedule.data_bytes(),
+        }
+    }
+
+    /// Emits the candidate as an immutable schedule. Panics if a mutation
+    /// broke the backward-dependency invariant — a bug in the operator, not
+    /// a recoverable condition.
+    pub fn to_schedule(&self) -> Schedule {
+        let mut b = Schedule::builder("synth", self.data_bytes);
+        b.set_participants(self.participants.clone());
+        let mut deps: Vec<OpId> = Vec::new();
+        for op in &self.ops {
+            deps.clear();
+            deps.extend(op.deps.iter().map(|&d| OpId(d)));
+            b.push(
+                op.src, op.dst, op.offset, op.bytes, op.kind, op.chunk, &deps,
+            );
+        }
+        b.build()
+    }
+
+    /// A compact provenance label, e.g. `tto+3mut`.
+    pub fn origin(&self) -> String {
+        if self.mutations == 0 {
+            format!("seed:{}", self.seed)
+        } else {
+            format!("{}+{}mut", self.seed, self.mutations)
+        }
+    }
+}
+
+/// How many random picks each operator tries before giving up.
+const PICK_ATTEMPTS: usize = 16;
+
+/// Applies one randomly chosen mutation operator, returning the child and
+/// the operator's name, or `None` when no operator finds an applicable
+/// site. Fully deterministic in `rng`.
+pub(crate) fn mutate(
+    cand: &Candidate,
+    mesh: &Mesh,
+    rng: &mut Rng,
+) -> Option<(Candidate, &'static str)> {
+    type Operator = fn(&Candidate, &Mesh, &mut Rng) -> Option<Candidate>;
+    const OPERATORS: [(&str, Operator); 5] = [
+        ("reroute", reroute),
+        ("split", split),
+        ("merge", merge),
+        ("swap-reduce", swap_reduce_sources),
+        ("reorder", reorder),
+    ];
+    // Random rotation over the operator table: variety without ever
+    // consulting anything non-deterministic.
+    let start = rng.range_usize(0, OPERATORS.len());
+    for k in 0..OPERATORS.len() {
+        let (name, op) = OPERATORS[(start + k) % OPERATORS.len()];
+        if let Some(mut child) = op(cand, mesh, rng) {
+            child.mutations = cand.mutations + 1;
+            return Some((child, name));
+        }
+    }
+    None
+}
+
+/// Reroutes one chunk transfer from the XY path onto the YX path by
+/// splicing in an explicit relay at the YX corner `(dst.row, src.col)`:
+/// `src→via` carries the payload as a Gather, `via→dst` applies the
+/// original kind. Only proposed when the relay chiplet is not a participant
+/// and no other op touches the relay's byte range, so the detour cannot
+/// clobber live data.
+fn reroute(cand: &Candidate, mesh: &Mesh, rng: &mut Rng) -> Option<Candidate> {
+    let n = cand.ops.len();
+    for _ in 0..PICK_ATTEMPTS {
+        let i = rng.range_usize(0, n);
+        let op = &cand.ops[i];
+        let (cs, cd) = (mesh.coord(op.src), mesh.coord(op.dst));
+        if cs.row == cd.row || cs.col == cd.col {
+            continue; // straight-line transfer: XY and YX coincide
+        }
+        let via = mesh.node_at(Coord::new(cd.row, cs.col));
+        if cand.participants.contains(&via) {
+            continue;
+        }
+        let free = cand.ops.iter().enumerate().all(|(j, o)| {
+            j == i || ((o.src != via && o.dst != via) || !o.overlaps(op.offset, op.end()))
+        });
+        if !free {
+            continue;
+        }
+        let mut ops = Vec::with_capacity(n + 1);
+        ops.extend(cand.ops[..i].iter().cloned());
+        let hop_in = SynthOp {
+            src: op.src,
+            dst: via,
+            offset: op.offset,
+            bytes: op.bytes,
+            kind: OpKind::Gather,
+            chunk: op.chunk,
+            deps: op.deps.clone(),
+        };
+        let hop_out = SynthOp {
+            src: via,
+            dst: op.dst,
+            offset: op.offset,
+            bytes: op.bytes,
+            kind: op.kind,
+            chunk: op.chunk,
+            deps: vec![i as u32],
+        };
+        ops.push(hop_in);
+        ops.push(hop_out);
+        for o in &cand.ops[i + 1..] {
+            let mut o = o.clone();
+            for d in &mut o.deps {
+                if *d as usize == i {
+                    *d = (i + 1) as u32; // depend on the delivering hop
+                } else if *d as usize > i {
+                    *d += 1;
+                }
+            }
+            ops.push(o);
+        }
+        return Some(Candidate { ops, ..shell(cand) });
+    }
+    None
+}
+
+/// Splits one op at its byte midpoint into two half-range atoms; dependents
+/// wait on both halves.
+fn split(cand: &Candidate, _mesh: &Mesh, rng: &mut Rng) -> Option<Candidate> {
+    let n = cand.ops.len();
+    for _ in 0..PICK_ATTEMPTS {
+        let i = rng.range_usize(0, n);
+        let op = &cand.ops[i];
+        if op.bytes < 2 {
+            continue;
+        }
+        let mid = op.bytes / 2;
+        let mut ops = Vec::with_capacity(n + 1);
+        ops.extend(cand.ops[..i].iter().cloned());
+        let mut lo = op.clone();
+        lo.bytes = mid;
+        let mut hi = op.clone();
+        hi.offset = op.offset + mid;
+        hi.bytes = op.bytes - mid;
+        ops.push(lo);
+        ops.push(hi);
+        for o in &cand.ops[i + 1..] {
+            let mut o = o.clone();
+            let mut extra = None;
+            for d in &mut o.deps {
+                if *d as usize == i {
+                    extra = Some((i + 1) as u32); // wait on both halves
+                } else if *d as usize > i {
+                    *d += 1;
+                }
+            }
+            o.deps.extend(extra);
+            ops.push(o);
+        }
+        return Some(Candidate { ops, ..shell(cand) });
+    }
+    None
+}
+
+/// Merges two byte-contiguous ops with identical endpoints, kind, and chunk
+/// into one transfer; the second op's dependencies must already be implied
+/// by the first (`deps(j) ⊆ deps(i) ∪ {i}`) so the merged op stays
+/// backward-only.
+fn merge(cand: &Candidate, _mesh: &Mesh, rng: &mut Rng) -> Option<Candidate> {
+    let n = cand.ops.len();
+    if n < 2 {
+        return None;
+    }
+    for _ in 0..PICK_ATTEMPTS {
+        let i = rng.range_usize(0, n - 1);
+        let a = &cand.ops[i];
+        let j = (i + 1..n).find(|&j| {
+            let b = &cand.ops[j];
+            b.src == a.src
+                && b.dst == a.dst
+                && b.kind == a.kind
+                && b.chunk == a.chunk
+                && b.offset == a.end()
+                && b.deps
+                    .iter()
+                    .all(|&d| d as usize == i || a.deps.contains(&d))
+        });
+        let Some(j) = j else { continue };
+        let mut ops = Vec::with_capacity(n - 1);
+        for (k, o) in cand.ops.iter().enumerate() {
+            if k == j {
+                continue;
+            }
+            let mut o = o.clone();
+            if k == i {
+                o.bytes += cand.ops[j].bytes;
+            }
+            for d in &mut o.deps {
+                if *d as usize == j {
+                    *d = i as u32;
+                } else if *d as usize > j {
+                    *d -= 1;
+                }
+            }
+            o.deps.sort_unstable();
+            o.deps.dedup();
+            ops.push(o);
+        }
+        return Some(Candidate { ops, ..shell(cand) });
+    }
+    None
+}
+
+/// Swaps the sources of two Reduce ops feeding the same destination over
+/// the same byte range — reordering a reduce tree's commutative operands.
+fn swap_reduce_sources(cand: &Candidate, _mesh: &Mesh, rng: &mut Rng) -> Option<Candidate> {
+    let n = cand.ops.len();
+    if n < 2 {
+        return None;
+    }
+    for _ in 0..PICK_ATTEMPTS {
+        let i = rng.range_usize(0, n - 1);
+        let a = &cand.ops[i];
+        if a.kind != OpKind::Reduce {
+            continue;
+        }
+        let j = (i + 1..n).find(|&j| {
+            let b = &cand.ops[j];
+            b.kind == OpKind::Reduce
+                && b.dst == a.dst
+                && b.offset == a.offset
+                && b.bytes == a.bytes
+                && b.src != a.src
+        });
+        let Some(j) = j else { continue };
+        let mut ops = cand.ops.clone();
+        let (si, sj) = (ops[i].src, ops[j].src);
+        ops[i].src = sj;
+        ops[j].src = si;
+        return Some(Candidate { ops, ..shell(cand) });
+    }
+    None
+}
+
+/// Swaps two adjacent, dependency-independent ops — changes message-id
+/// assignment and thus the engines' deterministic tie-breaking, exploring
+/// different contention interleavings at zero structural cost.
+fn reorder(cand: &Candidate, _mesh: &Mesh, rng: &mut Rng) -> Option<Candidate> {
+    let n = cand.ops.len();
+    if n < 2 {
+        return None;
+    }
+    for _ in 0..PICK_ATTEMPTS {
+        let i = rng.range_usize(0, n - 1);
+        if cand.ops[i + 1].deps.iter().any(|&d| d as usize == i) {
+            continue;
+        }
+        let mut ops = cand.ops.clone();
+        ops.swap(i, i + 1);
+        for o in &mut ops {
+            for d in &mut o.deps {
+                if *d as usize == i {
+                    *d = (i + 1) as u32;
+                } else if *d as usize == i + 1 {
+                    *d = i as u32;
+                }
+            }
+        }
+        return Some(Candidate { ops, ..shell(cand) });
+    }
+    None
+}
+
+/// The non-op fields of a child candidate (ops replaced by the operator,
+/// mutation count bumped by [`mutate`]).
+fn shell(cand: &Candidate) -> Candidate {
+    Candidate {
+        seed: cand.seed,
+        mutations: cand.mutations,
+        ops: Vec::new(),
+        participants: cand.participants.clone(),
+        data_bytes: cand.data_bytes,
+    }
+}

@@ -1,0 +1,94 @@
+//! A two-objective pareto front over scored schedules.
+
+use crate::ScoredSchedule;
+
+/// Maintains the set of mutually non-dominated `(makespan, peak link
+/// utilization)` points, both minimized: a schedule that is slower *and*
+/// hot-spots a link harder than some other front member is dropped.
+///
+/// Ties count as domination (an exact duplicate of a front member is
+/// rejected), so for a fixed insertion sequence the front is the unique
+/// minimal set — the property the determinism checks rely on when they
+/// compare fronts bit-for-bit across `--jobs` counts.
+#[derive(Debug, Default)]
+pub(crate) struct ParetoFront {
+    items: Vec<ScoredSchedule>,
+}
+
+impl ParetoFront {
+    /// Offers a scored schedule to the front. Returns `true` when it was
+    /// admitted (evicting whatever it dominates), `false` when an existing
+    /// member already dominates it.
+    pub fn insert(&mut self, s: ScoredSchedule) -> bool {
+        if self.items.iter().any(|q| {
+            q.makespan_ns <= s.makespan_ns && q.peak_link_utilization <= s.peak_link_utilization
+        }) {
+            return false;
+        }
+        self.items.retain(|q| {
+            !(s.makespan_ns <= q.makespan_ns && s.peak_link_utilization <= q.peak_link_utilization)
+        });
+        self.items.push(s);
+        true
+    }
+
+    /// Consumes the front, ascending by makespan. On a valid front the
+    /// utilization axis then descends, so no tiebreak is needed.
+    pub fn into_sorted(mut self) -> Vec<ScoredSchedule> {
+        self.items.sort_by(|a, b| {
+            a.makespan_ns
+                .total_cmp(&b.makespan_ns)
+                .then(a.peak_link_utilization.total_cmp(&b.peak_link_utilization))
+        });
+        self.items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meshcoll_collectives::Schedule;
+    use meshcoll_topo::NodeId;
+
+    fn point(mk: f64, peak: f64) -> ScoredSchedule {
+        let mut b = Schedule::builder("synth", 1);
+        b.set_participants(vec![NodeId(0)]);
+        ScoredSchedule {
+            schedule: b.build(),
+            origin: String::new(),
+            makespan_ns: mk,
+            peak_link_utilization: peak,
+            lower_bound_ns: 0.0,
+        }
+    }
+
+    #[test]
+    fn dominated_points_are_rejected_and_evicted() {
+        let mut f = ParetoFront::default();
+        assert!(f.insert(point(10.0, 0.5)));
+        // Strictly worse on both axes: rejected.
+        assert!(!f.insert(point(11.0, 0.6)));
+        // Exact duplicate: a tie dominates.
+        assert!(!f.insert(point(10.0, 0.5)));
+        // Better on one axis: coexists.
+        assert!(f.insert(point(12.0, 0.3)));
+        // Dominates both: evicts the whole front.
+        assert!(f.insert(point(9.0, 0.2)));
+        let front = f.into_sorted();
+        assert_eq!(front.len(), 1);
+        assert_eq!(front[0].makespan_ns, 9.0);
+    }
+
+    #[test]
+    fn sorted_front_descends_on_the_utilization_axis() {
+        let mut f = ParetoFront::default();
+        for (mk, peak) in [(30.0, 0.2), (10.0, 0.9), (20.0, 0.5)] {
+            assert!(f.insert(point(mk, peak)));
+        }
+        let front = f.into_sorted();
+        let mks: Vec<f64> = front.iter().map(|s| s.makespan_ns).collect();
+        assert_eq!(mks, [10.0, 20.0, 30.0]);
+        let peaks: Vec<f64> = front.iter().map(|s| s.peak_link_utilization).collect();
+        assert_eq!(peaks, [0.9, 0.5, 0.2]);
+    }
+}

@@ -432,9 +432,10 @@ impl Mesh {
     /// means column `boundary - 1` → column `boundary`). One link per row.
     ///
     /// On a torus the wraparound links between the first and last column
-    /// bypass this cut entirely, so a single column cut does not separate
-    /// the topology — the bisection bound in the static analyzer only uses
-    /// these on non-torus meshes.
+    /// bypass this cut, so these links alone do not separate the topology —
+    /// the full directed cut for the partition `[0, boundary)` vs
+    /// `[boundary, cols)` additionally contains [`Mesh::column_wrap_links`]
+    /// in the same partition direction.
     ///
     /// Panics unless `1 <= boundary < cols`.
     pub fn column_cut_links(
@@ -451,6 +452,47 @@ impl Mesh {
                 (boundary - 1, Direction::East)
             } else {
                 (boundary, Direction::West)
+            };
+            LinkId(self.node_at(Coord::new(row, col)).0 * 4 + d.slot())
+        })
+    }
+
+    /// The directed wraparound links joining the first and last columns, in
+    /// the given *partition* direction: `eastward` means from the low-column
+    /// side `[0, boundary)` to the high-column side `[boundary, cols)` of a
+    /// vertical cut — physically the West links of column `0`, which wrap to
+    /// column `cols - 1`. One link per row.
+    ///
+    /// Together with [`Mesh::column_cut_links`]`(boundary, eastward)` these
+    /// form the complete directed cut of the column partition on a torus,
+    /// which is what makes the analyzer's bisection bound wrap-aware.
+    ///
+    /// Panics unless the topology is a torus.
+    pub fn column_wrap_links(&self, eastward: bool) -> impl Iterator<Item = LinkId> + '_ {
+        assert!(self.wraparound, "column wrap links exist only on a torus");
+        (0..self.rows).map(move |row| {
+            let (col, d) = if eastward {
+                (0, Direction::West)
+            } else {
+                (self.cols - 1, Direction::East)
+            };
+            LinkId(self.node_at(Coord::new(row, col)).0 * 4 + d.slot())
+        })
+    }
+
+    /// The directed wraparound links joining the first and last rows, in the
+    /// given *partition* direction (`southward` = from the low-row side of a
+    /// horizontal cut to the high-row side); the row analogue of
+    /// [`Mesh::column_wrap_links`]. One link per column.
+    ///
+    /// Panics unless the topology is a torus.
+    pub fn row_wrap_links(&self, southward: bool) -> impl Iterator<Item = LinkId> + '_ {
+        assert!(self.wraparound, "row wrap links exist only on a torus");
+        (0..self.cols).map(move |col| {
+            let (row, d) = if southward {
+                (0, Direction::North)
+            } else {
+                (self.rows - 1, Direction::South)
             };
             LinkId(self.node_at(Coord::new(row, col)).0 * 4 + d.slot())
         })
@@ -636,5 +678,52 @@ mod tests {
     fn cut_boundary_zero_is_rejected() {
         let m = Mesh::square(3).unwrap();
         let _ = m.column_cut_links(0, true);
+    }
+
+    #[test]
+    fn wrap_links_cross_the_partition_in_the_stated_direction() {
+        let m = Mesh::torus(3, 4).unwrap();
+        for eastward in [true, false] {
+            let links: Vec<LinkId> = m.column_wrap_links(eastward).collect();
+            assert_eq!(links.len(), m.rows());
+            for l in links {
+                let (src, dst) = m.link_endpoints(l);
+                let (cs, cd) = (m.coord(src), m.coord(dst));
+                assert_eq!(cs.row, cd.row);
+                if eastward {
+                    // Low-column side (col 0) to high-column side (last col).
+                    assert_eq!((cs.col, cd.col), (0, m.cols() - 1));
+                } else {
+                    assert_eq!((cs.col, cd.col), (m.cols() - 1, 0));
+                }
+            }
+        }
+        for southward in [true, false] {
+            let links: Vec<LinkId> = m.row_wrap_links(southward).collect();
+            assert_eq!(links.len(), m.cols());
+            for l in links {
+                let (src, dst) = m.link_endpoints(l);
+                let (cs, cd) = (m.coord(src), m.coord(dst));
+                assert_eq!(cs.col, cd.col);
+                if southward {
+                    assert_eq!((cs.row, cd.row), (0, m.rows() - 1));
+                } else {
+                    assert_eq!((cs.row, cd.row), (m.rows() - 1, 0));
+                }
+            }
+        }
+        // The wrap links are disjoint from every interior cut's links, so
+        // adding them genuinely doubles a cut's aggregate capacity.
+        let interior: Vec<LinkId> = m.column_cut_links(1, true).collect();
+        for l in m.column_wrap_links(true) {
+            assert!(!interior.contains(&l));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "only on a torus")]
+    fn wrap_links_require_a_torus() {
+        let m = Mesh::square(3).unwrap();
+        let _ = m.column_wrap_links(true);
     }
 }
