@@ -5,6 +5,7 @@ use std::fmt;
 
 use meshcoll_topo::Mesh;
 
+use crate::stream::{replay, OpSink};
 use crate::{dbtree, hdrm, multitree, ring, ring2d, ring_bi, ring_bi_odd, tto};
 use crate::{CollectiveError, Schedule};
 
@@ -203,6 +204,51 @@ impl Algorithm {
             Algorithm::RingBiOdd => ring_bi_odd::schedule(mesh, data_bytes),
             Algorithm::Tto => tto::schedule_with(mesh, data_bytes, opts.tto_chunk_bytes),
         }
+    }
+
+    /// Streams this algorithm's ops into `sink` instead of materializing a
+    /// [`Schedule`] — the entry point for O(messages)-memory lowering at
+    /// 1,000+ chiplets (see [`crate::stream`]).
+    ///
+    /// Ring, RingBiEven, RingBiOdd, MultiTree, and TTO generate natively
+    /// into the sink (no intermediate schedule); the remaining baselines
+    /// materialize internally and [`replay`] — their op sequences are
+    /// identical either way, only the peak memory differs.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Algorithm::schedule_with`]. Errors detected mid-generation
+    /// (e.g. a pipelined chunk too small to split) leave the sink holding a
+    /// valid prefix of the schedule; callers must discard it.
+    pub fn emit_with(
+        self,
+        mesh: &Mesh,
+        data_bytes: u64,
+        opts: &ScheduleOptions,
+        sink: &mut dyn OpSink,
+    ) -> Result<(), CollectiveError> {
+        match self {
+            Algorithm::Ring => ring::emit(mesh, data_bytes, sink),
+            Algorithm::RingBiEven => ring_bi::emit(mesh, data_bytes, sink),
+            Algorithm::RingBiOdd => ring_bi_odd::emit(mesh, data_bytes, sink),
+            Algorithm::MultiTree => multitree::emit(mesh, data_bytes, sink),
+            Algorithm::Tto => tto::emit_with(mesh, data_bytes, opts.tto_chunk_bytes, sink),
+            Algorithm::Ring2D | Algorithm::DBTree | Algorithm::HalvingDoubling => {
+                let s = self.schedule_with(mesh, data_bytes, opts)?;
+                replay(&s, sink);
+                Ok(())
+            }
+        }
+    }
+
+    /// `true` when [`Algorithm::emit_with`] generates directly into the
+    /// sink (O(live ops) generation state); `false` for the baselines that
+    /// materialize internally and replay.
+    pub fn streams_natively(self) -> bool {
+        !matches!(
+            self,
+            Algorithm::Ring2D | Algorithm::DBTree | Algorithm::HalvingDoubling
+        )
     }
 
     /// The bidirectional ring variant matching the mesh parity, the pairing

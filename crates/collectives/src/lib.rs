@@ -65,6 +65,7 @@ pub mod ring2d;
 pub mod ring_bi;
 pub mod ring_bi_odd;
 pub mod schedule;
+pub mod stream;
 pub mod tto;
 pub mod verify;
 
@@ -72,3 +73,4 @@ pub use algorithm::{Algorithm, Applicability, ScheduleOptions};
 pub use error::CollectiveError;
 pub use online::{repair_suffix, SuffixContext, SuffixRepair};
 pub use schedule::{CollectiveOp, OpId, OpKind, Schedule, ScheduleBuilder};
+pub use stream::{OpSink, ScheduleStream, StreamedOp};

@@ -17,7 +17,8 @@ use std::collections::HashSet;
 
 use meshcoll_topo::{masked, FaultModel, LinkId, Mesh, NodeId, Tree};
 
-use crate::schedule::{split_bytes, OpId, OpKind, ScheduleBuilder};
+use crate::schedule::{split_bytes, OpId, OpKind};
+use crate::stream::OpSink;
 use crate::{CollectiveError, Schedule};
 
 /// Builds the MultiTree schedule for `data_bytes` of gradient per node.
@@ -29,6 +30,18 @@ use crate::{CollectiveError, Schedule};
 /// * [`CollectiveError::Construction`] if the greedy growth stalls (cannot
 ///   happen on a connected mesh; defensive).
 pub fn schedule(mesh: &Mesh, data_bytes: u64) -> Result<Schedule, CollectiveError> {
+    let mut b = Schedule::builder("MultiTree", data_bytes);
+    emit(mesh, data_bytes, &mut b)?;
+    Ok(b.build())
+}
+
+/// Streams the MultiTree ops into `sink`; the generation code behind
+/// [`schedule`].
+pub(crate) fn emit(
+    mesh: &Mesh,
+    data_bytes: u64,
+    sink: &mut dyn OpSink,
+) -> Result<(), CollectiveError> {
     let n = mesh.nodes();
     if n < 2 {
         return Err(CollectiveError::Inapplicable {
@@ -41,10 +54,9 @@ pub fn schedule(mesh: &Mesh, data_bytes: u64) -> Result<Schedule, CollectiveErro
     let built = build_trees(mesh)?;
     let parts = split_bytes(data_bytes, n as u64)?;
 
-    let mut b = Schedule::builder("MultiTree", data_bytes);
-    b.set_participants(mesh.node_ids().collect());
-    emit_tree_ops(&mut b, &built, &parts, n);
-    Ok(b.build())
+    sink.set_participants(mesh.node_ids().collect());
+    emit_tree_ops(sink, &built, &parts, n);
+    Ok(())
 }
 
 /// Fault-aware MultiTree: grows one conflict-free tree per *surviving*
@@ -80,7 +92,7 @@ pub fn schedule_masked(
 
 /// Emits the per-tree ReduceScatter/AllGather ops; `parts[k]` is tree `k`'s
 /// gradient slice.
-fn emit_tree_ops(b: &mut ScheduleBuilder, built: &[BuiltTree], parts: &[(u64, u64)], n: usize) {
+fn emit_tree_ops(b: &mut dyn OpSink, built: &[BuiltTree], parts: &[(u64, u64)], n: usize) {
     let mut scratch: Vec<OpId> = Vec::new();
     for (k, bt) in built.iter().enumerate() {
         let (off, len) = parts[k];

@@ -11,6 +11,7 @@
 use meshcoll_topo::{hamiltonian, Mesh};
 
 use crate::ring_common::{no_entry, ring_all_gather, ring_reduce_scatter};
+use crate::stream::OpSink;
 use crate::{CollectiveError, Schedule};
 
 /// Builds the unidirectional Ring AllReduce schedule for `data_bytes` of
@@ -21,6 +22,19 @@ use crate::{CollectiveError, Schedule};
 /// * [`CollectiveError::Inapplicable`] on a single-node mesh,
 /// * [`CollectiveError::DataTooSmall`] when `data_bytes < N`.
 pub fn schedule(mesh: &Mesh, data_bytes: u64) -> Result<Schedule, CollectiveError> {
+    let mut b = Schedule::builder("Ring", data_bytes);
+    emit(mesh, data_bytes, &mut b)?;
+    Ok(b.build())
+}
+
+/// Streams the Ring ops into `sink`; the generation code behind
+/// [`schedule`], shared so streamed and materialized schedules are
+/// identical by construction.
+pub(crate) fn emit(
+    mesh: &Mesh,
+    data_bytes: u64,
+    sink: &mut dyn OpSink,
+) -> Result<(), CollectiveError> {
     if mesh.nodes() < 2 {
         return Err(CollectiveError::Inapplicable {
             algorithm: "Ring",
@@ -30,18 +44,17 @@ pub fn schedule(mesh: &Mesh, data_bytes: u64) -> Result<Schedule, CollectiveErro
         });
     }
     let order = ring_order(mesh);
-    let mut b = Schedule::builder("Ring", data_bytes);
-    b.set_participants(mesh.node_ids().collect());
-    let rs = ring_reduce_scatter(&mut b, &order, (0, data_bytes), 0, no_entry, &[])?;
+    sink.set_participants(mesh.node_ids().collect());
+    let rs = ring_reduce_scatter(sink, &order, (0, data_bytes), 0, no_entry, &[])?;
     ring_all_gather(
-        &mut b,
+        sink,
         &order,
         (0, data_bytes),
         0,
         |p| rs.completion[p].clone(),
         &[],
     )?;
-    Ok(b.build())
+    Ok(())
 }
 
 /// The ring node order: a Hamiltonian cycle when one exists, otherwise the

@@ -10,6 +10,7 @@
 use meshcoll_topo::{hamiltonian, Mesh};
 
 use crate::ring_common::{no_entry, ring_all_gather, ring_reduce_scatter};
+use crate::stream::OpSink;
 use crate::{CollectiveError, Schedule};
 
 /// Builds the RingBiEven schedule for `data_bytes` of gradient per node.
@@ -21,6 +22,18 @@ use crate::{CollectiveError, Schedule};
 /// * [`CollectiveError::DataTooSmall`] when a half cannot split into `N`
 ///   parts.
 pub fn schedule(mesh: &Mesh, data_bytes: u64) -> Result<Schedule, CollectiveError> {
+    let mut b = Schedule::builder("RingBiEven", data_bytes);
+    emit(mesh, data_bytes, &mut b)?;
+    Ok(b.build())
+}
+
+/// Streams the RingBiEven ops into `sink`; the generation code behind
+/// [`schedule`].
+pub(crate) fn emit(
+    mesh: &Mesh,
+    data_bytes: u64,
+    sink: &mut dyn OpSink,
+) -> Result<(), CollectiveError> {
     let cycle =
         hamiltonian::hamiltonian_cycle(mesh).map_err(|_| CollectiveError::Inapplicable {
             algorithm: "RingBiEven",
@@ -28,14 +41,13 @@ pub fn schedule(mesh: &Mesh, data_bytes: u64) -> Result<Schedule, CollectiveErro
             cols: mesh.cols(),
             reason: "bidirectional rings need a Hamiltonian cycle, which odd-sized meshes lack",
         })?;
-    let mut b = Schedule::builder("RingBiEven", data_bytes);
-    b.set_participants(mesh.node_ids().collect());
+    sink.set_participants(mesh.node_ids().collect());
     let half = data_bytes / 2;
 
     // Direction A: cycle order, first half of the gradient.
-    let rs_a = ring_reduce_scatter(&mut b, &cycle, (0, half), 0, no_entry, &[])?;
+    let rs_a = ring_reduce_scatter(sink, &cycle, (0, half), 0, no_entry, &[])?;
     ring_all_gather(
-        &mut b,
+        sink,
         &cycle,
         (0, half),
         0,
@@ -45,16 +57,16 @@ pub fn schedule(mesh: &Mesh, data_bytes: u64) -> Result<Schedule, CollectiveErro
 
     // Direction B: reversed order (opposite directed links), second half.
     let rev: Vec<_> = cycle.iter().rev().copied().collect();
-    let rs_b = ring_reduce_scatter(&mut b, &rev, (half, data_bytes), 0, no_entry, &[])?;
+    let rs_b = ring_reduce_scatter(sink, &rev, (half, data_bytes), 0, no_entry, &[])?;
     ring_all_gather(
-        &mut b,
+        sink,
         &rev,
         (half, data_bytes),
         0,
         |p| rs_b.completion[p].clone(),
         &[],
     )?;
-    Ok(b.build())
+    Ok(())
 }
 
 #[cfg(test)]

@@ -21,6 +21,7 @@
 use meshcoll_topo::{hamiltonian, Coord, Mesh, NodeId};
 
 use crate::ring_common::{no_entry, ring_all_gather, ring_reduce_scatter, Feeder};
+use crate::stream::OpSink;
 use crate::{CollectiveError, Schedule};
 
 /// Builds the RingBiOdd schedule for `data_bytes` of gradient per node.
@@ -32,6 +33,18 @@ use crate::{CollectiveError, Schedule};
 /// * [`CollectiveError::DataTooSmall`] when a half cannot split into `N - 1`
 ///   parts.
 pub fn schedule(mesh: &Mesh, data_bytes: u64) -> Result<Schedule, CollectiveError> {
+    let mut b = Schedule::builder("RingBiOdd", data_bytes);
+    emit(mesh, data_bytes, &mut b)?;
+    Ok(b.build())
+}
+
+/// Streams the RingBiOdd ops into `sink`; the generation code behind
+/// [`schedule`].
+pub(crate) fn emit(
+    mesh: &Mesh,
+    data_bytes: u64,
+    sink: &mut dyn OpSink,
+) -> Result<(), CollectiveError> {
     if mesh.is_torus() {
         return Err(CollectiveError::Inapplicable {
             algorithm: "RingBiOdd",
@@ -54,8 +67,7 @@ pub fn schedule(mesh: &Mesh, data_bytes: u64) -> Result<Schedule, CollectiveErro
     let north = mesh.node_at(Coord::new(mesh.rows() - 2, mesh.cols() - 1));
     debug_assert!(mesh.are_adjacent(excluded, west) && mesh.are_adjacent(excluded, north));
 
-    let mut b = Schedule::builder("RingBiOdd", data_bytes);
-    b.set_participants(mesh.node_ids().collect());
+    sink.set_participants(mesh.node_ids().collect());
     let half = data_bytes / 2;
 
     let pos_of = |order: &[NodeId], n: NodeId| {
@@ -70,9 +82,9 @@ pub fn schedule(mesh: &Mesh, data_bytes: u64) -> Result<Schedule, CollectiveErro
         node: excluded,
         merge_pos: pos_of(&cycle, west),
     };
-    let rs_a = ring_reduce_scatter(&mut b, &cycle, (0, half), 0, no_entry, &[feeder_a])?;
+    let rs_a = ring_reduce_scatter(sink, &cycle, (0, half), 0, no_entry, &[feeder_a])?;
     ring_all_gather(
-        &mut b,
+        sink,
         &cycle,
         (0, half),
         0,
@@ -87,16 +99,16 @@ pub fn schedule(mesh: &Mesh, data_bytes: u64) -> Result<Schedule, CollectiveErro
         node: excluded,
         merge_pos: pos_of(&rev, north),
     };
-    let rs_b = ring_reduce_scatter(&mut b, &rev, (half, data_bytes), 0, no_entry, &[feeder_b])?;
+    let rs_b = ring_reduce_scatter(sink, &rev, (half, data_bytes), 0, no_entry, &[feeder_b])?;
     ring_all_gather(
-        &mut b,
+        sink,
         &rev,
         (half, data_bytes),
         0,
         |p| rs_b.completion[p].clone(),
         &[feeder_b],
     )?;
-    Ok(b.build())
+    Ok(())
 }
 
 #[cfg(test)]

@@ -19,7 +19,8 @@
 
 use meshcoll_topo::NodeId;
 
-use crate::schedule::{split_range, OpId, OpKind, ScheduleBuilder};
+use crate::schedule::{split_range, OpId, OpKind};
+use crate::stream::OpSink;
 use crate::CollectiveError;
 
 /// The excluded node's attachment to a ring direction (RingBiOdd).
@@ -62,7 +63,7 @@ fn wrap(x: isize, k: usize) -> usize {
 /// previous phase's per-node completion (a node may only forward data that
 /// already includes its own, fully prepared contribution).
 pub(crate) fn ring_reduce_scatter(
-    b: &mut ScheduleBuilder,
+    b: &mut dyn OpSink,
     order: &[NodeId],
     range: (u64, u64),
     chunk: u32,
@@ -96,14 +97,18 @@ pub(crate) fn ring_reduce_scatter(
         feeds.push(feed);
     }
 
-    let mut ops: Vec<Vec<OpId>> = Vec::with_capacity(k.saturating_sub(1));
+    // Each step only depends on the previous step's ops, so two O(k) rows
+    // suffice — the full (k-1) x k matrix would retain O(k²) ids, which at
+    // 4,096-node rings is tens of MB of pure scratch.
+    let mut prev: Vec<OpId> = Vec::new();
+    let mut row: Vec<OpId> = Vec::with_capacity(k);
     for s in 0..k - 1 {
-        let mut row = Vec::with_capacity(k);
+        row.clear();
         for p in 0..k {
             let part = parts[wrap(p as isize - s as isize, k)];
             let mut deps = entry(p);
             if s > 0 {
-                deps.push(ops[s - 1][wrap(p as isize - 1, k)]);
+                deps.push(prev[wrap(p as isize - 1, k)]);
             }
             for (f, feed) in feeders.iter().zip(&feeds) {
                 if p == f.merge_pos {
@@ -120,15 +125,15 @@ pub(crate) fn ring_reduce_scatter(
                 &deps,
             ));
         }
-        ops.push(row);
+        std::mem::swap(&mut prev, &mut row);
     }
 
     // Completion: position p's final part (p+1) is delivered by the last
-    // step's send from p-1 (ops[k-2][p-1]); at each merge position the
-    // feeder's last op also contributes.
+    // step's send from p-1 (`prev`, the final row); at each merge position
+    // the feeder's last op also contributes.
     let completion: Vec<Vec<OpId>> = (0..k)
         .map(|p| {
-            let mut v = vec![ops[k - 2][wrap(p as isize - 1, k)]];
+            let mut v = vec![prev[wrap(p as isize - 1, k)]];
             for (f, feed) in feeders.iter().zip(&feeds) {
                 if p == f.merge_pos {
                     v.push(*feed.last().expect("feeder ops exist"));
@@ -152,7 +157,7 @@ pub(crate) fn ring_reduce_scatter(
 /// phase's `completion[p]`). Each `drain` makes its merge node forward
 /// every final part to the excluded node as it appears.
 pub(crate) fn ring_all_gather(
-    b: &mut ScheduleBuilder,
+    b: &mut dyn OpSink,
     order: &[NodeId],
     range: (u64, u64),
     chunk: u32,

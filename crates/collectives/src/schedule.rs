@@ -231,11 +231,12 @@ impl ScheduleBuilder {
     ) -> OpId {
         assert!(bytes > 0, "op with zero bytes");
         assert_ne!(src, dst, "op sends to itself");
-        let id = OpId(self.inner.ops.len() as u32);
+        let id = OpId(u32::try_from(self.inner.ops.len()).expect("schedule exceeds u32 op ids"));
         for d in deps {
             assert!(d.0 < id.0, "forward dependency {d} in op {id}");
         }
-        let deps_start = self.inner.deps_arena.len() as u32;
+        let deps_start =
+            u32::try_from(self.inner.deps_arena.len()).expect("schedule exceeds u32 dep arena");
         self.inner.deps_arena.extend_from_slice(deps);
         self.inner.ops.push(CollectiveOp {
             src,

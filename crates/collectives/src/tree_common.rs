@@ -6,7 +6,8 @@
 
 use meshcoll_topo::{NodeId, Tree};
 
-use crate::schedule::{OpId, OpKind, ScheduleBuilder};
+use crate::schedule::{OpId, OpKind};
+use crate::stream::OpSink;
 
 /// Precomputed traversal structure for a tree, so that per-chunk op
 /// generation is O(edges) instead of O(nodes²).
@@ -47,7 +48,7 @@ impl TreePlan {
     /// root's children).
     pub(crate) fn reduce_ops(
         &self,
-        b: &mut ScheduleBuilder,
+        b: &mut dyn OpSink,
         range: (u64, u64),
         chunk: u32,
         scratch: &mut Vec<OpId>,
@@ -86,7 +87,7 @@ impl TreePlan {
     /// first sends (typically the reduce phase's completion ops).
     pub(crate) fn gather_ops(
         &self,
-        b: &mut ScheduleBuilder,
+        b: &mut dyn OpSink,
         range: (u64, u64),
         chunk: u32,
         root_deps: &[OpId],

@@ -23,6 +23,7 @@
 use meshcoll_topo::{Coord, Mesh, NodeId, Tree};
 
 use crate::schedule::{split_bytes, split_range, OpId};
+use crate::stream::OpSink;
 use crate::tree_common::TreePlan;
 use crate::{CollectiveError, Schedule};
 
@@ -50,6 +51,21 @@ pub fn schedule_with(
     data_bytes: u64,
     chunk_bytes: u64,
 ) -> Result<Schedule, CollectiveError> {
+    let mut b = Schedule::builder("TTO", data_bytes);
+    emit_with(mesh, data_bytes, chunk_bytes, &mut b)?;
+    Ok(b.build())
+}
+
+/// Streams the TTO ops into `sink`; the generation code behind
+/// [`schedule_with`]. Ops are emitted chunk by chunk, so a streaming
+/// consumer's live window is one chunk's three tree traversals, not the
+/// whole pipelined schedule.
+pub(crate) fn emit_with(
+    mesh: &Mesh,
+    data_bytes: u64,
+    chunk_bytes: u64,
+    sink: &mut dyn OpSink,
+) -> Result<(), CollectiveError> {
     let trees = disjoint_trees(mesh)?;
     let n = mesh.nodes();
     let excluded = excluded_node(mesh);
@@ -58,18 +74,17 @@ pub fn schedule_with(
     let chunk_count = data_bytes.div_ceil(chunk_bytes.max(1)).max(1);
     let chunks = split_bytes(data_bytes, chunk_count)?;
 
-    let mut b = Schedule::builder("TTO", data_bytes);
-    b.set_participants(mesh.node_ids().filter(|&x| x != excluded).collect());
+    sink.set_participants(mesh.node_ids().filter(|&x| x != excluded).collect());
     let mut scratch: Vec<OpId> = Vec::new();
     for (c, (coff, clen)) in chunks.iter().enumerate() {
         let parts = split_range(*coff, coff + clen, 3)?;
         for (plan, (off, len)) in plans.iter().zip(parts) {
             let range = (off, off + len);
-            let root_done = plan.reduce_ops(&mut b, range, c as u32, &mut scratch);
-            plan.gather_ops(&mut b, range, c as u32, &root_done, &mut scratch);
+            let root_done = plan.reduce_ops(sink, range, c as u32, &mut scratch);
+            plan.gather_ops(sink, range, c as u32, &root_done, &mut scratch);
         }
     }
-    Ok(b.build())
+    Ok(())
 }
 
 /// Ablation variant: chunk overlap over only **two** disjoint trees (the

@@ -62,6 +62,14 @@ pub enum NocError {
         /// analysis; for a watchdog trip, the clock when the budget ran out.
         stalled_at_ns: u64,
     },
+    /// The run carries more messages than the engines' dense `u32` index
+    /// spaces can address; a larger run would silently alias message ids.
+    TooManyMessages {
+        /// Number of messages submitted.
+        count: usize,
+        /// Maximum supported per run ([`crate::MAX_MESSAGES`]).
+        max: usize,
+    },
     /// The requested feature combination is not modeled by this engine —
     /// e.g. transient link flaps or a non-empty fault timeline reaching the
     /// cycle-accurate flit engine, which has no mid-run fault machinery.
@@ -108,6 +116,9 @@ impl fmt::Display for NocError {
                     write!(f, " at link {}", l.0)?;
                 }
                 write!(f, ")")
+            }
+            NocError::TooManyMessages { count, max } => {
+                write!(f, "{count} messages exceed the supported {max} per run")
             }
             NocError::Unsupported { reason } => {
                 write!(f, "unsupported by this engine: {reason}")

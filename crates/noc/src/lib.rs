@@ -65,7 +65,7 @@ pub use audit::{InvariantAuditor, TraceAudit, Violation};
 pub use config::NocConfig;
 pub use error::NocError;
 pub use flit_sim::FlitSim;
-pub use message::{Message, MsgId};
+pub use message::{Message, MsgId, MAX_MESSAGES};
 pub use online::{splice_outcomes, DrainSnapshot, OnlineReport};
 pub use packet_sim::{PacketSim, SimMode};
 pub use stats::{LatencySummary, LinkStats, SimOutcome};

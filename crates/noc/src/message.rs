@@ -84,9 +84,30 @@ impl Message {
     }
 }
 
-/// Validates a message slice: dense ids, in-range deps, non-empty payloads,
-/// distinct endpoints. Shared by both simulator engines.
+/// Largest supported message count per simulation run.
+///
+/// Both engines index messages densely, and several structures (route
+/// memos, the streamed lowering's op ids) pack those indices into `u32`;
+/// past this bound a `usize → u32` narrowing would silently alias distinct
+/// messages, so [`check_count`] turns it into a typed error up front.
+pub const MAX_MESSAGES: usize = u32::MAX as usize;
+
+/// Rejects runs whose message count exceeds [`MAX_MESSAGES`].
+#[inline]
+pub(crate) fn check_count(n: usize) -> Result<(), crate::NocError> {
+    if n > MAX_MESSAGES {
+        return Err(crate::NocError::TooManyMessages {
+            count: n,
+            max: MAX_MESSAGES,
+        });
+    }
+    Ok(())
+}
+
+/// Validates a message slice: bounded count, dense ids, in-range deps,
+/// non-empty payloads, distinct endpoints. Shared by both simulator engines.
 pub(crate) fn validate(messages: &[Message]) -> Result<(), crate::NocError> {
+    check_count(messages.len())?;
     for (i, m) in messages.iter().enumerate() {
         validate_one(i, m, messages.len())?;
     }
@@ -95,7 +116,7 @@ pub(crate) fn validate(messages: &[Message]) -> Result<(), crate::NocError> {
 
 /// The per-message half of [`validate`], so single-pass preparers can fold
 /// validation into their main loop instead of paying a separate full sweep
-/// over a ~10^5-message DAG.
+/// over a ~10^5-message DAG. Callers must [`check_count`] once up front.
 #[inline]
 pub(crate) fn validate_one(i: usize, m: &Message, n: usize) -> Result<(), crate::NocError> {
     if m.id.index() != i {

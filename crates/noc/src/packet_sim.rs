@@ -161,8 +161,14 @@ impl PartitionScratch {
 struct RunScratch {
     setup: RunSetup,
     /// Dense `(src, dst) → unique route` memo (`u32::MAX` = unset), rebuilt
-    /// each run (the mesh may differ between runs of one simulator).
+    /// each run (the mesh may differ between runs of one simulator). Used
+    /// only up to 256 nodes — beyond that the dense table is O(nodes²) and
+    /// the hashed `pair_memo` takes over, sized by *touched* pairs.
     memo: Vec<u32>,
+    /// Hashed `(src, dst) → unique route` memo for >256-node fabrics.
+    /// Cleared (capacity kept) per run, so the steady state allocates
+    /// nothing once warmed up.
+    pair_memo: std::collections::HashMap<u64, u32>,
     /// Blocked flag per unique route, computed once and fanned out.
     unique_blocked: Vec<bool>,
     /// Per-link bandwidth cache for the coalescer.
@@ -181,6 +187,7 @@ impl RunScratch {
             + self.setup.route_of.capacity() * size_of::<u32>()
             + self.setup.blocked.capacity()
             + self.memo.capacity() * size_of::<u32>()
+            + self.pair_memo.capacity() * (size_of::<u64>() + size_of::<u32>() + 1)
             + self.unique_blocked.capacity()
             + self.bw.capacity() * size_of::<f64>()
             + self.ident.capacity() * size_of::<u32>()
@@ -935,9 +942,11 @@ impl PacketSim {
         let RunScratch {
             setup,
             memo,
+            pair_memo,
             unique_blocked,
             ..
         } = rs;
+        crate::message::check_count(messages.len())?;
         setup.unique.clear();
         setup.route_of.clear();
         setup.route_of.reserve(messages.len());
@@ -966,18 +975,28 @@ impl PacketSim {
                 setup.blocked.push(unique_blocked[u as usize]);
             }
         } else {
-            // Past 256 nodes the dense memo would outweigh its benefit;
-            // routes are stored per message (route_of is the identity).
+            // Past 256 nodes the dense memo would be O(nodes²) — 64 MB of
+            // table for a 64×64 fabric — so pairs are deduplicated through a
+            // hash map sized by the pairs the DAG actually touches. Route
+            // storage stays O(pairs), exactly as on small meshes.
+            pair_memo.clear();
             for (i, m) in messages.iter().enumerate() {
                 validate_one(i, m, messages.len())?;
                 mesh.check_node(m.src)?;
                 mesh.check_node(m.dst)?;
-                let r = self.routes.route(mesh, m.src, m.dst, self.cfg.routing)?;
-                let blocked = r.iter().any(|&l| !faults.link_usable(mesh, l));
-                setup.route_of.push(setup.unique.len() as u32);
-                setup.unique.push(r);
-                setup.blocked.push(blocked);
-                unique_blocked.push(blocked);
+                let key = m.src.index() as u64 * nn as u64 + m.dst.index() as u64;
+                let u = match pair_memo.entry(key) {
+                    std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        let r = self.routes.route(mesh, m.src, m.dst, self.cfg.routing)?;
+                        let u = setup.unique.len() as u32;
+                        unique_blocked.push(r.iter().any(|&l| !faults.link_usable(mesh, l)));
+                        setup.unique.push(r);
+                        *e.insert(u)
+                    }
+                };
+                setup.route_of.push(u);
+                setup.blocked.push(unique_blocked[u as usize]);
             }
         }
         Ok(())

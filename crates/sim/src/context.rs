@@ -10,7 +10,7 @@
 use std::sync::Arc;
 
 use meshcoll_noc::NocConfig;
-use meshcoll_topo::RouteCache;
+use meshcoll_topo::{RouteCache, RouteCacheStats};
 
 use crate::SimEngine;
 
@@ -26,9 +26,38 @@ impl SimContext {
         SimContext::default()
     }
 
+    /// Creates a context whose route cache evicts least-recently-used
+    /// entries once its approximate footprint exceeds `bytes`. Use this for
+    /// long sweeps over many mesh shapes, where the default unbounded cache
+    /// would retain every shape's routes forever.
+    pub fn with_route_cache_byte_cap(bytes: usize) -> Self {
+        SimContext {
+            routes: Arc::new(RouteCache::with_byte_cap(bytes)),
+        }
+    }
+
     /// The route cache held by this context.
     pub fn route_cache(&self) -> &Arc<RouteCache> {
         &self.routes
+    }
+
+    /// Snapshot of the route cache's hit/miss/eviction counters.
+    pub fn route_cache_stats(&self) -> RouteCacheStats {
+        self.routes.stats()
+    }
+
+    /// The route-cache counters as one human-readable report line.
+    pub fn counter_report(&self) -> String {
+        let s = self.routes.stats();
+        format!(
+            "route_cache: hits={} misses={} evictions={} entries={} retained_bytes={} byte_cap={}",
+            s.hits,
+            s.misses,
+            s.evictions,
+            s.entries,
+            s.retained_bytes,
+            s.byte_cap.map_or_else(|| "none".into(), |c| c.to_string()),
+        )
     }
 
     /// Builds an engine that resolves routes through this context's cache.
@@ -61,5 +90,23 @@ mod tests {
         ctx.paper_engine().run(&mesh, &s).unwrap();
         assert_eq!(ctx.route_cache().len(), populated);
         assert!(ctx.route_cache().hits() > 0);
+    }
+
+    #[test]
+    fn counter_report_reflects_cache_activity() {
+        let ctx = SimContext::with_route_cache_byte_cap(1 << 20);
+        let mesh = Mesh::square(4).unwrap();
+        let s = Algorithm::Ring.schedule(&mesh, 1 << 20).unwrap();
+        ctx.paper_engine().run(&mesh, &s).unwrap();
+        let stats = ctx.route_cache_stats();
+        assert!(stats.misses > 0);
+        assert_eq!(stats.byte_cap, Some(1 << 20));
+        let report = ctx.counter_report();
+        assert!(report.contains("hits="), "unexpected report: {report}");
+        assert!(
+            report.contains("evictions=0"),
+            "unexpected report: {report}"
+        );
+        assert!(report.contains("byte_cap=1048576"), "{report}");
     }
 }

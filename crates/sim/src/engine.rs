@@ -2,9 +2,11 @@
 
 use std::sync::{Arc, Mutex};
 
-use meshcoll_collectives::{fault, Algorithm, CollectiveError, Schedule, ScheduleOptions};
+use meshcoll_collectives::{
+    fault, Algorithm, CollectiveError, OpId, OpKind, OpSink, Schedule, ScheduleOptions,
+};
 use meshcoll_noc::{Message, MsgId, NocConfig, PacketSim, SimMode};
-use meshcoll_topo::Mesh;
+use meshcoll_topo::{Mesh, NodeId};
 
 use crate::{SimContext, SimError};
 
@@ -164,12 +166,26 @@ impl SimEngine {
         self.sim.config()
     }
 
-    /// Bytes currently retained by the underlying packet engine's
-    /// reusable scratch pools (high-water capacities that persist across
-    /// runs). Stays `O(messages)` of the largest schedule simulated so
+    /// Bytes currently retained by this engine's reusable pools: the
+    /// underlying packet engine's scratch (high-water capacities that
+    /// persist across runs) plus the recycled schedule-lowering message
+    /// buffers. Stays `O(messages)` of the largest schedule simulated so
     /// far; the scalability smoke test pins that down.
     pub fn retained_scratch_bytes(&self) -> usize {
-        self.sim.retained_scratch_bytes()
+        let lowered: usize = self
+            .lowered
+            .lock()
+            .expect("message pool poisoned")
+            .iter()
+            .map(|buf| {
+                buf.capacity() * std::mem::size_of::<Message>()
+                    + buf
+                        .iter()
+                        .map(|m| m.deps.capacity() * std::mem::size_of::<MsgId>())
+                        .sum::<usize>()
+            })
+            .sum();
+        self.sim.retained_scratch_bytes() + lowered
     }
 
     /// Times one schedule.
@@ -239,6 +255,70 @@ impl SimEngine {
         }
     }
 
+    /// Times `algorithm` without ever materializing its [`Schedule`]: ops
+    /// stream from the generator straight into the pooled message buffer
+    /// (one message per op, written in place), so peak retained memory is a
+    /// single O(messages) buffer instead of schedule + deps arena +
+    /// messages. This is the intended entry point for 1,000+ chiplet
+    /// fabrics; results are bit-identical to
+    /// [`SimEngine::run`] on the materialized schedule (the generators are
+    /// shared — see [`meshcoll_collectives::stream`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Collective`] when the algorithm cannot run on
+    /// `mesh` (as for [`Algorithm::schedule_with`]) and [`SimError::Network`]
+    /// for malformed message DAGs (defensive).
+    pub fn run_streamed(
+        &self,
+        mesh: &Mesh,
+        algorithm: Algorithm,
+        data_bytes: u64,
+        opts: &ScheduleOptions,
+    ) -> Result<RunResult, SimError> {
+        let mut messages = self
+            .lowered
+            .lock()
+            .expect("message pool poisoned")
+            .pop()
+            .unwrap_or_default();
+        let emitted = {
+            let mut sink = MessageSink {
+                messages: &mut messages,
+                idx: 0,
+            };
+            algorithm
+                .emit_with(mesh, data_bytes, opts, &mut sink)
+                .map(|()| sink.idx)
+        };
+        let result = match emitted {
+            Ok(count) => {
+                messages.truncate(count);
+                self.sim
+                    .simulate(mesh, &messages)
+                    .map(|outcome| {
+                        let makespan = outcome.makespan_ns();
+                        let run = RunResult {
+                            total_time_ns: makespan,
+                            link_utilization_percent: outcome
+                                .link_stats()
+                                .utilization_percent(makespan),
+                            used_link_percent: outcome.link_stats().used_link_percent(),
+                        };
+                        self.sim.recycle(outcome);
+                        run
+                    })
+                    .map_err(SimError::from)
+            }
+            Err(e) => Err(e.into()),
+        };
+        self.lowered
+            .lock()
+            .expect("message pool poisoned")
+            .push(messages);
+        result
+    }
+
     /// Times several schedules sharing the network, each with its own
     /// earliest-start time (used by the layer-wise overlap experiment, where
     /// layer `l`'s AllReduce may not start before its gradient exists).
@@ -289,6 +369,53 @@ impl SimEngine {
     /// The underlying packet engine, for the audit layer.
     pub(crate) fn packet_sim(&self) -> &PacketSim {
         &self.sim
+    }
+}
+
+/// Lowers a streamed op sequence straight into a (possibly recycled)
+/// message buffer, entry by entry — the streaming counterpart of
+/// [`schedule_messages_into`]. Op `k` becomes message `k`; dependency ids
+/// translate one-to-one, so the resulting DAG is byte-for-byte the DAG the
+/// materialized path lowers.
+struct MessageSink<'a> {
+    messages: &'a mut Vec<Message>,
+    idx: usize,
+}
+
+impl OpSink for MessageSink<'_> {
+    fn push(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        _offset: u64,
+        bytes: u64,
+        _kind: OpKind,
+        _chunk: u32,
+        deps: &[OpId],
+    ) -> OpId {
+        let idx = self.idx;
+        let id = u32::try_from(idx).expect("streamed schedule exceeds u32 op ids");
+        let dep_ids = deps.iter().map(|d| MsgId(d.index()));
+        if let Some(m) = self.messages.get_mut(idx) {
+            m.id = MsgId(idx);
+            m.src = src;
+            m.dst = dst;
+            m.bytes = bytes;
+            m.ready_at_ns = 0.0;
+            m.deps.clear();
+            m.deps.extend(dep_ids);
+        } else {
+            self.messages
+                .push(Message::new(MsgId(idx), src, dst, bytes).with_deps(dep_ids));
+        }
+        self.idx += 1;
+        OpId(id)
+    }
+
+    fn set_participants(&mut self, _nodes: Vec<NodeId>) {
+        // Timing needs only the message DAG; participants matter to the
+        // functional verifier and audits, which run on materialized
+        // schedules.
     }
 }
 
@@ -392,6 +519,42 @@ mod tests {
         assert!(tto > bi && bi > ring, "tto={tto} bi={bi} ring={ring}");
         assert!(tto > 60.0, "tto utilization {tto}");
         assert!(ring < 40.0, "ring utilization {ring}");
+    }
+
+    #[test]
+    fn streamed_run_is_bit_identical_to_materialized() {
+        let e = SimEngine::paper_default();
+        let opts = ScheduleOptions::default();
+        for (dims, algorithms) in [
+            (
+                (4, 4),
+                &[
+                    Algorithm::Ring,
+                    Algorithm::RingBiEven,
+                    Algorithm::MultiTree,
+                    Algorithm::Tto,
+                    Algorithm::DBTree,
+                ][..],
+            ),
+            ((5, 5), &[Algorithm::RingBiOdd, Algorithm::Tto][..]),
+        ] {
+            let mesh = Mesh::new(dims.0, dims.1).unwrap();
+            let d = 1 << 20;
+            for &a in algorithms {
+                let s = a.schedule_with(&mesh, d, &opts).unwrap();
+                let materialized = e.run(&mesh, &s).unwrap();
+                let streamed = e.run_streamed(&mesh, a, d, &opts).unwrap();
+                assert_eq!(materialized, streamed, "{a} on {dims:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_run_surfaces_construction_errors() {
+        let e = SimEngine::paper_default();
+        let mesh = Mesh::square(5).unwrap();
+        let err = e.run_streamed(&mesh, Algorithm::RingBiEven, 1 << 20, &Default::default());
+        assert!(matches!(err, Err(crate::SimError::Collective(_))));
     }
 
     #[test]

@@ -1,0 +1,99 @@
+//! Two-level hierarchy integration: a board of packages flattens to a
+//! plain mesh plus link degradation, so schedule generation, the static
+//! analyzer, the invariant audit, and the streamed fast path all work on
+//! it unchanged.
+
+use meshcoll_analyzer::analyze;
+use meshcoll_collectives::{Algorithm, ScheduleOptions};
+use meshcoll_noc::NocConfig;
+use meshcoll_sim::SimEngine;
+use meshcoll_topo::Hierarchy;
+
+const DATA: u64 = 1 << 20;
+
+/// A 2x2 board of 4x4-chiplet packages, board links at quarter bandwidth.
+fn board() -> Hierarchy {
+    Hierarchy::new(2, 2, 4, 4, 0.25).unwrap()
+}
+
+fn hierarchy_engine(h: &Hierarchy) -> SimEngine {
+    let mut noc = NocConfig::paper_default();
+    h.apply_to(&mut noc.faults).unwrap();
+    SimEngine::new(noc)
+}
+
+#[test]
+fn collectives_run_unchanged_on_a_hierarchy() {
+    let h = board();
+    let engine = hierarchy_engine(&h);
+    for a in [Algorithm::Ring, Algorithm::RingBiEven, Algorithm::Tto] {
+        let s = a.schedule(h.fabric(), DATA).unwrap();
+        let r = engine.run(h.fabric(), &s).unwrap();
+        assert!(r.total_time_ns > 0.0, "{a}: empty run");
+    }
+}
+
+#[test]
+fn slow_board_links_cost_makespan() {
+    let h = board();
+    let s = Algorithm::Ring.schedule(h.fabric(), DATA).unwrap();
+    let flat = SimEngine::paper_default()
+        .run(h.fabric(), &s)
+        .unwrap()
+        .total_time_ns;
+    let tiered = hierarchy_engine(&h)
+        .run(h.fabric(), &s)
+        .unwrap()
+        .total_time_ns;
+    assert!(
+        tiered > flat,
+        "quarter-bandwidth board links should slow the ring: {tiered} vs {flat}"
+    );
+}
+
+#[test]
+fn analyzer_bounds_hold_on_a_hierarchy() {
+    let h = board();
+    let mut noc = NocConfig::paper_default();
+    h.apply_to(&mut noc.faults).unwrap();
+    let engine = SimEngine::new(noc.clone());
+    for a in [Algorithm::Ring, Algorithm::Tto] {
+        let s = a.schedule(h.fabric(), DATA).unwrap();
+        let report = analyze(h.fabric(), &s, &noc);
+        assert!(report.is_feasible(), "{a}: analyzer found issues");
+        let r = engine.run(h.fabric(), &s).unwrap();
+        assert!(
+            r.total_time_ns >= report.lower_bound_ns(),
+            "{a}: simulated {} ns beat the certified bound {} ns",
+            r.total_time_ns,
+            report.lower_bound_ns()
+        );
+    }
+}
+
+#[test]
+fn audit_is_clean_on_a_hierarchy() {
+    let h = board();
+    let engine = hierarchy_engine(&h);
+    let s = Algorithm::Ring.schedule(h.fabric(), DATA).unwrap();
+    let report = engine.audit(h.fabric(), &s).unwrap();
+    assert!(
+        report.is_clean(),
+        "{} violations: {:?}",
+        report.violations.len(),
+        report.violations
+    );
+}
+
+#[test]
+fn streamed_runs_match_materialized_on_a_hierarchy() {
+    let h = board();
+    let engine = hierarchy_engine(&h);
+    let opts = ScheduleOptions::default();
+    for a in [Algorithm::Ring, Algorithm::Tto] {
+        let s = a.schedule_with(h.fabric(), DATA, &opts).unwrap();
+        let materialized = engine.run(h.fabric(), &s).unwrap();
+        let streamed = engine.run_streamed(h.fabric(), a, DATA, &opts).unwrap();
+        assert_eq!(materialized, streamed, "{a}");
+    }
+}

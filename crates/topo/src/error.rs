@@ -31,6 +31,16 @@ pub enum TopologyError {
         /// Columns of the offending mesh.
         cols: usize,
     },
+    /// The mesh would exceed the stack's dense index spaces: `nodes * 4`
+    /// link ids and the collectives' `u32` op ids must stay representable.
+    MeshTooLarge {
+        /// Rows of the offending mesh.
+        rows: usize,
+        /// Columns of the offending mesh.
+        cols: usize,
+        /// Maximum supported chiplet count.
+        max_nodes: usize,
+    },
     /// A node id was out of range for the mesh.
     NodeOutOfRange {
         /// The offending node index.
@@ -70,6 +80,14 @@ impl fmt::Display for TopologyError {
             TopologyError::NotOddMesh { rows, cols } => write!(
                 f,
                 "corner-excluded cycle requires an odd-sized mesh, got {rows}x{cols}"
+            ),
+            TopologyError::MeshTooLarge {
+                rows,
+                cols,
+                max_nodes,
+            } => write!(
+                f,
+                "mesh {rows}x{cols} exceeds the supported {max_nodes} chiplets"
             ),
             TopologyError::NodeOutOfRange { node, nodes } => {
                 write!(f, "node {node} out of range for mesh with {nodes} nodes")

@@ -1,0 +1,316 @@
+//! Two-level hierarchical fabric: a board of MCM packages.
+//!
+//! Scale-out MCM systems tile packages on a board: each package is a
+//! `chip_rows x chip_cols` chiplet mesh with fast interposer links, and
+//! neighboring packages connect through board-level links that are slower
+//! by a constant factor (organic substrate or off-package SerDes vs.
+//! silicon interposer).
+//!
+//! A [`Hierarchy`] models this *without* introducing a new topology type
+//! downstream: it flattens the package grid into one global [`Mesh`]
+//! (packages are edge-stitched, so the union of interposer and board links
+//! *is* a plain 2D mesh) and expresses the bandwidth asymmetry as link
+//! degradation in the existing [`FaultModel`]. Every consumer — schedule
+//! generation, the static analyzer's bounds, the NoC engines, fault
+//! audits — therefore works on a hierarchy unchanged.
+//!
+//! # Example
+//!
+//! ```
+//! use meshcoll_topo::Hierarchy;
+//! // A 2x2 board of 4x4-chiplet packages with board links at 1/4 the
+//! // interposer bandwidth: an 8x8 global mesh, 64 chiplets.
+//! let h = Hierarchy::new(2, 2, 4, 4, 0.25)?;
+//! assert_eq!(h.fabric().nodes(), 64);
+//! let faults = h.fault_model()?;
+//! let slow = h.boundary_links().next().unwrap();
+//! assert_eq!(faults.degradation(slow), 0.25);
+//! # Ok::<(), meshcoll_topo::TopologyError>(())
+//! ```
+
+use crate::{Direction, FaultModel, LinkId, Mesh, NodeId, TopologyError};
+
+/// A two-level fabric: a `pkg_rows x pkg_cols` board of packages, each a
+/// `chip_rows x chip_cols` chiplet mesh, flattened into one global mesh
+/// with degraded package-boundary links.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hierarchy {
+    pkg_rows: usize,
+    pkg_cols: usize,
+    chip_rows: usize,
+    chip_cols: usize,
+    /// Board-link bandwidth as a fraction of interposer-link bandwidth.
+    board_fraction: f64,
+    fabric: Mesh,
+}
+
+impl Hierarchy {
+    /// Creates a board of `pkg_rows x pkg_cols` packages, each a
+    /// `chip_rows x chip_cols` chiplet mesh, with package-boundary (board)
+    /// links running at `board_fraction` of the interposer bandwidth.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::EmptyMesh`] if any dimension is zero,
+    /// [`TopologyError::MeshTooLarge`] if the flattened global mesh would
+    /// overflow the stack's dense index spaces, and
+    /// [`TopologyError::Infeasible`] if `board_fraction` is not in `(0, 1]`.
+    pub fn new(
+        pkg_rows: usize,
+        pkg_cols: usize,
+        chip_rows: usize,
+        chip_cols: usize,
+        board_fraction: f64,
+    ) -> Result<Self, TopologyError> {
+        if pkg_rows == 0 || pkg_cols == 0 || chip_rows == 0 || chip_cols == 0 {
+            return Err(TopologyError::EmptyMesh);
+        }
+        if !(board_fraction > 0.0 && board_fraction <= 1.0) {
+            return Err(TopologyError::Infeasible {
+                reason: "board bandwidth fraction must be in (0, 1]",
+            });
+        }
+        let rows = pkg_rows
+            .checked_mul(chip_rows)
+            .ok_or(TopologyError::EmptyMesh)?;
+        let cols = pkg_cols
+            .checked_mul(chip_cols)
+            .ok_or(TopologyError::EmptyMesh)?;
+        let fabric = Mesh::new(rows, cols)?;
+        Ok(Hierarchy {
+            pkg_rows,
+            pkg_cols,
+            chip_rows,
+            chip_cols,
+            board_fraction,
+            fabric,
+        })
+    }
+
+    /// The flattened global mesh: `(pkg_rows * chip_rows) x (pkg_cols *
+    /// chip_cols)` chiplets. Feed this to schedule generation, the
+    /// analyzer, and the simulators exactly like a flat mesh.
+    pub fn fabric(&self) -> &Mesh {
+        &self.fabric
+    }
+
+    /// Number of packages on the board.
+    pub fn packages(&self) -> usize {
+        self.pkg_rows * self.pkg_cols
+    }
+
+    /// Chiplets per package.
+    pub fn nodes_per_package(&self) -> usize {
+        self.chip_rows * self.chip_cols
+    }
+
+    /// Board-link bandwidth as a fraction of interposer-link bandwidth.
+    pub fn board_fraction(&self) -> f64 {
+        self.board_fraction
+    }
+
+    /// The `(package_row, package_col)` containing a chiplet of the fabric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is out of range (as in [`Mesh::coord`]).
+    pub fn package_of(&self, n: NodeId) -> (usize, usize) {
+        let c = self.fabric.coord(n);
+        (c.row / self.chip_rows, c.col / self.chip_cols)
+    }
+
+    /// True when the directed link crosses a package boundary (i.e. is a
+    /// board-level link).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link id is a boundary slot with no physical link.
+    pub fn is_boundary_link(&self, l: LinkId) -> bool {
+        let (src, dst) = self.fabric.link_endpoints(l);
+        self.package_of(src) != self.package_of(dst)
+    }
+
+    /// All directed board-level links, in fabric link order.
+    pub fn boundary_links(&self) -> impl Iterator<Item = LinkId> + '_ {
+        self.fabric
+            .links()
+            .filter(|&(src, dst, _)| self.package_of(src) != self.package_of(dst))
+            .map(|(_, _, l)| l)
+    }
+
+    /// Records the board-link bandwidth asymmetry into an existing fault
+    /// model: every package-boundary channel is degraded to
+    /// [`Hierarchy::board_fraction`] of nominal (both directions). A
+    /// fraction of exactly `1.0` records nothing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TopologyError`] from link lookup (cannot happen for a
+    /// well-formed hierarchy).
+    pub fn apply_to(&self, faults: &mut FaultModel) -> Result<(), TopologyError> {
+        if self.board_fraction == 1.0 {
+            return Ok(());
+        }
+        // Degrade each physical channel once, walking the eastward and
+        // southward package seams.
+        for pr in 1..self.pkg_rows {
+            let row = pr * self.chip_rows;
+            for l in self.fabric.row_cut_links(row, true) {
+                let (a, b) = self.fabric.link_endpoints(l);
+                faults.degrade_link_between(&self.fabric, a, b, self.board_fraction)?;
+            }
+        }
+        for pc in 1..self.pkg_cols {
+            let col = pc * self.chip_cols;
+            for l in self.fabric.column_cut_links(col, true) {
+                let (a, b) = self.fabric.link_endpoints(l);
+                faults.degrade_link_between(&self.fabric, a, b, self.board_fraction)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// A fresh fault model carrying only this hierarchy's board-link
+    /// degradation. Combine with real faults via [`Hierarchy::apply_to`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TopologyError`] from link lookup (cannot happen for a
+    /// well-formed hierarchy).
+    pub fn fault_model(&self) -> Result<FaultModel, TopologyError> {
+        let mut f = FaultModel::new();
+        self.apply_to(&mut f)?;
+        Ok(f)
+    }
+
+    /// Number of directed board-level links:
+    /// `2 * (seams_h * cols + seams_v * rows)` where seams are the package
+    /// boundaries in each dimension.
+    pub fn boundary_link_count(&self) -> usize {
+        let horizontal = (self.pkg_rows - 1) * self.fabric.cols();
+        let vertical = (self.pkg_cols - 1) * self.fabric.rows();
+        2 * (horizontal + vertical)
+    }
+}
+
+impl std::fmt::Display for Hierarchy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}x{} board of {}x{} packages (board links at {:.0}%)",
+            self.pkg_rows,
+            self.pkg_cols,
+            self.chip_rows,
+            self.chip_cols,
+            self.board_fraction * 100.0
+        )
+    }
+}
+
+/// Sanity check used by tests: a link is boundary iff its direction steps
+/// across a package seam.
+#[allow(dead_code)]
+fn crosses_seam(h: &Hierarchy, src: NodeId, d: Direction) -> bool {
+    let c = h.fabric().coord(src);
+    match d {
+        Direction::East => (c.col + 1).is_multiple_of(h.chip_cols),
+        Direction::West => c.col.is_multiple_of(h.chip_cols),
+        Direction::North => c.row.is_multiple_of(h.chip_rows),
+        Direction::South => (c.row + 1).is_multiple_of(h.chip_rows),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_validates_inputs() {
+        assert_eq!(
+            Hierarchy::new(0, 2, 4, 4, 0.5),
+            Err(TopologyError::EmptyMesh)
+        );
+        assert_eq!(
+            Hierarchy::new(2, 2, 0, 4, 0.5),
+            Err(TopologyError::EmptyMesh)
+        );
+        assert!(Hierarchy::new(2, 2, 4, 4, 0.0).is_err());
+        assert!(Hierarchy::new(2, 2, 4, 4, 1.5).is_err());
+        assert!(Hierarchy::new(2, 2, 4, 4, f64::NAN).is_err());
+        assert!(Hierarchy::new(2, 2, 4, 4, 1.0).is_ok());
+    }
+
+    #[test]
+    fn fabric_is_the_flattened_mesh() {
+        let h = Hierarchy::new(2, 3, 4, 5, 0.5).unwrap();
+        assert_eq!(h.fabric().rows(), 8);
+        assert_eq!(h.fabric().cols(), 15);
+        assert_eq!(h.packages(), 6);
+        assert_eq!(h.nodes_per_package(), 20);
+        assert!(!h.fabric().is_torus());
+    }
+
+    #[test]
+    fn package_of_partitions_the_fabric() {
+        let h = Hierarchy::new(2, 2, 3, 3, 0.5).unwrap();
+        let mut sizes = std::collections::HashMap::new();
+        for n in h.fabric().node_ids() {
+            *sizes.entry(h.package_of(n)).or_insert(0usize) += 1;
+        }
+        assert_eq!(sizes.len(), h.packages());
+        assert!(sizes.values().all(|&s| s == h.nodes_per_package()));
+    }
+
+    #[test]
+    fn boundary_links_match_seam_geometry() {
+        let h = Hierarchy::new(2, 3, 3, 2, 0.5).unwrap();
+        let found: Vec<LinkId> = h.boundary_links().collect();
+        assert_eq!(found.len(), h.boundary_link_count());
+        for (src, _, l) in h.fabric().links() {
+            let d = Direction::ALL[l.index() % 4];
+            assert_eq!(
+                h.is_boundary_link(l),
+                crosses_seam(&h, src, d),
+                "link {l} from {src} dir {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn fault_model_degrades_exactly_the_boundary_links() {
+        let h = Hierarchy::new(2, 2, 4, 4, 0.25).unwrap();
+        let faults = h.fault_model().unwrap();
+        for (_, _, l) in h.fabric().links() {
+            let want = if h.is_boundary_link(l) { 0.25 } else { 1.0 };
+            assert_eq!(faults.degradation(l), want, "link {l}");
+            assert!(faults.link_usable(h.fabric(), l), "degraded is not dead");
+        }
+        assert_eq!(faults.failed_node_count(), 0);
+        assert_eq!(faults.failed_link_count(), 0);
+    }
+
+    #[test]
+    fn full_bandwidth_board_records_no_faults() {
+        let h = Hierarchy::new(2, 2, 4, 4, 1.0).unwrap();
+        assert!(h.fault_model().unwrap().is_empty());
+    }
+
+    #[test]
+    fn apply_to_composes_with_real_faults() {
+        let h = Hierarchy::new(2, 2, 2, 2, 0.5).unwrap();
+        let mut faults = FaultModel::new();
+        faults.fail_node(NodeId(0));
+        h.apply_to(&mut faults).unwrap();
+        assert!(faults.node_failed(NodeId(0)));
+        let slow = h.boundary_links().next().unwrap();
+        assert_eq!(faults.degradation(slow), 0.5);
+    }
+
+    #[test]
+    fn single_package_board_has_no_boundaries() {
+        let h = Hierarchy::new(1, 1, 5, 5, 0.25).unwrap();
+        assert_eq!(h.boundary_link_count(), 0);
+        assert_eq!(h.boundary_links().count(), 0);
+        assert!(h.fault_model().unwrap().is_empty());
+    }
+}

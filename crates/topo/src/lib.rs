@@ -35,6 +35,7 @@
 mod error;
 pub mod fault;
 pub mod hamiltonian;
+pub mod hierarchy;
 pub mod masked;
 mod mesh;
 pub mod routing;
@@ -43,8 +44,9 @@ pub mod tree;
 
 pub use error::TopologyError;
 pub use fault::{FaultModel, LinkFlap};
+pub use hierarchy::Hierarchy;
 pub use masked::MaskedCycle;
-pub use mesh::{Coord, Direction, LinkId, Mesh, NodeId};
-pub use routing::{RouteCache, RoutingAlgorithm};
+pub use mesh::{Coord, Direction, LinkId, Mesh, NodeId, MAX_NODES};
+pub use routing::{RouteCache, RouteCacheStats, RoutingAlgorithm};
 pub use timeline::{FaultEvent, FaultTimeline};
 pub use tree::Tree;

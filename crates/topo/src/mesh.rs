@@ -149,16 +149,41 @@ pub struct Mesh {
     wraparound: bool,
 }
 
+/// Largest supported chiplet count per mesh.
+///
+/// Two dense index spaces must stay representable: the per-node link slots
+/// (`nodes * 4`, see [`Mesh::link_id_space`]) and the collectives' `u32`
+/// op ids (a schedule emits multiple ops per node). Capping nodes at
+/// `u32::MAX / 4` keeps both safe with room to spare — a silent `rows *
+/// cols` wrap would otherwise alias distinct chiplets at extreme sizes.
+pub const MAX_NODES: usize = (u32::MAX / 4) as usize;
+
+/// Rejects dimensions that are zero or whose product exceeds [`MAX_NODES`]
+/// (including `usize` overflow of `rows * cols` itself).
+fn check_dims(rows: usize, cols: usize) -> Result<(), TopologyError> {
+    if rows == 0 || cols == 0 {
+        return Err(TopologyError::EmptyMesh);
+    }
+    match rows.checked_mul(cols) {
+        Some(n) if n <= MAX_NODES => Ok(()),
+        _ => Err(TopologyError::MeshTooLarge {
+            rows,
+            cols,
+            max_nodes: MAX_NODES,
+        }),
+    }
+}
+
 impl Mesh {
     /// Creates a `rows x cols` mesh.
     ///
     /// # Errors
     ///
-    /// Returns [`TopologyError::EmptyMesh`] if either dimension is zero.
+    /// Returns [`TopologyError::EmptyMesh`] if either dimension is zero and
+    /// [`TopologyError::MeshTooLarge`] if `rows * cols` exceeds
+    /// [`MAX_NODES`].
     pub fn new(rows: usize, cols: usize) -> Result<Self, TopologyError> {
-        if rows == 0 || cols == 0 {
-            return Err(TopologyError::EmptyMesh);
-        }
+        check_dims(rows, cols)?;
         Ok(Mesh {
             rows,
             cols,
@@ -183,7 +208,9 @@ impl Mesh {
     /// # Errors
     ///
     /// Returns [`TopologyError::MeshTooSmall`] unless both dimensions are at
-    /// least 3 (a 2-wide wrap would duplicate the existing neighbor link).
+    /// least 3 (a 2-wide wrap would duplicate the existing neighbor link),
+    /// and [`TopologyError::MeshTooLarge`] if `rows * cols` exceeds
+    /// [`MAX_NODES`].
     pub fn torus(rows: usize, cols: usize) -> Result<Self, TopologyError> {
         if rows < 3 || cols < 3 {
             return Err(TopologyError::MeshTooSmall {
@@ -191,6 +218,7 @@ impl Mesh {
                 got: (rows, cols),
             });
         }
+        check_dims(rows, cols)?;
         Ok(Mesh {
             rows,
             cols,
@@ -545,6 +573,32 @@ mod tests {
     fn rejects_empty_mesh() {
         assert_eq!(Mesh::new(0, 3), Err(TopologyError::EmptyMesh));
         assert_eq!(Mesh::new(3, 0), Err(TopologyError::EmptyMesh));
+    }
+
+    #[test]
+    fn rejects_oversized_mesh() {
+        // rows * cols overflows usize entirely.
+        assert_eq!(
+            Mesh::new(usize::MAX, 2),
+            Err(TopologyError::MeshTooLarge {
+                rows: usize::MAX,
+                cols: 2,
+                max_nodes: MAX_NODES,
+            })
+        );
+        // Product fits usize but exceeds the dense-index cap.
+        assert!(matches!(
+            Mesh::new(MAX_NODES, 2),
+            Err(TopologyError::MeshTooLarge { .. })
+        ));
+        assert!(matches!(
+            Mesh::torus(MAX_NODES, 3),
+            Err(TopologyError::MeshTooLarge { .. })
+        ));
+        // The boundary itself is fine.
+        assert!(Mesh::new(MAX_NODES, 1).is_ok());
+        // Large fabrics well past 64x64 construct without issue.
+        assert!(Mesh::new(4096, 4096).is_ok());
     }
 
     #[test]

@@ -235,6 +235,50 @@ struct RouteKey {
     dst: usize,
 }
 
+/// One cached route plus its last-use stamp. The stamp is atomic so the
+/// read path (a cache hit) can refresh it under the shard's *read* lock.
+#[derive(Debug)]
+struct CacheEntry {
+    route: Arc<[LinkId]>,
+    last_use: AtomicU64,
+}
+
+/// One lock's worth of cache: the key → entry map plus its approximate
+/// retained byte count (see [`entry_bytes`]).
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<RouteKey, CacheEntry>,
+    bytes: usize,
+}
+
+/// Approximate heap footprint of one cached route: the `Arc<[LinkId]>`
+/// allocation (payload + strong/weak counts) plus the map's key and entry.
+fn entry_bytes(route_len: usize) -> usize {
+    use std::mem::size_of;
+    route_len * size_of::<LinkId>()
+        + 2 * size_of::<usize>()
+        + size_of::<RouteKey>()
+        + size_of::<CacheEntry>()
+}
+
+/// Point-in-time counters of a [`RouteCache`], for counter reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct RouteCacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute the route.
+    pub misses: u64,
+    /// Entries evicted to stay under the byte cap.
+    pub evictions: u64,
+    /// Routes currently cached.
+    pub entries: usize,
+    /// Approximate bytes currently retained by cached routes.
+    pub retained_bytes: usize,
+    /// The configured byte cap (`None` = unbounded).
+    pub byte_cap: Option<usize>,
+}
+
 /// A thread-safe memo of dimension-order routes.
 ///
 /// Repeated simulation runs on the same mesh shape (figure sweeps, epoch
@@ -244,6 +288,12 @@ struct RouteKey {
 /// It is `Sync`, so one cache can back every engine of a parallel sweep;
 /// entries are spread over [`ROUTE_SHARDS`] independently-locked shards so
 /// concurrent sweep workers don't serialize on a single lock.
+///
+/// By default the cache grows without bound — correct for sweeps over a few
+/// mesh shapes, unbounded for long-lived services sweeping many. With
+/// [`RouteCache::with_byte_cap`] each shard evicts its least-recently-used
+/// entries whenever its share of the cap is exceeded; [`RouteCache::stats`]
+/// reports hit/miss/eviction counters and retained bytes.
 ///
 /// # Example
 ///
@@ -260,9 +310,14 @@ struct RouteKey {
 /// ```
 #[derive(Debug, Default)]
 pub struct RouteCache {
-    shards: [RwLock<HashMap<RouteKey, Arc<[LinkId]>>>; ROUTE_SHARDS],
+    shards: [RwLock<Shard>; ROUTE_SHARDS],
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    /// Monotonic access clock backing the LRU stamps.
+    tick: AtomicU64,
+    /// Total byte budget across all shards (`0` = unbounded).
+    byte_cap: usize,
 }
 
 /// Number of independently-locked map shards in a [`RouteCache`].
@@ -276,9 +331,25 @@ fn shard_of(key: &RouteKey) -> usize {
 }
 
 impl RouteCache {
-    /// Creates an empty cache.
+    /// Creates an empty, unbounded cache.
     pub fn new() -> Self {
         RouteCache::default()
+    }
+
+    /// Creates an empty cache that evicts least-recently-used routes once
+    /// its approximate retained bytes exceed `bytes` (each of the
+    /// [`ROUTE_SHARDS`] shards enforces `bytes / ROUTE_SHARDS`). A cap of
+    /// `0` means unbounded.
+    pub fn with_byte_cap(bytes: usize) -> Self {
+        RouteCache {
+            byte_cap: bytes,
+            ..RouteCache::default()
+        }
+    }
+
+    /// The configured byte cap (`None` = unbounded).
+    pub fn byte_cap(&self) -> Option<usize> {
+        (self.byte_cap > 0).then_some(self.byte_cap)
     }
 
     /// Returns the route from `src` to `dst` on `mesh`, computing and
@@ -303,29 +374,67 @@ impl RouteCache {
             src: src.index(),
             dst: dst.index(),
         };
+        let now = self.tick.fetch_add(1, Ordering::Relaxed);
         let shard = &self.shards[shard_of(&key)];
-        if let Some(hit) = shard.read().expect("route cache lock poisoned").get(&key) {
+        if let Some(hit) = shard
+            .read()
+            .expect("route cache lock poisoned")
+            .map
+            .get(&key)
+        {
+            hit.last_use.store(now, Ordering::Relaxed);
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(hit));
+            return Ok(Arc::clone(&hit.route));
         }
         let computed: Arc<[LinkId]> = route(mesh, src, dst, algorithm)?.into();
         self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut guard = shard.write().expect("route cache lock poisoned");
+        let Shard { map, bytes } = &mut *guard;
         // A racing writer may have inserted the same key; both computed the
         // same deterministic route, so either Arc is fine to return.
-        Ok(Arc::clone(
-            shard
-                .write()
-                .expect("route cache lock poisoned")
-                .entry(key)
-                .or_insert(computed),
-        ))
+        let entry = match map.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                *bytes += entry_bytes(computed.len());
+                e.insert(CacheEntry {
+                    route: computed,
+                    last_use: AtomicU64::new(now),
+                })
+            }
+        };
+        entry.last_use.store(now, Ordering::Relaxed);
+        let out = Arc::clone(&entry.route);
+        if self.byte_cap > 0 {
+            self.evict_lru(&mut guard, &key);
+        }
+        Ok(out)
+    }
+
+    /// Evicts least-recently-used entries from `shard` until it fits its
+    /// share of the byte cap. `keep` (the entry just touched) is never
+    /// evicted, so a single oversized route cannot thrash.
+    fn evict_lru(&self, shard: &mut Shard, keep: &RouteKey) {
+        let budget = (self.byte_cap / ROUTE_SHARDS).max(1);
+        while shard.bytes > budget && shard.map.len() > 1 {
+            let victim = shard
+                .map
+                .iter()
+                .filter(|(k, _)| *k != keep)
+                .min_by_key(|(_, e)| e.last_use.load(Ordering::Relaxed))
+                .map(|(k, _)| *k);
+            let Some(victim) = victim else { break };
+            if let Some(e) = shard.map.remove(&victim) {
+                shard.bytes = shard.bytes.saturating_sub(entry_bytes(e.route.len()));
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Number of cached routes.
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.read().expect("route cache lock poisoned").len())
+            .map(|s| s.read().expect("route cache lock poisoned").map.len())
             .sum()
     }
 
@@ -342,6 +451,31 @@ impl RouteCache {
     /// Lookups that had to compute the route.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted to stay under the byte cap.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Approximate bytes currently retained by cached routes.
+    pub fn retained_route_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("route cache lock poisoned").bytes)
+            .sum()
+    }
+
+    /// A point-in-time snapshot of every counter, for counter reports.
+    pub fn stats(&self) -> RouteCacheStats {
+        RouteCacheStats {
+            hits: self.hits(),
+            misses: self.misses(),
+            evictions: self.evictions(),
+            entries: self.len(),
+            retained_bytes: self.retained_route_bytes(),
+            byte_cap: self.byte_cap(),
+        }
     }
 }
 
@@ -566,5 +700,112 @@ mod tests {
             .route(&m, NodeId(0), NodeId(99), RoutingAlgorithm::Xy)
             .is_err());
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let cache = RouteCache::new();
+        let m = Mesh::square(8).unwrap();
+        for s in 0..64 {
+            for d in 0..64 {
+                cache
+                    .route(&m, NodeId(s), NodeId(d), RoutingAlgorithm::Xy)
+                    .unwrap();
+            }
+        }
+        assert_eq!(cache.byte_cap(), None);
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.len(), 64 * 64);
+        assert!(cache.retained_route_bytes() > 0);
+    }
+
+    #[test]
+    fn byte_cap_bounds_retained_bytes_and_counts_evictions() {
+        let cap = 4 * 1024;
+        let cache = RouteCache::with_byte_cap(cap);
+        let m = Mesh::square(16).unwrap();
+        for s in 0..256 {
+            for d in 0..256 {
+                cache
+                    .route(&m, NodeId(s), NodeId(d), RoutingAlgorithm::Xy)
+                    .unwrap();
+            }
+        }
+        assert_eq!(cache.byte_cap(), Some(cap));
+        assert!(cache.evictions() > 0, "cap should have forced evictions");
+        // Each shard may overshoot by at most one entry (the freshly
+        // inserted one is never evicted), so the whole cache stays within
+        // cap + ROUTE_SHARDS * max_entry overhead. The longest 16x16 route
+        // is 30 links, bounding one entry well under 512 bytes.
+        assert!(
+            cache.retained_route_bytes() < cap + ROUTE_SHARDS * 512,
+            "retained {} bytes exceeds cap {}",
+            cache.retained_route_bytes(),
+            cap
+        );
+        assert_eq!(cache.misses() - cache.evictions(), cache.len() as u64);
+    }
+
+    #[test]
+    fn capped_cache_still_serves_correct_routes() {
+        let cap = 2 * 1024;
+        let cache = RouteCache::with_byte_cap(cap);
+        let m = Mesh::square(8).unwrap();
+        for pass in 0..2 {
+            for s in 0..64 {
+                for d in 0..64 {
+                    let got = cache
+                        .route(&m, NodeId(s), NodeId(d), RoutingAlgorithm::Xy)
+                        .unwrap();
+                    let want = route(&m, NodeId(s), NodeId(d), RoutingAlgorithm::Xy).unwrap();
+                    assert_eq!(&got[..], &want[..], "pass {pass} {s}->{d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lru_keeps_the_recently_used_entry() {
+        // Cap small enough that each shard holds roughly one entry; the
+        // entry touched on every iteration must survive while cold ones
+        // churn.
+        let cache = RouteCache::with_byte_cap(ROUTE_SHARDS * 200);
+        let m = Mesh::square(8).unwrap();
+        let hot = (NodeId(0), NodeId(63));
+        cache.route(&m, hot.0, hot.1, RoutingAlgorithm::Xy).unwrap();
+        let mut hot_hits = 0;
+        for d in 1..63 {
+            cache
+                .route(&m, NodeId(0), NodeId(d), RoutingAlgorithm::Xy)
+                .unwrap();
+            let before = cache.hits();
+            cache.route(&m, hot.0, hot.1, RoutingAlgorithm::Xy).unwrap();
+            if cache.hits() > before {
+                hot_hits += 1;
+            }
+        }
+        // The hot route shares its shard with only ~1/16th of the cold
+        // keys, and it is re-stamped every iteration, so the vast majority
+        // of its lookups must be hits.
+        assert!(hot_hits > 50, "hot entry evicted too often: {hot_hits}/62");
+    }
+
+    #[test]
+    fn stats_snapshot_matches_counters() {
+        let cache = RouteCache::with_byte_cap(1 << 20);
+        let m = Mesh::square(4).unwrap();
+        cache
+            .route(&m, NodeId(0), NodeId(15), RoutingAlgorithm::Xy)
+            .unwrap();
+        cache
+            .route(&m, NodeId(0), NodeId(15), RoutingAlgorithm::Xy)
+            .unwrap();
+        let s = cache.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.evictions, 0);
+        assert_eq!(s.entries, 1);
+        assert_eq!(s.byte_cap, Some(1 << 20));
+        assert_eq!(s.retained_bytes, cache.retained_route_bytes());
     }
 }
